@@ -1,0 +1,215 @@
+//! Layer and model descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// One GEMM shape. `m` is the per-sample output rows — at timing, `m` is
+/// multiplied by the mini-batch size; `k` and `n` are batch-independent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Gemm {
+    /// Output rows per sample (e.g. `h_out * w_out` for a conv).
+    pub m: u64,
+    /// Contraction depth (e.g. `c_in * k * k`).
+    pub k: u64,
+    /// Output columns (e.g. `c_out`).
+    pub n: u64,
+}
+
+/// How a layer participates in back-propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Backprop {
+    /// Standard layer: backward = input-gradient GEMM (transposed conv)
+    /// + weight-gradient GEMM.
+    Full,
+    /// First layer of the network: no input gradient is needed.
+    NoInputGrad,
+    /// Memory-bound layer (embedding lookups): backward is a scatter, no
+    /// GEMMs.
+    MemoryBound,
+}
+
+/// A DNN layer: its forward GEMMs, parameter count and backprop class.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Human-readable name (e.g. `"conv2_1"`).
+    pub name: String,
+    /// Forward-pass GEMMs (per sample in `m`).
+    pub gemms: Vec<Gemm>,
+    /// Trainable parameter count (drives gradient all-reduce size).
+    pub params: u64,
+    /// Backprop behaviour.
+    pub backprop: Backprop,
+}
+
+impl Layer {
+    /// A convolution producing `h_out x w_out x c_out` from `c_in`
+    /// channels with a `k x k` kernel (im2col GEMM form).
+    pub fn conv(
+        name: impl Into<String>,
+        h_out: u64,
+        w_out: u64,
+        c_in: u64,
+        c_out: u64,
+        k: u64,
+    ) -> Layer {
+        Layer {
+            name: name.into(),
+            gemms: vec![Gemm {
+                m: h_out * w_out,
+                k: c_in * k * k,
+                n: c_out,
+            }],
+            params: c_in * k * k * c_out,
+            backprop: Backprop::Full,
+        }
+    }
+
+    /// A fully-connected layer `in_features -> out_features`.
+    pub fn dense(name: impl Into<String>, in_features: u64, out_features: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            gemms: vec![Gemm {
+                m: 1,
+                k: in_features,
+                n: out_features,
+            }],
+            params: in_features * out_features,
+            backprop: Backprop::Full,
+        }
+    }
+
+    /// An embedding table: `rows x dim` parameters, `lookups` gathers per
+    /// sample (memory-bound; negligible systolic compute, large
+    /// gradient).
+    pub fn embedding(name: impl Into<String>, rows: u64, dim: u64, lookups: u64) -> Layer {
+        Layer {
+            name: name.into(),
+            // modeled as a skinny degenerate GEMM: one row per lookup
+            gemms: vec![Gemm {
+                m: lookups,
+                k: 1,
+                n: dim,
+            }],
+            params: rows * dim,
+            backprop: Backprop::MemoryBound,
+        }
+    }
+
+    /// Marks this layer as the first of its network (no input gradient in
+    /// backprop).
+    pub fn first(mut self) -> Layer {
+        self.backprop = Backprop::NoInputGrad;
+        self
+    }
+
+    /// Gradient bytes this layer contributes to the all-reduce
+    /// (FP32 — the paper's 32-bit precision, Table III).
+    pub fn gradient_bytes(&self) -> u64 {
+        self.params * 4
+    }
+}
+
+/// A DNN model: an ordered list of layers (forward order).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Model {
+    /// Model name as used in the paper's figures.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+}
+
+impl Model {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers` is empty.
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Model {
+        assert!(!layers.is_empty(), "a model needs at least one layer");
+        Model {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> u64 {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Forward-pass multiply-accumulates for a mini-batch.
+    pub fn fwd_macs(&self, batch: u64) -> u64 {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.gemms)
+            .map(|g| g.m * batch * g.k * g.n)
+            .sum()
+    }
+
+    /// Bytes of gradient exchanged per forward MAC — the
+    /// communication-intensity metric separating the paper's
+    /// compute-bound CNNs from its communication-bound NCF/Transformer.
+    pub fn comm_intensity(&self, batch: u64) -> f64 {
+        self.gradient_bytes() as f64 / self.fwd_macs(batch).max(1) as f64
+    }
+
+    /// Total gradient bytes all-reduced per iteration (FP32).
+    pub fn gradient_bytes(&self) -> u64 {
+        self.param_count() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_shapes() {
+        let l = Layer::conv("c1", 55, 55, 3, 96, 11);
+        assert_eq!(l.gemms[0].m, 3025);
+        assert_eq!(l.gemms[0].k, 363);
+        assert_eq!(l.gemms[0].n, 96);
+        assert_eq!(l.params, 3 * 11 * 11 * 96);
+    }
+
+    #[test]
+    fn dense_layer_params() {
+        let l = Layer::dense("fc", 4096, 1000);
+        assert_eq!(l.params, 4_096_000);
+        assert_eq!(l.gradient_bytes(), 4 * 4_096_000);
+    }
+
+    #[test]
+    fn macs_and_intensity() {
+        let m = Model::new(
+            "toy",
+            vec![Layer::conv("c", 10, 10, 3, 8, 3), Layer::dense("fc", 800, 10)],
+        );
+        // conv: 100*27*8 = 21600 per sample; fc: 800*10 = 8000
+        assert_eq!(m.fwd_macs(1), 21_600 + 8_000);
+        assert_eq!(m.fwd_macs(4), 4 * (21_600 + 8_000));
+        assert!(m.comm_intensity(1) > 0.0);
+        // doubling batch halves intensity
+        let i1 = m.comm_intensity(1);
+        let i2 = m.comm_intensity(2);
+        assert!((i1 / i2 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn embedding_is_memory_bound() {
+        let l = Layer::embedding("emb", 100_000, 64, 2);
+        assert_eq!(l.backprop, Backprop::MemoryBound);
+        assert_eq!(l.params, 6_400_000);
+    }
+
+    #[test]
+    fn first_layer_marker() {
+        let l = Layer::conv("c1", 10, 10, 3, 8, 3).first();
+        assert_eq!(l.backprop, Backprop::NoInputGrad);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_model_rejected() {
+        Model::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,36 @@
+//! Systolic-array DNN accelerator timing model — the reproduction's
+//! stand-in for the paper's extended SCALE-Sim (§V-A).
+//!
+//! Models a TPU-like accelerator of 16 processing elements, each a 32x32
+//! output-stationary systolic array at 1 GHz (paper Table III), computing
+//! forward **and** backward passes: every layer lowers to GEMMs; the
+//! backward pass runs the transposed GEMMs for input gradients (`dX`,
+//! the "transposed convolution" of §VI-C) and weight gradients (`dW`).
+//!
+//! The [`models`] module carries the seven workloads of the paper's
+//! evaluation (§V-B): AlexNet, AlphaGoZero, FasterRCNN, GoogLeNet, NCF,
+//! ResNet50 and Transformer — with per-layer shapes and parameter counts,
+//! following SCALE-Sim's convention of modeling the convolutional /
+//! projection compute layers.
+//!
+//! ```
+//! use mt_accel::{Accelerator, models};
+//!
+//! let acc = Accelerator::paper_default();
+//! let resnet = models::resnet50();
+//! let t = acc.model_timing(&resnet, 16);
+//! assert!(t.bwd_cycles > t.fwd_cycles); // backprop costs ~2x forward
+//! assert!(resnet.param_count() > 20_000_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layer;
+pub mod models;
+mod systolic;
+mod timing;
+
+pub use layer::{Backprop, Gemm, Layer, Model};
+pub use systolic::{Accelerator, SystolicConfig};
+pub use timing::{LayerTiming, ModelTiming};

@@ -1,0 +1,41 @@
+//! AlexNet (Krizhevsky et al., NIPS 2012) — convolutional layers, as in
+//! SCALE-Sim's `alexnet.csv`.
+
+use crate::layer::{Layer, Model};
+
+/// AlexNet's five convolutional layers (224x224 input).
+///
+/// ```
+/// let m = mt_accel::models::alexnet();
+/// // conv-only AlexNet: ~3.7 M parameters
+/// assert!(m.param_count() > 3_000_000 && m.param_count() < 5_000_000);
+/// ```
+pub fn alexnet() -> Model {
+    Model::new(
+        "AlexNet",
+        vec![
+            Layer::conv("conv1", 55, 55, 3, 96, 11).first(),
+            Layer::conv("conv2", 27, 27, 96, 256, 5),
+            Layer::conv("conv3", 13, 13, 256, 384, 3),
+            Layer::conv("conv4", 13, 13, 384, 384, 3),
+            Layer::conv("conv5", 13, 13, 384, 256, 3),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_reference() {
+        // conv params of AlexNet: 3.75 M
+        let p = alexnet().param_count();
+        assert!((3_700_000..3_800_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn five_conv_layers() {
+        assert_eq!(alexnet().layers.len(), 5);
+    }
+}

@@ -1,0 +1,38 @@
+//! AlphaGoZero (Silver et al., Nature 2017): 19x19 board, 256-filter
+//! residual tower.
+
+use crate::layer::{Layer, Model};
+
+/// AlphaGoZero's compute layers: the input convolution, a 19-block
+/// residual tower of 3x3/256 convolutions, and the policy/value heads.
+pub fn alphagozero() -> Model {
+    let mut layers = vec![Layer::conv("conv_in", 19, 19, 17, 256, 3).first()];
+    for b in 0..19 {
+        layers.push(Layer::conv(format!("res{b}_a"), 19, 19, 256, 256, 3));
+        layers.push(Layer::conv(format!("res{b}_b"), 19, 19, 256, 256, 3));
+    }
+    layers.push(Layer::conv("policy_conv", 19, 19, 256, 2, 1));
+    layers.push(Layer::dense("policy_fc", 2 * 19 * 19, 362));
+    layers.push(Layer::conv("value_conv", 19, 19, 256, 1, 1));
+    layers.push(Layer::dense("value_fc1", 19 * 19, 256));
+    layers.push(Layer::dense("value_fc2", 256, 1));
+    Model::new("AlphaGoZero", layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tower_size() {
+        let m = alphagozero();
+        // 1 input conv + 38 residual convs + heads
+        assert_eq!(
+            m.layers.iter().filter(|l| l.name.starts_with("res")).count(),
+            38
+        );
+        // ~22.8 M params
+        let p = m.param_count();
+        assert!((22_000_000..24_000_000).contains(&p), "{p}");
+    }
+}

@@ -1,0 +1,50 @@
+//! Faster R-CNN (Ren et al., NIPS 2015) with its VGG-16 backbone and
+//! region-proposal network convolutions, as in SCALE-Sim's model table.
+
+use crate::layer::{Layer, Model};
+
+/// VGG-16 backbone convolutions (600x800-ish detection input scaled to
+/// the canonical 224-grid shapes) plus the RPN head.
+pub fn faster_rcnn() -> Model {
+    Model::new(
+        "FasterRCNN",
+        vec![
+            Layer::conv("conv1_1", 224, 224, 3, 64, 3).first(),
+            Layer::conv("conv1_2", 224, 224, 64, 64, 3),
+            Layer::conv("conv2_1", 112, 112, 64, 128, 3),
+            Layer::conv("conv2_2", 112, 112, 128, 128, 3),
+            Layer::conv("conv3_1", 56, 56, 128, 256, 3),
+            Layer::conv("conv3_2", 56, 56, 256, 256, 3),
+            Layer::conv("conv3_3", 56, 56, 256, 256, 3),
+            Layer::conv("conv4_1", 28, 28, 256, 512, 3),
+            Layer::conv("conv4_2", 28, 28, 512, 512, 3),
+            Layer::conv("conv4_3", 28, 28, 512, 512, 3),
+            Layer::conv("conv5_1", 14, 14, 512, 512, 3),
+            Layer::conv("conv5_2", 14, 14, 512, 512, 3),
+            Layer::conv("conv5_3", 14, 14, 512, 512, 3),
+            Layer::conv("rpn_conv", 14, 14, 512, 512, 3),
+            Layer::conv("rpn_cls", 14, 14, 512, 18, 1),
+            Layer::conv("rpn_bbox", 14, 14, 512, 36, 1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backbone_params() {
+        // VGG-16 conv backbone ~14.7 M + RPN ~2.4 M
+        let p = faster_rcnn().param_count();
+        assert!((16_000_000..18_500_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn is_compute_heavy() {
+        let acc = crate::Accelerator::paper_default();
+        let t = acc.model_timing(&faster_rcnn(), 16);
+        // the heaviest CNN in the zoo by far
+        assert!(t.compute_cycles() > 10_000_000);
+    }
+}

@@ -1,0 +1,69 @@
+//! GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015).
+
+use crate::layer::{Layer, Model};
+
+/// One inception module: 1x1, 3x3-reduce + 3x3, 5x5-reduce + 5x5 and
+/// pool-projection branches.
+#[allow(clippy::too_many_arguments)]
+fn inception(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    hw: u64,
+    c_in: u64,
+    c1: u64,
+    c3r: u64,
+    c3: u64,
+    c5r: u64,
+    c5: u64,
+    pp: u64,
+) {
+    layers.push(Layer::conv(format!("{name}_1x1"), hw, hw, c_in, c1, 1));
+    layers.push(Layer::conv(format!("{name}_3x3r"), hw, hw, c_in, c3r, 1));
+    layers.push(Layer::conv(format!("{name}_3x3"), hw, hw, c3r, c3, 3));
+    layers.push(Layer::conv(format!("{name}_5x5r"), hw, hw, c_in, c5r, 1));
+    layers.push(Layer::conv(format!("{name}_5x5"), hw, hw, c5r, c5, 5));
+    layers.push(Layer::conv(format!("{name}_pool"), hw, hw, c_in, pp, 1));
+}
+
+/// GoogLeNet's stem, nine inception modules and classifier.
+pub fn googlenet() -> Model {
+    let mut l = vec![
+        Layer::conv("conv1", 112, 112, 3, 64, 7).first(),
+        Layer::conv("conv2r", 56, 56, 64, 64, 1),
+        Layer::conv("conv2", 56, 56, 64, 192, 3),
+    ];
+    inception(&mut l, "3a", 28, 192, 64, 96, 128, 16, 32, 32);
+    inception(&mut l, "3b", 28, 256, 128, 128, 192, 32, 96, 64);
+    inception(&mut l, "4a", 14, 480, 192, 96, 208, 16, 48, 64);
+    inception(&mut l, "4b", 14, 512, 160, 112, 224, 24, 64, 64);
+    inception(&mut l, "4c", 14, 512, 128, 128, 256, 24, 64, 64);
+    inception(&mut l, "4d", 14, 512, 112, 144, 288, 32, 64, 64);
+    inception(&mut l, "4e", 14, 528, 256, 160, 320, 32, 128, 128);
+    inception(&mut l, "5a", 7, 832, 256, 160, 320, 32, 128, 128);
+    inception(&mut l, "5b", 7, 832, 384, 192, 384, 48, 128, 128);
+    l.push(Layer::dense("fc", 1024, 1000));
+    Model::new("GoogLeNet", l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_reference() {
+        // GoogLeNet: ~7 M parameters
+        let p = googlenet().param_count();
+        assert!((5_500_000..7_500_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn nine_inception_modules() {
+        let m = googlenet();
+        let heads = m
+            .layers
+            .iter()
+            .filter(|l| l.name.ends_with("_1x1"))
+            .count();
+        assert_eq!(heads, 9);
+    }
+}

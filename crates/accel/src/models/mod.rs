@@ -1,0 +1,163 @@
+//! The paper's seven evaluation workloads (§V-B), with layer shapes
+//! following SCALE-Sim's convention of modeling the compute (conv /
+//! projection / embedding) layers.
+//!
+//! The compute-vs-communication balance these tables produce drives the
+//! Fig. 11 reproduction: CNNs (AlexNet, FasterRCNN, GoogLeNet, ResNet50)
+//! are compute-intensive with small-to-moderate gradients, while NCF and
+//! Transformer carry large embedding/attention parameter sets with
+//! comparatively little systolic compute — communication-dominant, as the
+//! paper reports.
+
+mod alexnet;
+mod alphagozero;
+mod faster_rcnn;
+mod googlenet;
+mod ncf;
+mod resnet50;
+mod transformer;
+
+pub use alexnet::alexnet;
+pub use alphagozero::alphagozero;
+pub use faster_rcnn::faster_rcnn;
+pub use googlenet::googlenet;
+pub use ncf::ncf;
+pub use resnet50::resnet50;
+pub use transformer::transformer;
+
+use crate::layer::Model;
+
+/// All seven workloads in the paper's Fig. 11 order.
+pub fn all() -> Vec<Model> {
+    vec![
+        alexnet(),
+        alphagozero(),
+        faster_rcnn(),
+        googlenet(),
+        ncf(),
+        resnet50(),
+        transformer(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Accelerator;
+
+    #[test]
+    fn seven_models() {
+        let models = all();
+        assert_eq!(models.len(), 7);
+        let names: Vec<&str> = models.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "AlexNet",
+                "AlphaGoZero",
+                "FasterRCNN",
+                "GoogLeNet",
+                "NCF",
+                "ResNet50",
+                "Transformer"
+            ]
+        );
+    }
+
+    #[test]
+    fn every_model_times_positively() {
+        let acc = Accelerator::paper_default();
+        for m in all() {
+            let t = acc.model_timing(&m, 16);
+            assert!(t.fwd_cycles > 0, "{}", m.name);
+            assert!(t.grad_bytes > 0, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn first_layers_skip_input_gradients() {
+        use crate::Backprop;
+        // image CNNs start from raw pixels: no dX for the first layer
+        for m in [alexnet(), faster_rcnn(), resnet50(), alphagozero(), googlenet()] {
+            assert_eq!(
+                m.layers[0].backprop,
+                Backprop::NoInputGrad,
+                "{}",
+                m.name
+            );
+        }
+    }
+
+    #[test]
+    fn resnet_bottleneck_structure() {
+        let m = resnet50();
+        // stage 2 first block: 64->64->256 with a projection
+        let names: Vec<&str> = m.layers.iter().map(|l| l.name.as_str()).collect();
+        assert!(names.contains(&"s2b0_1x1a"));
+        assert!(names.contains(&"s2b0_proj"));
+        assert!(!names.contains(&"s2b1_proj"), "only first blocks project");
+        // deepest stage operates at 7x7
+        let last3x3 = m.layers.iter().find(|l| l.name == "s5b2_3x3").unwrap();
+        assert_eq!(last3x3.gemms[0].m, 49);
+    }
+
+    #[test]
+    fn transformer_attention_projection_params() {
+        let m = transformer();
+        let attn = m.layers.iter().find(|l| l.name == "enc0_attn").unwrap();
+        assert_eq!(attn.params, 4 * 512 * 512);
+        let ffn = m.layers.iter().find(|l| l.name == "enc0_ffn").unwrap();
+        assert_eq!(ffn.params, 2 * 512 * 2048);
+        // 6 encoder + 6 decoder layers
+        assert_eq!(
+            m.layers.iter().filter(|l| l.name.starts_with("enc")).count(),
+            12
+        );
+        assert_eq!(
+            m.layers.iter().filter(|l| l.name.starts_with("dec")).count(),
+            18
+        );
+    }
+
+    #[test]
+    fn alphago_spatial_dims_are_19x19() {
+        let m = alphagozero();
+        for l in m.layers.iter().filter(|l| l.name.starts_with("res")) {
+            assert_eq!(l.gemms[0].m, 361);
+        }
+    }
+
+    #[test]
+    fn googlenet_inception_output_channels() {
+        // 3a outputs 64+128+32+32 = 256 channels, feeding 3b's reducers
+        let m = googlenet();
+        let b3b = m.layers.iter().find(|l| l.name == "3b_1x1").unwrap();
+        assert_eq!(b3b.gemms[0].k, 256);
+        let b4a = m.layers.iter().find(|l| l.name == "4a_1x1").unwrap();
+        assert_eq!(b4a.gemms[0].k, 480); // 3b: 128+192+96+64
+    }
+
+    #[test]
+    fn communication_dominance_classes() {
+        // NCF and Transformer must have far higher bytes-per-compute than
+        // the CNNs — the property behind the paper's Fig. 11 split.
+        let acc = Accelerator::paper_default();
+        let ratio = |m: &crate::Model| {
+            let t = acc.model_timing(m, 16);
+            t.grad_bytes as f64 / t.compute_cycles() as f64
+        };
+        let cnn_max = [alexnet(), faster_rcnn(), googlenet(), resnet50()]
+            .iter()
+            .map(&ratio)
+            .fold(0.0, f64::max);
+        for m in [ncf(), transformer()] {
+            assert!(
+                ratio(&m) > 3.0 * cnn_max,
+                "{} bytes/cycle {} not >> CNN max {}",
+                m.name,
+                ratio(&m),
+                cnn_max
+            );
+        }
+    }
+}

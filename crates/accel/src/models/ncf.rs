@@ -1,0 +1,47 @@
+//! Neural Collaborative Filtering (He et al., WWW 2017) on the
+//! MovieLens-20M-scale vocabulary — the paper's communication-dominant
+//! recommendation workload.
+
+use crate::layer::{Layer, Model};
+
+/// NeuMF: GMF + MLP user/item embeddings and a small MLP tower.
+///
+/// Embedding tables hold almost all parameters (gradient volume) while
+/// the systolic compute per sample is tiny — making all-reduce dominate,
+/// as the paper's Fig. 11 shows.
+pub fn ncf() -> Model {
+    const USERS: u64 = 138_493;
+    const ITEMS: u64 = 26_744;
+    Model::new(
+        "NCF",
+        vec![
+            Layer::embedding("user_gmf", USERS, 64, 1),
+            Layer::embedding("item_gmf", ITEMS, 64, 1),
+            Layer::embedding("user_mlp", USERS, 128, 1),
+            Layer::embedding("item_mlp", ITEMS, 128, 1),
+            Layer::dense("mlp1", 256, 256),
+            Layer::dense("mlp2", 256, 128),
+            Layer::dense("mlp3", 128, 64),
+            Layer::dense("predict", 128, 1),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embeddings_dominate_params() {
+        let m = ncf();
+        let emb: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.name.contains("gmf") || l.name.contains("mlp") && l.params > 1_000_000)
+            .map(|l| l.params)
+            .sum();
+        assert!(emb as f64 / m.param_count() as f64 > 0.99);
+        // ~31.8 M params
+        assert!((30_000_000..33_000_000).contains(&m.param_count()));
+    }
+}

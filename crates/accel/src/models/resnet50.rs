@@ -1,0 +1,58 @@
+//! ResNet-50 (He et al., CVPR 2016).
+
+use crate::layer::{Layer, Model};
+
+/// Appends one bottleneck block (1x1 reduce, 3x3, 1x1 expand, plus a
+/// projection shortcut on the first block of each stage).
+fn bottleneck(l: &mut Vec<Layer>, name: &str, hw: u64, c_in: u64, c_mid: u64, project: bool) {
+    let c_out = c_mid * 4;
+    l.push(Layer::conv(format!("{name}_1x1a"), hw, hw, c_in, c_mid, 1));
+    l.push(Layer::conv(format!("{name}_3x3"), hw, hw, c_mid, c_mid, 3));
+    l.push(Layer::conv(format!("{name}_1x1b"), hw, hw, c_mid, c_out, 1));
+    if project {
+        l.push(Layer::conv(format!("{name}_proj"), hw, hw, c_in, c_out, 1));
+    }
+}
+
+/// ResNet-50: the 7x7 stem, four bottleneck stages (3/4/6/3 blocks) and
+/// the classifier.
+pub fn resnet50() -> Model {
+    let mut l = vec![Layer::conv("conv1", 112, 112, 3, 64, 7).first()];
+    let stages: [(u64, u64, usize); 4] =
+        [(56, 64, 3), (28, 128, 4), (14, 256, 6), (7, 512, 3)];
+    let mut c_in = 64;
+    for (si, (hw, c_mid, blocks)) in stages.into_iter().enumerate() {
+        for b in 0..blocks {
+            bottleneck(
+                &mut l,
+                &format!("s{}b{}", si + 2, b),
+                hw,
+                c_in,
+                c_mid,
+                b == 0,
+            );
+            c_in = c_mid * 4;
+        }
+    }
+    l.push(Layer::dense("fc", 2048, 1000));
+    Model::new("ResNet50", l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_reference() {
+        // ResNet-50: ~25.5 M parameters
+        let p = resnet50().param_count();
+        assert!((23_000_000..26_500_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn fifty_three_convs_plus_fc() {
+        let m = resnet50();
+        let convs = m.layers.iter().filter(|l| l.name != "fc").count();
+        assert_eq!(convs, 53); // 1 stem + 48 block convs + 4 projections
+    }
+}

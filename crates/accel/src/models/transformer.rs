@@ -1,0 +1,78 @@
+//! Transformer base (Vaswani et al., NIPS 2017) for machine translation.
+
+use crate::layer::{Gemm, Layer, Model};
+
+const D_MODEL: u64 = 512;
+const D_FF: u64 = 2048;
+const SEQ: u64 = 64;
+const VOCAB: u64 = 37_000;
+
+/// One attention sublayer: Q/K/V/O projections plus the score and
+/// context GEMMs (which carry no parameters).
+fn attention(name: &str) -> Layer {
+    Layer {
+        name: name.into(),
+        gemms: vec![
+            // QKV projections (3x) and output projection — m scales with
+            // sequence length per sample
+            Gemm { m: SEQ, k: D_MODEL, n: 3 * D_MODEL },
+            Gemm { m: SEQ, k: D_MODEL, n: D_MODEL },
+            // attention scores QK^T and context (softmax ignored)
+            Gemm { m: SEQ, k: D_MODEL, n: SEQ },
+            Gemm { m: SEQ, k: SEQ, n: D_MODEL },
+        ],
+        params: 4 * D_MODEL * D_MODEL,
+        backprop: crate::layer::Backprop::Full,
+    }
+}
+
+/// One position-wise feed-forward sublayer.
+fn ffn(name: &str) -> Layer {
+    Layer {
+        name: name.into(),
+        gemms: vec![
+            Gemm { m: SEQ, k: D_MODEL, n: D_FF },
+            Gemm { m: SEQ, k: D_FF, n: D_MODEL },
+        ],
+        params: 2 * D_MODEL * D_FF,
+        backprop: crate::layer::Backprop::Full,
+    }
+}
+
+/// Transformer base: shared source/target embedding, 6 encoder layers
+/// (attention + FFN) and 6 decoder layers (self-attention,
+/// cross-attention, FFN).
+pub fn transformer() -> Model {
+    let mut l = vec![Layer::embedding("embed", VOCAB, D_MODEL, SEQ)];
+    for i in 0..6 {
+        l.push(attention(&format!("enc{i}_attn")));
+        l.push(ffn(&format!("enc{i}_ffn")));
+    }
+    for i in 0..6 {
+        l.push(attention(&format!("dec{i}_self")));
+        l.push(attention(&format!("dec{i}_cross")));
+        l.push(ffn(&format!("dec{i}_ffn")));
+    }
+    Model::new("Transformer", l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_count_matches_reference() {
+        // Transformer base: ~60-65 M parameters (shared embeddings)
+        let p = transformer().param_count();
+        assert!((55_000_000..68_000_000).contains(&p), "{p}");
+    }
+
+    #[test]
+    fn communication_heavy_at_small_batch() {
+        let acc = crate::Accelerator::paper_default();
+        let t = acc.model_timing(&transformer(), 16);
+        // bytes per compute cycle far above CNN territory
+        let ratio = t.grad_bytes as f64 / t.compute_cycles() as f64;
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+}

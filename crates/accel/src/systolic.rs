@@ -1,0 +1,141 @@
+//! Output-stationary systolic-array timing.
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions and clock of the modeled accelerator (paper Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicConfig {
+    /// Rows of each MAC array.
+    pub rows: u32,
+    /// Columns of each MAC array.
+    pub cols: u32,
+    /// Processing elements (arrays) per accelerator.
+    pub num_pes: u32,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+}
+
+impl SystolicConfig {
+    /// The paper's configuration: 16 PEs of 32x32 at 1 GHz.
+    pub fn paper_default() -> Self {
+        SystolicConfig {
+            rows: 32,
+            cols: 32,
+            num_pes: 16,
+            clock_ghz: 1.0,
+        }
+    }
+}
+
+impl Default for SystolicConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A TPU-like accelerator that times GEMMs on output-stationary systolic
+/// arrays. Double buffering and sufficient memory bandwidth are assumed
+/// (paper §V-A), so timing is purely compute-bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    cfg: SystolicConfig,
+}
+
+impl Accelerator {
+    /// Accelerator with an explicit configuration.
+    pub fn new(cfg: SystolicConfig) -> Self {
+        Accelerator { cfg }
+    }
+
+    /// The paper's Table III accelerator.
+    pub fn paper_default() -> Self {
+        Accelerator::new(SystolicConfig::paper_default())
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystolicConfig {
+        &self.cfg
+    }
+
+    /// Cycles to compute an `m x k x n` GEMM (`C[m,n] += A[m,k] B[k,n]`)
+    /// with output-stationary dataflow.
+    ///
+    /// Each `rows x cols` output tile accumulates over `k` with a skewed
+    /// fill and drain: `k + rows + cols - 2` cycles per tile (SCALE-Sim's
+    /// OS model). Tiles are distributed over the PEs.
+    ///
+    /// Returns 0 for degenerate (zero-sized) GEMMs.
+    pub fn gemm_cycles(&self, m: u64, k: u64, n: u64) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles = m.div_ceil(u64::from(self.cfg.rows)) * n.div_ceil(u64::from(self.cfg.cols));
+        let per_tile = k + u64::from(self.cfg.rows) + u64::from(self.cfg.cols) - 2;
+        let tiles_per_pe = tiles.div_ceil(u64::from(self.cfg.num_pes));
+        tiles_per_pe * per_tile
+    }
+
+    /// Converts cycles to nanoseconds at the configured clock.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.cfg.clock_ghz
+    }
+
+    /// MAC utilization of a GEMM: useful MACs over provisioned
+    /// MAC-cycles.
+    pub fn gemm_utilization(&self, m: u64, k: u64, n: u64) -> f64 {
+        let cycles = self.gemm_cycles(m, k, n);
+        if cycles == 0 {
+            return 0.0;
+        }
+        let macs = (m * k * n) as f64;
+        let provisioned = cycles as f64
+            * f64::from(self.cfg.rows)
+            * f64::from(self.cfg.cols)
+            * f64::from(self.cfg.num_pes);
+        macs / provisioned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tile_cost() {
+        let acc = Accelerator::paper_default();
+        // one 32x32 tile, k=100: 100 + 62 cycles
+        assert_eq!(acc.gemm_cycles(32, 100, 32), 162);
+        // 16 tiles spread over 16 PEs: same latency
+        assert_eq!(acc.gemm_cycles(128, 100, 128), 162);
+        // 32 tiles over 16 PEs: two rounds
+        assert_eq!(acc.gemm_cycles(256, 100, 128), 324);
+    }
+
+    #[test]
+    fn degenerate_gemm_is_free() {
+        let acc = Accelerator::paper_default();
+        assert_eq!(acc.gemm_cycles(0, 10, 10), 0);
+        assert_eq!(acc.gemm_cycles(10, 0, 10), 0);
+    }
+
+    #[test]
+    fn cycles_scale_with_k() {
+        let acc = Accelerator::paper_default();
+        assert!(acc.gemm_cycles(32, 1000, 32) > acc.gemm_cycles(32, 100, 32));
+    }
+
+    #[test]
+    fn small_gemm_has_low_utilization() {
+        let acc = Accelerator::paper_default();
+        // a tiny GEMM wastes most of the 16 arrays
+        assert!(acc.gemm_utilization(8, 64, 8) < 0.05);
+        // a huge well-shaped GEMM approaches full utilization
+        assert!(acc.gemm_utilization(2048, 4096, 2048) > 0.9);
+    }
+
+    #[test]
+    fn time_conversion() {
+        let acc = Accelerator::paper_default();
+        assert_eq!(acc.cycles_to_ns(1000), 1000.0);
+    }
+}

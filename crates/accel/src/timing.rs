@@ -1,0 +1,189 @@
+//! Forward/backward timing of layers and whole models.
+
+use crate::layer::{Backprop, Layer, Model};
+use crate::systolic::Accelerator;
+use serde::{Deserialize, Serialize};
+
+/// Per-layer timing for a given mini-batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerTiming {
+    /// Layer name.
+    pub name: String,
+    /// Forward-pass cycles.
+    pub fwd_cycles: u64,
+    /// Backward-pass cycles (dX + dW GEMMs).
+    pub bwd_cycles: u64,
+    /// Gradient bytes this layer all-reduces.
+    pub grad_bytes: u64,
+}
+
+impl ModelTiming {
+    /// Mean MAC-array utilization of the forward pass: useful MACs over
+    /// provisioned MAC-cycles (SCALE-Sim's headline metric).
+    pub fn fwd_utilization(&self, acc: &Accelerator, model: &crate::Model) -> f64 {
+        let cfg = acc.config();
+        let provisioned = self.fwd_cycles as f64
+            * f64::from(cfg.rows)
+            * f64::from(cfg.cols)
+            * f64::from(cfg.num_pes);
+        if provisioned == 0.0 {
+            return 0.0;
+        }
+        model.fwd_macs(self.batch) as f64 / provisioned
+    }
+}
+
+/// Whole-model timing for a given mini-batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelTiming {
+    /// Model name.
+    pub model: String,
+    /// Mini-batch size the timing was computed for.
+    pub batch: u64,
+    /// Per-layer breakdown, forward order.
+    pub layers: Vec<LayerTiming>,
+    /// Total forward cycles.
+    pub fwd_cycles: u64,
+    /// Total backward cycles.
+    pub bwd_cycles: u64,
+    /// Total gradient bytes.
+    pub grad_bytes: u64,
+}
+
+impl ModelTiming {
+    /// Total compute cycles (forward + backward).
+    pub fn compute_cycles(&self) -> u64 {
+        self.fwd_cycles + self.bwd_cycles
+    }
+}
+
+impl Accelerator {
+    /// Times one layer for a mini-batch of `batch` samples.
+    ///
+    /// The backward pass runs, per forward GEMM `(M, K, N)` with
+    /// `M_b = M * batch`:
+    ///
+    /// * the input-gradient GEMM `(M_b, N, K)` — the transposed
+    ///   convolution of §VI-C (skipped for first layers);
+    /// * the weight-gradient GEMM `(K, M_b, N)`.
+    ///
+    /// Memory-bound layers (embeddings) cost their lookup GEMM forward
+    /// and nothing on the systolic arrays backward.
+    pub fn layer_timing(&self, layer: &Layer, batch: u64) -> LayerTiming {
+        let mut fwd = 0u64;
+        let mut bwd = 0u64;
+        for g in &layer.gemms {
+            let mb = g.m * batch;
+            fwd += self.gemm_cycles(mb, g.k, g.n);
+            match layer.backprop {
+                Backprop::Full => {
+                    bwd += self.gemm_cycles(mb, g.n, g.k); // dX
+                    bwd += self.gemm_cycles(g.k, mb, g.n); // dW
+                }
+                Backprop::NoInputGrad => {
+                    bwd += self.gemm_cycles(g.k, mb, g.n); // dW only
+                }
+                Backprop::MemoryBound => {}
+            }
+        }
+        LayerTiming {
+            name: layer.name.clone(),
+            fwd_cycles: fwd,
+            bwd_cycles: bwd,
+            grad_bytes: layer.gradient_bytes(),
+        }
+    }
+
+    /// Times a whole model for a mini-batch of `batch` samples.
+    pub fn model_timing(&self, model: &Model, batch: u64) -> ModelTiming {
+        let layers: Vec<LayerTiming> = model
+            .layers
+            .iter()
+            .map(|l| self.layer_timing(l, batch))
+            .collect();
+        ModelTiming {
+            model: model.name.clone(),
+            batch,
+            fwd_cycles: layers.iter().map(|l| l.fwd_cycles).sum(),
+            bwd_cycles: layers.iter().map(|l| l.bwd_cycles).sum(),
+            grad_bytes: layers.iter().map(|l| l.grad_bytes).sum(),
+            layers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    #[test]
+    fn backward_costs_about_double() {
+        let acc = Accelerator::paper_default();
+        let l = Layer::conv("c", 56, 56, 64, 64, 3);
+        let t = acc.layer_timing(&l, 16);
+        assert!(t.bwd_cycles > t.fwd_cycles);
+        assert!(t.bwd_cycles < 4 * t.fwd_cycles);
+    }
+
+    #[test]
+    fn first_layer_skips_input_grad() {
+        let acc = Accelerator::paper_default();
+        let full = Layer::conv("c", 56, 56, 64, 64, 3);
+        let first = full.clone().first();
+        assert!(
+            acc.layer_timing(&first, 16).bwd_cycles < acc.layer_timing(&full, 16).bwd_cycles
+        );
+    }
+
+    #[test]
+    fn embedding_backward_is_free_on_arrays() {
+        let acc = Accelerator::paper_default();
+        let l = Layer::embedding("e", 1 << 20, 64, 2);
+        let t = acc.layer_timing(&l, 16);
+        assert_eq!(t.bwd_cycles, 0);
+        assert!(t.grad_bytes > 1 << 20);
+    }
+
+    #[test]
+    fn timing_scales_with_batch() {
+        let acc = Accelerator::paper_default();
+        let l = Layer::conv("c", 56, 56, 64, 64, 3);
+        let t1 = acc.layer_timing(&l, 1);
+        let t16 = acc.layer_timing(&l, 16);
+        assert!(t16.fwd_cycles > 8 * t1.fwd_cycles);
+    }
+
+    #[test]
+    fn utilization_in_unit_range() {
+        let acc = Accelerator::paper_default();
+        for m in crate::models::all() {
+            let t = acc.model_timing(&m, 16);
+            let u = t.fwd_utilization(&acc, &m);
+            assert!((0.0..=1.0).contains(&u), "{}: {u}", m.name);
+        }
+        // big square CNN layers keep the arrays busier than tiny ones
+        let rn = crate::models::resnet50();
+        let t = acc.model_timing(&rn, 16);
+        assert!(t.fwd_utilization(&acc, &rn) > 0.25);
+    }
+
+    #[test]
+    fn model_totals_sum_layers() {
+        let acc = Accelerator::paper_default();
+        let m = Model::new(
+            "toy",
+            vec![
+                Layer::conv("c1", 28, 28, 3, 8, 3).first(),
+                Layer::dense("fc", 6272, 10),
+            ],
+        );
+        let t = acc.model_timing(&m, 4);
+        assert_eq!(
+            t.fwd_cycles,
+            t.layers.iter().map(|l| l.fwd_cycles).sum::<u64>()
+        );
+        assert_eq!(t.grad_bytes, m.gradient_bytes());
+        assert_eq!(t.batch, 4);
+    }
+}

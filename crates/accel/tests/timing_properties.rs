@@ -1,0 +1,73 @@
+//! Property tests on the systolic timing model.
+
+use mt_accel::{models, Accelerator, Layer, Model};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gemm_cycles_monotone(
+        m in 1u64..2000, k in 1u64..2000, n in 1u64..2000,
+        dm in 0u64..500, dk in 0u64..500, dn in 0u64..500,
+    ) {
+        let acc = Accelerator::paper_default();
+        let base = acc.gemm_cycles(m, k, n);
+        prop_assert!(acc.gemm_cycles(m + dm, k, n) >= base);
+        prop_assert!(acc.gemm_cycles(m, k + dk, n) >= base);
+        prop_assert!(acc.gemm_cycles(m, k, n + dn) >= base);
+    }
+
+    #[test]
+    fn utilization_bounded(m in 1u64..4096, k in 1u64..4096, n in 1u64..4096) {
+        let acc = Accelerator::paper_default();
+        let u = acc.gemm_utilization(m, k, n);
+        prop_assert!((0.0..=1.0).contains(&u), "utilization {u}");
+    }
+
+    #[test]
+    fn cycles_lower_bounded_by_macs(m in 1u64..1024, k in 1u64..1024, n in 1u64..1024) {
+        // the arrays provide 16*32*32 MACs per cycle at most
+        let acc = Accelerator::paper_default();
+        let cycles = acc.gemm_cycles(m, k, n);
+        let min_cycles = (m * k * n).div_ceil(16 * 32 * 32);
+        prop_assert!(cycles >= min_cycles);
+    }
+
+    #[test]
+    fn batch_scaling_near_linear(batch in 1u64..64) {
+        // doubling the batch ~doubles compute (tile-ceiling effects may
+        // shave one PE round either way)
+        let acc = Accelerator::paper_default();
+        let l = Layer::conv("c", 56, 56, 64, 64, 3);
+        let t1 = acc.layer_timing(&l, batch).fwd_cycles;
+        let t2 = acc.layer_timing(&l, batch * 2).fwd_cycles;
+        prop_assert!(t2 as f64 >= 1.9 * t1 as f64, "batch {batch}: {t1} -> {t2}");
+        prop_assert!(t2 as f64 <= 2.1 * t1 as f64 + 1000.0, "batch {batch}: {t1} -> {t2}");
+    }
+}
+
+#[test]
+fn model_grad_bytes_invariant_under_batch() {
+    let acc = Accelerator::paper_default();
+    for m in models::all() {
+        let a = acc.model_timing(&m, 1);
+        let b = acc.model_timing(&m, 64);
+        assert_eq!(a.grad_bytes, b.grad_bytes, "{}", m.name);
+        assert!(b.compute_cycles() > a.compute_cycles());
+    }
+}
+
+#[test]
+fn hand_built_model_timing_is_deterministic() {
+    let acc = Accelerator::paper_default();
+    let m = Model::new(
+        "toy",
+        vec![
+            Layer::conv("c1", 28, 28, 3, 16, 3).first(),
+            Layer::conv("c2", 14, 14, 16, 32, 3),
+            Layer::dense("fc", 6272, 10),
+        ],
+    );
+    assert_eq!(acc.model_timing(&m, 8), acc.model_timing(&m, 8));
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks for schedule construction — backing the
+//! paper's §III-C2 complexity claim (O(|V|²|E|)) with measurements, and
+//! quantifying the "runs once at initialization" cost (§III-C1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use multitree::algorithms::{AllReduce, DbTree, Hdrm, MultiTree, Ring, Ring2D};
+use mt_topology::Topology;
+
+fn multitree_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("multitree_construction");
+    for side in [4usize, 8, 12, 16] {
+        let topo = Topology::torus(side, side);
+        g.bench_with_input(
+            BenchmarkId::new("torus", side * side),
+            &topo,
+            |b, topo| b.iter(|| MultiTree::default().build(topo).unwrap()),
+        );
+    }
+    for (label, topo) in [
+        ("fattree64", Topology::fat_tree_64()),
+        ("bigraph64", Topology::bigraph_64()),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| MultiTree::default().build(&topo).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn baseline_construction(c: &mut Criterion) {
+    let topo = Topology::torus(8, 8);
+    let bg = Topology::bigraph_64();
+    let mut g = c.benchmark_group("baseline_construction_64");
+    g.bench_function("ring", |b| b.iter(|| Ring.build(&topo).unwrap()));
+    g.bench_function("dbtree", |b| b.iter(|| DbTree::default().build(&topo).unwrap()));
+    g.bench_function("ring2d", |b| b.iter(|| Ring2D.build(&topo).unwrap()));
+    g.bench_function("hdrm", |b| b.iter(|| Hdrm.build(&bg).unwrap()));
+    g.finish();
+}
+
+fn verification(c: &mut Criterion) {
+    let topo = Topology::torus(8, 8);
+    let schedule = MultiTree::default().build(&topo).unwrap();
+    c.bench_function("verify_multitree_64", |b| {
+        b.iter(|| multitree::verify::verify_schedule(&schedule).unwrap())
+    });
+}
+
+fn collectives_and_subsets(c: &mut Criterion) {
+    let topo = Topology::torus(8, 8);
+    let mut g = c.benchmark_group("extensions_64");
+    g.bench_function("reduce_scatter", |b| {
+        b.iter(|| MultiTree::default().build_reduce_scatter(&topo).unwrap())
+    });
+    g.bench_function("all_to_all", |b| {
+        b.iter(|| MultiTree::default().build_all_to_all(&topo).unwrap())
+    });
+    let half: Vec<mt_topology::NodeId> =
+        (0..64).step_by(2).map(mt_topology::NodeId::new).collect();
+    g.bench_function("subset_32_of_64", |b| {
+        b.iter(|| MultiTree::default().build_among(&topo, &half).unwrap())
+    });
+    g.bench_function("schedule_tables", |b| {
+        let s = MultiTree::default().build(&topo).unwrap();
+        b.iter(|| multitree::table::build_tables(&s, 64 << 20))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = multitree_construction, baseline_construction, verification, collectives_and_subsets
+}
+criterion_main!(benches);

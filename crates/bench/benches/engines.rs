@@ -1,0 +1,41 @@
+//! Criterion micro-benchmarks for the two network engines, quantifying
+//! the flow-engine speedup that makes the paper-scale sweeps tractable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use multitree::algorithms::{AllReduce, MultiTree, Ring};
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+
+fn flow_engine(c: &mut Criterion) {
+    let topo = Topology::torus(8, 8);
+    let cfg = NetworkConfig::paper_default();
+    let mt = MultiTree::default().build(&topo).unwrap();
+    let ring = Ring.build(&topo).unwrap();
+    let mut g = c.benchmark_group("flow_engine_64node_16MiB");
+    g.bench_function("multitree", |b| {
+        b.iter(|| FlowEngine::new(cfg).run(&topo, &mt, 16 << 20).unwrap())
+    });
+    g.bench_function("ring", |b| {
+        b.iter(|| FlowEngine::new(cfg).run(&topo, &ring, 16 << 20).unwrap())
+    });
+    g.finish();
+}
+
+fn cycle_engine(c: &mut Criterion) {
+    let topo = Topology::torus(4, 4);
+    let cfg = NetworkConfig::paper_default();
+    let mt = MultiTree::default().build(&topo).unwrap();
+    let mut g = c.benchmark_group("cycle_engine_16node");
+    g.sample_size(10);
+    g.bench_function("multitree_64KiB", |b| {
+        b.iter(|| CycleEngine::new(cfg).run(&topo, &mt, 64 << 10).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = flow_engine, cycle_engine
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Minimal `--key value` argument parsing for the harness binaries
+//! (keeps the workspace free of CLI dependencies).
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses the process arguments. `--key value` pairs populate
+    /// [`Args::get`]; bare `--flag`s (followed by another `--` or
+    /// nothing) populate [`Args::flag`].
+    pub fn parse() -> Args {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit token list (testable).
+    pub fn from_tokens(iter: impl IntoIterator<Item = String>) -> Args {
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// The value of `--key`, if given.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// The value of `--key` parsed, or `default`.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a clear message when the value does not parse.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        match self.get(key) {
+            None => default,
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| panic!("--{key} expects a {}", std::any::type_name::<T>())),
+        }
+    }
+
+    /// True if bare `--key` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// The `--json` output path, if requested.
+    pub fn json_path(&self) -> Option<PathBuf> {
+        self.get("json").map(PathBuf::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_tokens(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = args(&["--topo", "torus", "--sizes", "4"]);
+        assert_eq!(a.get("topo"), Some("torus"));
+        assert_eq!(a.get_or("sizes", 0usize), 4);
+        assert_eq!(a.get_or("missing", 7usize), 7);
+    }
+
+    #[test]
+    fn bare_flags() {
+        let a = args(&["--quick", "--topo", "mesh"]);
+        assert!(a.flag("quick"));
+        assert!(!a.flag("topo"));
+        assert_eq!(a.get("topo"), Some("mesh"));
+    }
+
+    #[test]
+    fn json_path() {
+        let a = args(&["--json", "/tmp/x.json"]);
+        assert_eq!(a.json_path().unwrap().to_str(), Some("/tmp/x.json"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a")]
+    fn bad_number_panics() {
+        args(&["--sizes", "abc"]).get_or::<usize>("sizes", 0);
+    }
+}

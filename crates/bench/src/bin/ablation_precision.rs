@@ -1,0 +1,74 @@
+//! Gradient-exchange precision ablation: Table III trains in 32-bit;
+//! production systems increasingly exchange FP16/BF16 or FP8 gradients,
+//! quartering the all-reduce volume. Measures how much of MultiTree's
+//! advantage survives when software shrinks the problem instead.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin ablation_precision [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, MultiTree, Ring};
+use mt_accel::models;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_topology::Topology;
+use mt_trainsim::{simulate_iteration, SystemConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    model: String,
+    precision_bytes: u64,
+    ring_iter_ms: f64,
+    multitree_iter_ms: f64,
+    multitree_speedup: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = Topology::torus(8, 8);
+    let mut rows = Vec::new();
+    println!("=== Gradient-precision ablation (8x8 Torus, non-overlapped iteration) ===");
+    for model in [models::resnet50(), models::ncf()] {
+        println!("\n{} — iteration time (ms):", model.name);
+        println!(
+            "{:<12}{:>12}{:>14}{:>20}",
+            "precision", "RING", "MULTITREE", "MULTITREE speedup"
+        );
+        for (label, bytes) in [("FP32", 4u64), ("FP16/BF16", 2), ("FP8", 1)] {
+            let mut cfg = SystemConfig::paper_default();
+            cfg.gradient_bytes_per_param = bytes;
+            let ring =
+                simulate_iteration(&topo, &model, &Algorithm::Ring(Ring), &cfg).unwrap();
+            let mt = simulate_iteration(
+                &topo,
+                &model,
+                &Algorithm::MultiTree(MultiTree::default()),
+                &cfg,
+            )
+            .unwrap();
+            println!(
+                "{:<12}{:>12.2}{:>14.2}{:>19.2}x",
+                label,
+                ring.total_ns() / 1e6,
+                mt.total_ns() / 1e6,
+                ring.total_ns() / mt.total_ns()
+            );
+            rows.push(Row {
+                model: model.name.clone(),
+                precision_bytes: bytes,
+                ring_iter_ms: ring.total_ns() / 1e6,
+                multitree_iter_ms: mt.total_ns() / 1e6,
+                multitree_speedup: ring.total_ns() / mt.total_ns(),
+            });
+        }
+    }
+    println!(
+        "\nLower precision shrinks communication for everyone; compute-bound models\n\
+         converge toward compute time, while communication-bound ones (NCF) keep the\n\
+         full algorithmic gap — compression and better scheduling compose."
+    );
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,77 @@
+//! §VII-C future-work knob, implemented and measured: "reducing the
+//! number of trees by trading bandwidth and latency ... can be further
+//! explored." Compares the full |V|-tree MultiTree against reduced
+//! k-tree pipelined variants on bandwidth and NI schedule-table size.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin ablation_tree_count [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{AllReduce, MultiTree};
+use multitree::table::build_tables;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    trees: usize,
+    algbw_gbps_16mib: f64,
+    algbw_gbps_64kib: f64,
+    max_table_entries: usize,
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = Topology::torus(8, 8);
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let table_entries = |s: &multitree::CommSchedule| {
+        build_tables(s, 16 << 20)
+            .iter()
+            .map(|t| t.active_entries())
+            .max()
+            .unwrap_or(0)
+    };
+
+    println!("=== §VII-C — trading tree count for table size (8x8 Torus) ===");
+    println!(
+        "{:<10}{:>16}{:>16}{:>16}",
+        "trees", "64KiB (GB/s)", "16MiB (GB/s)", "table entries"
+    );
+    let mut rows = Vec::new();
+    let mut configs: Vec<(usize, multitree::CommSchedule)> = vec![(
+        64,
+        MultiTree::default().build(&topo).unwrap(),
+    )];
+    for k in [1usize, 2] {
+        configs.push((
+            k,
+            MultiTree::default()
+                .build_with_tree_count(&topo, k, 16)
+                .unwrap(),
+        ));
+    }
+    configs.sort_by_key(|(k, _)| *k);
+    for (k, s) in &configs {
+        let small = engine.run(&topo, s, 64 << 10).unwrap().algbw_gbps();
+        let big = engine.run(&topo, s, 16 << 20).unwrap().algbw_gbps();
+        let entries = table_entries(s);
+        println!("{:<10}{:>16.2}{:>16.2}{:>16}", k, small, big, entries);
+        rows.push(Row {
+            trees: *k,
+            algbw_gbps_16mib: big,
+            algbw_gbps_64kib: small,
+            max_table_entries: entries,
+        });
+    }
+    println!(
+        "\nFewer trees shrink the per-NI schedule table (hardware cost, §V-A) but\n\
+         leave link bandwidth unused; the full |V|-tree construction tops bandwidth\n\
+         at the largest table — the trade §VII-C proposes exploring."
+    );
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

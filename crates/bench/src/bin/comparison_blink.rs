@@ -1,0 +1,74 @@
+//! §VIII head-to-head: MultiTree vs a Blink-style single-root packed-tree
+//! all-reduce. The paper argues Blink leaves bandwidth on the table
+//! because all trees share one root ("only one way of the bidirectional
+//! links attached to the root are used ... in the distinct reduction and
+//! broadcast phases"); MultiTree roots a tree at every node.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin comparison_blink [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{AllReduce, Blink, MultiTree, Ring};
+use mt_bench::args::Args;
+use mt_bench::{dump_json, fmt_size};
+use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    network: String,
+    bytes: u64,
+    blink_gbps: f64,
+    multitree_gbps: f64,
+    ring_gbps: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let networks: Vec<(&str, Topology)> = vec![
+        ("4x4 Torus", Topology::torus(4, 4)),
+        ("8x8 Torus", Topology::torus(8, 8)),
+        ("16-node Fat-Tree", Topology::dgx2_like_16()),
+    ];
+    let mut rows = Vec::new();
+    println!("=== §VIII — Blink-style packed trees vs MultiTree (GB/s) ===");
+    for (net, topo) in &networks {
+        let blink = Blink::default().build(topo).unwrap();
+        let mt = MultiTree::default().build(topo).unwrap();
+        let ring = Ring.build(topo).unwrap();
+        println!(
+            "\n{net}: blink packs {} tree(s), multitree roots {} trees",
+            blink.num_flows(),
+            mt.num_flows()
+        );
+        println!(
+            "{:<10}{:>10}{:>12}{:>10}",
+            "size", "BLINK", "MULTITREE", "RING"
+        );
+        for bytes in [64 << 10u64, 1 << 20, 16 << 20] {
+            let b = engine.run(topo, &blink, bytes).unwrap().algbw_gbps();
+            let m = engine.run(topo, &mt, bytes).unwrap().algbw_gbps();
+            let r = engine.run(topo, &ring, bytes).unwrap().algbw_gbps();
+            println!("{:<10}{:>10.2}{:>12.2}{:>10.2}", fmt_size(bytes), b, m, r);
+            rows.push(Row {
+                network: net.to_string(),
+                bytes,
+                blink_gbps: b,
+                multitree_gbps: m,
+                ring_gbps: r,
+            });
+        }
+    }
+    println!(
+        "\nOn tori Blink beats ring (several packed trees) but loses to MultiTree:\n\
+         during each phase only one direction of the root's links carries data. On\n\
+         the Fat-Tree the single NIC uplink caps Blink at one tree — the paper notes\n\
+         Blink's DGX-2 support was \"a dedicated design but not from the main\n\
+         algorithm\", while MultiTree's main algorithm handles it directly (§VIII)."
+    );
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,111 @@
+//! Reproduces **Fig. 10**: weak scalability on Torus networks from 16 to
+//! 256 nodes with an all-reduce size of `375 x N` KiB, communication
+//! time normalized to RING's 16-node performance. `--strong` switches to
+//! the paper's strong-scalability variant (§VI-B): a fixed 96 MiB
+//! problem regardless of node count, where "there is only small
+//! variation for each algorithm since they are all contention-free and
+//! serialization latency is more dominant".
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin fig10_scalability [-- --strong] [--json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, AllReduce, MultiTree, Ring, Ring2D};
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_bench::suites::{run_engine, scalability_tori, EngineKind};
+use mt_netsim::NetworkConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    nodes: usize,
+    algorithm: String,
+    bytes: u64,
+    completion_ns: f64,
+    normalized_to_ring16: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let engine: EngineKind = args.get_or("engine", EngineKind::Flow);
+    let strong = args.flag("strong");
+    let pkt = NetworkConfig::paper_default();
+    let msg = NetworkConfig::paper_message_based();
+
+    let algos: Vec<(&str, Algorithm, NetworkConfig)> = vec![
+        ("RING", Algorithm::Ring(Ring), pkt),
+        ("2D-RING", Algorithm::Ring2D(Ring2D), pkt),
+        (
+            "MULTITREEMSG",
+            Algorithm::MultiTree(MultiTree::default()),
+            msg,
+        ),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut ring16 = f64::NAN;
+    for (n, topo) in scalability_tori() {
+        let bytes = if strong {
+            96 << 20 // fixed large problem
+        } else {
+            375 * 1024 * n as u64 // 375 x N KiB
+        };
+        for (label, algo, net) in &algos {
+            let schedule = algo.build(&topo).expect("torus supported");
+            let report = run_engine(engine, *net, &topo, &schedule, bytes);
+            if *label == "RING" && n == 16 {
+                ring16 = report.completion_ns;
+            }
+            rows.push(Row {
+                nodes: n,
+                algorithm: label.to_string(),
+                bytes,
+                completion_ns: report.completion_ns,
+                normalized_to_ring16: f64::NAN, // filled below
+            });
+        }
+    }
+    for r in &mut rows {
+        r.normalized_to_ring16 = r.completion_ns / ring16;
+    }
+
+    if strong {
+        println!("=== Fig. 10 variant — strong scalability, fixed 96 MiB all-reduce on Torus ===");
+    } else {
+        println!("=== Fig. 10 — weak scalability, 375*N KiB all-reduce on Torus ===");
+    }
+    println!("(communication time normalized to 16-node RING; lower is better)");
+    println!(
+        "{:<8}{:>14}{:>14}{:>16}",
+        "nodes", "RING", "2D-RING", "MULTITREEMSG"
+    );
+    for (n, _) in scalability_tori() {
+        print!("{n:<8}");
+        for label in ["RING", "2D-RING", "MULTITREEMSG"] {
+            let r = rows
+                .iter()
+                .find(|r| r.nodes == n && r.algorithm == label)
+                .expect("row exists");
+            let width = if label == "MULTITREEMSG" { 16 } else { 14 };
+            print!("{:>width$.3}", r.normalized_to_ring16, width = width);
+        }
+        println!();
+    }
+    // summary speedups at 256 nodes (the paper quotes 3x / 1.4x)
+    let at = |label: &str| {
+        rows.iter()
+            .find(|r| r.nodes == 256 && r.algorithm == label)
+            .unwrap()
+            .completion_ns
+    };
+    println!(
+        "\nAt 256 nodes: MULTITREEMSG is {:.2}x faster than RING, {:.2}x faster than 2D-RING",
+        at("RING") / at("MULTITREEMSG"),
+        at("2D-RING") / at("MULTITREEMSG"),
+    );
+
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

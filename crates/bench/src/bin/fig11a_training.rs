@@ -1,0 +1,111 @@
+//! Reproduces **Fig. 11a**: non-overlapped training-time breakdown
+//! (compute vs all-reduce, normalized to RING) and all-reduce speedup on
+//! an 8x8 Torus for the seven DNN workloads.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin fig11a_training [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, DbTree, MultiTree, Ring, Ring2D};
+use mt_accel::models;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_topology::Topology;
+use mt_trainsim::{simulate_iteration, SystemConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    model: String,
+    algorithm: String,
+    compute_ns: f64,
+    allreduce_ns: f64,
+    total_normalized_to_ring: f64,
+    allreduce_speedup_vs_ring: f64,
+    comm_fraction: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = Topology::torus(8, 8);
+    let cfg_pkt = SystemConfig::paper_default();
+    let cfg_msg = SystemConfig::paper_message_based();
+
+    let algos: Vec<(&str, Algorithm, &SystemConfig)> = vec![
+        ("RING", Algorithm::Ring(Ring), &cfg_pkt),
+        ("DBTREE", Algorithm::DbTree(DbTree::default()), &cfg_pkt),
+        ("2D-RING", Algorithm::Ring2D(Ring2D), &cfg_pkt),
+        (
+            "MULTITREE",
+            Algorithm::MultiTree(MultiTree::default()),
+            &cfg_pkt,
+        ),
+        (
+            "MULTITREEMSG",
+            Algorithm::MultiTree(MultiTree::default()),
+            &cfg_msg,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    println!("=== Fig. 11a — non-overlapped training on 8x8 Torus (mini-batch 16/node) ===");
+    for model in models::all() {
+        let ring = simulate_iteration(&topo, &model, &algos[0].1, algos[0].2).unwrap();
+        println!(
+            "\n{} — compute {:.3} ms, gradients {:.1} MB, RING comm fraction {:.0}%",
+            model.name,
+            ring.compute_ns() / 1e6,
+            ring.grad_bytes as f64 / 1e6,
+            ring.comm_fraction() * 100.0
+        );
+        println!(
+            "  {:<14}{:>12}{:>14}{:>18}{:>20}",
+            "algorithm", "comm (ms)", "total (norm)", "AR speedup vs RING", "comm fraction (%)"
+        );
+        for (label, algo, cfg) in &algos {
+            let r = simulate_iteration(&topo, &model, algo, cfg).unwrap();
+            let row = Row {
+                model: model.name.clone(),
+                algorithm: label.to_string(),
+                compute_ns: r.compute_ns(),
+                allreduce_ns: r.allreduce_ns,
+                total_normalized_to_ring: r.total_ns() / ring.total_ns(),
+                allreduce_speedup_vs_ring: ring.allreduce_ns / r.allreduce_ns,
+                comm_fraction: r.comm_fraction(),
+            };
+            println!(
+                "  {:<14}{:>12.3}{:>14.3}{:>18.2}{:>20.1}",
+                row.algorithm,
+                row.allreduce_ns / 1e6,
+                row.total_normalized_to_ring,
+                row.allreduce_speedup_vs_ring,
+                row.comm_fraction * 100.0
+            );
+            rows.push(row);
+        }
+    }
+
+    // paper headline: average all-reduce speedup over RING / 2D-RING
+    let avg = |label: &str| {
+        let v: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.algorithm == label)
+            .map(|r| r.allreduce_speedup_vs_ring)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    let mt = avg("MULTITREEMSG");
+    let r2d = avg("2D-RING");
+    println!(
+        "\nAverage all-reduce speedup vs RING: MULTITREE {:.2}x, MULTITREEMSG {:.2}x, \
+         2D-RING {:.2}x  (MULTITREEMSG vs 2D-RING: {:.2}x)",
+        avg("MULTITREE"),
+        mt,
+        r2d,
+        mt / r2d
+    );
+
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,100 @@
+//! Reproduces **Fig. 11b**: training-time breakdown with layer-wise
+//! all-reduce (computation / computation-communication overlap /
+//! exposed communication) on an 8x8 Torus, normalized to RING.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin fig11b_overlap [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, DbTree, MultiTree, Ring, Ring2D};
+use mt_accel::models;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_topology::Topology;
+use mt_trainsim::{simulate_overlapped, SystemConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    model: String,
+    algorithm: String,
+    compute_ns: f64,
+    overlap_ns: f64,
+    exposed_comm_ns: f64,
+    total_ns: f64,
+    total_normalized_to_ring: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = Topology::torus(8, 8);
+    let cfg_pkt = SystemConfig::paper_default();
+    let cfg_msg = SystemConfig::paper_message_based();
+
+    let algos: Vec<(&str, Algorithm, &SystemConfig)> = vec![
+        ("RING", Algorithm::Ring(Ring), &cfg_pkt),
+        ("DBTREE", Algorithm::DbTree(DbTree::default()), &cfg_pkt),
+        ("2D-RING", Algorithm::Ring2D(Ring2D), &cfg_pkt),
+        (
+            "MULTITREE",
+            Algorithm::MultiTree(MultiTree::default()),
+            &cfg_pkt,
+        ),
+        (
+            "MULTITREEMSG",
+            Algorithm::MultiTree(MultiTree::default()),
+            &cfg_msg,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    println!("=== Fig. 11b — overlapped training (layer-wise all-reduce) on 8x8 Torus ===");
+    for model in models::all() {
+        let ring = simulate_overlapped(&topo, &model, &algos[0].1, algos[0].2).unwrap();
+        println!("\n{}", model.name);
+        println!(
+            "  {:<14}{:>14}{:>14}{:>14}{:>14}",
+            "algorithm", "compute (ms)", "overlap (ms)", "exposed (ms)", "total (norm)"
+        );
+        for (label, algo, cfg) in &algos {
+            let r = simulate_overlapped(&topo, &model, algo, cfg).unwrap();
+            let row = Row {
+                model: model.name.clone(),
+                algorithm: label.to_string(),
+                compute_ns: r.compute_ns,
+                overlap_ns: r.overlap_ns,
+                exposed_comm_ns: r.exposed_comm_ns(),
+                total_ns: r.total_ns,
+                total_normalized_to_ring: r.total_ns / ring.total_ns,
+            };
+            println!(
+                "  {:<14}{:>14.3}{:>14.3}{:>14.3}{:>14.3}",
+                row.algorithm,
+                row.compute_ns / 1e6,
+                row.overlap_ns / 1e6,
+                row.exposed_comm_ns / 1e6,
+                row.total_normalized_to_ring
+            );
+            rows.push(row);
+        }
+    }
+
+    // the paper's headline for communication-dominant DNNs
+    for m in ["NCF", "Transformer"] {
+        let t = |label: &str| {
+            rows.iter()
+                .find(|r| r.model == m && r.algorithm == label)
+                .unwrap()
+                .total_ns
+        };
+        println!(
+            "\n{m}: MULTITREEMSG training speedup {:.2}x vs RING, {:.2}x vs 2D-RING",
+            t("RING") / t("MULTITREEMSG"),
+            t("2D-RING") / t("MULTITREEMSG")
+        );
+    }
+
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,67 @@
+//! Reproduces **Fig. 9**: all-reduce bandwidth vs data size on Torus,
+//! Mesh, Fat-Tree and BiGraph networks.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin fig9_bandwidth -- --topo torus
+//! cargo run --release -p mt-bench --bin fig9_bandwidth            # all four
+//! options: --topo torus|mesh|fattree|bigraph   --engine flow|cycle
+//!          --max-size <bytes>  --json <path>
+//! ```
+
+use mt_bench::args::Args;
+use mt_bench::suites::{bandwidth_sweep, EngineKind, TopoFamily};
+use mt_bench::{dump_json, fig9_sizes, fmt_size};
+
+fn main() {
+    let args = Args::parse();
+    let engine: EngineKind = args.get_or("engine", EngineKind::Flow);
+    let max_size: u64 = args.get_or("max-size", u64::MAX);
+    let sizes: Vec<u64> = fig9_sizes().into_iter().filter(|&s| s <= max_size).collect();
+
+    let families: Vec<(TopoFamily, &str)> = match args.get("topo") {
+        Some(f) => vec![(f.parse().expect("valid --topo"), "")],
+        None => vec![
+            (TopoFamily::Torus, "Fig. 9a"),
+            (TopoFamily::Mesh, "Fig. 9b"),
+            (TopoFamily::FatTree, "Fig. 9c"),
+            (TopoFamily::BiGraph, "Fig. 9d"),
+        ],
+    };
+
+    let mut all_points = Vec::new();
+    for (family, tag) in families {
+        let points = bandwidth_sweep(family, &sizes, engine);
+        let mut networks: Vec<String> = points.iter().map(|p| p.network.clone()).collect();
+        networks.dedup();
+        for net in networks {
+            println!("\n=== {tag} {net} — all-reduce bandwidth (GB/s) ===");
+            let mut algos: Vec<String> = points
+                .iter()
+                .filter(|p| p.network == net)
+                .map(|p| p.algorithm.clone())
+                .collect();
+            algos.dedup();
+            print!("{:<10}", "size");
+            for a in &algos {
+                print!("{a:>14}");
+            }
+            println!();
+            for &bytes in &sizes {
+                print!("{:<10}", fmt_size(bytes));
+                for a in &algos {
+                    let p = points
+                        .iter()
+                        .find(|p| p.network == net && &p.algorithm == a && p.bytes == bytes)
+                        .expect("point exists");
+                    print!("{:>14.3}", p.gbps);
+                }
+                println!();
+            }
+        }
+        all_points.extend(points);
+    }
+
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &all_points);
+    }
+}

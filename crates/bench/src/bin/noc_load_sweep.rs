@@ -1,0 +1,78 @@
+//! Latency-throughput curves — the canonical NoC evaluation: sweep the
+//! offered load of a synthetic pattern and report mean message latency
+//! until the network saturates. Exercises the open-loop injection mode
+//! of the engines.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin noc_load_sweep [-- --json out.json]
+//! ```
+
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_netsim::synthetic::TrafficPattern;
+use mt_netsim::{flow::FlowEngine, NetworkConfig};
+use mt_topology::Topology;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    pattern: String,
+    offered_load: f64,
+    mean_latency_ns: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let topo = Topology::torus(4, 4);
+    let rounds = 32u32;
+    let msg_bytes_per_node = 1024u64; // 64 flits + heads per round
+    let total = msg_bytes_per_node * topo.num_nodes() as u64;
+    // one message of 68 flits per node per round: the per-node injection
+    // capacity is one flit/ns per port, but a single message serializes
+    // at 1 flit/ns — "load 1.0" = back-to-back messages (68 ns interval)
+    let flits = 68.0;
+
+    let patterns = [
+        ("neighbor", TrafficPattern::Neighbor),
+        ("uniform(7)", TrafficPattern::UniformRandom { seed: 7 }),
+        ("bit-complement", TrafficPattern::BitComplement),
+    ];
+
+    println!("=== Latency-throughput sweep (4x4 torus, 1 KiB messages, 32 rounds) ===");
+    print!("{:<10}", "load");
+    for (name, _) in &patterns {
+        print!("{name:>16}");
+    }
+    println!("   (mean latency, ns)");
+    let mut rows = Vec::new();
+    for load in [0.1f64, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0] {
+        print!("{load:<10.1}");
+        for (name, p) in &patterns {
+            let mut cfg = NetworkConfig::paper_default();
+            cfg.lockstep_interval_ns = Some(flits / load);
+            let s = p.schedule_rounds(&topo, rounds);
+            let (_, traces) = FlowEngine::new(cfg).run_traced(&topo, &s, total).unwrap();
+            let interval = flits / load;
+            let mean: f64 = traces
+                .iter()
+                .map(|t| t.delivery_ns - (f64::from(t.step) - 1.0) * interval)
+                .sum::<f64>()
+                / traces.len() as f64;
+            print!("{mean:>16.0}");
+            rows.push(Row {
+                pattern: name.to_string(),
+                offered_load: load,
+                mean_latency_ns: mean,
+            });
+        }
+        println!();
+    }
+    println!(
+        "\nNeighbor stays flat to full load (distinct links per message);\n\
+         bit-complement saturates earliest (every message fights over the\n\
+         bisection) — the canonical latency-throughput shape."
+    );
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

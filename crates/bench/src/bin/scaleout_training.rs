@@ -1,0 +1,77 @@
+//! Scale-out training study: iteration time and weak-scaling efficiency
+//! for ResNet-50 and Transformer as the torus grows 16 → 256 accelerators
+//! (per-node batch fixed at 16, the paper's §V-B regime). This is the
+//! end-to-end consequence of Fig. 10's communication scaling.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin scaleout_training [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, MultiTree, Ring};
+use mt_accel::models;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_bench::suites::scalability_tori;
+use mt_trainsim::{simulate_iteration, SystemConfig};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    model: String,
+    nodes: usize,
+    algorithm: String,
+    iteration_ms: f64,
+    scaling_efficiency: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SystemConfig::paper_default();
+    let algos: Vec<(&str, Algorithm)> = vec![
+        ("RING", Algorithm::Ring(Ring)),
+        ("MULTITREE", Algorithm::MultiTree(MultiTree::default())),
+    ];
+
+    let mut rows = Vec::new();
+    println!("=== Scale-out training: iteration time (ms) and weak-scaling efficiency ===");
+    println!("(per-accelerator batch fixed at 16; efficiency = compute / iteration)");
+    for model in [models::resnet50(), models::transformer()] {
+        println!("\n{}", model.name);
+        println!(
+            "{:<8}{:>16}{:>12}{:>18}{:>12}",
+            "nodes", "RING (ms)", "eff (%)", "MULTITREE (ms)", "eff (%)"
+        );
+        for (n, topo) in scalability_tori() {
+            print!("{n:<8}");
+            for (label, algo) in &algos {
+                let r = simulate_iteration(&topo, &model, algo, &cfg).unwrap();
+                let eff = r.compute_ns() / r.total_ns();
+                let (w1, w2) = if *label == "RING" { (16, 12) } else { (18, 12) };
+                print!(
+                    "{:>w1$.2}{:>w2$.1}",
+                    r.total_ns() / 1e6,
+                    eff * 100.0,
+                    w1 = w1,
+                    w2 = w2
+                );
+                rows.push(Row {
+                    model: model.name.clone(),
+                    nodes: n,
+                    algorithm: label.to_string(),
+                    iteration_ms: r.total_ns() / 1e6,
+                    scaling_efficiency: eff,
+                });
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nBoth algorithms are bandwidth-optimal, so per-iteration communication is\n\
+         nearly flat under weak scaling (comm ~ 2(n-1)/n x D); what separates them is\n\
+         effective bandwidth — MultiTree drives all torus links, ring one per node —\n\
+         a constant-factor efficiency gap that persists at every scale."
+    );
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,98 @@
+//! Reproduces **Table I**: qualitative comparison of the all-reduce
+//! algorithms — latency class (steps), bandwidth optimality (communicated
+//! volume), contention, and topology applicability — derived from the
+//! analytic cost model rather than asserted.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin table1_comparison [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, AllReduce, DbTree, Hdrm, MultiTree, Ring, Ring2D};
+use multitree::cost::analyze;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_topology::Topology;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    algorithm: String,
+    topology: String,
+    steps: u32,
+    critical_path: usize,
+    volume_ratio: f64,
+    contention_free: bool,
+    max_link_contention: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let bytes = 16 << 20;
+    let topos: Vec<(&str, Topology)> = vec![
+        ("8x8 Torus", Topology::torus(8, 8)),
+        ("8x8 Mesh", Topology::mesh(8, 8)),
+        ("64-node Fat-Tree", Topology::fat_tree_64()),
+        ("64-node BiGraph", Topology::bigraph_64()),
+    ];
+    let algos: Vec<(&str, Algorithm)> = vec![
+        ("Ring", Algorithm::Ring(Ring)),
+        ("DBTree", Algorithm::DbTree(DbTree::default())),
+        ("2D-Ring", Algorithm::Ring2D(Ring2D)),
+        ("HDRM", Algorithm::Hdrm(Hdrm)),
+        ("MultiTree", Algorithm::MultiTree(MultiTree::default())),
+    ];
+
+    let mut rows = Vec::new();
+    println!("=== Table I — all-reduce algorithm comparison (measured, 16 MiB) ===");
+    println!(
+        "{:<11}{:<19}{:>7}{:>7}{:>14}{:>13}  applies",
+        "algorithm", "topology", "steps", "chain", "volume ratio", "contention"
+    );
+    for (aname, algo) in &algos {
+        let mut applied = Vec::new();
+        for (tname, topo) in &topos {
+            match algo.build(topo) {
+                Ok(s) => {
+                    let st = analyze(&s, topo, bytes);
+                    println!(
+                        "{:<11}{:<19}{:>7}{:>7}{:>14.2}{:>13}",
+                        aname,
+                        tname,
+                        st.num_steps,
+                        st.critical_path,
+                        st.volume_ratio,
+                        if st.is_contention_free() {
+                            "none".to_string()
+                        } else {
+                            format!("{:.1}x", st.max_link_contention)
+                        },
+                    );
+                    applied.push(*tname);
+                    rows.push(Row {
+                        algorithm: aname.to_string(),
+                        topology: tname.to_string(),
+                        steps: st.num_steps,
+                        critical_path: st.critical_path,
+                        volume_ratio: st.volume_ratio,
+                        contention_free: st.is_contention_free(),
+                        max_link_contention: st.max_link_contention,
+                    });
+                }
+                Err(_) => {
+                    println!("{:<11}{:<19}{:>7}", aname, tname, "n/a");
+                }
+            }
+        }
+        println!(
+            "{:<11}=> applies to {}/{} evaluated topologies\n",
+            "", applied.len(), topos.len()
+        );
+    }
+    println!("Reading: volume ratio 1.0 = bandwidth optimal; ring has high steps (latency);");
+    println!("DBTree contends; 2D-Ring/HDRM are topology-restricted; MultiTree is low-step,");
+    println!("bandwidth-optimal, contention-free and applies everywhere — Table I's claims.");
+
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,57 @@
+//! Prints **Table III**: the system configuration every experiment runs
+//! with, as encoded in `SystemConfig::paper_default()` — plus the NI
+//! schedule-table hardware overhead estimate of §V-A.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin table3_config
+//! ```
+
+use multitree::algorithms::{AllReduce, MultiTree};
+use multitree::table::build_tables;
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_topology::Topology;
+use mt_trainsim::SystemConfig;
+
+fn main() {
+    let args = Args::parse();
+    let cfg = SystemConfig::paper_default();
+    let a = &cfg.accelerator;
+    let n = &cfg.network;
+    println!("=== Table III — system configuration ===");
+    println!("PE           MAC array              {}x{}", a.rows, a.cols);
+    println!("PE           Dataflow               Output Stationary");
+    println!("PE           Precision              32 bits");
+    println!("Accelerator  Number of PEs          {}", a.num_pes);
+    println!("Accelerator  Clock                  {} GHz", a.clock_ghz);
+    println!("Accelerator  Number of accelerators 16, 32, 64 (256 for Fig. 10)");
+    println!("Network      Topology               2D Torus, Mesh, Fat-Tree, BiGraph");
+    println!("Network      Flow control           Virtual Cut-Through");
+    println!("Network      Router clock           {} GHz", n.router_clock_ghz);
+    println!("Network      Number of VCs          {}", n.num_vcs);
+    println!("Network      VC buffer depth        {} flits", n.vc_buffer_flits);
+    println!("Network      Data packet payload    {} bytes (baselines)", n.payload_bytes);
+    println!(
+        "Network      Link latency/bandwidth {} ns / {} GB/s",
+        n.link_latency_ns, n.link_bandwidth
+    );
+    println!("Training     Mini-batch             16 x N (16 per accelerator)");
+
+    // §V-A hardware overhead: schedule table for a 64-node system
+    let topo = Topology::torus(8, 8);
+    let schedule = MultiTree::default().build(&topo).unwrap();
+    let tables = build_tables(&schedule, 64 << 20);
+    let entries = tables.iter().map(|t| t.entries.len()).max().unwrap();
+    let bits = tables[0].size_bits(64, 4);
+    println!(
+        "\nNI schedule-table overhead (64-node Torus): up to {} entries/table, \
+         ~{} bits/table (~{:.1} KB) — paper estimates 128 entries x 200 bits = 3.2 KB",
+        entries,
+        bits,
+        bits as f64 / 8192.0
+    );
+
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &cfg);
+    }
+}

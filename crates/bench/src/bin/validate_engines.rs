@@ -1,0 +1,102 @@
+//! Cross-engine validation: re-runs a grid of Fig. 9 cells on both the
+//! flit-level cycle engine (ground truth) and the fast flow engine,
+//! reporting their completion-time ratios — the evidence behind
+//! DESIGN.md's claim that the flow engine is faithful where it is used.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin validate_engines [-- --json out.json]
+//! ```
+
+use multitree::algorithms::{Algorithm, AllReduce, DbTree, MultiTree, Ring};
+use mt_bench::args::Args;
+use mt_bench::{dump_json, fmt_size};
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    network: String,
+    algorithm: String,
+    bytes: u64,
+    cycle_us: f64,
+    flow_us: f64,
+    ratio: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let cfg = NetworkConfig::paper_default();
+    let networks: Vec<(&str, Topology)> = vec![
+        ("4x4 Torus", Topology::torus(4, 4)),
+        ("4x4 Mesh", Topology::mesh(4, 4)),
+        ("16-node Fat-Tree", Topology::dgx2_like_16()),
+        ("32-node BiGraph", Topology::bigraph_32()),
+    ];
+    let algos: Vec<(&str, Algorithm)> = vec![
+        ("RING", Algorithm::Ring(Ring)),
+        ("DBTREE", Algorithm::DbTree(DbTree::default())),
+        ("MULTITREE", Algorithm::MultiTree(MultiTree::default())),
+    ];
+    let sizes = [32 << 10u64, 256 << 10];
+
+    println!("=== Cross-engine validation: cycle (ground truth) vs flow ===");
+    println!(
+        "{:<18}{:<11}{:<9}{:>12}{:>11}{:>8}",
+        "network", "algorithm", "size", "cycle (us)", "flow (us)", "ratio"
+    );
+    let mut rows = Vec::new();
+    for (net, topo) in &networks {
+        for (label, algo) in &algos {
+            let schedule = algo.build(topo).unwrap();
+            for &bytes in &sizes {
+                let c = CycleEngine::new(cfg)
+                    .run(topo, &schedule, bytes)
+                    .unwrap()
+                    .completion_ns;
+                let f = FlowEngine::new(cfg)
+                    .run(topo, &schedule, bytes)
+                    .unwrap()
+                    .completion_ns;
+                println!(
+                    "{:<18}{:<11}{:<9}{:>12.1}{:>11.1}{:>8.3}",
+                    net,
+                    label,
+                    fmt_size(bytes),
+                    c / 1e3,
+                    f / 1e3,
+                    c / f
+                );
+                rows.push(Row {
+                    network: net.to_string(),
+                    algorithm: label.to_string(),
+                    bytes,
+                    cycle_us: c / 1e3,
+                    flow_us: f / 1e3,
+                    ratio: c / f,
+                });
+            }
+        }
+    }
+    let (min, max) = rows
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| {
+            (lo.min(r.ratio), hi.max(r.ratio))
+        });
+    let cf: Vec<&Row> = rows
+        .iter()
+        .filter(|r| r.algorithm != "DBTREE")
+        .collect();
+    let (cmin, cmax) = cf.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), r| {
+        (lo.min(r.ratio), hi.max(r.ratio))
+    });
+    println!(
+        "\nContention-free schedules agree within [{cmin:.2}, {cmax:.2}]; including the\n\
+         congested DBTREE the band is [{min:.2}, {max:.2}] — the flow engine slightly\n\
+         under-penalizes congestion (documented in its module docs), which makes the\n\
+         reported MULTITREE-vs-DBTREE gaps conservative."
+    );
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &rows);
+    }
+}

@@ -1,0 +1,77 @@
+//! Shared plumbing for the figure/table harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (see `DESIGN.md` for the full index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_comparison` | Table I (algorithm comparison) |
+//! | `table3_config` | Table III (system configuration) |
+//! | `fig2_head_overhead` | Fig. 2 (head-flit bandwidth overhead) |
+//! | `fig9_bandwidth` | Fig. 9a–d (all-reduce bandwidth sweeps) |
+//! | `fig10_scalability` | Fig. 10 (weak scalability 16→256 nodes) |
+//! | `fig11a_training` | Fig. 11a (non-overlapped training breakdown) |
+//! | `fig11b_overlap` | Fig. 11b (layer-wise overlapped breakdown) |
+//! | `ablation_lockstep` | §IV-A lockstep on/off ablation |
+//! | `ablation_flowctrl` | §IV-B / §VI-A message-based flow-control gain |
+//!
+//! All binaries accept `--json <path>` to additionally dump
+//! machine-readable results, and print human-readable series matching
+//! the paper's rows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod suites;
+
+use serde::Serialize;
+use std::fs;
+use std::path::Path;
+
+/// Formats a byte count the way the paper labels its x-axes (KiB/MiB).
+pub fn fmt_size(bytes: u64) -> String {
+    if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}MiB", bytes >> 20)
+    } else if bytes >= 1 << 10 {
+        format!("{}KiB", bytes >> 10)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+/// Writes `value` as pretty JSON to `path` (used by `--json`).
+///
+/// # Panics
+///
+/// Panics if the file cannot be written — harnesses want loud failures.
+pub fn dump_json<T: Serialize>(path: &Path, value: &T) {
+    let text = serde_json::to_string_pretty(value).expect("results are serializable");
+    fs::write(path, text).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    eprintln!("wrote {}", path.display());
+}
+
+/// The paper's Fig. 9 sweep sizes: 32 KiB to 64 MiB in powers of two.
+pub fn fig9_sizes() -> Vec<u64> {
+    (15..=26).map(|p| 1u64 << p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_formatting() {
+        assert_eq!(fmt_size(32 << 10), "32KiB");
+        assert_eq!(fmt_size(64 << 20), "64MiB");
+        assert_eq!(fmt_size(100), "100B");
+    }
+
+    #[test]
+    fn fig9_size_range() {
+        let s = fig9_sizes();
+        assert_eq!(s.first(), Some(&(32 << 10)));
+        assert_eq!(s.last(), Some(&(64 << 20)));
+        assert_eq!(s.len(), 12);
+    }
+}

@@ -1,0 +1,186 @@
+//! Reduced-tree-count MultiTree — the §VII-C future-work knob
+//! implemented: "reducing the number of trees by trading bandwidth and
+//! latency ... can be further explored".
+//!
+//! Instead of one tree per node (|V| flows, 2|V| schedule-table entries
+//! per NI), [`MultiTree::build_with_tree_count`] constructs `k` spanning
+//! trees rooted at evenly spaced nodes and pipelines each tree's `D/k`
+//! block as sub-chunks. Fewer trees shrink the NI schedule table and the
+//! per-node flow state, at the cost of using fewer root in/out links per
+//! phase — the trade the `ablation_tree_count` harness measures.
+
+use crate::algorithms::multitree::{MultiTree, TreeBuild};
+use crate::algorithms::multitree_subset::bfs_to_participant;
+use crate::algorithms::pipelined::lower_pipelined;
+use crate::error::AlgorithmError;
+use crate::schedule::CommSchedule;
+use mt_topology::{NodeId, Topology};
+use std::collections::HashMap;
+
+impl MultiTree {
+    /// Builds an all-reduce with only `k` spanning trees (roots spread
+    /// evenly over the node-id space), each pipelined over
+    /// `pipeline_chunks` sub-chunks. `k = n` with one chunk recovers the
+    /// spirit of the full construction; small `k` trades bandwidth for a
+    /// smaller NI schedule table (§VII-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::UnsupportedTopology`] if `k` is zero or
+    /// exceeds the node count, and [`AlgorithmError::ConstructionFailed`]
+    /// on disconnected topologies.
+    pub fn build_with_tree_count(
+        &self,
+        topo: &Topology,
+        k: usize,
+        pipeline_chunks: usize,
+    ) -> Result<CommSchedule, AlgorithmError> {
+        let n = topo.num_nodes();
+        if k == 0 || k > n {
+            return Err(AlgorithmError::UnsupportedTopology {
+                algorithm: "multitree-k",
+                reason: format!("tree count {k} must be in 1..={n}"),
+            });
+        }
+        let pc = pipeline_chunks.max(1) as u32;
+        let mut s = CommSchedule::new("multitree-k", n, (k as u32) * pc);
+        if n < 2 {
+            return Ok(s);
+        }
+        // roots spread evenly across the id space
+        let roots: Vec<NodeId> = (0..k).map(|i| NodeId::new(i * n / k)).collect();
+        let trees = construct_rooted(topo, &roots)?;
+        lower_pipelined(topo, &trees, pc, &mut s)?;
+        Ok(s)
+    }
+}
+
+/// Grows one spanning tree per root, round-robin, over one **global**
+/// link pool: pipelining keeps every tree edge busy every round, so the
+/// trees must be edge-disjoint outright. This bounds the feasible `k` by
+/// the topology's link budget (`k (n-1) <=` total links; e.g. `k <= 4`
+/// on a 2D torus, `k = 1` behind single-NIC switches). Edge `step`
+/// records the child's depth, as the pipelined lowering expects.
+fn construct_rooted(topo: &Topology, roots: &[NodeId]) -> Result<Vec<TreeBuild>, AlgorithmError> {
+    let n = topo.num_nodes();
+    let all = vec![true; n];
+    let mut trees: Vec<TreeBuild> = roots.iter().map(|&r| TreeBuild::new(r, n)).collect();
+    let mut depth: Vec<HashMap<NodeId, u32>> = roots
+        .iter()
+        .map(|&r| std::iter::once((r, 0)).collect())
+        .collect();
+    let mut pool: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+    while trees.iter().any(|t| !t.complete(n)) {
+        let mut progress = false;
+        for (ti, tree) in trees.iter_mut().enumerate() {
+            if tree.complete(n) {
+                continue;
+            }
+            let mut found = None;
+            for mi in 0..tree.members.len() {
+                let p = tree.members[mi].0;
+                if let Some((child, path)) = bfs_to_participant(topo, tree, &all, p, &pool) {
+                    found = Some((p, child, path));
+                    break;
+                }
+            }
+            if let Some((p, child, path)) = found {
+                for &l in &path {
+                    pool[l.index()] -= 1;
+                }
+                let d = depth[ti][&p] + 1;
+                depth[ti].insert(child, d);
+                tree.add(p, child, d, path);
+                progress = true;
+            }
+        }
+        if !progress {
+            return Err(AlgorithmError::ConstructionFailed {
+                algorithm: "multitree-k",
+                reason: format!(
+                    "cannot pack {} edge-disjoint spanning trees on this topology —                      reduce the tree count",
+                    roots.len()
+                ),
+            });
+        }
+    }
+    Ok(trees)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_schedule;
+
+    #[test]
+    fn verifies_for_feasible_tree_counts() {
+        // greedy packing reliably finds a couple of edge-disjoint trees
+        // on a 4-regular torus (the theoretical cap is 4; finding them
+        // all needs Edmonds-style packing, out of scope)
+        let topo = Topology::torus(4, 4);
+        for k in [1usize, 2] {
+            let s = MultiTree::default()
+                .build_with_tree_count(&topo, k, 4)
+                .unwrap();
+            verify_schedule(&s)
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(s.num_flows(), k);
+        }
+    }
+
+    #[test]
+    fn infeasible_tree_counts_fail_cleanly() {
+        let topo = Topology::torus(4, 4);
+        let err = MultiTree::default()
+            .build_with_tree_count(&topo, 16, 2)
+            .unwrap_err();
+        assert!(err.to_string().contains("edge-disjoint"));
+    }
+
+    #[test]
+    fn single_tree_works_behind_single_nics() {
+        // fat-tree nodes have one uplink: only one tree can be packed
+        let topo = Topology::dgx2_like_16();
+        let s = MultiTree::default()
+            .build_with_tree_count(&topo, 1, 8)
+            .unwrap();
+        verify_schedule(&s).unwrap();
+        assert!(MultiTree::default()
+            .build_with_tree_count(&topo, 2, 4)
+            .is_err());
+    }
+
+    #[test]
+    fn fewer_trees_mean_smaller_tables() {
+        use crate::table::build_tables;
+        let topo = Topology::torus(8, 8);
+        let full = crate::algorithms::AllReduce::build(&MultiTree::default(), &topo).unwrap();
+        let k4 = MultiTree::default()
+            .build_with_tree_count(&topo, 2, 8)
+            .unwrap();
+        let entries = |s: &CommSchedule| {
+            build_tables(s, 1 << 20)
+                .iter()
+                .map(|t| t.active_entries())
+                .max()
+                .unwrap()
+        };
+        assert!(
+            entries(&k4) < entries(&full),
+            "k=2 entries {} !< full entries {}",
+            entries(&k4),
+            entries(&full)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_tree_counts() {
+        let topo = Topology::torus(2, 2);
+        assert!(MultiTree::default()
+            .build_with_tree_count(&topo, 0, 1)
+            .is_err());
+        assert!(MultiTree::default()
+            .build_with_tree_count(&topo, 5, 1)
+            .is_err());
+    }
+}

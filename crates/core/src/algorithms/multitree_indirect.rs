@@ -1,0 +1,236 @@
+//! MultiTree extension for switch-based (indirect) networks — paper
+//! §III-C3.
+//!
+//! The topology graph gains node-to-switch and switch-to-node connection
+//! lists. To find a child for a parent node `p`, the allocator follows a
+//! breadth-first traversal over switches: first `p`'s own edge switch
+//! (exploiting the cheap one-hop-through-one-switch distance between
+//! same-switch nodes — the latency advantage the paper highlights over
+//! HDRM), then neighbor switches reachable through free switch-to-switch
+//! links. All links of the successful path are consumed from the current
+//! time step's capacity pool.
+
+use crate::algorithms::multitree::{Forest, MultiTree, TreeBuild};
+use crate::error::AlgorithmError;
+use mt_topology::{LinkId, NodeId, SwitchId, Topology};
+use std::collections::VecDeque;
+
+impl MultiTree {
+    pub(crate) fn construct_forest_indirect(
+        &self,
+        topo: &Topology,
+    ) -> Result<Forest, AlgorithmError> {
+        let n = topo.num_nodes();
+        let mut trees: Vec<TreeBuild> =
+            (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
+
+        // Indirect networks in the paper's evaluation (Fat-Tree, BiGraph)
+        // are symmetric, so trees always alternate in ascending root order
+        // here regardless of `self.order`.
+        let mut t: u32 = 0;
+        while trees.iter().any(|tr| !tr.complete(n)) {
+            t += 1;
+            let mut pool: Vec<u32> = topo.links().iter().map(|l| l.capacity).collect();
+            let mut added_this_step = false;
+            let mut progress = true;
+            while progress {
+                progress = false;
+                for tree in trees.iter_mut().filter(|tr| !tr.complete(n)) {
+                    if try_add_indirect(topo, tree, t, &mut pool) {
+                        progress = true;
+                        added_this_step = true;
+                    }
+                }
+            }
+            if !added_this_step {
+                return Err(AlgorithmError::ConstructionFailed {
+                    algorithm: "multitree",
+                    reason:
+                        "no tree could grow in a fresh time step; indirect topology is disconnected"
+                            .into(),
+                });
+            }
+        }
+
+        Ok(Forest {
+            trees: trees
+                .into_iter()
+                .map(|tb| crate::algorithms::multitree::Tree {
+                    root: tb.root,
+                    edges: tb.edges,
+                })
+                .collect(),
+            total_steps: t,
+        })
+    }
+}
+
+/// Tries to connect one new node to `tree` at time step `t`, consuming
+/// links from `pool` on success.
+fn try_add_indirect(topo: &Topology, tree: &mut TreeBuild, t: u32, pool: &mut [u32]) -> bool {
+    for mi in 0..tree.members.len() {
+        let (p, joined) = tree.members[mi];
+        if joined >= t {
+            continue;
+        }
+        if let Some((child, path)) = find_child_via_switches(topo, tree, p, pool) {
+            for &l in &path {
+                debug_assert!(pool[l.index()] > 0);
+                pool[l.index()] -= 1;
+            }
+            tree.add(p, child, t, path);
+            return true;
+        }
+    }
+    false
+}
+
+/// Paper §III-C3 steps (1)–(3): starting from `p`'s attached switch, BFS
+/// over switches through free switch-to-switch links; at each switch, look
+/// for a free down-link to a node not yet in the tree. Returns the child
+/// and the full `p -> … -> child` link path without consuming capacity.
+fn find_child_via_switches(
+    topo: &Topology,
+    tree: &TreeBuild,
+    p: NodeId,
+    pool: &[u32],
+) -> Option<(NodeId, Vec<LinkId>)> {
+    // (1) p's node-to-switch uplink must be free.
+    let (sw0, uplink) = topo.neighbors(p.into()).find_map(|(v, l)| {
+        v.as_switch()
+            .filter(|_| pool[l.index()] > 0)
+            .map(|s| (s, l))
+    })?;
+
+    // BFS over switches; prev[switch] = (previous switch, link used).
+    let ns = topo.num_switches();
+    let mut prev: Vec<Option<(SwitchId, LinkId)>> = vec![None; ns];
+    let mut seen = vec![false; ns];
+    let mut q = VecDeque::new();
+    seen[sw0.index()] = true;
+    q.push_back(sw0);
+
+    while let Some(sw) = q.pop_front() {
+        // (2) a free down-link to an unadded node?
+        for (v, l) in topo.neighbors(sw.into()) {
+            if let Some(c) = v.as_node() {
+                if pool[l.index()] > 0 && !tree.in_tree[c.index()] {
+                    // reconstruct path: uplink + switch chain + downlink
+                    let mut chain = Vec::new();
+                    let mut cur = sw;
+                    while cur != sw0 {
+                        let (prev_sw, link) = prev[cur.index()].expect("bfs chain");
+                        chain.push(link);
+                        cur = prev_sw;
+                    }
+                    chain.reverse();
+                    let mut path = Vec::with_capacity(chain.len() + 2);
+                    path.push(uplink);
+                    path.extend(chain);
+                    path.push(l);
+                    return Some((c, path));
+                }
+            }
+        }
+        // (3) expand to neighbor switches through free links
+        for (v, l) in topo.neighbors(sw.into()) {
+            if let Some(next) = v.as_switch() {
+                if pool[l.index()] > 0 && !seen[next.index()] {
+                    seen[next.index()] = true;
+                    prev[next.index()] = Some((sw, l));
+                    q.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{AllReduce, MultiTree};
+    use crate::verify::verify_schedule;
+    use mt_topology::Vertex;
+    use std::collections::HashMap;
+
+    #[test]
+    fn forest_spans_on_fattree() {
+        let topo = Topology::dgx2_like_16();
+        let forest = MultiTree::default().construct_forest(&topo).unwrap();
+        assert_eq!(forest.trees.len(), 16);
+        for tree in &forest.trees {
+            assert_eq!(tree.len(), 16);
+        }
+    }
+
+    #[test]
+    fn paths_are_valid_and_contiguous() {
+        for topo in [Topology::dgx2_like_16(), Topology::bigraph_32()] {
+            let forest = MultiTree::default().construct_forest(&topo).unwrap();
+            for tree in &forest.trees {
+                for e in &tree.edges {
+                    let first = topo.link(e.path[0]);
+                    let last = topo.link(*e.path.last().unwrap());
+                    assert_eq!(first.src, Vertex::Node(e.parent));
+                    assert_eq!(last.dst, Vertex::Node(e.child));
+                    for w in e.path.windows(2) {
+                        assert_eq!(topo.link(w[0]).dst, topo.link(w[1]).src);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_step_links_within_capacity() {
+        for topo in [
+            Topology::dgx2_like_16(),
+            Topology::fat_tree_64(),
+            Topology::bigraph_32(),
+        ] {
+            let forest = MultiTree::default().construct_forest(&topo).unwrap();
+            let mut usage: HashMap<(u32, usize), u32> = HashMap::new();
+            for tree in &forest.trees {
+                for e in &tree.edges {
+                    for &l in &e.path {
+                        *usage.entry((e.step, l.index())).or_insert(0) += 1;
+                    }
+                }
+            }
+            for ((step, l), count) in usage {
+                assert!(
+                    count <= topo.links()[l].capacity,
+                    "link {l} over-allocated at step {step}: {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multitree_verifies_on_indirect_networks() {
+        for topo in [
+            Topology::dgx2_like_16(),
+            Topology::fat_tree_64(),
+            Topology::bigraph_32(),
+            Topology::bigraph_64(),
+        ] {
+            let s = MultiTree::default().build(&topo).unwrap();
+            verify_schedule(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn first_step_prefers_same_switch_children() {
+        // Roots should first pick up neighbors behind their own edge
+        // switch — the one-hop advantage over HDRM the paper stresses.
+        let topo = Topology::dgx2_like_16();
+        let forest = MultiTree::default().construct_forest(&topo).unwrap();
+        let tree0 = &forest.trees[0];
+        let first_edge = &tree0.edges[0];
+        assert_eq!(first_edge.parent, NodeId::new(0));
+        // the first child of root 0 shares leaf switch 0 (nodes 0..4)
+        assert!(first_edge.child.index() < 4);
+        assert_eq!(first_edge.path.len(), 2, "same-leaf child is 2 links away");
+    }
+}

@@ -1,0 +1,231 @@
+//! Forest rebalancing and step-maximality — the tree pruning/adjustment
+//! the paper leaves as future exploration (§IV-A: "Although NOP may
+//! leave links under-utilized ... Pruning and adjusting the trees may
+//! help in these cases, we leave it for future exploration").
+//!
+//! [`Forest::rebalance`] greedily reattaches late leaf edges to earlier
+//! steps wherever a link is still free. Exploring this yields a stronger
+//! result than the paper states: for forests produced by Algorithm 1 the
+//! pass is **provably a no-op**, because the construction's inner
+//! while-progress loop only closes a time step when *no* tree can add
+//! *any* node through the step's remaining links — so no single-edge
+//! move to an earlier step can exist afterwards.
+//! [`Forest::is_step_maximal`] checks exactly that property, and the
+//! tests assert it for every constructed forest; `rebalance` remains
+//! useful for forests obtained by other means (hand-built, mutated, or
+//! imported schedules).
+
+use crate::algorithms::multitree::{Forest, ForestEdge};
+use mt_topology::Topology;
+use std::collections::HashMap;
+
+impl Forest {
+    /// Greedily reattaches late leaf edges to earlier time steps with
+    /// free links. Direct networks only (multi-hop indirect paths are
+    /// left untouched). Returns the number of edges moved.
+    ///
+    /// The result keeps every invariant of the original forest: trees
+    /// still span, every edge maps to a physical link, and per-step link
+    /// allocations stay within capacity.
+    pub fn rebalance(&mut self, topo: &Topology) -> usize {
+        // usage[(step, link)] across the whole forest
+        let mut usage: HashMap<(u32, usize), u32> = HashMap::new();
+        for tree in &self.trees {
+            for e in &tree.edges {
+                for &l in &e.path {
+                    *usage.entry((e.step, l.index())).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut moved = 0usize;
+
+        for ti in 0..self.trees.len() {
+            // candidate leaf edges, latest first
+            let mut idxs: Vec<usize> = (0..self.trees[ti].edges.len()).collect();
+            idxs.sort_by_key(|&i| std::cmp::Reverse(self.trees[ti].edges[i].step));
+            for i in idxs {
+                let tree = &self.trees[ti];
+                let e = &tree.edges[i];
+                if e.path.len() != 1 {
+                    continue; // indirect edges stay put
+                }
+                let child = e.child;
+                let is_leaf = !tree.edges.iter().any(|x| x.parent == child);
+                if !is_leaf || e.step <= 1 {
+                    continue;
+                }
+                // join step of every node (root joins at 0)
+                let join: HashMap<_, _> = std::iter::once((tree.root, 0u32))
+                    .chain(tree.edges.iter().map(|x| (x.child, x.step)))
+                    .collect();
+                // earliest (step, parent, link) the child could attach at
+                let mut best: Option<(u32, ForestEdge)> = None;
+                for t_new in 1..e.step {
+                    for (&member, &joined) in &join {
+                        if member == child || joined >= t_new {
+                            continue;
+                        }
+                        if let Some(link) = topo
+                            .out_links(member.into())
+                            .iter()
+                            .copied()
+                            .find(|&l| {
+                                topo.link(l).dst == child.into()
+                                    && usage.get(&(t_new, l.index())).copied().unwrap_or(0)
+                                        < topo.link(l).capacity
+                            })
+                        {
+                            best = Some((
+                                t_new,
+                                ForestEdge {
+                                    parent: member,
+                                    child,
+                                    step: t_new,
+                                    path: vec![link],
+                                },
+                            ));
+                            break;
+                        }
+                    }
+                    if best.is_some() {
+                        break;
+                    }
+                }
+                if let Some((_, new_edge)) = best {
+                    let old = self.trees[ti].edges[i].clone();
+                    for &l in &old.path {
+                        *usage.get_mut(&(old.step, l.index())).expect("tracked") -= 1;
+                    }
+                    for &l in &new_edge.path {
+                        *usage.entry((new_edge.step, l.index())).or_insert(0) += 1;
+                    }
+                    self.trees[ti].edges[i] = new_edge;
+                    moved += 1;
+                }
+            }
+        }
+        self.total_steps = self
+            .trees
+            .iter()
+            .map(|t| t.height())
+            .max()
+            .unwrap_or(self.total_steps);
+        moved
+    }
+
+    /// True if no leaf edge could be reattached to an earlier time step —
+    /// the per-step maximality guaranteed by Algorithm 1's construction
+    /// loop (and the reason §IV-A-style pruning cannot shorten these
+    /// forests).
+    pub fn is_step_maximal(&self, topo: &Topology) -> bool {
+        let mut probe = self.clone();
+        probe.rebalance(topo) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::MultiTree;
+    use crate::verify::verify_schedule;
+
+    fn check_invariants(forest: &Forest, topo: &Topology) {
+        let n = topo.num_nodes();
+        let mut usage: HashMap<(u32, usize), u32> = HashMap::new();
+        for tree in &forest.trees {
+            assert_eq!(tree.len(), n, "tree must still span");
+            for e in &tree.edges {
+                assert_eq!(e.path.len(), 1);
+                let l = topo.link(e.path[0]);
+                assert_eq!(l.src, e.parent.into());
+                assert_eq!(l.dst, e.child.into());
+                // parent joined strictly before the edge's step
+                let join = tree
+                    .edges
+                    .iter()
+                    .find(|x| x.child == e.parent)
+                    .map(|x| x.step)
+                    .unwrap_or(0);
+                assert!(join < e.step, "parent joins at {join}, edge at {}", e.step);
+                *usage.entry((e.step, e.path[0].index())).or_insert(0) += 1;
+            }
+        }
+        for ((step, l), count) in usage {
+            assert!(
+                count <= topo.links()[l].capacity,
+                "link {l} over-allocated at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_preserves_invariants_on_grids() {
+        for topo in [
+            Topology::torus(4, 4),
+            Topology::mesh(4, 4),
+            Topology::mesh(8, 8),
+            Topology::torus(8, 8),
+        ] {
+            let mut forest = MultiTree::default().construct_forest(&topo).unwrap();
+            let before = forest.total_steps;
+            forest.rebalance(&topo);
+            assert!(forest.total_steps <= before);
+            check_invariants(&forest, &topo);
+        }
+    }
+
+    #[test]
+    fn rebalanced_forest_still_lowers_to_a_correct_schedule() {
+        for topo in [Topology::mesh(4, 4), Topology::mesh(8, 8)] {
+            let mut forest = MultiTree::default().construct_forest(&topo).unwrap();
+            forest.rebalance(&topo);
+            let n = topo.num_nodes();
+            let mut s = crate::schedule::CommSchedule::new("multitree-rebalanced", n, n as u32);
+            crate::algorithms::multitree::lower_forest(&topo, &forest, &mut s, &|r| {
+                r.index() as u32
+            })
+            .unwrap();
+            verify_schedule(&s).unwrap();
+        }
+    }
+
+    #[test]
+    fn constructed_forests_are_step_maximal() {
+        // The key finding: Algorithm 1's per-step exhaustion means no
+        // single edge can ever move earlier — pruning cannot help the
+        // forests it builds, on regular or irregular grids.
+        for topo in [
+            Topology::torus(4, 4),
+            Topology::mesh(4, 8),
+            Topology::mesh(8, 8),
+            Topology::mesh(3, 5),
+        ] {
+            let forest = MultiTree::default().construct_forest(&topo).unwrap();
+            assert!(
+                forest.is_step_maximal(&topo),
+                "construction left step capacity unused on {:?}",
+                topo.kind()
+            );
+        }
+    }
+
+    #[test]
+    fn rebalance_repairs_artificially_demoted_edges() {
+        // demote one leaf edge by a step; rebalance must pull it back
+        let topo = Topology::torus(4, 4);
+        let mut forest = MultiTree::default().construct_forest(&topo).unwrap();
+        let tree = &mut forest.trees[0];
+        let leaf_idx = (0..tree.edges.len())
+            .find(|&i| {
+                let c = tree.edges[i].child;
+                !tree.edges.iter().any(|x| x.parent == c)
+            })
+            .expect("every tree has leaves");
+        tree.edges[leaf_idx].step += 1;
+        forest.total_steps += 1;
+        assert!(!forest.is_step_maximal(&topo));
+        let moved = forest.rebalance(&topo);
+        assert!(moved >= 1);
+        check_invariants(&forest, &topo);
+    }
+}

@@ -1,0 +1,465 @@
+//! The collective-schedule intermediate representation.
+
+use crate::chunk::ChunkRange;
+use crate::error::AlgorithmError;
+use crate::event::{CollectiveOp, CommEvent, EventId, FlowId};
+use mt_topology::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A complete all-reduce schedule: a dependency DAG of [`CommEvent`]s.
+///
+/// Every algorithm in [`crate::algorithms`] lowers to this one IR, so the
+/// verifier, the cost model, the NI schedule-table generator and both
+/// network-simulation engines treat all algorithms identically (the paper
+/// applies its hardware scheduling "to all the baselines for fair
+/// comparison", §V-A).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommSchedule {
+    algorithm: String,
+    num_nodes: usize,
+    total_segments: u32,
+    events: Vec<CommEvent>,
+    num_steps: u32,
+}
+
+impl CommSchedule {
+    /// Creates an empty schedule for `num_nodes` participants over
+    /// `total_segments` data segments.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes == 0` or `total_segments == 0`.
+    pub fn new(algorithm: impl Into<String>, num_nodes: usize, total_segments: u32) -> Self {
+        assert!(num_nodes > 0, "schedule needs at least one node");
+        assert!(total_segments > 0, "schedule needs at least one segment");
+        CommSchedule {
+            algorithm: algorithm.into(),
+            num_nodes,
+            total_segments,
+            events: Vec::new(),
+            num_steps: 0,
+        }
+    }
+
+    /// Appends an event and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if endpoints are out of range, the event is a self-message,
+    /// the chunk exceeds the schedule's segment space, or a dependency id
+    /// does not exist yet (dependencies must refer to already-added
+    /// events, which also guarantees the DAG is acyclic).
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_event(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        flow: FlowId,
+        op: CollectiveOp,
+        chunk: ChunkRange,
+        step: u32,
+        deps: Vec<EventId>,
+        path: Option<Vec<LinkId>>,
+    ) -> EventId {
+        assert!(src.index() < self.num_nodes, "src out of range");
+        assert!(dst.index() < self.num_nodes, "dst out of range");
+        assert_ne!(src, dst, "self-messages are not allowed");
+        assert!(
+            chunk.end <= self.total_segments,
+            "chunk {chunk} exceeds segment space {}",
+            self.total_segments
+        );
+        assert!(step >= 1, "steps are 1-based");
+        let id = EventId::new(self.events.len());
+        for d in &deps {
+            assert!(
+                d.index() < self.events.len(),
+                "dependency {d} refers to a not-yet-added event"
+            );
+        }
+        self.num_steps = self.num_steps.max(step);
+        self.events.push(CommEvent {
+            id,
+            src,
+            dst,
+            flow,
+            op,
+            chunk,
+            step,
+            deps,
+            path,
+        });
+        id
+    }
+
+    /// The producing algorithm's name (e.g. `"multitree"`).
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// Number of participating nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of data segments the payload is divided into.
+    pub fn total_segments(&self) -> u32 {
+        self.total_segments
+    }
+
+    /// Number of lockstep time steps (the maximum `step` of any event).
+    pub fn num_steps(&self) -> u32 {
+        self.num_steps
+    }
+
+    /// All events, indexable by [`EventId::index`].
+    pub fn events(&self) -> &[CommEvent] {
+        &self.events
+    }
+
+    /// The event behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn event(&self, id: EventId) -> &CommEvent {
+        &self.events[id.index()]
+    }
+
+    /// Number of distinct flows.
+    pub fn num_flows(&self) -> usize {
+        let mut flows: Vec<usize> = self.events.iter().map(|e| e.flow.0).collect();
+        flows.sort_unstable();
+        flows.dedup();
+        flows.len()
+    }
+
+    /// Events grouped by time step (index 0 = step 1).
+    pub fn events_by_step(&self) -> Vec<Vec<&CommEvent>> {
+        let mut by_step: Vec<Vec<&CommEvent>> = vec![Vec::new(); self.num_steps as usize];
+        for e in &self.events {
+            by_step[(e.step - 1) as usize].push(e);
+        }
+        by_step
+    }
+
+    /// Events sent by a given node, in insertion order.
+    pub fn events_from(&self, node: NodeId) -> impl Iterator<Item = &CommEvent> {
+        self.events.iter().filter(move |e| e.src == node)
+    }
+
+    /// Events received by a given node, in insertion order.
+    pub fn events_to(&self, node: NodeId) -> impl Iterator<Item = &CommEvent> {
+        self.events.iter().filter(move |e| e.dst == node)
+    }
+
+    /// A topological order of the events (dependencies first).
+    ///
+    /// Because [`CommSchedule::push_event`] only allows dependencies on
+    /// already-added events, insertion order *is* a topological order;
+    /// this method exists to make that contract explicit at call sites.
+    pub fn topological_order(&self) -> impl Iterator<Item = &CommEvent> {
+        self.events.iter()
+    }
+
+    /// Bytes each node sends for a payload of `total_bytes`.
+    pub fn sent_bytes_per_node(&self, total_bytes: u64) -> Vec<u64> {
+        let mut sent = vec![0u64; self.num_nodes];
+        for e in &self.events {
+            sent[e.src.index()] += e.bytes(total_bytes, self.total_segments);
+        }
+        sent
+    }
+
+    /// Sequentially composes two schedules over the same machine and the
+    /// same segment space: `other` starts after `self` completes (its
+    /// steps are shifted past `self`'s and every one of its source-less
+    /// events is gated on `self`'s final deliveries to that node). The
+    /// canonical use is building an all-reduce from a reduce-scatter
+    /// followed by an all-gather.
+    ///
+    /// # Panics
+    ///
+    /// Panics if node counts or segment counts differ.
+    pub fn then(&self, other: &CommSchedule) -> CommSchedule {
+        assert_eq!(self.num_nodes, other.num_nodes, "same machine required");
+        assert_eq!(
+            self.total_segments, other.total_segments,
+            "same segment space required"
+        );
+        let mut out = CommSchedule::new(
+            format!("{}+{}", self.algorithm, other.algorithm),
+            self.num_nodes,
+            self.total_segments,
+        );
+        for e in &self.events {
+            out.push_event(
+                e.src,
+                e.dst,
+                e.flow,
+                e.op,
+                e.chunk,
+                e.step,
+                e.deps.clone(),
+                e.path.clone(),
+            );
+        }
+        // barrier: each node's last deliveries in `self`
+        let mut last_delivery: Vec<Vec<EventId>> = vec![Vec::new(); self.num_nodes];
+        for e in &self.events {
+            last_delivery[e.dst.index()].push(e.id);
+        }
+        let id_base = self.events.len();
+        let step_base = self.num_steps;
+        for e in &other.events {
+            let mut deps: Vec<EventId> = e
+                .deps
+                .iter()
+                .map(|d| EventId::new(d.index() + id_base))
+                .collect();
+            if e.deps.is_empty() {
+                // gate phase starts on the node's phase-1 receives
+                deps.extend(last_delivery[e.src.index()].iter().copied());
+            }
+            out.push_event(
+                e.src,
+                e.dst,
+                e.flow,
+                e.op,
+                e.chunk,
+                e.step + step_base,
+                deps,
+                e.path.clone(),
+            );
+        }
+        out
+    }
+
+    /// Merges two schedules over the **same machine** into one that runs
+    /// them concurrently (both start at lockstep step 1, sharing the
+    /// physical links) — the co-located-jobs situation of paper §VII-B.
+    /// `other`'s segments and flows are renumbered after `self`'s; a
+    /// payload of `total_bytes` then splits between the jobs in
+    /// proportion to their segment counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedules disagree on the node count.
+    pub fn merge_concurrent(&self, other: &CommSchedule) -> CommSchedule {
+        assert_eq!(
+            self.num_nodes, other.num_nodes,
+            "merged schedules must target the same machine"
+        );
+        let mut out = CommSchedule::new(
+            format!("{}||{}", self.algorithm, other.algorithm),
+            self.num_nodes,
+            self.total_segments + other.total_segments,
+        );
+        for e in &self.events {
+            out.push_event(
+                e.src,
+                e.dst,
+                e.flow,
+                e.op,
+                e.chunk,
+                e.step,
+                e.deps.clone(),
+                e.path.clone(),
+            );
+        }
+        let flow_base = self.events.iter().map(|e| e.flow.0 + 1).max().unwrap_or(0);
+        let id_base = self.events.len();
+        for e in &other.events {
+            out.push_event(
+                e.src,
+                e.dst,
+                FlowId(e.flow.0 + flow_base),
+                e.op,
+                ChunkRange::new(
+                    e.chunk.start + self.total_segments,
+                    e.chunk.end + self.total_segments,
+                ),
+                e.step,
+                e.deps.iter().map(|d| EventId::new(d.index() + id_base)).collect(),
+                e.path.clone(),
+            );
+        }
+        out
+    }
+
+    /// Structural sanity checks beyond what `push_event` enforces:
+    /// dependencies must not be scheduled after their dependents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] describing the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), AlgorithmError> {
+        for e in &self.events {
+            for d in &e.deps {
+                let dep = self.event(*d);
+                if dep.step > e.step {
+                    return Err(AlgorithmError::MalformedSchedule {
+                        detail: format!(
+                            "event {e} at step {} depends on {dep} at later step {}",
+                            e.step, dep.step
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Display for CommSchedule {
+    /// One-line summary: algorithm, nodes, flows, events, steps.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} nodes, {} flows, {} events over {} steps ({} segments)",
+            self.algorithm,
+            self.num_nodes,
+            self.num_flows(),
+            self.events.len(),
+            self.num_steps,
+            self.total_segments
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: &mut CommSchedule, src: usize, dst: usize, step: u32, deps: Vec<EventId>) -> EventId {
+        s.push_event(
+            NodeId::new(src),
+            NodeId::new(dst),
+            FlowId(0),
+            CollectiveOp::Reduce,
+            ChunkRange::single(0),
+            step,
+            deps,
+            None,
+        )
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut s = CommSchedule::new("test", 4, 4);
+        let a = ev(&mut s, 0, 1, 1, vec![]);
+        let b = ev(&mut s, 1, 2, 2, vec![a]);
+        assert_eq!(s.num_steps(), 2);
+        assert_eq!(s.events().len(), 2);
+        assert_eq!(s.event(b).deps, vec![a]);
+        assert_eq!(s.events_from(NodeId::new(1)).count(), 1);
+        assert_eq!(s.events_to(NodeId::new(1)).count(), 1);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn events_by_step_groups() {
+        let mut s = CommSchedule::new("test", 4, 4);
+        ev(&mut s, 0, 1, 1, vec![]);
+        ev(&mut s, 2, 3, 1, vec![]);
+        ev(&mut s, 1, 2, 2, vec![]);
+        let by = s.events_by_step();
+        assert_eq!(by[0].len(), 2);
+        assert_eq!(by[1].len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-messages")]
+    fn self_message_rejected() {
+        let mut s = CommSchedule::new("test", 4, 4);
+        ev(&mut s, 1, 1, 1, vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not-yet-added")]
+    fn forward_dependency_rejected() {
+        let mut s = CommSchedule::new("test", 4, 4);
+        ev(&mut s, 0, 1, 1, vec![EventId::new(5)]);
+    }
+
+    #[test]
+    fn validate_rejects_backward_steps() {
+        let mut s = CommSchedule::new("test", 4, 4);
+        let a = ev(&mut s, 0, 1, 5, vec![]);
+        ev(&mut s, 1, 2, 1, vec![a]);
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn sent_bytes_accounting() {
+        let mut s = CommSchedule::new("test", 2, 4);
+        s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            FlowId(0),
+            CollectiveOp::Reduce,
+            ChunkRange::new(0, 2),
+            1,
+            vec![],
+            None,
+        );
+        let sent = s.sent_bytes_per_node(1024);
+        assert_eq!(sent, vec![512, 0]);
+    }
+
+    #[test]
+    fn merge_concurrent_renumbers_cleanly() {
+        let mut a = CommSchedule::new("a", 4, 2);
+        let e0 = ev(&mut a, 0, 1, 1, vec![]);
+        ev(&mut a, 1, 2, 2, vec![e0]);
+        let mut b = CommSchedule::new("b", 4, 3);
+        let f0 = ev(&mut b, 2, 3, 1, vec![]);
+        ev(&mut b, 3, 0, 2, vec![f0]);
+        let m = a.merge_concurrent(&b);
+        assert_eq!(m.algorithm(), "a||b");
+        assert_eq!(m.total_segments(), 5);
+        assert_eq!(m.events().len(), 4);
+        // b's dep remapped past a's events
+        assert_eq!(m.events()[3].deps, vec![EventId::new(2)]);
+        // b's chunks shifted into the second segment block
+        assert_eq!(m.events()[2].chunk.start, 2);
+        assert!(m.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "same machine")]
+    fn merge_rejects_different_machines() {
+        let a = CommSchedule::new("a", 4, 1);
+        let b = CommSchedule::new("b", 8, 1);
+        let _ = a.merge_concurrent(&b);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut s = CommSchedule::new("demo", 4, 4);
+        ev(&mut s, 0, 1, 1, vec![]);
+        assert_eq!(
+            s.to_string(),
+            "demo: 4 nodes, 1 flows, 1 events over 1 steps (4 segments)"
+        );
+    }
+
+    #[test]
+    fn num_flows_counts_distinct() {
+        let mut s = CommSchedule::new("test", 4, 4);
+        for f in [0usize, 1, 1, 2] {
+            s.push_event(
+                NodeId::new(0),
+                NodeId::new(1),
+                FlowId(f),
+                CollectiveOp::Reduce,
+                ChunkRange::single(0),
+                1,
+                vec![],
+                None,
+            );
+        }
+        assert_eq!(s.num_flows(), 3);
+    }
+}

@@ -1,0 +1,512 @@
+//! Semantic all-reduce verification.
+//!
+//! [`verify_schedule`] symbolically executes a [`CommSchedule`] and proves
+//! that every node ends up with the contribution of **every** node for
+//! **every** data segment — i.e. that the schedule really computes an
+//! all-reduce, not merely that it moves bytes around.
+//!
+//! Two complementary executions run:
+//!
+//! 1. **Dependency-strict set dataflow** — the payload carried by an
+//!    event is derived **only from its declared dependencies**, never
+//!    from whatever happens to sit in the sender's buffer at that point
+//!    of the schedule. A schedule relying on an undeclared ordering (one
+//!    that a timed network simulation could legally violate) fails here —
+//!    exactly the class of bug the paper's lockstep hardware prevents.
+//! 2. **Exact numeric execution** ([`execute_numeric`]) — buffers hold
+//!    integers-in-`f64`; `Reduce` adds, `Gather` overwrites. Every node
+//!    must end with the *exact* sum of all contributions, which catches
+//!    double-counting (a contribution delivered twice) that set semantics
+//!    cannot distinguish from a single delivery.
+
+use crate::error::AlgorithmError;
+use crate::event::{CollectiveOp, CommEvent};
+use crate::schedule::CommSchedule;
+use crate::util::BitSet;
+
+/// Statistics returned by a successful verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Number of events executed.
+    pub events: usize,
+    /// Number of Gather events (checked to carry fully-reduced data).
+    pub gathers: usize,
+    /// Number of Reduce events.
+    pub reduces: usize,
+}
+
+/// Symbolically executes `schedule` and checks full-sum delivery.
+///
+/// Three properties are established:
+///
+/// 1. **Dependency sufficiency** — every event's payload, derived only
+///    from its declared `deps`, is well defined;
+/// 2. **Gather completeness** — every `Gather` event carries segments
+///    that are already fully reduced (no premature broadcast);
+/// 3. **All-reduce completion** — after all events, every node holds the
+///    contribution of all `n` nodes for every segment.
+///
+/// # Errors
+///
+/// Returns [`AlgorithmError::VerificationFailed`] naming the first
+/// violated property, or [`AlgorithmError::MalformedSchedule`] if the
+/// schedule fails structural validation.
+pub fn verify_schedule(schedule: &CommSchedule) -> Result<VerifyReport, AlgorithmError> {
+    let all: Vec<mt_topology::NodeId> = (0..schedule.num_nodes())
+        .map(mt_topology::NodeId::new)
+        .collect();
+    verify_allreduce_among(schedule, &all)
+}
+
+/// Verifies an all-reduce among a subset of the nodes (hybrid-parallel
+/// training, paper §VII-B): only `participants` contribute data, only
+/// they must end with the full participant sum, and broadcasts must carry
+/// all participant contributions. Non-participant nodes may appear inside
+/// event link paths (as relays) but never as event endpoints.
+///
+/// # Errors
+///
+/// Same conditions as [`verify_schedule`], scoped to the subset.
+pub fn verify_allreduce_among(
+    schedule: &CommSchedule,
+    participants: &[mt_topology::NodeId],
+) -> Result<VerifyReport, AlgorithmError> {
+    schedule.validate()?;
+    let n = schedule.num_nodes();
+    let segs = schedule.total_segments() as usize;
+    let mut required = BitSet::new(n);
+    for p in participants {
+        required.insert(p.index());
+    }
+
+    // carried[event][segment - chunk.start]: which origins the event's
+    // payload contains for that segment.
+    let mut carried: Vec<Vec<BitSet>> = Vec::with_capacity(schedule.events().len());
+    // state[node][segment]: origins accumulated in the node's buffer.
+    let mut state: Vec<Vec<BitSet>> = (0..n)
+        .map(|i| {
+            (0..segs)
+                .map(|_| {
+                    let mut b = BitSet::new(n);
+                    b.insert(i);
+                    b
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut gathers = 0usize;
+    let mut reduces = 0usize;
+
+    for e in schedule.topological_order() {
+        if !required.contains(e.src.index()) || !required.contains(e.dst.index()) {
+            return Err(AlgorithmError::MalformedSchedule {
+                detail: format!("{e} involves a non-participant endpoint"),
+            });
+        }
+        let payload = event_payload(schedule, e, &carried, n)?;
+        if e.op == CollectiveOp::Gather {
+            gathers += 1;
+        } else {
+            reduces += 1;
+        }
+        // Deliver: the destination accumulates the payload.
+        for (i, seg) in e.chunk.segments().enumerate() {
+            state[e.dst.index()][seg as usize].union_with(&payload[i]);
+        }
+        carried.push(payload);
+    }
+
+    for p in participants {
+        let node = p.index();
+        #[allow(clippy::needless_range_loop)]
+        for seg in 0..segs {
+            if !contains_all(&state[node][seg], &required) {
+                return Err(AlgorithmError::VerificationFailed {
+                    detail: format!(
+                        "node {node} ends with {}/{} contributions for segment {seg}",
+                        state[node][seg].len(),
+                        participants.len()
+                    ),
+                });
+            }
+        }
+    }
+
+    // --- exact numeric execution: catches double counting
+    let finals = execute_numeric(schedule, &|node| {
+        if required.contains(node) {
+            (node + 1) as f64
+        } else {
+            0.0
+        }
+    });
+    let expected: f64 = participants.iter().map(|p| (p.index() + 1) as f64).sum();
+    for p in participants {
+        #[allow(clippy::needless_range_loop)]
+        for seg in 0..segs {
+            let got = finals[p.index()][seg];
+            if got != expected {
+                return Err(AlgorithmError::VerificationFailed {
+                    detail: format!(
+                        "numeric execution: node {p} segment {seg} ends with {got}, expected {expected}                          (a contribution was dropped or double-counted)"
+                    ),
+                });
+            }
+        }
+    }
+
+    Ok(VerifyReport {
+        events: schedule.events().len(),
+        gathers,
+        reduces,
+    })
+}
+
+/// Executes a schedule numerically in bulk-synchronous (lockstep) rounds:
+/// every node's buffer starts at `initial(node)` for all segments; within
+/// each time step all events read the **start-of-step** buffers (the
+/// physical meaning of the paper's lockstep — a step's sends carry data
+/// computed before the step's deliveries), then all deliveries apply:
+/// `Reduce` adds, `Gather` overwrites. Returns the final per-node,
+/// per-segment values.
+///
+/// Values are integers stored in `f64` (exact below 2^53), so any
+/// dropped or double-counted contribution changes the result exactly.
+///
+/// # Panics
+///
+/// Panics if an event depends on another event of the same (or a later)
+/// time step — every algorithm in this crate produces strictly
+/// earlier-step dependencies, which is what makes the BSP rounds a legal
+/// serialization.
+pub fn execute_numeric(
+    schedule: &CommSchedule,
+    initial: &dyn Fn(usize) -> f64,
+) -> Vec<Vec<f64>> {
+    let n = schedule.num_nodes();
+    let segs = schedule.total_segments() as usize;
+    let mut buf: Vec<Vec<f64>> = (0..n).map(|i| vec![initial(i); segs]).collect();
+    for step_events in schedule.events_by_step() {
+        // payloads from the start-of-step state
+        let payloads: Vec<Vec<f64>> = step_events
+            .iter()
+            .map(|e| {
+                for d in &e.deps {
+                    assert!(
+                        schedule.event(*d).step < e.step,
+                        "numeric execution needs strictly earlier-step deps ({} depends on {})",
+                        e,
+                        schedule.event(*d)
+                    );
+                }
+                e.chunk
+                    .segments()
+                    .map(|seg| buf[e.src.index()][seg as usize])
+                    .collect()
+            })
+            .collect();
+        // then all of the step's deliveries
+        for (e, payload) in step_events.iter().zip(&payloads) {
+            for (i, seg) in e.chunk.segments().enumerate() {
+                match e.op {
+                    CollectiveOp::Reduce => buf[e.dst.index()][seg as usize] += payload[i],
+                    CollectiveOp::Gather => buf[e.dst.index()][seg as usize] = payload[i],
+                }
+            }
+        }
+    }
+    buf
+}
+
+/// True if `set` contains every element of `required`.
+fn contains_all(set: &BitSet, required: &BitSet) -> bool {
+    required.iter().all(|i| set.contains(i))
+}
+
+/// Derives the payload an event carries, using only its declared deps.
+///
+/// * A `Reduce` payload always mixes in the sender's own partial.
+/// * A `Gather` payload mixes in the sender's own partial only where the
+///   broadcast *originates* (no incoming `Gather` dependency covers the
+///   segment): the root of a broadcast tree sends its fully reduced local
+///   buffer, while interior nodes forward exactly what they received.
+fn event_payload(
+    schedule: &CommSchedule,
+    e: &CommEvent,
+    carried: &[Vec<BitSet>],
+    n: usize,
+) -> Result<Vec<BitSet>, AlgorithmError> {
+    let mut payload: Vec<BitSet> = e.chunk.segments().map(|_| BitSet::new(n)).collect();
+    // Which segments already receive data via an incoming Gather dep.
+    let mut has_gather_dep = vec![false; e.chunk.len() as usize];
+
+    for d in &e.deps {
+        let dep = schedule.event(*d);
+        if dep.dst != e.src {
+            // A dependency that is not a delivery to our sender only
+            // sequences time (e.g. "my previous send finished"); it
+            // contributes no data.
+            continue;
+        }
+        for (i, seg) in e.chunk.segments().enumerate() {
+            if dep.chunk.contains(seg) {
+                let offset = (seg - dep.chunk.start) as usize;
+                payload[i].union_with(&carried[d.index()][offset]);
+                if dep.op == CollectiveOp::Gather {
+                    has_gather_dep[i] = true;
+                }
+            }
+        }
+    }
+
+    for (i, _seg) in e.chunk.segments().enumerate() {
+        let add_self = match e.op {
+            CollectiveOp::Reduce => true,
+            CollectiveOp::Gather => !has_gather_dep[i],
+        };
+        if add_self {
+            payload[i].insert(e.src.index());
+        }
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkRange;
+    use crate::event::{CollectiveOp, EventId, FlowId};
+    use mt_topology::NodeId;
+
+    /// Hand-built 2-node all-reduce: each node reduces its segment to the
+    /// other, then nothing more is needed (each node's buffer has both).
+    #[test]
+    fn two_node_exchange_verifies() {
+        let mut s = CommSchedule::new("hand", 2, 1);
+        s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            FlowId(0),
+            CollectiveOp::Reduce,
+            ChunkRange::single(0),
+            1,
+            vec![],
+            None,
+        );
+        s.push_event(
+            NodeId::new(1),
+            NodeId::new(0),
+            FlowId(0),
+            CollectiveOp::Reduce,
+            ChunkRange::single(0),
+            1,
+            vec![],
+            None,
+        );
+        let r = verify_schedule(&s).unwrap();
+        assert_eq!(r.events, 2);
+        assert_eq!(r.reduces, 2);
+    }
+
+    /// 3-node chain reduce to node 2 then broadcast back: verifies, and the
+    /// gather-completeness check passes.
+    #[test]
+    fn three_node_tree_verifies() {
+        let mut s = CommSchedule::new("hand", 3, 1);
+        let c = ChunkRange::single(0);
+        let f = FlowId(0);
+        let r01 = s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            1,
+            vec![],
+            None,
+        );
+        let r12 = s.push_event(
+            NodeId::new(1),
+            NodeId::new(2),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            2,
+            vec![r01],
+            None,
+        );
+        let g21 = s.push_event(
+            NodeId::new(2),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Gather,
+            c,
+            3,
+            vec![r12],
+            None,
+        );
+        s.push_event(
+            NodeId::new(1),
+            NodeId::new(0),
+            f,
+            CollectiveOp::Gather,
+            c,
+            4,
+            vec![g21],
+            None,
+        );
+        let rep = verify_schedule(&s).unwrap();
+        assert_eq!(rep.gathers, 2);
+    }
+
+    /// Missing dependency: node 1 forwards node 0's data without declaring
+    /// the delivery as a dep -> the payload lacks node 0 -> failure.
+    #[test]
+    fn missing_dep_fails() {
+        let mut s = CommSchedule::new("hand", 3, 1);
+        let c = ChunkRange::single(0);
+        let f = FlowId(0);
+        s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            1,
+            vec![],
+            None,
+        );
+        // forwards without dep on the delivery above
+        s.push_event(
+            NodeId::new(1),
+            NodeId::new(2),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            2,
+            vec![],
+            None,
+        );
+        s.push_event(
+            NodeId::new(2),
+            NodeId::new(0),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            3,
+            vec![EventId::new(1)],
+            None,
+        );
+        assert!(verify_schedule(&s).is_err());
+    }
+
+    /// Premature broadcast: gathering before the reduction finished
+    /// leaves wrong final values.
+    #[test]
+    fn premature_gather_fails() {
+        let mut s = CommSchedule::new("hand", 3, 1);
+        let c = ChunkRange::single(0);
+        let f = FlowId(0);
+        s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Gather,
+            c,
+            1,
+            vec![],
+            None,
+        );
+        assert!(verify_schedule(&s).is_err());
+    }
+
+    /// Double delivery: the same contribution reduced twice passes set
+    /// semantics but must fail the numeric execution.
+    #[test]
+    fn double_count_fails_numerically() {
+        let mut s = CommSchedule::new("hand", 2, 1);
+        let c = ChunkRange::single(0);
+        let f = FlowId(0);
+        // 0 -> 1 and 1 -> 0 complete the all-reduce...
+        let a = s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            1,
+            vec![],
+            None,
+        );
+        s.push_event(
+            NodeId::new(1),
+            NodeId::new(0),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            1,
+            vec![],
+            None,
+        );
+        // ...but an extra duplicate delivery double-counts at node 1
+        s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            2,
+            vec![a],
+            None,
+        );
+        let err = verify_schedule(&s).unwrap_err();
+        assert!(err.to_string().contains("double-counted"), "{err}");
+    }
+
+    /// The numeric executor itself.
+    #[test]
+    fn execute_numeric_semantics() {
+        let mut s = CommSchedule::new("hand", 2, 1);
+        let c = ChunkRange::single(0);
+        let f = FlowId(0);
+        s.push_event(
+            NodeId::new(0),
+            NodeId::new(1),
+            f,
+            CollectiveOp::Reduce,
+            c,
+            1,
+            vec![],
+            None,
+        );
+        s.push_event(
+            NodeId::new(1),
+            NodeId::new(0),
+            f,
+            CollectiveOp::Gather,
+            c,
+            2,
+            vec![],
+            None,
+        );
+        let out = execute_numeric(&s, &|node| (node as f64 + 1.0) * 10.0);
+        // node 1: 20 + 10 = 30 (reduce); node 0: overwritten to 30 (gather)
+        assert_eq!(out[1][0], 30.0);
+        assert_eq!(out[0][0], 30.0);
+    }
+
+    /// Incomplete schedules (no events) fail the completion check for n>1.
+    #[test]
+    fn empty_schedule_fails_for_multiple_nodes() {
+        let s = CommSchedule::new("hand", 2, 1);
+        assert!(verify_schedule(&s).is_err());
+    }
+
+    /// A single-node schedule is trivially complete.
+    #[test]
+    fn single_node_trivially_verifies() {
+        let s = CommSchedule::new("hand", 1, 1);
+        assert!(verify_schedule(&s).is_ok());
+    }
+}

@@ -1,0 +1,158 @@
+//! Graphviz export for schedule trees and forests.
+//!
+//! Handy for inspecting what the construction built (the paper's Fig. 3/4
+//! are exactly such drawings): `dot -Tpng forest.dot -o forest.png`.
+
+use crate::algorithms::{Forest, Tree};
+use mt_topology::Topology;
+use std::fmt::Write;
+
+/// Renders a topology as a Graphviz digraph, with optional per-link load
+/// annotations (e.g. `CycleStats::link_flits` from the cycle engine):
+/// heavier links get proportionally thicker, labeled edges — a quick link
+/// heatmap for spotting hotspots (ring's quarter-utilized torus vs
+/// MultiTree's uniform spread).
+pub fn topology_to_dot(topo: &Topology, link_load: Option<&[u64]>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph topology {{");
+    let _ = writeln!(out, "  layout=neato; overlap=false; splines=true;");
+    for i in 0..topo.num_vertices() {
+        let v = topo.vertex_at(i);
+        let shape = if v.is_node() { "circle" } else { "box" };
+        let _ = writeln!(out, "  v{i} [label=\"{v}\", shape={shape}];");
+    }
+    let max_load = link_load
+        .map(|l| l.iter().copied().max().unwrap_or(0))
+        .unwrap_or(0);
+    for (li, link) in topo.links().iter().enumerate() {
+        let a = topo.vertex_index(link.src);
+        let b = topo.vertex_index(link.dst);
+        match link_load {
+            Some(load) if max_load > 0 => {
+                let w = 0.5 + 4.0 * load[li] as f64 / max_load as f64;
+                let _ = writeln!(
+                    out,
+                    "  v{a} -> v{b} [penwidth={w:.2}, label=\"{}\"];",
+                    load[li]
+                );
+            }
+            _ => {
+                let _ = writeln!(out, "  v{a} -> v{b};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+impl Tree {
+    /// Renders this tree as a Graphviz `digraph`, edges labeled with
+    /// their time step.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph tree_{} {{", self.root.index());
+        let _ = writeln!(out, "  rankdir=TB;");
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\", shape=doublecircle];",
+            self.root.index(),
+            self.root.index()
+        );
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{}\", shape=circle];",
+                e.child.index(),
+                e.child.index()
+            );
+            let _ = writeln!(
+                out,
+                "  n{} -> n{} [label=\"t{}\"];",
+                e.parent.index(),
+                e.child.index(),
+                e.step
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl Forest {
+    /// Renders the whole forest as one Graphviz document with a cluster
+    /// per tree (the paper's Fig. 3c layout).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph forest {{");
+        let _ = writeln!(out, "  rankdir=TB;");
+        for tree in &self.trees {
+            let r = tree.root.index();
+            let _ = writeln!(out, "  subgraph cluster_{r} {{");
+            let _ = writeln!(out, "    label=\"T{r}\";");
+            let _ = writeln!(
+                out,
+                "    t{r}_n{r} [label=\"{r}\", shape=doublecircle];"
+            );
+            for e in &tree.edges {
+                let _ = writeln!(
+                    out,
+                    "    t{r}_n{} [label=\"{}\", shape=circle];",
+                    e.child.index(),
+                    e.child.index()
+                );
+                let _ = writeln!(
+                    out,
+                    "    t{r}_n{} -> t{r}_n{} [label=\"t{}\"];",
+                    e.parent.index(),
+                    e.child.index(),
+                    e.step
+                );
+            }
+            let _ = writeln!(out, "  }}");
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::topology_to_dot;
+    use crate::algorithms::MultiTree;
+    use mt_topology::Topology;
+
+    #[test]
+    fn topology_dot_with_and_without_load() {
+        let topo = Topology::mesh(2, 2);
+        let plain = topology_to_dot(&topo, None);
+        assert_eq!(plain.matches(" -> ").count(), topo.num_links());
+        assert!(!plain.contains("penwidth"));
+        let load: Vec<u64> = (0..topo.num_links() as u64).collect();
+        let hot = topology_to_dot(&topo, Some(&load));
+        assert!(hot.contains("penwidth"));
+        // the heaviest link gets the maximum width 4.5
+        assert!(hot.contains("penwidth=4.50"));
+    }
+
+    #[test]
+    fn tree_dot_is_well_formed() {
+        let topo = Topology::mesh(2, 2);
+        let forest = MultiTree::default().construct_forest(&topo).unwrap();
+        let dot = forest.trees[0].to_dot();
+        assert!(dot.starts_with("digraph tree_0 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // every edge appears
+        assert_eq!(dot.matches(" -> ").count(), forest.trees[0].edges.len());
+        // step labels present
+        assert!(dot.contains("label=\"t1\""));
+    }
+
+    #[test]
+    fn forest_dot_has_one_cluster_per_tree() {
+        let topo = Topology::mesh(2, 2);
+        let forest = MultiTree::default().construct_forest(&topo).unwrap();
+        let dot = forest.to_dot();
+        assert_eq!(dot.matches("subgraph cluster_").count(), 4);
+        assert!(dot.contains("label=\"T3\""));
+    }
+}

@@ -1,0 +1,84 @@
+//! Dateline marking for deadlock-free DOR on tori.
+
+use mt_topology::{Topology, TopologyKind, Vertex};
+
+/// Marks each link that crosses a torus wraparound boundary (in either
+/// dimension): packets switch to the escape VC after crossing one, which
+/// breaks the channel-dependency cycles of DOR routing on rings (the
+/// classic dateline scheme). Non-torus topologies have none.
+pub(crate) fn dateline_links(topo: &Topology) -> Vec<bool> {
+    // a link is a dateline iff the two endpoints' coordinates wrap across
+    // the 0/max boundary in some dimension of extent > 2
+    let wrap = |a: usize, b: usize, extent: usize| {
+        extent > 2 && ((a == extent - 1 && b == 0) || (a == 0 && b == extent - 1))
+    };
+    match topo.kind() {
+        TopologyKind::Torus { rows, cols } => topo
+            .links()
+            .iter()
+            .map(|l| {
+                let (Vertex::Node(a), Vertex::Node(b)) = (l.src, l.dst) else {
+                    return false;
+                };
+                let (ar, ac) = (a.index() / cols, a.index() % cols);
+                let (br, bc) = (b.index() / cols, b.index() % cols);
+                wrap(ar, br, rows) || wrap(ac, bc, cols)
+            })
+            .collect(),
+        TopologyKind::Torus3D {
+            x_dim,
+            y_dim,
+            z_dim,
+        } => topo
+            .links()
+            .iter()
+            .map(|l| {
+                let (Vertex::Node(a), Vertex::Node(b)) = (l.src, l.dst) else {
+                    return false;
+                };
+                let c = |n: usize| (n % x_dim, (n / x_dim) % y_dim, n / (x_dim * y_dim));
+                let (ax, ay, az) = c(a.index());
+                let (bx, by, bz) = c(b.index());
+                wrap(ax, bx, x_dim) || wrap(ay, by, y_dim) || wrap(az, bz, z_dim)
+            })
+            .collect(),
+        _ => vec![false; topo.num_links()],
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_wrap_links_are_marked() {
+        let topo = Topology::torus(4, 4);
+        let dl = dateline_links(&topo);
+        // (0,0) -> (3,0) is a Y wrap; (0,0) -> (0,3) an X wrap
+        let y_wrap = topo.find_link(0.into(), 12.into()).unwrap();
+        let x_wrap = topo.find_link(0.into(), 3.into()).unwrap();
+        assert!(dl[y_wrap.index()]);
+        assert!(dl[x_wrap.index()]);
+        // an interior link is not a dateline
+        let inner = topo.find_link(0.into(), 1.into()).unwrap();
+        assert!(!dl[inner.index()]);
+        // exactly two wrap links per row/column direction pair: 2 per
+        // ring x 2 directions x (4 rows + 4 cols) = 16
+        assert_eq!(dl.iter().filter(|&&d| d).count(), 16);
+    }
+
+    #[test]
+    fn mesh_and_indirect_have_no_datelines() {
+        for topo in [Topology::mesh(4, 4), Topology::dgx2_like_16()] {
+            assert!(dateline_links(&topo).iter().all(|&d| !d));
+        }
+    }
+
+    #[test]
+    fn extent_two_torus_needs_no_dateline() {
+        // double links make the 2-ring acyclic per direction already
+        let topo = Topology::torus(2, 2);
+        assert!(dateline_links(&topo).iter().all(|&d| !d));
+    }
+}

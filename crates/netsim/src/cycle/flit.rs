@@ -1,0 +1,42 @@
+//! Flits and message bookkeeping for the cycle engine.
+
+use mt_topology::LinkId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(super) enum Kind {
+    Head,
+    Body,
+    Tail,
+    HeadTail,
+}
+
+impl Kind {
+    pub(super) fn is_head(self) -> bool {
+        matches!(self, Kind::Head | Kind::HeadTail)
+    }
+}
+
+/// One flit in flight. `route_pos` indexes the message path entry this
+/// flit must take next; `== path.len()` means "eject here".
+#[derive(Debug, Clone, Copy)]
+pub(super) struct Flit {
+    pub(super) msg: u32,
+    pub(super) kind: Kind,
+    pub(super) route_pos: u16,
+    pub(super) vc: u8,
+    pub(super) crossed_dateline: bool,
+    /// Total flits of this packet (valid on head flits, for VCT credit
+    /// checks).
+    pub(super) pkt_flits: u32,
+}
+
+/// Per-message bookkeeping.
+pub(super) struct Msg {
+    pub(super) event: usize,
+    pub(super) path: Vec<LinkId>,
+    pub(super) total_flits: u64,
+    pub(super) ejected_flits: u64,
+    pub(super) delivered_at: Option<u64>,
+    pub(super) vc_base: u8,
+}
+

@@ -1,0 +1,65 @@
+//! Injection streams (flit generation per message) and the per-node
+//! issue state used by the cycle engine (the event-indexed face of the
+//! Fig. 6 NI — the table-indexed model lives in [`crate::nic`]).
+
+use super::flit::{Flit, Kind, Msg};
+use std::collections::VecDeque;
+
+/// An injection stream: generates the flits of one message in order.
+pub(super) struct InjStream {
+    pub(super) msg: u32,
+    /// (packet length) list remaining; current packet progress.
+    pub(super) packets: VecDeque<u32>,
+    pub(super) sent_in_packet: u32,
+}
+
+impl InjStream {
+    /// Peeks the next flit to inject (None when exhausted).
+    pub(super) fn peek(&self, msgs: &[Msg]) -> Option<Flit> {
+        let &pkt_len = self.packets.front()?;
+        let m = &msgs[self.msg as usize];
+        let kind = if pkt_len == 1 {
+            Kind::HeadTail
+        } else if self.sent_in_packet == 0 {
+            Kind::Head
+        } else if self.sent_in_packet + 1 == pkt_len {
+            Kind::Tail
+        } else {
+            Kind::Body
+        };
+        Some(Flit {
+            msg: self.msg,
+            kind,
+            route_pos: 0,
+            vc: m.vc_base,
+            crossed_dateline: false,
+            pkt_flits: pkt_len,
+        })
+    }
+
+    pub(super) fn advance(&mut self) {
+        let pkt_len = *self.packets.front().expect("advance past end");
+        self.sent_in_packet += 1;
+        if self.sent_in_packet == pkt_len {
+            self.packets.pop_front();
+            self.sent_in_packet = 0;
+        }
+    }
+
+    pub(super) fn is_done(&self) -> bool {
+        self.packets.is_empty()
+    }
+}
+
+/// Per-node NI state (paper Fig. 6): in-order issue, timestep counter,
+/// lockstep gate.
+pub(super) struct Nic {
+    /// Event indices this node sends, ordered by (step, id) — the
+    /// schedule table.
+    pub(super) pending: VecDeque<usize>,
+    pub(super) cur_step: u32,
+    pub(super) step_start: u64,
+    /// Events of the current step not yet issued.
+    pub(super) unissued_in_step: u32,
+}
+

@@ -1,0 +1,626 @@
+//! Cycle-level, flit-granularity network simulator (the paper's BookSim
+//! substrate, §V-A).
+//!
+//! Faithfully models:
+//!
+//! * **routers** with per-(input, VC) buffers, one-flit-per-cycle links,
+//!   round-robin output arbitration and a crossbar constraint of one flit
+//!   per input and per output per cycle;
+//! * **credit-based flow control**: virtual cut-through for conventional
+//!   packets (the downstream buffer must fit the whole packet before the
+//!   head advances) and wormhole for the co-designed big gradient
+//!   messages (Table III / §IV-B);
+//! * **dateline virtual channels** on torus wraparound links so
+//!   multi-hop DOR traffic (DBTree) stays deadlock-free;
+//! * **source routing**: every message carries its precomputed link path
+//!   in the head flit, exactly as the co-designed NI does (§IV-B);
+//! * the co-designed **NI schedule management** (§IV-A): per-node
+//!   in-order issue from the schedule, dependency clearing on message
+//!   delivery, and the lockstep timestep counter with estimated step
+//!   times.
+//!
+//! Intended for validation and small/medium payloads; the [`crate::flow`]
+//! engine handles the paper's multi-MiB sweeps.
+
+use crate::config::{FlowControlMode, NetworkConfig};
+use crate::flowctrl::frame_message;
+use crate::report::SimReport;
+use crate::Engine;
+use multitree::cost::event_path;
+use multitree::{AlgorithmError, CommSchedule};
+use mt_topology::Topology;
+use std::collections::VecDeque;
+
+/// The cycle-level engine. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CycleEngine {
+    cfg: NetworkConfig,
+    max_cycles: u64,
+}
+
+impl CycleEngine {
+    /// Creates an engine with the given configuration and a default
+    /// 200M-cycle watchdog.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        CycleEngine {
+            cfg,
+            max_cycles: 200_000_000,
+        }
+    }
+
+    /// Overrides the deadlock watchdog.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = max_cycles;
+        self
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+}
+
+mod dateline;
+mod flit;
+mod inject;
+mod router;
+
+pub(crate) use dateline::dateline_links;
+use flit::{Flit, Msg};
+use inject::{InjStream, Nic};
+
+struct Sim<'a> {
+    topo: &'a Topology,
+    cfg: &'a NetworkConfig,
+    /// per (link * num_vcs + vc): input buffer at the link's destination
+    buffers: Vec<VecDeque<Flit>>,
+    /// per (link * num_vcs + vc): credits available at the link's source
+    credits: Vec<u32>,
+    /// per link: in-flight flits (arrival_cycle, flit)
+    channels: Vec<VecDeque<(u64, Flit)>>,
+    /// per link: in-flight credit returns (arrival_cycle, vc)
+    credit_channels: Vec<VecDeque<(u64, u8)>>,
+    /// per link (as output): current packet lock
+    locks: Vec<Option<Lock>>,
+    /// per link (as output): round-robin pointer over candidates
+    rr: Vec<u32>,
+    /// per link: is a torus dateline (wraparound) link
+    dateline: Vec<bool>,
+    /// per link: flits transmitted (utilization accounting)
+    tx_count: Vec<u64>,
+    msgs: Vec<Msg>,
+    /// per node: injection streams awaiting service, per first-link
+    inject: Vec<VecDeque<InjStream>>,
+    nics: Vec<Nic>,
+    clock: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Lock {
+    /// Input the packet streams from: either a (link,vc) buffer or the
+    /// local injection queue.
+    from: Source,
+    out_vc: u8,
+    remaining: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Source {
+    Buffer { link: u32, vc: u8 },
+    Injection,
+}
+
+/// Microarchitectural statistics from a detailed cycle run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleStats {
+    /// Flits transmitted per link (indexable by `LinkId::index`).
+    pub link_flits: Vec<u64>,
+    /// High-water mark of any single (input, VC) buffer, in flits.
+    pub max_buffer_occupancy: usize,
+    /// Cycles simulated.
+    pub cycles: u64,
+}
+
+impl CycleStats {
+    /// Links that carried at least one flit.
+    pub fn links_used(&self) -> usize {
+        self.link_flits.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Coefficient of load imbalance: max over mean flits among used
+    /// links (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let used: Vec<u64> = self.link_flits.iter().copied().filter(|&c| c > 0).collect();
+        if used.is_empty() {
+            return 0.0;
+        }
+        let max = *used.iter().max().expect("non-empty") as f64;
+        let mean = used.iter().sum::<u64>() as f64 / used.len() as f64;
+        max / mean
+    }
+}
+
+impl CycleEngine {
+    /// Like [`Engine::run`], additionally returning microarchitectural
+    /// statistics (per-link flit counts, buffer high-water marks).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::run`].
+    pub fn run_detailed(
+        &self,
+        topo: &Topology,
+        schedule: &CommSchedule,
+        total_bytes: u64,
+    ) -> Result<(SimReport, CycleStats), AlgorithmError> {
+        self.run_impl(topo, schedule, total_bytes)
+    }
+}
+
+impl Engine for CycleEngine {
+    fn run(
+        &self,
+        topo: &Topology,
+        schedule: &CommSchedule,
+        total_bytes: u64,
+    ) -> Result<SimReport, AlgorithmError> {
+        Ok(self.run_impl(topo, schedule, total_bytes)?.0)
+    }
+}
+
+impl CycleEngine {
+    fn run_impl(
+        &self,
+        topo: &Topology,
+        schedule: &CommSchedule,
+        total_bytes: u64,
+    ) -> Result<(SimReport, CycleStats), AlgorithmError> {
+        schedule.validate()?;
+        let cfg = &self.cfg;
+        let events = schedule.events();
+        if events.is_empty() {
+            return Ok((
+                SimReport {
+                    total_bytes,
+                    completion_ns: 0.0,
+                    flits_sent: 0,
+                    head_flits: 0,
+                    messages: 0,
+                    flit_hops: 0,
+                    head_flit_hops: 0,
+                    links_used: 0,
+                    total_links: topo.num_links(),
+                    busy_ns: 0.0,
+                },
+                CycleStats {
+                    link_flits: vec![0; topo.num_links()],
+                    max_buffer_occupancy: 0,
+                    cycles: 0,
+                },
+            ));
+        }
+        let segs = schedule.total_segments();
+        let nv = topo.num_vertices();
+        let nl = topo.num_links();
+        let vcs = cfg.num_vcs as usize;
+
+        // --- messages & framing
+        let mut msgs: Vec<Msg> = Vec::with_capacity(events.len());
+        let mut inj_streams: Vec<Option<InjStream>> = Vec::with_capacity(events.len());
+        let mut flits_sent = 0u64;
+        let mut head_flits = 0u64;
+        let mut flit_hops = 0u64;
+        let mut head_flit_hops = 0u64;
+        for (i, e) in events.iter().enumerate() {
+            let bytes = e.bytes(total_bytes, segs);
+            let framing = frame_message(bytes, cfg);
+            let path = event_path(e, topo);
+            assert!(!path.is_empty(), "events always cross at least one link");
+            let total = framing.total_flits();
+            flits_sent += total;
+            head_flits += framing.head_flits;
+            flit_hops += total * path.len() as u64;
+            head_flit_hops += framing.head_flits * path.len() as u64;
+            // packet lengths
+            let mut packets = VecDeque::new();
+            match cfg.flow_control {
+                FlowControlMode::PacketBased => {
+                    let per_pkt_data = u64::from(cfg.payload_bytes) / u64::from(cfg.flit_bytes);
+                    let mut data = framing.data_flits;
+                    while data > 0 {
+                        let take = data.min(per_pkt_data);
+                        packets.push_back(take as u32 + 1); // + head
+                        data -= take;
+                    }
+                }
+                FlowControlMode::MessageBased => {
+                    packets.push_back(framing.data_flits as u32 + 1);
+                }
+            }
+            let vc_base = ((e.flow.0 % (vcs / 2).max(1)) * 2) as u8;
+            msgs.push(Msg {
+                event: i,
+                path,
+                total_flits: total,
+                ejected_flits: 0,
+                delivered_at: None,
+                vc_base,
+            });
+            inj_streams.push(Some(InjStream {
+                msg: i as u32,
+                packets,
+                sent_in_packet: 0,
+            }));
+        }
+
+        let dateline = dateline_links(topo);
+
+        // --- NI schedule tables: per node, events ordered by (step, id)
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); topo.num_nodes()];
+        for (i, e) in events.iter().enumerate() {
+            per_node[e.src.index()].push(i);
+        }
+        for list in &mut per_node {
+            list.sort_by_key(|&i| (events[i].step, i));
+        }
+        // lockstep step estimates (in cycles): flits of the step's largest
+        // chunk, less the NI buffer when it does not fit (footnote 4)
+        let mut step_est = vec![0u64; schedule.num_steps() as usize + 2];
+        if let (true, Some(interval)) = (cfg.lockstep, cfg.lockstep_interval_ns) {
+            let cycles = (interval / cfg.cycle_ns()).round() as u64;
+            step_est.iter_mut().skip(1).for_each(|e| *e = cycles);
+        } else if cfg.lockstep {
+            for e in events {
+                let flits = frame_message(e.bytes(total_bytes, segs), cfg).total_flits();
+                let eff = if flits <= u64::from(cfg.vc_buffer_flits) {
+                    flits
+                } else {
+                    flits - u64::from(cfg.vc_buffer_flits)
+                };
+                let s = e.step as usize;
+                step_est[s] = step_est[s].max(eff);
+            }
+        }
+
+        let nics: Vec<Nic> = per_node
+            .iter()
+            .map(|list| {
+                let unissued = list.iter().filter(|&&i| events[i].step == 1).count() as u32;
+                Nic {
+                    pending: list.iter().copied().collect(),
+                    cur_step: 1,
+                    step_start: 0,
+                    unissued_in_step: unissued,
+                }
+            })
+            .collect();
+
+        let mut sim = Sim {
+            topo,
+            cfg,
+            buffers: vec![VecDeque::new(); nl * vcs],
+            credits: vec![cfg.vc_buffer_flits; nl * vcs],
+            channels: vec![VecDeque::new(); nl],
+            credit_channels: vec![VecDeque::new(); nl],
+            locks: vec![None; nl],
+            rr: vec![0; nl],
+            dateline,
+            tx_count: vec![0; nl],
+            msgs,
+            inject: (0..topo.num_nodes()).map(|_| VecDeque::new()).collect(),
+            nics,
+            clock: 0,
+        };
+
+        // dependency tracking
+        let mut remaining_deps: Vec<usize> = events.iter().map(|e| e.deps.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); events.len()];
+        for e in events {
+            for d in &e.deps {
+                dependents[d.index()].push(e.id.index());
+            }
+        }
+        let mut issued = vec![false; events.len()];
+        let mut delivered_count = 0usize;
+        let mut inj_opt = inj_streams;
+
+        let latency = cfg.link_latency_cycles() + u64::from(cfg.router_pipeline_cycles);
+        let mut completion_cycle = 0u64;
+        let mut max_buffer = 0usize;
+
+        while delivered_count < events.len() {
+            if sim.clock > self.max_cycles {
+                return Err(AlgorithmError::MalformedSchedule {
+                    detail: format!(
+                        "cycle simulation exceeded {} cycles with {}/{} messages delivered",
+                        self.max_cycles,
+                        delivered_count,
+                        events.len()
+                    ),
+                });
+            }
+            let now = sim.clock;
+
+            // 1. credit arrivals
+            for l in 0..nl {
+                while let Some(&(t, vc)) = sim.credit_channels[l].front() {
+                    if t > now {
+                        break;
+                    }
+                    sim.credit_channels[l].pop_front();
+                    sim.credits[l * vcs + vc as usize] += 1;
+                }
+            }
+
+            // 2. link arrivals -> input buffers
+            for l in 0..nl {
+                while let Some(&(t, flit)) = sim.channels[l].front() {
+                    if t > now {
+                        break;
+                    }
+                    sim.channels[l].pop_front();
+                    let idx = l * vcs + flit.vc as usize;
+                    debug_assert!(
+                        sim.buffers[idx].len() < cfg.vc_buffer_flits as usize,
+                        "credit protocol violated: buffer overflow"
+                    );
+                    sim.buffers[idx].push_back(flit);
+                    max_buffer = max_buffer.max(sim.buffers[idx].len());
+                }
+            }
+
+            // 3. NI issue: in-order from the schedule table, gated by
+            // dependencies and the lockstep timestep counter.
+            for node in 0..topo.num_nodes() {
+                // advance the timestep counter
+                loop {
+                    let nic = &sim.nics[node];
+                    let cur = nic.cur_step;
+                    if cur > schedule.num_steps() {
+                        break;
+                    }
+                    let est = if cfg.lockstep {
+                        step_est[cur as usize]
+                    } else {
+                        0
+                    };
+                    if sim.nics[node].unissued_in_step == 0 && now >= sim.nics[node].step_start + est
+                    {
+                        let next = cur + 1;
+                        let unissued = sim.nics[node]
+                            .pending
+                            .iter()
+                            .filter(|&&i| events[i].step == next && !issued[i])
+                            .count() as u32;
+                        let nic = &mut sim.nics[node];
+                        nic.cur_step = next;
+                        nic.step_start = now;
+                        nic.unissued_in_step = unissued;
+                    } else {
+                        break;
+                    }
+                }
+                // issue head-of-table events whose deps are clear
+                while let Some(&i) = sim.nics[node].pending.front() {
+                    let e = &events[i];
+                    if e.step > sim.nics[node].cur_step || remaining_deps[i] > 0 {
+                        break;
+                    }
+                    sim.nics[node].pending.pop_front();
+                    issued[i] = true;
+                    sim.nics[node].unissued_in_step =
+                        sim.nics[node].unissued_in_step.saturating_sub(1);
+                    let stream = inj_opt[i].take().expect("stream issued once");
+                    sim.inject[node].push_back(stream);
+                }
+            }
+
+            // 4. routers: ejection + output arbitration
+            let mut newly_delivered: Vec<u32> = Vec::new();
+            sim.router_stage(nv, vcs, latency, &mut newly_delivered);
+
+            // 5. completions clear dependencies
+            for m in newly_delivered {
+                let msg = &mut sim.msgs[m as usize];
+                msg.delivered_at = Some(now);
+                completion_cycle = completion_cycle.max(now);
+                delivered_count += 1;
+                for &dep_idx in &dependents[msg.event] {
+                    remaining_deps[dep_idx] -= 1;
+                }
+            }
+
+            sim.clock += 1;
+        }
+
+        // End-state invariants: every flit that entered the network was
+        // consumed — no stranded buffers, channels or injection streams.
+        assert!(
+            sim.buffers.iter().all(VecDeque::is_empty),
+            "flits stranded in input buffers after completion"
+        );
+        assert!(
+            sim.channels.iter().all(VecDeque::is_empty),
+            "flits stranded on links after completion"
+        );
+        assert!(
+            sim.inject.iter().all(VecDeque::is_empty),
+            "messages stranded at injection after completion"
+        );
+        let ejected: u64 = sim.msgs.iter().map(|m| m.ejected_flits).sum();
+        assert_eq!(ejected, flits_sent, "flit conservation violated");
+
+        let report = SimReport {
+            total_bytes,
+            completion_ns: completion_cycle as f64 * cfg.cycle_ns(),
+            flits_sent,
+            head_flits,
+            messages: events.len(),
+            flit_hops,
+            head_flit_hops,
+            links_used: sim.tx_count.iter().filter(|&&c| c > 0).count(),
+            total_links: nl,
+            busy_ns: sim.tx_count.iter().sum::<u64>() as f64 * cfg.cycle_ns(),
+        };
+        let stats = CycleStats {
+            link_flits: sim.tx_count.clone(),
+            max_buffer_occupancy: max_buffer,
+            cycles: sim.clock,
+        };
+        Ok((report, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowEngine;
+    use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring};
+
+    fn run_cycle(topo: &Topology, algo: &dyn AllReduce, bytes: u64, cfg: NetworkConfig) -> SimReport {
+        let s = algo.build(topo).unwrap();
+        CycleEngine::new(cfg).run(topo, &s, bytes).unwrap()
+    }
+
+    #[test]
+    fn single_hop_message_latency() {
+        // 2-node ring all-reduce of 2 KiB: 2 chunks of 1 KiB = 65 flits
+        // (4 packets + 64 data), each direction simultaneously, two steps.
+        let topo = Topology::torus(1, 2);
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.lockstep = false;
+        let r = run_cycle(&topo, &Ring, 2048, cfg);
+        // one step ~ latency (152) + 68 flits; two steps ~ 2x
+        assert!(r.completion_ns > 300.0 && r.completion_ns < 600.0, "{r:?}");
+        assert_eq!(r.messages, 4);
+    }
+
+    #[test]
+    fn cycle_and_flow_agree_on_contention_free_schedules() {
+        let topo = Topology::torus(4, 4);
+        let cfg = NetworkConfig::paper_default();
+        for bytes in [64 * 1024u64, 512 * 1024] {
+            for algo in [&MultiTree::default() as &dyn AllReduce, &Ring] {
+                let s = algo.build(&topo).unwrap();
+                let c = CycleEngine::new(cfg).run(&topo, &s, bytes).unwrap();
+                let f = FlowEngine::new(cfg).run(&topo, &s, bytes).unwrap();
+                let ratio = c.completion_ns / f.completion_ns;
+                assert!(
+                    (0.8..1.35).contains(&ratio),
+                    "{} {bytes}B: cycle {} vs flow {} (ratio {ratio})",
+                    s.algorithm(),
+                    c.completion_ns,
+                    f.completion_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dbtree_contention_shows_up_in_cycle_sim() {
+        let topo = Topology::torus(4, 4);
+        let cfg = NetworkConfig::paper_default();
+        let bytes = 256 * 1024;
+        let db = run_cycle(&topo, &DbTree::default(), bytes, cfg);
+        let mt = run_cycle(&topo, &MultiTree::default(), bytes, cfg);
+        assert!(
+            db.completion_ns > mt.completion_ns,
+            "dbtree {} !> multitree {}",
+            db.completion_ns,
+            mt.completion_ns
+        );
+    }
+
+    #[test]
+    fn message_based_flow_control_is_faster() {
+        let topo = Topology::torus(4, 4);
+        let bytes = 256 * 1024;
+        let pkt = run_cycle(&topo, &MultiTree::default(), bytes, NetworkConfig::paper_default());
+        let msg = run_cycle(
+            &topo,
+            &MultiTree::default(),
+            bytes,
+            NetworkConfig::paper_message_based(),
+        );
+        assert!(msg.completion_ns < pkt.completion_ns);
+        assert!(msg.head_flits < pkt.head_flits / 10);
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = Topology::torus(2, 2);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let e = CycleEngine::new(NetworkConfig::paper_default());
+        let a = e.run(&topo, &s, 64 * 1024).unwrap();
+        let b = e.run(&topo, &s, 64 * 1024).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indirect_network_runs() {
+        let topo = Topology::dgx2_like_16();
+        let cfg = NetworkConfig::paper_default();
+        let r = run_cycle(&topo, &MultiTree::default(), 64 * 1024, cfg);
+        assert!(r.completion_ns > 0.0);
+    }
+
+    #[test]
+    fn watchdog_reports_deadlock_instead_of_hanging() {
+        let topo = Topology::torus(4, 4);
+        let s = Ring.build(&topo).unwrap();
+        let err = CycleEngine::new(NetworkConfig::paper_default())
+            .with_max_cycles(10)
+            .run(&topo, &s, 1 << 20)
+            .unwrap_err();
+        assert!(err.to_string().contains("exceeded"));
+    }
+}
+
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use multitree::algorithms::{AllReduce, MultiTree, Ring};
+
+    #[test]
+    fn detailed_stats_match_report() {
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let (report, stats) = CycleEngine::new(NetworkConfig::paper_default())
+            .run_detailed(&topo, &s, 64 << 10)
+            .unwrap();
+        assert_eq!(stats.links_used(), report.links_used);
+        assert_eq!(
+            stats.link_flits.iter().sum::<u64>() as f64,
+            report.busy_ns
+        );
+        assert!(stats.cycles > 0);
+        // credit protocol bounds occupancy by the configured buffer depth
+        assert!(stats.max_buffer_occupancy <= 318);
+        assert!(stats.max_buffer_occupancy > 0);
+    }
+
+    #[test]
+    fn ring_load_is_balanced_but_narrow() {
+        let topo = Topology::torus(4, 4);
+        let s = Ring.build(&topo).unwrap();
+        let (_, stats) = CycleEngine::new(NetworkConfig::paper_default())
+            .run_detailed(&topo, &s, 64 << 10)
+            .unwrap();
+        // snake ring: exactly one out-link per node used, all equally
+        assert_eq!(stats.links_used(), 16);
+        assert!((stats.load_imbalance() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multitree_spreads_load_across_all_links() {
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let (_, stats) = CycleEngine::new(NetworkConfig::paper_default())
+            .run_detailed(&topo, &s, 64 << 10)
+            .unwrap();
+        assert_eq!(stats.links_used(), 64);
+        // trees are balanced: no link carries more than ~2x the mean
+        assert!(stats.load_imbalance() < 2.0, "{}", stats.load_imbalance());
+    }
+}

@@ -1,0 +1,317 @@
+//! Per-cycle router behaviour: ejection, output arbitration, credit
+//! bookkeeping and flit transmission (the switch-allocation and
+//! VC-management stages of a VC router, collapsed into one cycle).
+
+use super::flit::Flit;
+use super::{Lock, Sim, Source};
+use mt_topology::{LinkId, Vertex};
+use crate::config::FlowControlMode;
+
+impl Sim<'_> {
+    /// One cycle of all routers: ejection, then output arbitration, under
+    /// the crossbar constraint of one flit per input and per output.
+    pub(super) fn router_stage(&mut self, nv: usize, vcs: usize, latency: u64, delivered: &mut Vec<u32>) {
+        // one flit per input link per cycle; injection is not globally
+        // throttled — the paper's direct-network NI bandwidth "matches the
+        // network bandwidth of the attached router" (§V-A), so a node may
+        // feed all its output ports in the same cycle (each output still
+        // moves at most one flit per cycle). Indirect-network nodes have a
+        // single uplink, which serializes their injection naturally.
+        let mut input_used = vec![false; self.topo.num_links()];
+
+        for v in 0..nv {
+            let vertex = self.topo.vertex_at(v);
+
+            // --- ejection: any input whose head flit terminates here
+            for &in_link in self.topo.in_links(vertex) {
+                if input_used[in_link.index()] {
+                    continue;
+                }
+                for vc in 0..vcs {
+                    let idx = in_link.index() * vcs + vc;
+                    let eject = match self.buffers[idx].front() {
+                        Some(f) => (f.route_pos as usize) == self.msgs[f.msg as usize].path.len(),
+                        None => false,
+                    };
+                    if eject {
+                        let flit = self.buffers[idx].pop_front().expect("checked non-empty");
+                        self.return_credit(in_link, vc as u8, latency);
+                        input_used[in_link.index()] = true;
+                        let m = &mut self.msgs[flit.msg as usize];
+                        m.ejected_flits += 1;
+                        if m.ejected_flits == m.total_flits {
+                            delivered.push(flit.msg);
+                        }
+                        break;
+                    }
+                }
+            }
+
+            // --- output arbitration per outgoing link
+            for &out_link in self.topo.out_links(vertex) {
+                if let Some(lock) = self.locks[out_link.index()] {
+                    self.continue_stream(out_link, lock, &mut input_used, latency);
+                } else {
+                    self.allocate_stream(vertex, out_link, vcs, &mut input_used, latency);
+                }
+            }
+        }
+    }
+
+    /// Streams the next flit of the packet currently locking `out_link`.
+    fn continue_stream(
+        &mut self,
+        out_link: LinkId,
+        lock: Lock,
+        input_used: &mut [bool],
+        latency: u64,
+    ) {
+        let vcs = self.cfg.num_vcs as usize;
+        let out_idx = out_link.index() * vcs + lock.out_vc as usize;
+        if self.credits[out_idx] == 0 {
+            return; // wormhole backpressure
+        }
+        match lock.from {
+            Source::Buffer { link, vc } => {
+                if input_used[link as usize] {
+                    return;
+                }
+                let in_idx = link as usize * vcs + vc as usize;
+                let Some(&flit) = self.buffers[in_idx].front() else {
+                    return; // bubble: upstream hasn't delivered yet
+                };
+                debug_assert!(!flit.kind.is_head(), "lock must stream body/tail flits");
+                self.buffers[in_idx].pop_front();
+                self.return_credit(LinkId::new(link as usize), vc, latency);
+                input_used[link as usize] = true;
+                self.transmit(out_link, flit, lock.out_vc, latency);
+                self.step_lock(out_link, lock);
+            }
+            Source::Injection => {
+                let node = self
+                    .topo
+                    .link(out_link)
+                    .src
+                    .as_node()
+                    .expect("injection source is a node")
+                    .index();
+                // the locked stream is the first one routed over out_link
+                // (injection queues are FIFO per output port)
+                let msgs = &self.msgs;
+                let Some(pos) = self.inject[node]
+                    .iter()
+                    .position(|s| msgs[s.msg as usize].path[0] == out_link)
+                else {
+                    return;
+                };
+                let Some(mut flit) = self.inject[node][pos].peek(&self.msgs) else {
+                    return;
+                };
+                debug_assert!(!flit.kind.is_head());
+                self.inject[node][pos].advance();
+                if self.inject[node][pos].is_done() {
+                    self.inject[node].remove(pos);
+                }
+                flit.vc = lock.out_vc;
+                flit.route_pos = 1;
+                flit.crossed_dateline = self.dateline[out_link.index()];
+                self.transmit_raw(out_link, flit, latency);
+                self.consume_credit(out_link, lock.out_vc);
+                self.step_lock(out_link, lock);
+            }
+        }
+    }
+
+    /// Tries to start a new packet on `out_link`: round-robin over
+    /// injection and all (input, vc) heads that route to this output.
+    fn allocate_stream(
+        &mut self,
+        vertex: Vertex,
+        out_link: LinkId,
+        vcs: usize,
+        input_used: &mut [bool],
+        latency: u64,
+    ) {
+        // candidate list: injection (for source nodes), then (in_link, vc)
+        let mut candidates: Vec<Source> = Vec::new();
+        if let Some(node) = vertex.as_node() {
+            if !self.inject[node.index()].is_empty() {
+                candidates.push(Source::Injection);
+            }
+        }
+        for &in_link in self.topo.in_links(vertex) {
+            for vc in 0..vcs {
+                candidates.push(Source::Buffer {
+                    link: in_link.index() as u32,
+                    vc: vc as u8,
+                });
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let start = self.rr[out_link.index()] as usize % candidates.len();
+        for k in 0..candidates.len() {
+            let cand = candidates[(start + k) % candidates.len()];
+            if self.try_start(cand, out_link, input_used, latency) {
+                self.rr[out_link.index()] = ((start + k + 1) % candidates.len()) as u32;
+                return;
+            }
+        }
+    }
+
+    /// Attempts to start the packet at `cand`'s head on `out_link`.
+    fn try_start(
+        &mut self,
+        cand: Source,
+        out_link: LinkId,
+        input_used: &mut [bool],
+        latency: u64,
+    ) -> bool {
+        let vcs = self.cfg.num_vcs as usize;
+        match cand {
+            Source::Buffer { link, vc } => {
+                if input_used[link as usize] {
+                    return false;
+                }
+                let in_idx = link as usize * vcs + vc as usize;
+                let Some(&flit) = self.buffers[in_idx].front() else {
+                    return false;
+                };
+                if !flit.kind.is_head() {
+                    return false;
+                }
+                let m = &self.msgs[flit.msg as usize];
+                if (flit.route_pos as usize) >= m.path.len()
+                    || m.path[flit.route_pos as usize] != out_link
+                {
+                    return false;
+                }
+                let out_vc = self.output_vc(flit, out_link);
+                if !self.credit_check(out_link, out_vc, flit.pkt_flits) {
+                    return false;
+                }
+                let mut flit = self.buffers[in_idx].pop_front().expect("checked");
+                self.return_credit(LinkId::new(link as usize), vc, latency);
+                input_used[link as usize] = true;
+                flit.crossed_dateline = flit.crossed_dateline || self.dateline[out_link.index()];
+                flit.vc = out_vc;
+                flit.route_pos += 1;
+                let remaining = flit.pkt_flits - 1;
+                self.transmit_raw(out_link, flit, latency);
+                self.consume_credit(out_link, out_vc);
+                if remaining > 0 {
+                    self.locks[out_link.index()] = Some(Lock {
+                        from: Source::Buffer { link, vc },
+                        out_vc,
+                        remaining,
+                    });
+                }
+                true
+            }
+            Source::Injection => {
+                let node = self
+                    .topo
+                    .link(out_link)
+                    .src
+                    .as_node()
+                    .expect("injection at a node")
+                    .index();
+                // serve the FIRST stream whose path starts with out_link
+                // (FIFO per output port)
+                let msgs = &self.msgs;
+                let Some(pos) = self.inject[node]
+                    .iter()
+                    .position(|s| msgs[s.msg as usize].path[0] == out_link)
+                else {
+                    return false;
+                };
+                let Some(flit) = self.inject[node][pos].peek(&self.msgs) else {
+                    return false;
+                };
+                if !flit.kind.is_head() {
+                    // mid-packet stream without a lock cannot happen: locks
+                    // persist until tails; treat as not startable
+                    return false;
+                }
+                let out_vc = self.output_vc(flit, out_link);
+                if !self.credit_check(out_link, out_vc, flit.pkt_flits) {
+                    return false;
+                }
+                let mut flit = flit;
+                self.inject[node][pos].advance();
+                if self.inject[node][pos].is_done() {
+                    self.inject[node].remove(pos);
+                }
+                flit.crossed_dateline = self.dateline[out_link.index()];
+                flit.vc = out_vc;
+                flit.route_pos = 1;
+                let remaining = flit.pkt_flits - 1;
+                self.transmit_raw(out_link, flit, latency);
+                self.consume_credit(out_link, out_vc);
+                if remaining > 0 {
+                    self.locks[out_link.index()] = Some(Lock {
+                        from: Source::Injection,
+                        out_vc,
+                        remaining,
+                    });
+                }
+                true
+            }
+        }
+    }
+
+    /// Output VC: the packet's base VC pair, escaped to the high VC after
+    /// crossing a torus dateline.
+    fn output_vc(&self, flit: Flit, out_link: LinkId) -> u8 {
+        let crossed = flit.crossed_dateline || self.dateline[out_link.index()];
+        let base = flit.vc & !1; // clear the dateline bit
+        base | u8::from(crossed)
+    }
+
+    /// VCT for conventional packets (room for the whole packet), wormhole
+    /// for big gradient messages (room for one flit).
+    fn credit_check(&self, out_link: LinkId, vc: u8, pkt_flits: u32) -> bool {
+        let vcs = self.cfg.num_vcs as usize;
+        let have = self.credits[out_link.index() * vcs + vc as usize];
+        match self.cfg.flow_control {
+            FlowControlMode::PacketBased => have >= pkt_flits.min(self.cfg.vc_buffer_flits),
+            FlowControlMode::MessageBased => have >= 1,
+        }
+    }
+
+    fn consume_credit(&mut self, link: LinkId, vc: u8) {
+        let vcs = self.cfg.num_vcs as usize;
+        let idx = link.index() * vcs + vc as usize;
+        debug_assert!(self.credits[idx] > 0);
+        self.credits[idx] -= 1;
+    }
+
+    fn return_credit(&mut self, link: LinkId, vc: u8, latency: u64) {
+        self.credit_channels[link.index()].push_back((self.clock + latency, vc));
+    }
+
+    /// Puts a body/tail flit from a locked stream on the wire.
+    fn transmit(&mut self, out_link: LinkId, mut flit: Flit, out_vc: u8, latency: u64) {
+        flit.vc = out_vc;
+        flit.crossed_dateline = flit.crossed_dateline || self.dateline[out_link.index()];
+        flit.route_pos += 1;
+        self.transmit_raw(out_link, flit, latency);
+        self.consume_credit(out_link, out_vc);
+    }
+
+    fn transmit_raw(&mut self, out_link: LinkId, flit: Flit, latency: u64) {
+        self.tx_count[out_link.index()] += 1;
+        self.channels[out_link.index()].push_back((self.clock + latency, flit));
+    }
+
+    fn step_lock(&mut self, out_link: LinkId, lock: Lock) {
+        let remaining = lock.remaining - 1;
+        self.locks[out_link.index()] = if remaining == 0 {
+            None
+        } else {
+            Some(Lock { remaining, ..lock })
+        };
+    }
+}
+

@@ -1,0 +1,130 @@
+//! Interconnect energy accounting.
+//!
+//! The paper motivates the message-based flow control partly on energy:
+//! per-packet head flits cost "extra control such as routing and
+//! arbitration, causing extra delay and energy consumption" (§IV-B).
+//! This model charges each flit-hop for link traversal and buffering, and
+//! each *head* flit-hop additionally for route computation and
+//! arbitration — so collapsing thousands of packet heads into one
+//! message head shows up directly as saved energy.
+//!
+//! Default coefficients are in the ballpark of published 32 nm NoC
+//! characterizations (Orion-2-like orders of magnitude); they are
+//! deliberately simple constants — the *relative* numbers between
+//! flow-control modes are what the co-design argues about.
+
+use crate::report::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy coefficients in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Link traversal energy per flit per hop (wire + serdes).
+    pub link_pj_per_flit: f64,
+    /// Buffer write + read energy per flit per hop.
+    pub buffer_pj_per_flit: f64,
+    /// Crossbar traversal per flit per hop.
+    pub crossbar_pj_per_flit: f64,
+    /// Route computation + VC/switch arbitration, charged once per *head*
+    /// flit per hop.
+    pub control_pj_per_head: f64,
+}
+
+impl EnergyModel {
+    /// Default coefficients (32 nm-class NoC orders of magnitude).
+    pub fn paper_default() -> Self {
+        EnergyModel {
+            link_pj_per_flit: 2.0,
+            buffer_pj_per_flit: 1.2,
+            crossbar_pj_per_flit: 0.8,
+            control_pj_per_head: 1.5,
+        }
+    }
+
+    /// Total per-flit-hop energy excluding control.
+    pub fn datapath_pj_per_flit(&self) -> f64 {
+        self.link_pj_per_flit + self.buffer_pj_per_flit + self.crossbar_pj_per_flit
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl SimReport {
+    /// Network energy of the simulated all-reduce in nanojoules.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// use multitree::algorithms::{AllReduce, MultiTree};
+    /// use mt_netsim::{flow::FlowEngine, EnergyModel, Engine, NetworkConfig};
+    ///
+    /// let topo = Topology::torus(4, 4);
+    /// let s = MultiTree::default().build(&topo)?;
+    /// let report = FlowEngine::new(NetworkConfig::paper_default())
+    ///     .run(&topo, &s, 1 << 20)?;
+    /// assert!(report.energy_nj(&EnergyModel::paper_default()) > 0.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn energy_nj(&self, model: &EnergyModel) -> f64 {
+        let datapath = self.flit_hops as f64 * model.datapath_pj_per_flit();
+        let control = self.head_flit_hops as f64 * model.control_pj_per_head;
+        (datapath + control) / 1000.0
+    }
+
+    /// Energy per payload byte in picojoules — the efficiency metric.
+    pub fn energy_pj_per_byte(&self, model: &EnergyModel) -> f64 {
+        if self.total_bytes == 0 {
+            0.0
+        } else {
+            self.energy_nj(model) * 1000.0 / self.total_bytes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowEngine;
+    use crate::{Engine, NetworkConfig};
+    use multitree::algorithms::{AllReduce, MultiTree};
+    use mt_topology::Topology;
+
+    #[test]
+    fn message_based_saves_energy() {
+        let topo = Topology::torus(4, 4);
+        let schedule = MultiTree::default().build(&topo).unwrap();
+        let bytes = 4 << 20;
+        let model = EnergyModel::paper_default();
+        let pkt = FlowEngine::new(NetworkConfig::paper_default())
+            .run(&topo, &schedule, bytes)
+            .unwrap();
+        let msg = FlowEngine::new(NetworkConfig::paper_message_based())
+            .run(&topo, &schedule, bytes)
+            .unwrap();
+        let saving = 1.0 - msg.energy_nj(&model) / pkt.energy_nj(&model);
+        // one head per 17 flits disappears: ~6% datapath + its control
+        assert!(
+            saving > 0.05 && saving < 0.12,
+            "energy saving {saving}"
+        );
+    }
+
+    #[test]
+    fn energy_scales_with_bytes() {
+        let topo = Topology::torus(4, 4);
+        let schedule = MultiTree::default().build(&topo).unwrap();
+        let model = EnergyModel::paper_default();
+        let e = FlowEngine::new(NetworkConfig::paper_default());
+        let small = e.run(&topo, &schedule, 1 << 20).unwrap();
+        let big = e.run(&topo, &schedule, 4 << 20).unwrap();
+        let ratio = big.energy_nj(&model) / small.energy_nj(&model);
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+        // per-byte efficiency is roughly constant
+        let eff_ratio =
+            big.energy_pj_per_byte(&model) / small.energy_pj_per_byte(&model);
+        assert!((0.9..1.1).contains(&eff_ratio));
+    }
+}

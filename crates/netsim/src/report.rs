@@ -1,0 +1,153 @@
+//! Simulation results.
+
+use serde::{Deserialize, Serialize};
+
+/// Outcome of simulating one all-reduce schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// All-reduce payload size simulated.
+    pub total_bytes: u64,
+    /// Time from first injection opportunity to last delivery, in ns.
+    pub completion_ns: f64,
+    /// Total flits put on wires (sums every link traversal's flits once
+    /// per message, not per hop).
+    pub flits_sent: u64,
+    /// Head flits among them (flow-control overhead).
+    pub head_flits: u64,
+    /// Number of messages delivered.
+    pub messages: usize,
+    /// Sum over messages of `flits x hops` — wire occupancy.
+    pub flit_hops: u64,
+    /// Sum over messages of `head flits x hops` (control events: route
+    /// computation + arbitration happen once per head per hop).
+    pub head_flit_hops: u64,
+    /// Distinct unidirectional links that carried at least one flit.
+    pub links_used: usize,
+    /// Unidirectional links in the topology.
+    pub total_links: usize,
+    /// Sum over links of their busy (transmitting) time, in ns.
+    pub busy_ns: f64,
+}
+
+impl SimReport {
+    /// Algorithmic bandwidth: payload bytes divided by completion time,
+    /// in GB/s — the metric of the paper's Fig. 9.
+    pub fn algbw_gbps(&self) -> f64 {
+        if self.completion_ns <= 0.0 {
+            0.0
+        } else {
+            self.total_bytes as f64 / self.completion_ns
+        }
+    }
+
+    /// Head-flit share of all flits sent.
+    pub fn head_overhead(&self) -> f64 {
+        if self.flits_sent == 0 {
+            0.0
+        } else {
+            self.head_flits as f64 / self.flits_sent as f64
+        }
+    }
+
+    /// Fraction of links that ever carried traffic — the paper's
+    /// link-utilization-rate notion ("only 25% link utilization rate in a
+    /// 4x4 2D Torus" for ring, §I).
+    pub fn link_usage_fraction(&self) -> f64 {
+        if self.total_links == 0 {
+            0.0
+        } else {
+            self.links_used as f64 / self.total_links as f64
+        }
+    }
+
+    /// Time-weighted mean utilization over all links (busy time divided
+    /// by completion time x link count).
+    pub fn mean_link_utilization(&self) -> f64 {
+        if self.completion_ns <= 0.0 || self.total_links == 0 {
+            0.0
+        } else {
+            self.busy_ns / (self.completion_ns * self.total_links as f64)
+        }
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    /// One-line summary: payload, completion, bandwidth, utilization.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} B in {:.1} us: {:.2} GB/s, {}/{} links used ({:.0}% mean utilization)",
+            self.total_bytes,
+            self.completion_ns / 1e3,
+            self.algbw_gbps(),
+            self.links_used,
+            self.total_links,
+            self.mean_link_utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_summary() {
+        let r = SimReport {
+            total_bytes: 1_000,
+            completion_ns: 2_000.0,
+            flits_sent: 80,
+            head_flits: 4,
+            messages: 2,
+            flit_hops: 160,
+            head_flit_hops: 8,
+            links_used: 4,
+            total_links: 16,
+            busy_ns: 8_000.0,
+        };
+        assert_eq!(
+            r.to_string(),
+            "1000 B in 2.0 us: 0.50 GB/s, 4/16 links used (25% mean utilization)"
+        );
+    }
+
+    #[test]
+    fn algbw_math() {
+        let r = SimReport {
+            total_bytes: 1_000,
+            completion_ns: 100.0,
+            flits_sent: 80,
+            head_flits: 4,
+            messages: 2,
+            flit_hops: 160,
+            head_flit_hops: 8,
+            links_used: 4,
+            total_links: 16,
+            busy_ns: 160.0,
+        };
+        assert!((r.algbw_gbps() - 10.0).abs() < 1e-12);
+        assert!((r.head_overhead() - 0.05).abs() < 1e-12);
+        assert!((r.link_usage_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.mean_link_utilization() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_time_is_zero_bandwidth() {
+        let r = SimReport {
+            total_bytes: 0,
+            completion_ns: 0.0,
+            flits_sent: 0,
+            head_flits: 0,
+            messages: 0,
+            flit_hops: 0,
+            head_flit_hops: 0,
+            links_used: 0,
+            total_links: 0,
+            busy_ns: 0.0,
+        };
+        assert_eq!(r.algbw_gbps(), 0.0);
+        assert_eq!(r.head_overhead(), 0.0);
+        assert_eq!(r.link_usage_fraction(), 0.0);
+        assert_eq!(r.mean_link_utilization(), 0.0);
+    }
+}

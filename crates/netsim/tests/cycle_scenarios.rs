@@ -1,0 +1,178 @@
+//! Hand-built micro-scenarios pinning down the cycle engine's router
+//! behaviour: serialization under output contention, cut-through
+//! pipelining across hops, wormhole operation with tiny buffers, and
+//! credit-limited throughput.
+
+use multitree::{ChunkRange, CollectiveOp, CommSchedule, FlowId};
+use mt_netsim::{cycle::CycleEngine, Engine, NetworkConfig};
+use mt_topology::{NodeId, Topology, TopologyBuilder};
+
+fn line(n: usize) -> Topology {
+    let mut b = TopologyBuilder::new();
+    let ns = b.add_nodes(n);
+    for w in ns.windows(2) {
+        b.add_bidi(w[0].into(), w[1].into());
+    }
+    b.build().unwrap()
+}
+
+fn send(
+    s: &mut CommSchedule,
+    src: usize,
+    dst: usize,
+    flow: usize,
+    seg: u32,
+    step: u32,
+) -> multitree::EventId {
+    s.push_event(
+        NodeId::new(src),
+        NodeId::new(dst),
+        FlowId(flow),
+        CollectiveOp::Gather,
+        ChunkRange::single(seg),
+        step,
+        vec![],
+        None,
+    )
+}
+
+fn cfg_no_lockstep() -> NetworkConfig {
+    let mut cfg = NetworkConfig::paper_default();
+    cfg.lockstep = false;
+    cfg
+}
+
+/// One message over h hops: completion ≈ h x (latency + pipeline) + flits.
+#[test]
+fn multi_hop_cut_through_pipelines() {
+    for hops in [1usize, 2, 4] {
+        let topo = line(hops + 1);
+        let mut s = CommSchedule::new("scenario", hops + 1, 1);
+        send(&mut s, 0, hops, 0, 0, 1);
+        let bytes = 64 * 1024; // 4096 data flits + heads
+        let r = CycleEngine::new(cfg_no_lockstep())
+            .run(&topo, &s, bytes)
+            .unwrap();
+        let flits = 4096.0 + 256.0; // data + one head per 256 B packet
+        let per_hop = 152.0; // 150 link + 2 pipeline
+        let expected = hops as f64 * per_hop + flits;
+        let err = (r.completion_ns - expected).abs() / expected;
+        assert!(
+            err < 0.05,
+            "{hops} hops: completion {} vs expected {expected}",
+            r.completion_ns
+        );
+    }
+}
+
+/// Two messages fighting for the same middle link serialize; two messages
+/// on disjoint links run in parallel.
+#[test]
+fn output_contention_serializes() {
+    // line 0-1-2-3: transfers 0->2 and 1->3 both cross link 1->2
+    let topo = line(4);
+    let mut contended = CommSchedule::new("scenario", 4, 2);
+    send(&mut contended, 0, 2, 0, 0, 1);
+    send(&mut contended, 1, 3, 1, 1, 1);
+    // disjoint: 0->1 and 2->3
+    let mut disjoint = CommSchedule::new("scenario", 4, 2);
+    send(&mut disjoint, 0, 1, 0, 0, 1);
+    send(&mut disjoint, 2, 3, 1, 1, 1);
+
+    let engine = CycleEngine::new(cfg_no_lockstep());
+    let bytes = 128 * 1024; // 64 KiB per message
+    let c = engine.run(&topo, &contended, bytes).unwrap();
+    let d = engine.run(&topo, &disjoint, bytes).unwrap();
+    assert!(
+        c.completion_ns > 1.6 * d.completion_ns,
+        "contended {} !>> disjoint {}",
+        c.completion_ns,
+        d.completion_ns
+    );
+}
+
+/// Wormhole (message-based) still completes with buffers far smaller than
+/// the message — the co-design must not rely on full-packet buffering.
+#[test]
+fn wormhole_with_tiny_buffers() {
+    let topo = line(3);
+    let mut s = CommSchedule::new("scenario", 3, 1);
+    send(&mut s, 0, 2, 0, 0, 1);
+    let mut cfg = NetworkConfig::paper_message_based();
+    cfg.lockstep = false;
+    cfg.vc_buffer_flits = 4; // 64 bytes of buffering for a 16 KiB message
+    let r = CycleEngine::new(cfg).run(&topo, &s, 16 * 1024).unwrap();
+    assert!(r.completion_ns > 0.0);
+    // throughput is credit-round-trip limited: 4 credits per ~304-cycle
+    // loop instead of 1 flit/cycle
+    let ideal = 2.0 * 152.0 + 1025.0;
+    assert!(
+        r.completion_ns > 10.0 * ideal,
+        "tiny buffers should throttle: {} vs ideal {ideal}",
+        r.completion_ns
+    );
+}
+
+/// Deep buffers restore full throughput for the same wormhole message.
+#[test]
+fn deep_buffers_restore_throughput() {
+    let topo = line(3);
+    let mut s = CommSchedule::new("scenario", 3, 1);
+    send(&mut s, 0, 2, 0, 0, 1);
+    let mut cfg = NetworkConfig::paper_message_based();
+    cfg.lockstep = false; // paper default 318-flit buffers cover the RTT
+    let r = CycleEngine::new(cfg).run(&topo, &s, 16 * 1024).unwrap();
+    let flits = 1025.0;
+    let expected = 2.0 * 152.0 + flits;
+    let err = (r.completion_ns - expected).abs() / expected;
+    assert!(err < 0.05, "completion {} vs {expected}", r.completion_ns);
+}
+
+/// Two flows sharing a link on different VCs both make progress
+/// (round-robin arbitration interleaves packets).
+#[test]
+fn two_flows_share_a_link_fairly() {
+    let topo = line(3);
+    let mut s = CommSchedule::new("scenario", 3, 2);
+    // flows 0 and 1 map to different VC pairs (flow % 2)
+    send(&mut s, 0, 2, 0, 0, 1);
+    send(&mut s, 0, 2, 1, 1, 1);
+    let r = CycleEngine::new(cfg_no_lockstep())
+        .run(&topo, &s, 64 * 1024)
+        .unwrap();
+    // both messages cross both links: total ~2x single-message serialization
+    let single_flits = 2048.0 + 128.0;
+    assert!(
+        r.completion_ns < 2.3 * single_flits + 400.0,
+        "sharing should roughly double, got {}",
+        r.completion_ns
+    );
+    assert_eq!(r.messages, 2);
+}
+
+/// The watchdog reports (not hangs) when a schedule can never finish.
+#[test]
+fn undeliverable_schedule_hits_watchdog() {
+    let topo = line(2);
+    let mut s = CommSchedule::new("scenario", 2, 1);
+    let a = send(&mut s, 0, 1, 0, 0, 1);
+    // an event whose dependency never completes because it depends on
+    // itself transitively is impossible to build; instead use an event
+    // gated behind a dep that IS deliverable but give the engine too few
+    // cycles — the watchdog must fire either way.
+    s.push_event(
+        NodeId::new(1),
+        NodeId::new(0),
+        FlowId(0),
+        CollectiveOp::Gather,
+        ChunkRange::single(0),
+        2,
+        vec![a],
+        None,
+    );
+    let err = CycleEngine::new(cfg_no_lockstep())
+        .with_max_cycles(5)
+        .run(&topo, &s, 1024)
+        .unwrap_err();
+    assert!(err.to_string().contains("exceeded"));
+}

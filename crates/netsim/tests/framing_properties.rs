@@ -1,0 +1,70 @@
+//! Property tests on flit framing and engine timing monotonicity.
+
+use multitree::algorithms::{AllReduce, MultiTree, Ring};
+use mt_netsim::flowctrl::frame_message;
+use mt_netsim::{flow::FlowEngine, Engine, FlowControlMode, NetworkConfig};
+use mt_topology::Topology;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn framing_conserves_payload(bytes in 0u64..10_000_000, message_based: bool) {
+        let mut cfg = NetworkConfig::paper_default();
+        if message_based {
+            cfg.flow_control = FlowControlMode::MessageBased;
+        }
+        let f = frame_message(bytes, &cfg);
+        // data flits carry at least the payload, never a flit more than
+        // needed
+        prop_assert!(f.data_flits * 16 >= bytes);
+        prop_assert!(f.data_flits.saturating_sub(1) * 16 < bytes || bytes == 0);
+        // heads: one per packet
+        prop_assert_eq!(f.head_flits, f.packets);
+        if message_based && bytes > 0 {
+            prop_assert_eq!(f.packets, 1);
+        }
+    }
+
+    #[test]
+    fn framing_is_monotone_in_bytes(a in 0u64..5_000_000, b in 0u64..5_000_000) {
+        let cfg = NetworkConfig::paper_default();
+        let (lo, hi) = (a.min(b), a.max(b));
+        let fl = frame_message(lo, &cfg);
+        let fh = frame_message(hi, &cfg);
+        prop_assert!(fl.total_flits() <= fh.total_flits());
+    }
+
+    #[test]
+    fn message_based_never_more_flits(bytes in 0u64..5_000_000) {
+        let pkt = frame_message(bytes, &NetworkConfig::paper_default());
+        let msg = frame_message(bytes, &NetworkConfig::paper_message_based());
+        prop_assert!(msg.total_flits() <= pkt.total_flits());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn completion_is_monotone_in_payload(
+        rows in 2usize..5,
+        cols in 2usize..5,
+        kib_a in 8u64..512,
+        kib_b in 8u64..512,
+        ring: bool,
+    ) {
+        let topo = Topology::torus(rows, cols);
+        let schedule = if ring {
+            Ring.build(&topo).unwrap()
+        } else {
+            MultiTree::default().build(&topo).unwrap()
+        };
+        let engine = FlowEngine::new(NetworkConfig::paper_default());
+        let (lo, hi) = (kib_a.min(kib_b) * 1024, kib_a.max(kib_b) * 1024);
+        let t_lo = engine.run(&topo, &schedule, lo).unwrap().completion_ns;
+        let t_hi = engine.run(&topo, &schedule, hi).unwrap().completion_ns;
+        prop_assert!(t_lo <= t_hi * 1.0001, "{lo}B took {t_lo}, {hi}B took {t_hi}");
+    }
+}

@@ -1,0 +1,116 @@
+//! EFLOPS-style BiGraph construction.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, SwitchId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds an EFLOPS-style BiGraph: `lower` switches host
+    /// `nodes_per_lower` nodes each and are completely bipartitely connected
+    /// to `upper` switches.
+    ///
+    /// Switch ids: lower switches are `0..lower`, upper switches are
+    /// `lower..lower+upper`. Node `i` attaches to lower switch
+    /// `i / nodes_per_lower`.
+    ///
+    /// With `upper == nodes_per_lower` every lower switch has one uplink per
+    /// hosted node, so a rank mapping can always find contention-free
+    /// disjoint paths — the property HDRM (EFLOPS) relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// // paper Fig. 9d: 32-node 4x8 BiGraph
+    /// let bg = Topology::bigraph(4, 8, 4);
+    /// assert_eq!(bg.num_nodes(), 32);
+    /// ```
+    pub fn bigraph(upper: usize, lower: usize, nodes_per_lower: usize) -> Topology {
+        assert!(
+            upper > 0 && lower > 0 && nodes_per_lower > 0,
+            "bigraph parameters must be positive"
+        );
+        let num_nodes = lower * nodes_per_lower;
+        let mut links = Vec::new();
+        for n in 0..num_nodes {
+            let node: Vertex = NodeId::new(n).into();
+            let sw: Vertex = SwitchId::new(n / nodes_per_lower).into();
+            links.push(Link::new(node, sw));
+            links.push(Link::new(sw, node));
+        }
+        for l in 0..lower {
+            for u in 0..upper {
+                let lo: Vertex = SwitchId::new(l).into();
+                let up: Vertex = SwitchId::new(lower + u).into();
+                links.push(Link::new(lo, up));
+                links.push(Link::new(up, lo));
+            }
+        }
+        Topology::from_parts(
+            TopologyKind::BiGraph {
+                upper,
+                lower,
+                nodes_per_lower,
+            },
+            num_nodes,
+            lower + upper,
+            links,
+        )
+    }
+
+    /// The paper's 32-node 4x8 BiGraph (Fig. 9d, left).
+    pub fn bigraph_32() -> Topology {
+        Topology::bigraph(4, 8, 4)
+    }
+
+    /// The paper's 64-node 4x16 BiGraph (Fig. 9d, right).
+    pub fn bigraph_64() -> Topology {
+        Topology::bigraph(4, 16, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigraph_32_structure() {
+        let bg = Topology::bigraph_32();
+        assert_eq!(bg.num_nodes(), 32);
+        assert_eq!(bg.num_switches(), 12);
+        // links: 2*32 node links + 2*(4*8) switch links = 128
+        assert_eq!(bg.num_links(), 128);
+        assert!(bg.is_connected());
+        // same lower switch: 2 hops; different: node->lo->up->lo->node = 4
+        assert_eq!(bg.distance(0.into(), 1.into()), Some(2));
+        assert_eq!(bg.distance(0.into(), 31.into()), Some(4));
+    }
+
+    #[test]
+    fn bigraph_64_structure() {
+        let bg = Topology::bigraph_64();
+        assert_eq!(bg.num_nodes(), 64);
+        assert_eq!(bg.num_switches(), 20);
+        assert!(bg.is_connected());
+    }
+
+    #[test]
+    fn uplinks_match_hosted_nodes() {
+        let bg = Topology::bigraph(4, 8, 4);
+        for l in 0..8 {
+            let sw: Vertex = SwitchId::new(l).into();
+            let ups = bg
+                .neighbors(sw)
+                .filter(|(v, _)| v.is_switch())
+                .count();
+            let downs = bg
+                .neighbors(sw)
+                .filter(|(v, _)| v.is_node())
+                .count();
+            assert_eq!(ups, 4);
+            assert_eq!(downs, 4);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Dragonfly construction (Kim et al., ISCA 2008) — a third indirect
+//! family for the generality study: hierarchical groups with all-to-all
+//! local and one-per-group-pair global links.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, SwitchId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds a canonical 1D Dragonfly: `a + 1` groups of `a` routers,
+    /// `p` nodes per router; routers within a group form a clique and
+    /// every pair of groups is joined by exactly one global link
+    /// (assigned round-robin over the groups' routers).
+    ///
+    /// Switch ids: group `g`'s routers are `g*a .. (g+1)*a`. Node `i`
+    /// attaches to router `i / p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a == 0` or `p == 0`.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let df = Topology::dragonfly(4, 2);     // 5 groups x 4 routers x 2 nodes
+    /// assert_eq!(df.num_nodes(), 40);
+    /// assert_eq!(df.num_switches(), 20);
+    /// assert!(df.is_connected());
+    /// ```
+    pub fn dragonfly(a: usize, p: usize) -> Topology {
+        assert!(a > 0 && p > 0, "dragonfly parameters must be positive");
+        let groups = a + 1;
+        let num_switches = groups * a;
+        let num_nodes = num_switches * p;
+        let mut links = Vec::new();
+        // node <-> router
+        for n in 0..num_nodes {
+            let node: Vertex = NodeId::new(n).into();
+            let sw: Vertex = SwitchId::new(n / p).into();
+            links.push(Link::new(node, sw));
+            links.push(Link::new(sw, node));
+        }
+        // intra-group cliques
+        for g in 0..groups {
+            for i in 0..a {
+                for j in 0..a {
+                    if i != j {
+                        links.push(Link::new(
+                            SwitchId::new(g * a + i).into(),
+                            SwitchId::new(g * a + j).into(),
+                        ));
+                    }
+                }
+            }
+        }
+        // one global link per group pair, round-robin over routers
+        let mut counter = vec![0usize; groups];
+        for gi in 0..groups {
+            for gk in (gi + 1)..groups {
+                let ri = gi * a + (counter[gi] % a);
+                let rk = gk * a + (counter[gk] % a);
+                counter[gi] += 1;
+                counter[gk] += 1;
+                links.push(Link::new(SwitchId::new(ri).into(), SwitchId::new(rk).into()));
+                links.push(Link::new(SwitchId::new(rk).into(), SwitchId::new(ri).into()));
+            }
+        }
+        Topology::from_parts(
+            TopologyKind::Dragonfly {
+                groups,
+                routers_per_group: a,
+                nodes_per_router: p,
+            },
+            num_nodes,
+            num_switches,
+            links,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let df = Topology::dragonfly(4, 2);
+        assert_eq!(df.num_nodes(), 40);
+        assert_eq!(df.num_switches(), 20);
+        assert!(df.is_connected());
+        // minimal route: node -> router [-> router] [-> global -> router] -> node
+        assert!(df.node_diameter() <= 5);
+    }
+
+    #[test]
+    fn one_global_link_per_group_pair() {
+        let a = 4;
+        let df = Topology::dragonfly(a, 1);
+        let groups = a + 1;
+        let mut pair_links = std::collections::HashMap::new();
+        for l in df.links() {
+            if let (Vertex::Switch(s), Vertex::Switch(d)) = (l.src, l.dst) {
+                let (gs, gd) = (s.index() / a, d.index() / a);
+                if gs != gd {
+                    *pair_links.entry((gs.min(gd), gs.max(gd))).or_insert(0) += 1;
+                }
+            }
+        }
+        assert_eq!(pair_links.len(), groups * (groups - 1) / 2);
+        // two unidirectional links per pair (one cable)
+        assert!(pair_links.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn routes_are_valid() {
+        let df = Topology::dragonfly(3, 2);
+        for a in 0..df.num_nodes() {
+            for b in 0..df.num_nodes() {
+                let path = df.route(a.into(), b.into());
+                let mut cur: Vertex = NodeId::new(a).into();
+                for l in &path {
+                    assert_eq!(df.link(*l).src, cur);
+                    cur = df.link(*l).dst;
+                }
+                assert_eq!(cur, Vertex::Node(NodeId::new(b)));
+            }
+        }
+    }
+}

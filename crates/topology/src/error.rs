@@ -1,0 +1,65 @@
+//! Error type for topology construction and queries.
+
+use crate::ids::Vertex;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// The builder was finalized with zero compute nodes.
+    EmptyTopology,
+    /// A link references a vertex that was never added.
+    DanglingLink {
+        /// The missing endpoint.
+        vertex: Vertex,
+    },
+    /// A grid-only query (coordinates) was made on a non-grid topology.
+    NotGridTopology,
+    /// No route exists between the requested endpoints.
+    Unreachable {
+        /// Route source.
+        src: Vertex,
+        /// Route destination.
+        dst: Vertex,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyTopology => write!(f, "topology has no compute nodes"),
+            TopologyError::DanglingLink { vertex } => {
+                write!(f, "link references unknown vertex {vertex}")
+            }
+            TopologyError::NotGridTopology => {
+                write!(f, "grid coordinates requested on a non-grid topology")
+            }
+            TopologyError::Unreachable { src, dst } => {
+                write!(f, "no route from {src} to {dst}")
+            }
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            TopologyError::EmptyTopology.to_string(),
+            "topology has no compute nodes"
+        );
+        let e = TopologyError::Unreachable {
+            src: NodeId::new(0).into(),
+            dst: NodeId::new(1).into(),
+        };
+        assert_eq!(e.to_string(), "no route from N0 to N1");
+    }
+}

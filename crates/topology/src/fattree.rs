@@ -1,0 +1,125 @@
+//! Two-level Fat-Tree construction.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, SwitchId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds a two-level Fat-Tree: `leaves` leaf switches each hosting
+    /// `nodes_per_leaf` nodes, with every leaf connected to every one of
+    /// `spines` spine switches.
+    ///
+    /// Switch ids: leaves are `0..leaves`, spines are `leaves..leaves+spines`.
+    /// Node `i` attaches to leaf `i / nodes_per_leaf`.
+    ///
+    /// With `spines == nodes_per_leaf` the network has full bisection
+    /// bandwidth, which is how the paper configures it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is zero.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// // paper Fig. 9c: 64-node 8-ary 2-level Fat-Tree
+    /// let ft = Topology::fat_tree_two_level(8, 8, 8);
+    /// assert_eq!(ft.num_nodes(), 64);
+    /// assert_eq!(ft.num_switches(), 16);
+    /// ```
+    pub fn fat_tree_two_level(leaves: usize, spines: usize, nodes_per_leaf: usize) -> Topology {
+        assert!(
+            leaves > 0 && spines > 0 && nodes_per_leaf > 0,
+            "fat-tree parameters must be positive"
+        );
+        let num_nodes = leaves * nodes_per_leaf;
+        let mut links = Vec::new();
+        // node <-> leaf links
+        for n in 0..num_nodes {
+            let node: Vertex = NodeId::new(n).into();
+            let leaf: Vertex = SwitchId::new(n / nodes_per_leaf).into();
+            links.push(Link::new(node, leaf));
+            links.push(Link::new(leaf, node));
+        }
+        // leaf <-> spine complete bipartite
+        for l in 0..leaves {
+            for s in 0..spines {
+                let leaf: Vertex = SwitchId::new(l).into();
+                let spine: Vertex = SwitchId::new(leaves + s).into();
+                links.push(Link::new(leaf, spine));
+                links.push(Link::new(spine, leaf));
+            }
+        }
+        Topology::from_parts(
+            TopologyKind::FatTree {
+                leaves,
+                spines,
+                nodes_per_leaf,
+            },
+            num_nodes,
+            leaves + spines,
+            links,
+        )
+    }
+
+    /// The paper's 16-node DGX-2-like single-plane Fat-Tree (Fig. 9c, left):
+    /// 4 leaves x 4 nodes with 4 spines (full bisection).
+    pub fn dgx2_like_16() -> Topology {
+        Topology::fat_tree_two_level(4, 4, 4)
+    }
+
+    /// The paper's 64-node 8-ary 2-level Fat-Tree (Fig. 9c, right).
+    pub fn fat_tree_64() -> Topology {
+        Topology::fat_tree_two_level(8, 8, 8)
+    }
+
+    /// True if a switch id is a leaf switch of a fat-tree (hosts nodes).
+    pub fn is_leaf_switch(&self, s: SwitchId) -> bool {
+        match self.kind() {
+            TopologyKind::FatTree { leaves, .. } => s.index() < leaves,
+            TopologyKind::BiGraph { .. } => !self.switch_nodes(s).is_empty(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dgx2_like_structure() {
+        let ft = Topology::dgx2_like_16();
+        assert_eq!(ft.num_nodes(), 16);
+        assert_eq!(ft.num_switches(), 8);
+        assert!(!ft.is_direct());
+        // node->leaf + leaf->spine links: 2*16 + 2*16 = 64
+        assert_eq!(ft.num_links(), 64);
+        assert!(ft.is_connected());
+        // same-leaf nodes are 2 hops apart; cross-leaf nodes 4 hops
+        assert_eq!(ft.distance(0.into(), 1.into()), Some(2));
+        assert_eq!(ft.distance(0.into(), 15.into()), Some(4));
+        assert_eq!(ft.node_diameter(), 4);
+    }
+
+    #[test]
+    fn attachment_mapping() {
+        let ft = Topology::fat_tree_two_level(8, 8, 8);
+        for n in ft.node_ids() {
+            let leaf = ft.attached_switch(n).unwrap();
+            assert_eq!(leaf.index(), n.index() / 8);
+            assert!(ft.is_leaf_switch(leaf));
+        }
+        assert!(!ft.is_leaf_switch(SwitchId::new(8))); // a spine
+        assert_eq!(ft.switch_nodes(SwitchId::new(2)).len(), 8);
+        assert_eq!(ft.switch_nodes(SwitchId::new(9)).len(), 0);
+    }
+
+    #[test]
+    fn full_bisection_leaf_radix() {
+        let ft = Topology::fat_tree_two_level(4, 4, 4);
+        // each leaf: 4 down ports + 4 up ports
+        assert_eq!(ft.out_links(SwitchId::new(0).into()).len(), 8);
+        // each spine: 4 down ports
+        assert_eq!(ft.out_links(SwitchId::new(4).into()).len(), 4);
+    }
+}

@@ -1,0 +1,562 @@
+//! The [`Topology`] graph: a directed multigraph of nodes, switches and
+//! unidirectional links, plus a builder for custom networks.
+
+use crate::error::TopologyError;
+use crate::ids::{LinkId, NodeId, SwitchId, Vertex};
+use crate::link::Link;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Which family a [`Topology`] belongs to.
+///
+/// The kind drives routing (dimension-order vs up/down vs BFS) and the
+/// deterministic neighbor ordering used by the MultiTree construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopologyKind {
+    /// 2D Torus with wraparound in both dimensions (direct network).
+    Torus {
+        /// Number of rows (Y extent).
+        rows: usize,
+        /// Number of columns (X extent).
+        cols: usize,
+    },
+    /// 2D Mesh without wraparound (direct network).
+    Mesh {
+        /// Number of rows (Y extent).
+        rows: usize,
+        /// Number of columns (X extent).
+        cols: usize,
+    },
+    /// Two-level Fat-Tree: `leaves` leaf switches, each hosting
+    /// `nodes_per_leaf` nodes, fully connected to `spines` spine switches.
+    FatTree {
+        /// Number of leaf switches.
+        leaves: usize,
+        /// Number of spine switches.
+        spines: usize,
+        /// Nodes attached to every leaf switch.
+        nodes_per_leaf: usize,
+    },
+    /// EFLOPS-style BiGraph: `lower` switches host the nodes and are fully
+    /// connected to `upper` switches.
+    BiGraph {
+        /// Number of upper-layer switches.
+        upper: usize,
+        /// Number of lower-layer switches (these host the nodes).
+        lower: usize,
+        /// Nodes attached to every lower switch.
+        nodes_per_lower: usize,
+    },
+    /// 3D Torus with wraparound in all three dimensions (direct network).
+    Torus3D {
+        /// X extent.
+        x_dim: usize,
+        /// Y extent.
+        y_dim: usize,
+        /// Z extent.
+        z_dim: usize,
+    },
+    /// Binary hypercube of `2^dim` nodes (direct network).
+    Hypercube {
+        /// Number of dimensions.
+        dim: u32,
+    },
+    /// Dragonfly: `groups` groups of `routers_per_group` routers (clique
+    /// within a group, one global link per group pair), `nodes_per_router`
+    /// nodes each. Routing uses BFS minimal paths.
+    Dragonfly {
+        /// Number of groups.
+        groups: usize,
+        /// Routers per group.
+        routers_per_group: usize,
+        /// Nodes per router.
+        nodes_per_router: usize,
+    },
+    /// An arbitrary user-built graph (routing falls back to BFS).
+    Custom,
+}
+
+/// A physical interconnection network.
+///
+/// Vertices are compute nodes (`0..num_nodes`) and switches; links are
+/// unidirectional. See the [crate docs](crate) for the modeling conventions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    kind: TopologyKind,
+    num_nodes: usize,
+    num_switches: usize,
+    links: Vec<Link>,
+    /// Outgoing links per vertex (dense vertex index), in deterministic
+    /// neighbor-preference order.
+    adj: Vec<Vec<LinkId>>,
+    /// Incoming links per vertex.
+    radj: Vec<Vec<LinkId>>,
+}
+
+impl Topology {
+    pub(crate) fn from_parts(
+        kind: TopologyKind,
+        num_nodes: usize,
+        num_switches: usize,
+        links: Vec<Link>,
+    ) -> Self {
+        let nv = num_nodes + num_switches;
+        let mut adj = vec![Vec::new(); nv];
+        let mut radj = vec![Vec::new(); nv];
+        for (i, l) in links.iter().enumerate() {
+            let id = LinkId::new(i);
+            adj[Self::index_of(num_nodes, l.src)].push(id);
+            radj[Self::index_of(num_nodes, l.dst)].push(id);
+        }
+        Topology {
+            kind,
+            num_nodes,
+            num_switches,
+            links,
+            adj,
+            radj,
+        }
+    }
+
+    fn index_of(num_nodes: usize, v: Vertex) -> usize {
+        match v {
+            Vertex::Node(n) => n.index(),
+            Vertex::Switch(s) => num_nodes + s.index(),
+        }
+    }
+
+    /// Dense index of a vertex (nodes first, then switches).
+    pub fn vertex_index(&self, v: Vertex) -> usize {
+        Self::index_of(self.num_nodes, v)
+    }
+
+    /// The vertex at a dense index. Inverse of [`Topology::vertex_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn vertex_at(&self, index: usize) -> Vertex {
+        if index < self.num_nodes {
+            Vertex::Node(NodeId::new(index))
+        } else {
+            let s = index - self.num_nodes;
+            assert!(s < self.num_switches, "vertex index out of range");
+            Vertex::Switch(SwitchId::new(s))
+        }
+    }
+
+    /// Which topology family this is.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// Number of compute nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of switches (zero for direct networks).
+    pub fn num_switches(&self) -> usize {
+        self.num_switches
+    }
+
+    /// Total number of vertices (nodes + switches).
+    pub fn num_vertices(&self) -> usize {
+        self.num_nodes + self.num_switches
+    }
+
+    /// Number of unidirectional links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// True for direct networks (no switches; routers integrated with
+    /// nodes, TPU-pod style).
+    pub fn is_direct(&self) -> bool {
+        self.num_switches == 0
+    }
+
+    /// The link record behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// All links, indexable by [`LinkId::index`].
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// Outgoing link ids of a vertex, in deterministic neighbor-preference
+    /// order (Y dimension before X for Torus/Mesh, per paper §III-C1).
+    pub fn out_links(&self, v: Vertex) -> &[LinkId] {
+        &self.adj[self.vertex_index(v)]
+    }
+
+    /// Incoming link ids of a vertex.
+    pub fn in_links(&self, v: Vertex) -> &[LinkId] {
+        &self.radj[self.vertex_index(v)]
+    }
+
+    /// Outgoing neighbors of a vertex paired with the link used to reach
+    /// them, in preference order.
+    pub fn neighbors(&self, v: Vertex) -> impl Iterator<Item = (Vertex, LinkId)> + '_ {
+        self.out_links(v).iter().map(|&id| (self.links[id.index()].dst, id))
+    }
+
+    /// Finds a link `src -> dst`, if one exists.
+    pub fn find_link(&self, src: Vertex, dst: Vertex) -> Option<LinkId> {
+        self.out_links(src)
+            .iter()
+            .copied()
+            .find(|&id| self.links[id.index()].dst == dst)
+    }
+
+    /// The switch a node is attached to (indirect networks only).
+    pub fn attached_switch(&self, node: NodeId) -> Option<SwitchId> {
+        self.neighbors(node.into())
+            .find_map(|(v, _)| v.as_switch())
+    }
+
+    /// All nodes attached to a switch, ascending by id.
+    pub fn switch_nodes(&self, switch: SwitchId) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self
+            .neighbors(switch.into())
+            .filter_map(|(v, _)| v.as_node())
+            .collect();
+        nodes.sort_unstable();
+        nodes
+    }
+
+    /// `(row, col)` coordinates of a node for Torus/Mesh topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotGridTopology`] for non-grid networks.
+    pub fn coords(&self, node: NodeId) -> Result<(usize, usize), TopologyError> {
+        match self.kind {
+            TopologyKind::Torus { cols, .. } | TopologyKind::Mesh { cols, .. } => {
+                Ok((node.index() / cols, node.index() % cols))
+            }
+            _ => Err(TopologyError::NotGridTopology),
+        }
+    }
+
+    /// The node at grid coordinates `(row, col)` for Torus/Mesh topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NotGridTopology`] for non-grid networks.
+    pub fn node_at(&self, row: usize, col: usize) -> Result<NodeId, TopologyError> {
+        match self.kind {
+            TopologyKind::Torus { rows, cols } | TopologyKind::Mesh { rows, cols } => {
+                assert!(row < rows && col < cols, "grid coordinate out of range");
+                Ok(NodeId::new(row * cols + col))
+            }
+            _ => Err(TopologyError::NotGridTopology),
+        }
+    }
+
+    /// Hop distance (number of links) between two vertices, or `None` if
+    /// unreachable.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let mesh = Topology::mesh(3, 3);
+    /// assert_eq!(mesh.distance(0.into(), 8.into()), Some(4));
+    /// ```
+    pub fn distance(&self, src: Vertex, dst: Vertex) -> Option<usize> {
+        if src == dst {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.num_vertices()];
+        let mut q = VecDeque::new();
+        dist[self.vertex_index(src)] = 0;
+        q.push_back(src);
+        while let Some(v) = q.pop_front() {
+            let d = dist[self.vertex_index(v)];
+            for (n, _) in self.neighbors(v) {
+                let ni = self.vertex_index(n);
+                if dist[ni] == usize::MAX {
+                    dist[ni] = d + 1;
+                    if n == dst {
+                        return Some(d + 1);
+                    }
+                    q.push_back(n);
+                }
+            }
+        }
+        None
+    }
+
+    /// True if every vertex can reach every other vertex.
+    pub fn is_connected(&self) -> bool {
+        if self.num_vertices() == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.num_vertices()];
+        let start = self.vertex_at(0);
+        let mut q = VecDeque::new();
+        seen[0] = true;
+        q.push_back(start);
+        let mut count = 1;
+        while let Some(v) = q.pop_front() {
+            for (n, _) in self.neighbors(v) {
+                let ni = self.vertex_index(n);
+                if !seen[ni] {
+                    seen[ni] = true;
+                    count += 1;
+                    q.push_back(n);
+                }
+            }
+        }
+        count == self.num_vertices()
+    }
+
+    /// Maximum hop distance between any pair of compute nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if some node pair is unreachable.
+    pub fn node_diameter(&self) -> usize {
+        let mut max = 0;
+        for a in 0..self.num_nodes {
+            for b in 0..self.num_nodes {
+                if a == b {
+                    continue;
+                }
+                let d = self
+                    .distance(Vertex::Node(NodeId::new(a)), Vertex::Node(NodeId::new(b)))
+                    .expect("disconnected node pair");
+                max = max.max(d);
+            }
+        }
+        max
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.num_nodes).map(NodeId::new)
+    }
+
+    /// Iterates over all switch ids.
+    pub fn switch_ids(&self) -> impl Iterator<Item = SwitchId> {
+        (0..self.num_switches).map(SwitchId::new)
+    }
+}
+
+impl std::fmt::Display for Topology {
+    /// One-line summary: kind, nodes, switches, links, diameter.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind() {
+            TopologyKind::Torus { rows, cols } => format!("{rows}x{cols} torus"),
+            TopologyKind::Mesh { rows, cols } => format!("{rows}x{cols} mesh"),
+            TopologyKind::Torus3D {
+                x_dim,
+                y_dim,
+                z_dim,
+            } => format!("{x_dim}x{y_dim}x{z_dim} 3D torus"),
+            TopologyKind::Hypercube { dim } => format!("{dim}-cube"),
+            TopologyKind::FatTree {
+                leaves,
+                spines,
+                nodes_per_leaf,
+            } => format!("fat-tree {leaves}l/{spines}s/{nodes_per_leaf}n"),
+            TopologyKind::BiGraph {
+                upper,
+                lower,
+                nodes_per_lower,
+            } => format!("bigraph {upper}x{lower} ({nodes_per_lower}/sw)"),
+            TopologyKind::Dragonfly {
+                groups,
+                routers_per_group,
+                nodes_per_router,
+            } => format!("dragonfly {groups}g/{routers_per_group}r/{nodes_per_router}n"),
+            TopologyKind::Custom => "custom graph".to_string(),
+        };
+        write!(
+            f,
+            "{kind}: {} nodes, {} switches, {} links",
+            self.num_nodes(),
+            self.num_switches(),
+            self.num_links()
+        )
+    }
+}
+
+/// Incremental builder for [`TopologyKind::Custom`] graphs.
+///
+/// ```
+/// use mt_topology::{TopologyBuilder, NodeId};
+///
+/// let mut b = TopologyBuilder::new();
+/// let n0 = b.add_node();
+/// let n1 = b.add_node();
+/// b.add_bidi(n0.into(), n1.into());
+/// let topo = b.build().unwrap();
+/// assert_eq!(topo.num_links(), 2);
+/// assert!(topo.is_connected());
+/// ```
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    num_nodes: usize,
+    num_switches: usize,
+    links: Vec<Link>,
+}
+
+impl TopologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a compute node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Adds `n` compute nodes and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds a switch and returns its id.
+    pub fn add_switch(&mut self) -> SwitchId {
+        let id = SwitchId::new(self.num_switches);
+        self.num_switches += 1;
+        id
+    }
+
+    /// Adds one unidirectional unit-capacity link.
+    pub fn add_link(&mut self, src: Vertex, dst: Vertex) -> &mut Self {
+        self.links.push(Link::new(src, dst));
+        self
+    }
+
+    /// Adds a bidirectional cable (two unidirectional links).
+    pub fn add_bidi(&mut self, a: Vertex, b: Vertex) -> &mut Self {
+        self.links.push(Link::new(a, b));
+        self.links.push(Link::new(b, a));
+        self
+    }
+
+    /// Adds a bidirectional cable with bandwidth multiplicity `capacity`.
+    pub fn add_bidi_with_capacity(&mut self, a: Vertex, b: Vertex, capacity: u32) -> &mut Self {
+        self.links.push(Link::with_capacity(a, b, capacity));
+        self.links.push(Link::with_capacity(b, a, capacity));
+        self
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::DanglingLink`] if a link references an
+    /// unknown vertex, or [`TopologyError::EmptyTopology`] if there are no
+    /// nodes.
+    pub fn build(self) -> Result<Topology, TopologyError> {
+        if self.num_nodes == 0 {
+            return Err(TopologyError::EmptyTopology);
+        }
+        for l in &self.links {
+            for v in [l.src, l.dst] {
+                let ok = match v {
+                    Vertex::Node(n) => n.index() < self.num_nodes,
+                    Vertex::Switch(s) => s.index() < self.num_switches,
+                };
+                if !ok {
+                    return Err(TopologyError::DanglingLink { vertex: v });
+                }
+            }
+        }
+        Ok(Topology::from_parts(
+            TopologyKind::Custom,
+            self.num_nodes,
+            self.num_switches,
+            self.links,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(matches!(
+            TopologyBuilder::new().build(),
+            Err(TopologyError::EmptyTopology)
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_dangling_link() {
+        let mut b = TopologyBuilder::new();
+        let n0 = b.add_node();
+        b.add_link(n0.into(), NodeId::new(5).into());
+        assert!(matches!(
+            b.build(),
+            Err(TopologyError::DanglingLink { .. })
+        ));
+    }
+
+    #[test]
+    fn custom_triangle() {
+        let mut b = TopologyBuilder::new();
+        let ns = b.add_nodes(3);
+        b.add_bidi(ns[0].into(), ns[1].into());
+        b.add_bidi(ns[1].into(), ns[2].into());
+        b.add_bidi(ns[2].into(), ns[0].into());
+        let t = b.build().unwrap();
+        assert_eq!(t.num_links(), 6);
+        assert!(t.is_connected());
+        assert_eq!(t.node_diameter(), 1);
+        assert_eq!(t.find_link(ns[0].into(), ns[1].into()).map(|l| l.index()), Some(0));
+        assert!(t.find_link(ns[0].into(), ns[0].into()).is_none());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(2);
+        let t = b.build().unwrap();
+        assert!(!t.is_connected());
+        assert_eq!(t.distance(0.into(), 1.into()), None);
+    }
+
+    #[test]
+    fn display_summaries() {
+        assert_eq!(
+            Topology::torus(4, 4).to_string(),
+            "4x4 torus: 16 nodes, 0 switches, 64 links"
+        );
+        assert_eq!(
+            Topology::dgx2_like_16().to_string(),
+            "fat-tree 4l/4s/4n: 16 nodes, 8 switches, 64 links"
+        );
+        assert_eq!(
+            Topology::hypercube(3).to_string(),
+            "3-cube: 8 nodes, 0 switches, 24 links"
+        );
+    }
+
+    #[test]
+    fn vertex_index_roundtrip() {
+        let mut b = TopologyBuilder::new();
+        let n = b.add_node();
+        let s = b.add_switch();
+        b.add_bidi(n.into(), s.into());
+        let t = b.build().unwrap();
+        for i in 0..t.num_vertices() {
+            assert_eq!(t.vertex_index(t.vertex_at(i)), i);
+        }
+        assert_eq!(t.attached_switch(n), Some(s));
+        assert_eq!(t.switch_nodes(s), vec![n]);
+    }
+}

@@ -1,0 +1,86 @@
+//! Hypercube construction.
+//!
+//! The butterfly/halving-doubling exchange pattern (paper §VII-A) is the
+//! hypercube's native traffic: every halving-doubling partner is a
+//! physical neighbor, making the hypercube the best case for HD and a
+//! good stress of MultiTree's generality claim.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds a `dim`-dimensional binary hypercube (`2^dim` nodes); nodes
+    /// are adjacent iff their ids differ in exactly one bit. Neighbor
+    /// preference order goes from the lowest-order bit upward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `dim > 16`.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let h = Topology::hypercube(6);
+    /// assert_eq!(h.num_nodes(), 64);
+    /// assert_eq!(h.node_diameter(), 6);
+    /// ```
+    pub fn hypercube(dim: u32) -> Topology {
+        assert!((1..=16).contains(&dim), "hypercube dimension must be 1..=16");
+        let n = 1usize << dim;
+        let mut links = Vec::new();
+        for v in 0..n {
+            let here: Vertex = NodeId::new(v).into();
+            for bit in 0..dim {
+                let there: Vertex = NodeId::new(v ^ (1 << bit)).into();
+                links.push(Link::new(here, there));
+            }
+        }
+        Topology::from_parts(TopologyKind::Hypercube { dim }, n, 0, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure() {
+        let h = Topology::hypercube(4);
+        assert_eq!(h.num_nodes(), 16);
+        assert_eq!(h.num_links(), 16 * 4);
+        assert!(h.is_connected());
+        for v in h.node_ids() {
+            assert_eq!(h.out_links(v.into()).len(), 4);
+        }
+    }
+
+    #[test]
+    fn ecube_routing_fixes_bits_low_first() {
+        let h = Topology::hypercube(4);
+        // 0b0000 -> 0b1011: three hops, bits 0, 1, 3 in order
+        let path = h.route(0.into(), 11.into());
+        assert_eq!(path.len(), 3);
+        let hops: Vec<usize> = path
+            .iter()
+            .map(|l| h.link(*l).dst.as_node().unwrap().index())
+            .collect();
+        assert_eq!(hops, vec![1, 3, 11]);
+    }
+
+    #[test]
+    fn distance_is_hamming() {
+        let h = Topology::hypercube(5);
+        for a in 0..32usize {
+            for b in 0..32usize {
+                let d = h.distance(a.into(), b.into()).unwrap();
+                assert_eq!(d as u32, (a ^ b).count_ones());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension")]
+    fn zero_dim_rejected() {
+        Topology::hypercube(0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Strongly-typed identifiers for topology entities.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a compute node (an accelerator endpoint that participates
+/// in all-reduce).
+///
+/// Node ids are dense: a topology with `n` nodes uses ids `0..n`.
+///
+/// ```
+/// use mt_topology::NodeId;
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(format!("{n}"), "N3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+/// Identifier of a switch in an indirect network (Fat-Tree, BiGraph).
+///
+/// Switch ids are dense within a topology and disjoint from node ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SwitchId(usize);
+
+impl SwitchId {
+    /// Creates a switch id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        SwitchId(index)
+    }
+
+    /// The dense index of this switch.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for SwitchId {
+    fn from(index: usize) -> Self {
+        SwitchId(index)
+    }
+}
+
+impl fmt::Display for SwitchId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Identifier of a unidirectional link.
+///
+/// Every physical (bidirectional) cable is modeled as two `LinkId`s, one per
+/// direction, because all-reduce algorithms allocate the two directions
+/// independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(usize);
+
+impl LinkId {
+    /// Creates a link id from a dense index.
+    pub const fn new(index: usize) -> Self {
+        LinkId(index)
+    }
+
+    /// The dense index of this link.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for LinkId {
+    fn from(index: usize) -> Self {
+        LinkId(index)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A vertex of the topology graph: either a compute node or a switch.
+///
+/// Direct networks (Torus, Mesh) contain only `Node` vertices — the router
+/// is integrated with the node, as in Cloud TPU pods. Indirect networks add
+/// `Switch` vertices and node↔switch links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Vertex {
+    /// A compute node endpoint.
+    Node(NodeId),
+    /// A switch (only present in indirect networks).
+    Switch(SwitchId),
+}
+
+impl Vertex {
+    /// Returns the node id if this vertex is a node.
+    pub fn as_node(self) -> Option<NodeId> {
+        match self {
+            Vertex::Node(n) => Some(n),
+            Vertex::Switch(_) => None,
+        }
+    }
+
+    /// Returns the switch id if this vertex is a switch.
+    pub fn as_switch(self) -> Option<SwitchId> {
+        match self {
+            Vertex::Switch(s) => Some(s),
+            Vertex::Node(_) => None,
+        }
+    }
+
+    /// True if this vertex is a compute node.
+    pub fn is_node(self) -> bool {
+        matches!(self, Vertex::Node(_))
+    }
+
+    /// True if this vertex is a switch.
+    pub fn is_switch(self) -> bool {
+        matches!(self, Vertex::Switch(_))
+    }
+}
+
+impl From<NodeId> for Vertex {
+    fn from(n: NodeId) -> Self {
+        Vertex::Node(n)
+    }
+}
+
+impl From<SwitchId> for Vertex {
+    fn from(s: SwitchId) -> Self {
+        Vertex::Switch(s)
+    }
+}
+
+impl From<usize> for Vertex {
+    /// Interprets a bare index as a node id — convenient in tests and
+    /// examples that only deal with direct networks.
+    fn from(index: usize) -> Self {
+        Vertex::Node(NodeId::new(index))
+    }
+}
+
+impl fmt::Display for Vertex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Vertex::Node(n) => write!(f, "{n}"),
+            Vertex::Switch(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(7);
+        assert_eq!(n.index(), 7);
+        assert_eq!(NodeId::from(7), n);
+    }
+
+    #[test]
+    fn vertex_accessors() {
+        let v: Vertex = NodeId::new(2).into();
+        assert!(v.is_node());
+        assert!(!v.is_switch());
+        assert_eq!(v.as_node(), Some(NodeId::new(2)));
+        assert_eq!(v.as_switch(), None);
+
+        let s: Vertex = SwitchId::new(1).into();
+        assert!(s.is_switch());
+        assert_eq!(s.as_switch(), Some(SwitchId::new(1)));
+        assert_eq!(s.as_node(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId::new(0)), "N0");
+        assert_eq!(format!("{}", SwitchId::new(4)), "S4");
+        assert_eq!(format!("{}", LinkId::new(9)), "L9");
+        assert_eq!(format!("{}", Vertex::Node(NodeId::new(1))), "N1");
+        assert_eq!(format!("{}", Vertex::Switch(SwitchId::new(2))), "S2");
+    }
+
+    #[test]
+    fn ordering_is_by_index() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(LinkId::new(0) < LinkId::new(10));
+    }
+}

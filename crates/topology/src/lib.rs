@@ -1,0 +1,60 @@
+//! Interconnection-network topologies for the MultiTree all-reduce co-design
+//! reproduction (Huang et al., ISCA 2021).
+//!
+//! This crate models the physical networks the paper evaluates on:
+//!
+//! * **2D Torus** and **2D Mesh** direct networks (Google-Cloud-TPU-like,
+//!   network interface integrated with the router) — [`Topology::torus`],
+//!   [`Topology::mesh`];
+//! * **two-level Fat-Tree** indirect networks (DGX-2-like) —
+//!   [`Topology::fat_tree_two_level`];
+//! * **BiGraph** indirect networks (Alibaba EFLOPS) — [`Topology::bigraph`].
+//!
+//! A [`Topology`] is a directed multigraph over [`Vertex`] endpoints
+//! (compute [`NodeId`]s and [`SwitchId`]s) connected by unidirectional
+//! [`Link`]s. Every physical cable is represented as **two** unidirectional
+//! links, which is the granularity at which the MultiTree algorithm
+//! allocates bandwidth and at which the network simulator models contention.
+//!
+//! # Quick example
+//!
+//! ```
+//! use mt_topology::Topology;
+//!
+//! let torus = Topology::torus(4, 4);
+//! assert_eq!(torus.num_nodes(), 16);
+//! // A 4x4 torus has 2 dimensions x 16 nodes bidirectional cables
+//! // = 64 unidirectional links.
+//! assert_eq!(torus.num_links(), 64);
+//! let path = torus.route(0.into(), 5.into());
+//! assert_eq!(path.len(), 2); // one X hop + one Y hop
+//! ```
+//!
+//! Deterministic neighbor ordering matters: the MultiTree construction
+//! examines "the neighbors in Y dimension then in X dimension for Torus and
+//! Mesh networks" (paper §III-C1), and [`Topology::neighbors`] returns
+//! neighbors in exactly that order for direct networks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bigraph;
+mod dragonfly;
+mod error;
+mod fattree;
+mod graph;
+mod hypercube;
+mod ids;
+mod link;
+mod mesh;
+mod random;
+mod rings;
+mod routing;
+mod torus;
+mod torus3d;
+
+pub use error::TopologyError;
+pub use graph::{Topology, TopologyBuilder, TopologyKind};
+pub use ids::{LinkId, NodeId, SwitchId, Vertex};
+pub use link::Link;
+pub use rings::{DimRing, RingEmbedding};

@@ -1,0 +1,63 @@
+//! Unidirectional link records.
+
+use crate::ids::Vertex;
+use serde::{Deserialize, Serialize};
+
+/// A unidirectional link between two vertices of the topology graph.
+///
+/// Bandwidth heterogeneity is expressed through [`Link::capacity`]: the
+/// paper (§VII-B) models wider links as multigraph edges — "each edge is a
+/// unit of bandwidth, and wider links can be modeled as multiple edges
+/// proportional to the link bandwidth". We keep one `Link` per direction and
+/// record the multiplicity as an integer capacity, which the MultiTree
+/// allocator treats as the number of times the link may be allocated within
+/// one time step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Link {
+    /// Source vertex.
+    pub src: Vertex,
+    /// Destination vertex.
+    pub dst: Vertex,
+    /// Bandwidth multiplicity in units of the base link bandwidth
+    /// (always ≥ 1).
+    pub capacity: u32,
+}
+
+impl Link {
+    /// Creates a unit-capacity link.
+    pub fn new(src: Vertex, dst: Vertex) -> Self {
+        Link {
+            src,
+            dst,
+            capacity: 1,
+        }
+    }
+
+    /// Creates a link with an explicit bandwidth multiplicity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(src: Vertex, dst: Vertex, capacity: u32) -> Self {
+        assert!(capacity >= 1, "link capacity must be at least 1");
+        Link { src, dst, capacity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn new_link_has_unit_capacity() {
+        let l = Link::new(NodeId::new(0).into(), NodeId::new(1).into());
+        assert_eq!(l.capacity, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Link::with_capacity(NodeId::new(0).into(), NodeId::new(1).into(), 0);
+    }
+}

@@ -1,0 +1,91 @@
+//! 2D Mesh construction.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds a `rows x cols` 2D Mesh direct network (no wraparound).
+    ///
+    /// Same id scheme and neighbor-preference order (Y before X) as
+    /// [`Topology::torus`]; edge/corner nodes simply lack the out-of-range
+    /// neighbors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols == 0`.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let m = Topology::mesh(2, 2);
+    /// assert_eq!(m.num_links(), 8); // the paper's Fig. 3 example graph
+    /// ```
+    pub fn mesh(rows: usize, cols: usize) -> Topology {
+        assert!(rows > 0 && cols > 0, "mesh dimensions must be positive");
+        let mut links = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let here: Vertex = NodeId::new(r * cols + c).into();
+                let mut push = |rr: isize, cc: isize| {
+                    if rr >= 0 && rr < rows as isize && cc >= 0 && cc < cols as isize {
+                        let there: Vertex =
+                            NodeId::new(rr as usize * cols + cc as usize).into();
+                        links.push(Link::new(here, there));
+                    }
+                };
+                let (ri, ci) = (r as isize, c as isize);
+                // Y first, then X.
+                push(ri + 1, ci);
+                push(ri - 1, ci);
+                push(ri, ci + 1);
+                push(ri, ci - 1);
+            }
+        }
+        Topology::from_parts(TopologyKind::Mesh { rows, cols }, rows * cols, 0, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_2x2_matches_paper_example() {
+        let m = Topology::mesh(2, 2);
+        assert_eq!(m.num_nodes(), 4);
+        // 4 bidirectional cables -> 8 unidirectional links (paper Fig. 3).
+        assert_eq!(m.num_links(), 8);
+        for n in m.node_ids() {
+            assert_eq!(m.out_links(n.into()).len(), 2);
+        }
+    }
+
+    #[test]
+    fn mesh_4x4_degrees() {
+        let m = Topology::mesh(4, 4);
+        // corners out-degree 2, edges 3, interior 4
+        let deg = |id: usize| m.out_links(id.into()).len();
+        assert_eq!(deg(0), 2);
+        assert_eq!(deg(1), 3);
+        assert_eq!(deg(5), 4);
+        // total: 2*(2*rows*cols - rows - cols) = 48
+        assert_eq!(m.num_links(), 48);
+        assert_eq!(m.node_diameter(), 6);
+    }
+
+    #[test]
+    fn mesh_has_no_wraparound() {
+        let m = Topology::mesh(4, 4);
+        assert!(m.find_link(0.into(), 12.into()).is_none());
+        assert!(m.find_link(0.into(), 3.into()).is_none());
+    }
+
+    #[test]
+    fn mesh_coords_roundtrip() {
+        let m = Topology::mesh(3, 5);
+        for n in m.node_ids() {
+            let (r, c) = m.coords(n).unwrap();
+            assert_eq!(m.node_at(r, c).unwrap(), n);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic random connected topologies.
+//!
+//! The paper repeatedly distinguishes regular from "asymmetric and
+//! irregular networks" (§III-C1) — these generators produce such graphs
+//! reproducibly (a spanning tree plus extra chords from a seeded
+//! xorshift), for fuzzing the algorithms and for demonstrating the
+//! tree-ordering policies on networks without structure.
+
+use crate::graph::{Topology, TopologyBuilder};
+use crate::ids::NodeId;
+
+/// A tiny deterministic xorshift64* generator (no external RNG
+/// dependency; reproducibility matters more than statistical quality
+/// here).
+#[derive(Debug, Clone)]
+pub(crate) struct XorShift(u64);
+
+impl XorShift {
+    pub(crate) fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    pub(crate) fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+impl Topology {
+    /// Builds a deterministic random connected direct network: a random
+    /// spanning tree over `n` nodes plus up to `extra_edges` random
+    /// chords (duplicates and self-loops are skipped, so fewer may be
+    /// added). Same `(n, extra_edges, seed)` ⇒ same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let t = Topology::random_connected(12, 6, 42);
+    /// assert!(t.is_connected());
+    /// assert_eq!(t, Topology::random_connected(12, 6, 42));
+    /// ```
+    pub fn random_connected(n: usize, extra_edges: usize, seed: u64) -> Topology {
+        assert!(n > 0, "topology needs at least one node");
+        let mut rng = XorShift::new(seed);
+        let mut b = TopologyBuilder::new();
+        let nodes = b.add_nodes(n);
+        let mut present = std::collections::HashSet::new();
+        for i in 1..n {
+            let parent = rng.below(i);
+            b.add_bidi(nodes[i].into(), nodes[parent].into());
+            present.insert((parent.min(i), parent.max(i)));
+        }
+        for _ in 0..extra_edges {
+            let a = rng.below(n);
+            let c = rng.below(n);
+            if a == c || !present.insert((a.min(c), a.max(c))) {
+                continue;
+            }
+            b.add_bidi(nodes[a].into(), nodes[c].into());
+        }
+        b.build().expect("generator produces a valid graph")
+    }
+
+    /// All node ids as a vector (convenience for participant lists).
+    pub fn nodes_vec(&self) -> Vec<NodeId> {
+        self.node_ids().collect()
+    }
+}
+
+impl PartialEq for Topology {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind() == other.kind()
+            && self.num_nodes() == other.num_nodes()
+            && self.num_switches() == other.num_switches()
+            && self.links() == other.links()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_connected() {
+        for seed in [1u64, 7, 99] {
+            let a = Topology::random_connected(20, 10, seed);
+            let b = Topology::random_connected(20, 10, seed);
+            assert_eq!(a, b);
+            assert!(a.is_connected());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Topology::random_connected(20, 10, 1);
+        let b = Topology::random_connected(20, 10, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn no_duplicate_cables() {
+        let t = Topology::random_connected(15, 40, 3);
+        let mut seen = std::collections::HashSet::new();
+        for l in t.links() {
+            assert!(seen.insert((l.src, l.dst)), "duplicate link {l:?}");
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let t = Topology::random_connected(1, 5, 9);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_links(), 0);
+    }
+}

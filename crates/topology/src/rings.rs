@@ -1,0 +1,298 @@
+//! Logical ring embeddings used by the RING and 2D-RING baselines.
+//!
+//! Ring all-reduce only needs *some* cyclic order of the nodes; performance
+//! depends on how well consecutive ring neighbors map to physical links.
+//! [`RingEmbedding::hamiltonian`] produces the natural boustrophedon
+//! ("snake") order on grids — every consecutive pair is one physical hop on
+//! a torus, while a mesh pays a multi-hop closing edge (the effect the
+//! paper discusses for rings on meshes). On indirect networks the id order
+//! is used, making most pairs share an edge switch.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A cyclic ordering of compute nodes onto which a logical ring is mapped.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingEmbedding {
+    order: Vec<NodeId>,
+}
+
+impl RingEmbedding {
+    /// Builds a ring embedding from an explicit order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is empty or contains duplicates.
+    pub fn from_order(order: Vec<NodeId>) -> Self {
+        assert!(!order.is_empty(), "ring must contain at least one node");
+        let mut seen = vec![false; order.iter().map(|n| n.index()).max().unwrap() + 1];
+        for n in &order {
+            assert!(!seen[n.index()], "duplicate node {n} in ring order");
+            seen[n.index()] = true;
+        }
+        RingEmbedding { order }
+    }
+
+    /// The canonical embedding for a topology: snake order on grids
+    /// (physically adjacent consecutive pairs), ascending id order
+    /// elsewhere (consecutive pairs mostly share an edge switch).
+    ///
+    /// ```
+    /// use mt_topology::{RingEmbedding, Topology};
+    /// let torus = Topology::torus(4, 4);
+    /// let ring = RingEmbedding::hamiltonian(&torus);
+    /// // every consecutive pair is one physical hop on a torus
+    /// assert_eq!(ring.max_pair_distance(&torus), 1);
+    /// ```
+    pub fn hamiltonian(topo: &Topology) -> Self {
+        let order = match topo.kind() {
+            TopologyKind::Torus { rows, cols } | TopologyKind::Mesh { rows, cols } => {
+                let mut order = Vec::with_capacity(rows * cols);
+                for r in 0..rows {
+                    if r % 2 == 0 {
+                        for c in 0..cols {
+                            order.push(NodeId::new(r * cols + c));
+                        }
+                    } else {
+                        for c in (0..cols).rev() {
+                            order.push(NodeId::new(r * cols + c));
+                        }
+                    }
+                }
+                order
+            }
+            TopologyKind::Torus3D {
+                x_dim,
+                y_dim,
+                z_dim,
+            } => {
+                // plane-by-plane boustrophedon; odd planes reversed so
+                // plane transitions are single Z hops
+                let mut order = Vec::with_capacity(x_dim * y_dim * z_dim);
+                for z in 0..z_dim {
+                    let mut plane = Vec::with_capacity(x_dim * y_dim);
+                    for y in 0..y_dim {
+                        if y % 2 == 0 {
+                            for x in 0..x_dim {
+                                plane.push(NodeId::new((z * y_dim + y) * x_dim + x));
+                            }
+                        } else {
+                            for x in (0..x_dim).rev() {
+                                plane.push(NodeId::new((z * y_dim + y) * x_dim + x));
+                            }
+                        }
+                    }
+                    if z % 2 == 1 {
+                        plane.reverse();
+                    }
+                    order.extend(plane);
+                }
+                order
+            }
+            TopologyKind::Hypercube { dim } => {
+                // Gray-code order: a perfect Hamiltonian cycle
+                (0..(1usize << dim))
+                    .map(|i| NodeId::new(i ^ (i >> 1)))
+                    .collect()
+            }
+            _ => topo.node_ids().collect(),
+        };
+        RingEmbedding { order }
+    }
+
+    /// Number of nodes in the ring.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the ring has no nodes (never true for constructed rings).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The node at ring position `pos` (modulo ring length).
+    pub fn at(&self, pos: usize) -> NodeId {
+        self.order[pos % self.order.len()]
+    }
+
+    /// The ring position of a node, if present.
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        self.order.iter().position(|&n| n == node)
+    }
+
+    /// The successor of the node at position `pos`.
+    pub fn next(&self, pos: usize) -> NodeId {
+        self.at(pos + 1)
+    }
+
+    /// The ring order as a slice.
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// The same ring traversed in the opposite direction — used by
+    /// bidirectional ring algorithms (2D-Ring splits each dimension's
+    /// data over both link directions).
+    pub fn reversed(&self) -> RingEmbedding {
+        let mut order = self.order.clone();
+        order.reverse();
+        RingEmbedding { order }
+    }
+
+    /// Iterates over consecutive `(src, dst)` pairs, including the closing
+    /// pair.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.order.len()).map(move |i| (self.at(i), self.at(i + 1)))
+    }
+
+    /// The maximum physical hop distance between consecutive ring
+    /// neighbors — the "slowest pair" that serializes ring latency.
+    pub fn max_pair_distance(&self, topo: &Topology) -> usize {
+        self.pairs()
+            .map(|(a, b)| topo.distance(a.into(), b.into()).expect("ring pair unreachable"))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-dimension rings used by the 2D-RING baseline: one ring per row and
+/// one per column of a grid network.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimRing {
+    /// One ring per row (each containing that row's nodes, column order).
+    pub rows: Vec<RingEmbedding>,
+    /// One ring per column (each containing that column's nodes, row order).
+    pub cols: Vec<RingEmbedding>,
+}
+
+impl DimRing {
+    /// Builds the row and column rings of a Torus/Mesh topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology is not a grid.
+    pub fn for_grid(topo: &Topology) -> Self {
+        let (rows, cols) = match topo.kind() {
+            TopologyKind::Torus { rows, cols } | TopologyKind::Mesh { rows, cols } => (rows, cols),
+            other => panic!("DimRing requires a grid topology, got {other:?}"),
+        };
+        let row_rings = (0..rows)
+            .map(|r| {
+                RingEmbedding::from_order((0..cols).map(|c| NodeId::new(r * cols + c)).collect())
+            })
+            .collect();
+        let col_rings = (0..cols)
+            .map(|c| {
+                RingEmbedding::from_order((0..rows).map(|r| NodeId::new(r * cols + c)).collect())
+            })
+            .collect();
+        DimRing {
+            rows: row_rings,
+            cols: col_rings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snake_order_on_4x4() {
+        let t = Topology::torus(4, 4);
+        let ring = RingEmbedding::hamiltonian(&t);
+        let ids: Vec<usize> = ring.order().iter().map(|n| n.index()).collect();
+        assert_eq!(
+            ids,
+            vec![0, 1, 2, 3, 7, 6, 5, 4, 8, 9, 10, 11, 15, 14, 13, 12]
+        );
+    }
+
+    #[test]
+    fn torus_snake_is_fully_adjacent() {
+        let t = Topology::torus(4, 4);
+        let ring = RingEmbedding::hamiltonian(&t);
+        assert_eq!(ring.max_pair_distance(&t), 1);
+    }
+
+    #[test]
+    fn mesh_snake_pays_closing_edge() {
+        let m = Topology::mesh(4, 4);
+        let ring = RingEmbedding::hamiltonian(&m);
+        // closing pair (12 -> 0) is 3 hops on a mesh
+        assert_eq!(ring.max_pair_distance(&m), 3);
+    }
+
+    #[test]
+    fn fattree_ring_worst_pair_crosses_spine() {
+        let ft = Topology::dgx2_like_16();
+        let ring = RingEmbedding::hamiltonian(&ft);
+        assert_eq!(ring.max_pair_distance(&ft), 4);
+    }
+
+    #[test]
+    fn pairs_cover_ring() {
+        let t = Topology::torus(2, 2);
+        let ring = RingEmbedding::hamiltonian(&t);
+        let pairs: Vec<_> = ring.pairs().collect();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[3].1, ring.at(0)); // closes the cycle
+    }
+
+    #[test]
+    fn dim_rings_shapes() {
+        let t = Topology::torus(4, 8);
+        let dr = DimRing::for_grid(&t);
+        assert_eq!(dr.rows.len(), 4);
+        assert_eq!(dr.cols.len(), 8);
+        assert_eq!(dr.rows[0].len(), 8);
+        assert_eq!(dr.cols[0].len(), 4);
+        // row rings on a torus are physically adjacent
+        assert_eq!(dr.rows[1].max_pair_distance(&t), 1);
+        assert_eq!(dr.cols[3].max_pair_distance(&t), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_order_rejected() {
+        let _ = RingEmbedding::from_order(vec![NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    fn torus3d_snake_is_fully_adjacent() {
+        let t = Topology::torus3d(4, 4, 4);
+        let ring = RingEmbedding::hamiltonian(&t);
+        assert_eq!(ring.len(), 64);
+        assert_eq!(ring.max_pair_distance(&t), 1);
+    }
+
+    #[test]
+    fn hypercube_gray_code_is_fully_adjacent() {
+        let h = Topology::hypercube(5);
+        let ring = RingEmbedding::hamiltonian(&h);
+        assert_eq!(ring.len(), 32);
+        assert_eq!(ring.max_pair_distance(&h), 1);
+    }
+
+    #[test]
+    fn reversed_ring() {
+        let t = Topology::torus(4, 4);
+        let ring = RingEmbedding::hamiltonian(&t);
+        let rev = ring.reversed();
+        assert_eq!(rev.len(), ring.len());
+        assert_eq!(rev.at(0), ring.at(ring.len() - 1));
+        // reversal preserves physical adjacency on a torus
+        assert_eq!(rev.max_pair_distance(&t), 1);
+    }
+
+    #[test]
+    fn position_lookup() {
+        let t = Topology::mesh(2, 2);
+        let ring = RingEmbedding::hamiltonian(&t);
+        for (i, &n) in ring.order().iter().enumerate() {
+            assert_eq!(ring.position(n), Some(i));
+        }
+        assert_eq!(ring.position(NodeId::new(99)), None);
+    }
+}

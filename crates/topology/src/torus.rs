@@ -1,0 +1,111 @@
+//! 2D Torus construction.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds a `rows x cols` 2D Torus direct network (Cloud-TPU-pod-like).
+    ///
+    /// Node `(r, c)` has id `r * cols + c`. Every node gets links in the
+    /// paper's neighbor-preference order: **Y+ , Y- , X+ , X-** (Y dimension
+    /// before X, §III-C1). Dimensions of extent 2 produce double links (two
+    /// physical cables, as in a wired torus); extent-1 dimensions produce no
+    /// links in that dimension.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols == 0`.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let t = Topology::torus(4, 4);
+    /// assert_eq!(t.num_nodes(), 16);
+    /// assert_eq!(t.num_links(), 64);
+    /// assert_eq!(t.node_diameter(), 4); // 2 + 2 with wraparound
+    /// ```
+    pub fn torus(rows: usize, cols: usize) -> Topology {
+        assert!(rows > 0 && cols > 0, "torus dimensions must be positive");
+        let mut links = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let here: Vertex = NodeId::new(r * cols + c).into();
+                let mut push = |rr: usize, cc: usize| {
+                    let there: Vertex = NodeId::new(rr * cols + cc).into();
+                    if there != here {
+                        links.push(Link::new(here, there));
+                    }
+                };
+                // Y dimension first (row +/- 1 with wraparound), then X.
+                push((r + 1) % rows, c);
+                push((r + rows - 1) % rows, c);
+                push(r, (c + 1) % cols);
+                push(r, (c + cols - 1) % cols);
+            }
+        }
+        Topology::from_parts(TopologyKind::Torus { rows, cols }, rows * cols, 0, links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn torus_4x4_structure() {
+        let t = Topology::torus(4, 4);
+        assert_eq!(t.num_nodes(), 16);
+        assert_eq!(t.num_switches(), 0);
+        assert!(t.is_direct());
+        // degree 4 out, 4 in everywhere
+        for n in t.node_ids() {
+            assert_eq!(t.out_links(n.into()).len(), 4);
+            assert_eq!(t.in_links(n.into()).len(), 4);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn torus_neighbor_order_is_y_first() {
+        let t = Topology::torus(4, 4);
+        // Node (1,1) = id 5. Expected neighbor order: (2,1)=9, (0,1)=1,
+        // (1,2)=6, (1,0)=4.
+        let nbrs: Vec<usize> = t
+            .neighbors(5.into())
+            .map(|(v, _)| v.as_node().unwrap().index())
+            .collect();
+        assert_eq!(nbrs, vec![9, 1, 6, 4]);
+    }
+
+    #[test]
+    fn torus_wraparound_links_exist() {
+        let t = Topology::torus(4, 4);
+        // (0,0) -> (3,0) via Y wraparound
+        assert!(t.find_link(0.into(), 12.into()).is_some());
+        // (0,0) -> (0,3) via X wraparound
+        assert!(t.find_link(0.into(), 3.into()).is_some());
+    }
+
+    #[test]
+    fn torus_extent_two_has_double_links() {
+        let t = Topology::torus(2, 2);
+        // Each node: 2 links in Y (both to the same partner) + 2 in X.
+        assert_eq!(t.num_links(), 16);
+        for n in t.node_ids() {
+            assert_eq!(t.out_links(n.into()).len(), 4);
+        }
+    }
+
+    #[test]
+    fn torus_1d_degenerates_to_ring() {
+        let t = Topology::torus(1, 8);
+        assert_eq!(t.num_links(), 16); // ring of 8, 2 directions
+        assert_eq!(t.node_diameter(), 4);
+    }
+
+    #[test]
+    fn torus_8x8_diameter() {
+        let t = Topology::torus(8, 8);
+        assert_eq!(t.node_diameter(), 8);
+    }
+}

@@ -1,0 +1,154 @@
+//! 3D Torus construction (TPU-v4-class pods).
+//!
+//! The paper argues MultiTree "is applicable to various topologies"
+//! (§III, Table I); the 3D torus is the natural scale-out beyond its
+//! evaluated 2D grids and exercises the same construction with 6-port
+//! routers.
+
+use crate::graph::{Topology, TopologyKind};
+use crate::ids::{NodeId, Vertex};
+use crate::link::Link;
+
+impl Topology {
+    /// Builds an `x_dim x y_dim x z_dim` 3D Torus direct network.
+    ///
+    /// Node `(x, y, z)` has id `(z * y_dim + y) * x_dim + x`. Neighbor
+    /// preference order extends the 2D convention (paper §III-C1) with
+    /// the new dimension first: **Z+, Z-, Y+, Y-, X+, X-**. Extent-2
+    /// dimensions produce double links; extent-1 dimensions none.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let t = Topology::torus3d(4, 4, 4);
+    /// assert_eq!(t.num_nodes(), 64);
+    /// assert_eq!(t.num_links(), 64 * 6);
+    /// assert_eq!(t.node_diameter(), 6);
+    /// ```
+    pub fn torus3d(x_dim: usize, y_dim: usize, z_dim: usize) -> Topology {
+        assert!(
+            x_dim > 0 && y_dim > 0 && z_dim > 0,
+            "torus dimensions must be positive"
+        );
+        let id = |x: usize, y: usize, z: usize| NodeId::new((z * y_dim + y) * x_dim + x);
+        let mut links = Vec::new();
+        for z in 0..z_dim {
+            for y in 0..y_dim {
+                for x in 0..x_dim {
+                    let here: Vertex = id(x, y, z).into();
+                    let mut push = |xx: usize, yy: usize, zz: usize| {
+                        let there: Vertex = id(xx, yy, zz).into();
+                        if there != here {
+                            links.push(Link::new(here, there));
+                        }
+                    };
+                    push(x, y, (z + 1) % z_dim);
+                    push(x, y, (z + z_dim - 1) % z_dim);
+                    push(x, (y + 1) % y_dim, z);
+                    push(x, (y + y_dim - 1) % y_dim, z);
+                    push((x + 1) % x_dim, y, z);
+                    push((x + x_dim - 1) % x_dim, y, z);
+                }
+            }
+        }
+        Topology::from_parts(
+            TopologyKind::Torus3D {
+                x_dim,
+                y_dim,
+                z_dim,
+            },
+            x_dim * y_dim * z_dim,
+            0,
+            links,
+        )
+    }
+
+    /// `(x, y, z)` coordinates of a node in a 3D torus.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::TopologyError::NotGridTopology`] otherwise.
+    pub fn coords3(&self, node: NodeId) -> Result<(usize, usize, usize), crate::TopologyError> {
+        match self.kind() {
+            TopologyKind::Torus3D { x_dim, y_dim, .. } => {
+                let x = node.index() % x_dim;
+                let y = (node.index() / x_dim) % y_dim;
+                let z = node.index() / (x_dim * y_dim);
+                Ok((x, y, z))
+            }
+            _ => Err(crate::TopologyError::NotGridTopology),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_4x4x4() {
+        let t = Topology::torus3d(4, 4, 4);
+        assert_eq!(t.num_nodes(), 64);
+        assert!(t.is_direct());
+        for n in t.node_ids() {
+            assert_eq!(t.out_links(n.into()).len(), 6);
+            assert_eq!(t.in_links(n.into()).len(), 6);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn neighbor_order_is_z_y_x() {
+        let t = Topology::torus3d(4, 4, 4);
+        // node (1,1,1) = id (1*4+1)*4+1 = 21
+        let nbrs: Vec<usize> = t
+            .neighbors(21.into())
+            .map(|(v, _)| v.as_node().unwrap().index())
+            .collect();
+        // Z+: (1,1,2)=37, Z-: (1,1,0)=5, Y+: (1,2,1)=25, Y-: (1,0,1)=17,
+        // X+: (2,1,1)=22, X-: (0,1,1)=20
+        assert_eq!(nbrs, vec![37, 5, 25, 17, 22, 20]);
+    }
+
+    #[test]
+    fn coords3_roundtrip() {
+        let t = Topology::torus3d(3, 4, 5);
+        for n in t.node_ids() {
+            let (x, y, z) = t.coords3(n).unwrap();
+            assert_eq!((z * 4 + y) * 3 + x, n.index());
+        }
+        assert!(Topology::torus(2, 2).coords3(NodeId::new(0)).is_err());
+    }
+
+    #[test]
+    fn routing_works_everywhere() {
+        let t = Topology::torus3d(3, 3, 3);
+        for a in 0..27usize {
+            for b in 0..27usize {
+                let path = t.route(a.into(), b.into());
+                let mut cur: Vertex = NodeId::new(a).into();
+                for l in &path {
+                    assert_eq!(t.link(*l).src, cur);
+                    cur = t.link(*l).dst;
+                }
+                assert_eq!(cur, Vertex::Node(NodeId::new(b)));
+            }
+        }
+        // opposite corner: 1+1+1 hops with wraparound
+        assert_eq!(t.route(0.into(), 26.into()).len(), 3);
+    }
+
+    #[test]
+    fn degenerate_dims() {
+        // 1x1xN degenerates to a ring
+        let t = Topology::torus3d(1, 1, 8);
+        assert_eq!(t.num_links(), 16);
+        assert_eq!(t.node_diameter(), 4);
+        // extent-2 Z gives double links
+        let t = Topology::torus3d(2, 2, 2);
+        assert_eq!(t.num_links(), 8 * 6);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests on routing: minimality, determinism and contiguity
+//! across all topology families.
+
+use mt_topology::{NodeId, Topology, Vertex};
+use proptest::prelude::*;
+
+fn check_contiguous_min(topo: &Topology) {
+    for a in 0..topo.num_nodes() {
+        for b in 0..topo.num_nodes() {
+            let path = topo.route(a.into(), b.into());
+            // contiguity
+            let mut cur: Vertex = NodeId::new(a).into();
+            for l in &path {
+                assert_eq!(topo.link(*l).src, cur);
+                cur = topo.link(*l).dst;
+            }
+            assert_eq!(cur, Vertex::Node(NodeId::new(b)));
+            // minimality
+            let d = topo.distance(a.into(), b.into()).unwrap();
+            assert_eq!(path.len(), d, "route {a}->{b} not minimal");
+            // determinism
+            assert_eq!(path, topo.route(a.into(), b.into()));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn grid_routes_are_minimal(rows in 1usize..6, cols in 1usize..6, wrap: bool) {
+        let topo = if wrap { Topology::torus(rows, cols) } else { Topology::mesh(rows, cols) };
+        check_contiguous_min(&topo);
+    }
+
+    #[test]
+    fn torus3d_routes_are_minimal(x in 1usize..4, y in 1usize..4, z in 1usize..4) {
+        check_contiguous_min(&Topology::torus3d(x, y, z));
+    }
+
+    #[test]
+    fn hypercube_routes_are_minimal(dim in 1u32..6) {
+        check_contiguous_min(&Topology::hypercube(dim));
+    }
+
+    #[test]
+    fn random_graph_bfs_routes_are_minimal(n in 2usize..12, extra in 0usize..10, seed in 0u64..200) {
+        check_contiguous_min(&Topology::random_connected(n, extra, seed));
+    }
+
+    #[test]
+    fn grid_distance_is_manhattan(rows in 2usize..7, cols in 2usize..7, a in 0usize..48, b in 0usize..48) {
+        let topo = Topology::mesh(rows, cols);
+        let n = rows * cols;
+        let (a, b) = (a % n, b % n);
+        let d = topo.distance(a.into(), b.into()).unwrap();
+        let (ar, ac) = (a / cols, a % cols);
+        let (br, bc) = (b / cols, b % cols);
+        prop_assert_eq!(d, ar.abs_diff(br) + ac.abs_diff(bc));
+    }
+
+    #[test]
+    fn torus_distance_uses_wraparound(rows in 2usize..7, cols in 2usize..7, a in 0usize..48, b in 0usize..48) {
+        let topo = Topology::torus(rows, cols);
+        let n = rows * cols;
+        let (a, b) = (a % n, b % n);
+        let d = topo.distance(a.into(), b.into()).unwrap();
+        let wrap_dist = |x: usize, y: usize, extent: usize| {
+            let fwd = (y + extent - x) % extent;
+            fwd.min(extent - fwd)
+        };
+        let (ar, ac) = (a / cols, a % cols);
+        let (br, bc) = (b / cols, b % cols);
+        prop_assert_eq!(d, wrap_dist(ar, br, rows) + wrap_dist(ac, bc, cols));
+    }
+}
+
+#[test]
+fn indirect_routes_are_minimal() {
+    for topo in [
+        Topology::dgx2_like_16(),
+        Topology::bigraph_32(),
+        Topology::dragonfly(3, 2),
+    ] {
+        check_contiguous_min(&topo);
+    }
+}

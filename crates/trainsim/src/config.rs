@@ -1,0 +1,80 @@
+//! Full-system configuration (paper Table III).
+
+use mt_accel::SystolicConfig;
+use mt_netsim::NetworkConfig;
+use serde::{Deserialize, Serialize};
+
+/// Accelerator + network + training parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Per-accelerator systolic configuration.
+    pub accelerator: SystolicConfig,
+    /// Interconnect configuration.
+    pub network: NetworkConfig,
+    /// Training samples per accelerator per iteration (the paper uses a
+    /// mini-batch of `16 x N` for an `N`-node system).
+    pub per_node_batch: u64,
+    /// Bytes per exchanged gradient element (Table III trains in 32-bit
+    /// precision ⇒ 4; mixed-precision deployments use 2, FP8 uses 1).
+    pub gradient_bytes_per_param: u64,
+}
+
+impl SystemConfig {
+    /// The paper's Table III system.
+    pub fn paper_default() -> Self {
+        SystemConfig {
+            accelerator: SystolicConfig::paper_default(),
+            network: NetworkConfig::paper_default(),
+            per_node_batch: 16,
+            gradient_bytes_per_param: 4,
+        }
+    }
+
+    /// Scales model-reported FP32 gradient bytes to this configuration's
+    /// exchange precision.
+    pub fn scaled_grad_bytes(&self, fp32_bytes: u64) -> u64 {
+        fp32_bytes / 4 * self.gradient_bytes_per_param
+    }
+
+    /// Table III with the co-designed message-based flow control.
+    pub fn paper_message_based() -> Self {
+        SystemConfig {
+            network: NetworkConfig::paper_message_based(),
+            ..Self::paper_default()
+        }
+    }
+
+    /// Global mini-batch for an `n`-node system.
+    pub fn global_batch(&self, n: usize) -> u64 {
+        self.per_node_batch * n as u64
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_batch_scaling() {
+        let cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.per_node_batch, 16);
+        assert_eq!(cfg.global_batch(64), 1024);
+        assert_eq!(cfg.gradient_bytes_per_param, 4);
+    }
+
+    #[test]
+    fn precision_scaling() {
+        let mut cfg = SystemConfig::paper_default();
+        assert_eq!(cfg.scaled_grad_bytes(1000), 1000);
+        cfg.gradient_bytes_per_param = 2;
+        assert_eq!(cfg.scaled_grad_bytes(1000), 500);
+        cfg.gradient_bytes_per_param = 1;
+        assert_eq!(cfg.scaled_grad_bytes(1000), 250);
+    }
+}

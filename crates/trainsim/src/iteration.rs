@@ -1,0 +1,163 @@
+//! Non-overlapped training iteration (paper Fig. 11a): forward +
+//! back-propagation, then one whole-model gradient all-reduce.
+
+use crate::config::SystemConfig;
+use multitree::algorithms::{Algorithm, AllReduce};
+use multitree::AlgorithmError;
+use mt_accel::Accelerator;
+use mt_netsim::{flow::FlowEngine, Engine};
+use mt_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Timing breakdown of one non-overlapped training iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    /// Workload name.
+    pub model: String,
+    /// All-reduce algorithm used.
+    pub algorithm: String,
+    /// Forward-pass time (ns).
+    pub fwd_ns: f64,
+    /// Back-propagation time (ns).
+    pub bwd_ns: f64,
+    /// Whole-model gradient all-reduce time (ns).
+    pub allreduce_ns: f64,
+    /// Gradient bytes exchanged.
+    pub grad_bytes: u64,
+}
+
+impl TrainingReport {
+    /// Forward + backward compute time.
+    pub fn compute_ns(&self) -> f64 {
+        self.fwd_ns + self.bwd_ns
+    }
+
+    /// Total iteration time (compute then communicate).
+    pub fn total_ns(&self) -> f64 {
+        self.compute_ns() + self.allreduce_ns
+    }
+
+    /// Fraction of the iteration spent communicating.
+    pub fn comm_fraction(&self) -> f64 {
+        self.allreduce_ns / self.total_ns()
+    }
+}
+
+/// Simulates one non-overlapped training iteration of `model` on the
+/// given topology with the given all-reduce algorithm, per-node batch
+/// from `cfg` (the paper's `16 x N` global mini-batch).
+///
+/// The all-reduce is simulated with the flow-level engine (the paper's
+/// DNN experiments move up to hundreds of MB per iteration); use
+/// [`simulate_iteration_with`] to supply a different engine (e.g. the
+/// flit-level [`mt_netsim::cycle::CycleEngine`] for spot validation).
+///
+/// # Errors
+///
+/// Propagates schedule-construction errors (e.g. an algorithm that does
+/// not support the topology).
+pub fn simulate_iteration(
+    topo: &Topology,
+    model: &mt_accel::Model,
+    algorithm: &Algorithm,
+    cfg: &SystemConfig,
+) -> Result<TrainingReport, AlgorithmError> {
+    simulate_iteration_with(topo, model, algorithm, cfg, &FlowEngine::new(cfg.network))
+}
+
+/// [`simulate_iteration`] with an explicit network engine.
+///
+/// # Errors
+///
+/// Propagates schedule-construction and simulation errors.
+pub fn simulate_iteration_with(
+    topo: &Topology,
+    model: &mt_accel::Model,
+    algorithm: &Algorithm,
+    cfg: &SystemConfig,
+    engine: &dyn Engine,
+) -> Result<TrainingReport, AlgorithmError> {
+    let acc = Accelerator::new(cfg.accelerator);
+    let timing = acc.model_timing(model, cfg.per_node_batch);
+    let grad_bytes = cfg.scaled_grad_bytes(timing.grad_bytes);
+    let schedule = algorithm.build(topo)?;
+    let report = engine.run(topo, &schedule, grad_bytes)?;
+    Ok(TrainingReport {
+        model: model.name.clone(),
+        algorithm: algorithm.name().to_string(),
+        fwd_ns: acc.cycles_to_ns(timing.fwd_cycles),
+        bwd_ns: acc.cycles_to_ns(timing.bwd_cycles),
+        allreduce_ns: report.completion_ns,
+        grad_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use multitree::algorithms::{MultiTree, Ring};
+    use mt_accel::models;
+
+    fn sim(model: &mt_accel::Model, algo: Algorithm) -> TrainingReport {
+        let topo = Topology::torus(4, 4);
+        simulate_iteration(&topo, model, &algo, &SystemConfig::paper_default()).unwrap()
+    }
+
+    #[test]
+    fn multitree_beats_ring_on_allreduce() {
+        let ring = sim(&models::resnet50(), Algorithm::Ring(Ring));
+        let mt = sim(
+            &models::resnet50(),
+            Algorithm::MultiTree(MultiTree::default()),
+        );
+        assert!(mt.allreduce_ns < ring.allreduce_ns);
+        // compute identical across algorithms
+        assert_eq!(mt.compute_ns(), ring.compute_ns());
+    }
+
+    #[test]
+    fn ncf_is_communication_dominant_cnns_are_not() {
+        let ncf = sim(&models::ncf(), Algorithm::Ring(Ring));
+        let frcnn = sim(&models::faster_rcnn(), Algorithm::Ring(Ring));
+        assert!(
+            ncf.comm_fraction() > 0.8,
+            "NCF comm fraction {}",
+            ncf.comm_fraction()
+        );
+        assert!(
+            frcnn.comm_fraction() < 0.5,
+            "FasterRCNN comm fraction {}",
+            frcnn.comm_fraction()
+        );
+    }
+
+    #[test]
+    fn cycle_engine_spot_check_agrees_with_flow() {
+        use mt_netsim::cycle::CycleEngine;
+        // tiny workload so the flit-level run stays fast
+        let topo = Topology::torus(2, 2);
+        let mut cfg = SystemConfig::paper_default();
+        cfg.per_node_batch = 1;
+        let model = models::alexnet();
+        let algo = Algorithm::MultiTree(MultiTree::default());
+        let flow = simulate_iteration(&topo, &model, &algo, &cfg).unwrap();
+        let cyc = simulate_iteration_with(
+            &topo,
+            &model,
+            &algo,
+            &cfg,
+            &CycleEngine::new(cfg.network),
+        )
+        .unwrap();
+        assert_eq!(flow.compute_ns(), cyc.compute_ns());
+        let ratio = cyc.allreduce_ns / flow.allreduce_ns;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let r = sim(&models::alexnet(), Algorithm::Ring(Ring));
+        assert!((r.total_ns() - (r.fwd_ns + r.bwd_ns + r.allreduce_ns)).abs() < 1e-9);
+        assert!(r.grad_bytes > 0);
+    }
+}

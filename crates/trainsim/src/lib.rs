@@ -1,0 +1,38 @@
+//! Distributed DNN training co-simulation (paper §V/§VI-C).
+//!
+//! Couples the [`mt_accel`] systolic accelerator model with the
+//! [`mt_netsim`] network engines through the schedules of [`multitree`],
+//! reproducing the paper's two training modes:
+//!
+//! * **non-overlapped** ([`simulate_iteration`]): forward +
+//!   back-propagation compute, then one whole-model gradient all-reduce
+//!   (Fig. 11a);
+//! * **overlapped** ([`simulate_overlapped`]): layer-wise all-reduce —
+//!   each layer's gradient is queued for all-reduce as soon as its
+//!   backward pass finishes, hiding communication behind the remaining
+//!   back-propagation (Fig. 11b).
+//!
+//! ```
+//! use mt_topology::Topology;
+//! use mt_trainsim::{simulate_iteration, SystemConfig};
+//! use multitree::algorithms::{Algorithm, MultiTree};
+//! use mt_accel::models;
+//!
+//! let topo = Topology::torus(4, 4);
+//! let cfg = SystemConfig::paper_default();
+//! let algo = Algorithm::MultiTree(MultiTree::default());
+//! let r = simulate_iteration(&topo, &models::resnet50(), &algo, &cfg)?;
+//! assert!(r.compute_ns() > 0.0 && r.allreduce_ns > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod iteration;
+mod overlap;
+
+pub use config::SystemConfig;
+pub use iteration::{simulate_iteration, simulate_iteration_with, TrainingReport};
+pub use overlap::{simulate_overlapped, simulate_overlapped_bucketed, OverlapReport};

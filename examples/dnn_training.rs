@@ -1,0 +1,61 @@
+//! Simulates one distributed training iteration of ResNet-50 and the
+//! Transformer on an 8x8 Torus (the paper's §VI-C setup), comparing the
+//! all-reduce algorithms in both the non-overlapped and the layer-wise
+//! overlapped training modes.
+//!
+//! ```text
+//! cargo run --release --example dnn_training
+//! ```
+
+use multitree::algorithms::{Algorithm, MultiTree, Ring, Ring2D};
+use mt_accel::models;
+use mt_topology::Topology;
+use mt_trainsim::{simulate_iteration, simulate_overlapped, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topo = Topology::torus(8, 8);
+    let cfg = SystemConfig::paper_default();
+    let cfg_msg = SystemConfig::paper_message_based();
+
+    for model in [models::resnet50(), models::transformer()] {
+        println!(
+            "=== {} on 8x8 Torus, mini-batch {} ({} per accelerator) ===",
+            model.name,
+            cfg.global_batch(topo.num_nodes()),
+            cfg.per_node_batch
+        );
+        println!("gradients per iteration: {:.1} MB", model.gradient_bytes() as f64 / 1e6);
+
+        let algos: Vec<(&str, Algorithm, &SystemConfig)> = vec![
+            ("RING", Algorithm::Ring(Ring), &cfg),
+            ("2D-RING", Algorithm::Ring2D(Ring2D), &cfg),
+            ("MULTITREE", Algorithm::MultiTree(MultiTree::default()), &cfg),
+            (
+                "MULTITREEMSG",
+                Algorithm::MultiTree(MultiTree::default()),
+                &cfg_msg,
+            ),
+        ];
+        println!(
+            "{:<14}{:>14}{:>14}{:>16}{:>18}",
+            "algorithm", "compute (ms)", "comm (ms)", "iteration (ms)", "overlapped (ms)"
+        );
+        for (label, algo, c) in algos {
+            let non = simulate_iteration(&topo, &model, &algo, c)?;
+            let ovl = simulate_overlapped(&topo, &model, &algo, c)?;
+            println!(
+                "{:<14}{:>14.2}{:>14.2}{:>16.2}{:>18.2}",
+                label,
+                non.compute_ns() / 1e6,
+                non.allreduce_ns / 1e6,
+                non.total_ns() / 1e6,
+                ovl.total_ns / 1e6
+            );
+        }
+        println!();
+    }
+    println!("Layer-wise all-reduce hides communication behind back-propagation for");
+    println!("compute-bound CNNs; communication-dominant models (Transformer) still need");
+    println!("the faster algorithm — the co-design's motivation (§VI-C).");
+    Ok(())
+}

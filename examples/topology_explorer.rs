@@ -1,0 +1,64 @@
+//! Compares every applicable all-reduce algorithm across all four of the
+//! paper's network families at one data size — a compact tour of the
+//! public API (topologies, algorithm registry, verifier, cost model,
+//! network simulation).
+//!
+//! ```text
+//! cargo run --release --example topology_explorer [-- <bytes>]
+//! ```
+
+use multitree::algorithms::{Algorithm, AllReduce};
+use multitree::cost::analyze;
+use multitree::verify::verify_schedule;
+use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bytes: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("size in bytes"))
+        .unwrap_or(4 << 20);
+
+    let networks: Vec<(&str, Topology)> = vec![
+        ("4x4 Torus", Topology::torus(4, 4)),
+        ("8x8 Torus", Topology::torus(8, 8)),
+        ("8x8 Mesh", Topology::mesh(8, 8)),
+        ("16-node Fat-Tree", Topology::dgx2_like_16()),
+        ("64-node Fat-Tree", Topology::fat_tree_64()),
+        ("32-node BiGraph", Topology::bigraph_32()),
+    ];
+
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    for (name, topo) in networks {
+        println!(
+            "=== {name}: {} nodes, {} links ===",
+            topo.num_nodes(),
+            topo.num_links()
+        );
+        println!(
+            "{:<18}{:>7}{:>10}{:>12}{:>12}{:>12}",
+            "algorithm", "steps", "volume", "contention", "time (us)", "algbw GB/s"
+        );
+        for algo in Algorithm::applicable_to(&topo) {
+            let schedule = algo.build(&topo)?;
+            verify_schedule(&schedule)?; // every schedule is proven correct
+            let stats = analyze(&schedule, &topo, bytes);
+            let sim = engine.run(&topo, &schedule, bytes)?;
+            println!(
+                "{:<18}{:>7}{:>10.2}{:>12}{:>12.1}{:>12.2}",
+                algo.name(),
+                stats.num_steps,
+                stats.volume_ratio,
+                if stats.is_contention_free() {
+                    "none".to_string()
+                } else {
+                    format!("{:.1}x", stats.max_link_contention)
+                },
+                sim.completion_ns / 1e3,
+                sim.algbw_gbps()
+            );
+        }
+        println!();
+    }
+    Ok(())
+}

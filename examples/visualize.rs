@@ -1,0 +1,62 @@
+//! Exports MultiTree schedule forests as Graphviz documents — the
+//! tooling equivalent of the paper's Fig. 3/4 drawings.
+//!
+//! ```text
+//! cargo run --release --example visualize [-- <out_dir>]
+//! dot -Tpng <out_dir>/forest_mesh2x2.dot -o forest.png
+//! ```
+
+use multitree::algorithms::{AllReduce, MultiTree, Ring};
+use multitree::viz::topology_to_dot;
+use mt_netsim::{cycle::CycleEngine, NetworkConfig};
+use mt_topology::Topology;
+use std::fs;
+use std::path::PathBuf;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "/tmp".into()).into();
+    let cases = [
+        ("forest_mesh2x2", Topology::mesh(2, 2)),
+        ("forest_torus4x4", Topology::torus(4, 4)),
+        ("forest_dgx2", Topology::dgx2_like_16()),
+    ];
+    for (name, topo) in cases {
+        let forest = MultiTree::default().construct_forest(&topo)?;
+        let path = out.join(format!("{name}.dot"));
+        fs::write(&path, forest.to_dot())?;
+        println!(
+            "{}: {} trees, {} construction steps -> {}",
+            name,
+            forest.trees.len(),
+            forest.total_steps,
+            path.display()
+        );
+    }
+    // single-tree drawing too
+    let topo = Topology::mesh(2, 2);
+    let forest = MultiTree::default().construct_forest(&topo)?;
+    let path = out.join("tree0_mesh2x2.dot");
+    fs::write(&path, forest.trees[0].to_dot())?;
+    println!("tree 0 -> {}", path.display());
+
+    // link-load heatmaps from the cycle engine: ring's quarter-utilized
+    // torus vs MultiTree's uniform spread
+    let topo = Topology::torus(4, 4);
+    let engine = CycleEngine::new(NetworkConfig::paper_default());
+    for (name, schedule) in [
+        ("heat_ring", Ring.build(&topo)?),
+        ("heat_multitree", MultiTree::default().build(&topo)?),
+    ] {
+        let (_, stats) = engine.run_detailed(&topo, &schedule, 64 << 10)?;
+        let path = out.join(format!("{name}.dot"));
+        fs::write(&path, topology_to_dot(&topo, Some(&stats.link_flits)))?;
+        println!(
+            "{name}: {} of {} links used -> {}",
+            stats.links_used(),
+            topo.num_links(),
+            path.display()
+        );
+    }
+    println!("render with: dot -Tpng <file>.dot -o out.png  (or neato)");
+    Ok(())
+}

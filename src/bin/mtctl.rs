@@ -1,0 +1,145 @@
+//! `mtctl` — command-line front end to the MultiTree reproduction:
+//! build, verify, analyze, simulate and export all-reduce schedules on
+//! any supported topology.
+//!
+//! ```text
+//! mtctl topos                                   # list topology specs
+//! mtctl algos                                   # list algorithms
+//! mtctl build    --topo torus:8x8 --algo multitree
+//! mtctl simulate --topo torus:8x8 --algo ring --bytes 16MiB --engine cycle
+//! mtctl tables   --topo mesh:2x2  --algo multitree --bytes 4096
+//! mtctl dot      --topo torus:4x4 --out /tmp/forest.dot
+//! ```
+
+use multitree::algorithms::{
+    Algorithm, AllReduce, Blink, DbTree, HalvingDoubling, Hdrm, MultiTree, Ring, Ring2D,
+};
+use multitree::cost::analyze;
+use multitree::table::build_tables;
+use multitree::verify::verify_schedule;
+use multitree_suite::cli;
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+        return;
+    }
+    let cmd = args[0].as_str();
+    let opt = |key: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == &format!("--{key}"))
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+
+    match cmd {
+        "topos" => {
+            println!("topology specs:");
+            for (spec, desc) in cli::TOPOLOGY_SPECS {
+                println!("  {spec:<18} {desc}");
+            }
+        }
+        "algos" => {
+            println!("algorithms: multitree, multitree-rh, ring, dbtree, ring2d,");
+            println!("            halving-doubling, hdrm, blink");
+        }
+        "build" | "simulate" | "tables" | "dot" => {
+            let topo_spec = opt("topo").unwrap_or_else(|| die("--topo required"));
+            let topo = cli::parse_topology(&topo_spec)
+                .unwrap_or_else(|e| die(&format!("bad --topo: {e}")));
+            let algo_name = opt("algo").unwrap_or_else(|| "multitree".into());
+            let algo = parse_algo(&algo_name).unwrap_or_else(|| die("unknown --algo"));
+            let schedule = algo
+                .build(&topo)
+                .unwrap_or_else(|e| die(&format!("construction failed: {e}")));
+
+            match cmd {
+                "build" => {
+                    println!("{topo}");
+                    println!("{schedule}");
+                    match verify_schedule(&schedule) {
+                        Ok(r) => println!(
+                            "verified: {} reduces + {} gathers deliver the full sum",
+                            r.reduces, r.gathers
+                        ),
+                        Err(e) => die(&format!("VERIFICATION FAILED: {e}")),
+                    }
+                    let stats = analyze(&schedule, &topo, 16 << 20);
+                    println!(
+                        "analysis @16MiB: volume ratio {:.2}, contention-free: {}, max hops {}",
+                        stats.volume_ratio,
+                        stats.is_contention_free(),
+                        stats.max_hops
+                    );
+                }
+                "simulate" => {
+                    let bytes = cli::parse_bytes(&opt("bytes").unwrap_or_else(|| "1MiB".into()))
+                        .unwrap_or_else(|e| die(&format!("bad --bytes: {e}")));
+                    let mut cfg = NetworkConfig::paper_default();
+                    if args.iter().any(|a| a == "--msg") {
+                        cfg = NetworkConfig::paper_message_based();
+                    }
+                    let report = match opt("engine").as_deref() {
+                        Some("cycle") => CycleEngine::new(cfg).run(&topo, &schedule, bytes),
+                        _ => FlowEngine::new(cfg).run(&topo, &schedule, bytes),
+                    }
+                    .unwrap_or_else(|e| die(&format!("simulation failed: {e}")));
+                    println!("{schedule}");
+                    println!("{report}");
+                }
+                "tables" => {
+                    let bytes = cli::parse_bytes(&opt("bytes").unwrap_or_else(|| "1MiB".into()))
+                        .unwrap_or_else(|e| die(&format!("bad --bytes: {e}")));
+                    for table in build_tables(&schedule, bytes) {
+                        println!("{table}");
+                    }
+                }
+                "dot" => {
+                    let out = opt("out").unwrap_or_else(|| "/tmp/forest.dot".into());
+                    let forest = MultiTree::default()
+                        .construct_forest(&topo)
+                        .unwrap_or_else(|e| die(&format!("construction failed: {e}")));
+                    std::fs::write(&out, forest.to_dot())
+                        .unwrap_or_else(|e| die(&format!("write failed: {e}")));
+                    println!("wrote {out} ({} trees)", forest.trees.len());
+                }
+                _ => unreachable!(),
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn parse_algo(name: &str) -> Option<Algorithm> {
+    Some(match name {
+        "multitree" => Algorithm::MultiTree(MultiTree::default()),
+        "multitree-rh" => Algorithm::MultiTree(MultiTree::with_remaining_height()),
+        "ring" => Algorithm::Ring(Ring),
+        "dbtree" => Algorithm::DbTree(DbTree::default()),
+        "ring2d" => Algorithm::Ring2D(Ring2D),
+        "halving-doubling" => Algorithm::HalvingDoubling(HalvingDoubling),
+        "hdrm" => Algorithm::Hdrm(Hdrm),
+        "blink" => Algorithm::Blink(Blink::default()),
+        _ => return None,
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "mtctl <command> [options]\n\
+         commands:\n\
+         \u{20}  topos                         list topology specs\n\
+         \u{20}  algos                         list algorithms\n\
+         \u{20}  build    --topo S [--algo A]  construct + verify + analyze\n\
+         \u{20}  simulate --topo S [--algo A] [--bytes N] [--engine flow|cycle] [--msg]\n\
+         \u{20}  tables   --topo S [--algo A] [--bytes N]\n\
+         \u{20}  dot      --topo S [--out F]   export the MultiTree forest"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("mtctl: {msg}");
+    std::process::exit(1);
+}

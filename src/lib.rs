@@ -1,0 +1,173 @@
+//! Umbrella crate for the MultiTree reproduction workspace: re-exports
+//! every member crate, hosts the cross-crate integration tests in
+//! `tests/`, the runnable `examples/`, and the [`cli`] helpers behind
+//! the `mtctl` binary.
+//!
+//! ```
+//! use multitree_suite::core::algorithms::{AllReduce, MultiTree};
+//! use multitree_suite::core::verify::verify_schedule;
+//! use multitree_suite::netsim::{flow::FlowEngine, Engine, NetworkConfig};
+//! use multitree_suite::topology::Topology;
+//!
+//! let topo = Topology::torus(4, 4);
+//! let schedule = MultiTree::default().build(&topo)?;
+//! verify_schedule(&schedule)?;
+//! let report = FlowEngine::new(NetworkConfig::paper_default())
+//!     .run(&topo, &schedule, 1 << 20)?;
+//! assert!(report.algbw_gbps() > 10.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+#![forbid(unsafe_code)]
+pub use mt_accel as accel;
+pub use mt_netsim as netsim;
+pub use mt_topology as topology;
+pub use mt_trainsim as trainsim;
+pub use multitree as core;
+
+/// Command-line parsing helpers shared by the `mtctl` binary.
+pub mod cli {
+    use mt_topology::Topology;
+
+    /// Supported topology specs and their descriptions.
+    pub const TOPOLOGY_SPECS: &[(&str, &str)] = &[
+        ("torus:RxC", "2D torus, e.g. torus:8x8"),
+        ("mesh:RxC", "2D mesh, e.g. mesh:4x4"),
+        ("torus3:XxYxZ", "3D torus, e.g. torus3:4x4x4"),
+        ("hypercube:D", "binary D-cube, e.g. hypercube:6"),
+        ("fattree:L,S,P", "2-level fat-tree: leaves, spines, nodes/leaf"),
+        ("bigraph:U,L,P", "EFLOPS bigraph: upper, lower, nodes/lower"),
+        ("dragonfly:A,P", "dragonfly: A routers/group, P nodes/router"),
+        ("dgx2", "the paper's 16-node DGX-2-like fat-tree"),
+        ("random:N,E,SEED", "seeded random connected graph"),
+    ];
+
+    /// Parses a topology spec like `torus:8x8` or `fattree:8,8,8`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse_topology(spec: &str) -> Result<Topology, String> {
+        let (kind, rest) = spec.split_once(':').unwrap_or((spec, ""));
+        let dims = |sep: char| -> Result<Vec<usize>, String> {
+            rest.split(sep)
+                .map(|p| p.parse::<usize>().map_err(|_| format!("bad number in '{spec}'")))
+                .collect()
+        };
+        match kind {
+            "torus" => {
+                let d = dims('x')?;
+                if d.len() != 2 {
+                    return Err(format!("torus needs RxC, got '{rest}'"));
+                }
+                Ok(Topology::torus(d[0], d[1]))
+            }
+            "mesh" => {
+                let d = dims('x')?;
+                if d.len() != 2 {
+                    return Err(format!("mesh needs RxC, got '{rest}'"));
+                }
+                Ok(Topology::mesh(d[0], d[1]))
+            }
+            "torus3" => {
+                let d = dims('x')?;
+                if d.len() != 3 {
+                    return Err(format!("torus3 needs XxYxZ, got '{rest}'"));
+                }
+                Ok(Topology::torus3d(d[0], d[1], d[2]))
+            }
+            "hypercube" => {
+                let d = dims('x')?;
+                if d.len() != 1 {
+                    return Err(format!("hypercube needs a dimension, got '{rest}'"));
+                }
+                Ok(Topology::hypercube(d[0] as u32))
+            }
+            "fattree" => {
+                let d = dims(',')?;
+                if d.len() != 3 {
+                    return Err("fattree needs L,S,P".into());
+                }
+                Ok(Topology::fat_tree_two_level(d[0], d[1], d[2]))
+            }
+            "bigraph" => {
+                let d = dims(',')?;
+                if d.len() != 3 {
+                    return Err("bigraph needs U,L,P".into());
+                }
+                Ok(Topology::bigraph(d[0], d[1], d[2]))
+            }
+            "dragonfly" => {
+                let d = dims(',')?;
+                if d.len() != 2 {
+                    return Err("dragonfly needs A,P".into());
+                }
+                Ok(Topology::dragonfly(d[0], d[1]))
+            }
+            "dgx2" => Ok(Topology::dgx2_like_16()),
+            "random" => {
+                let d = dims(',')?;
+                if d.len() != 3 {
+                    return Err("random needs N,E,SEED".into());
+                }
+                Ok(Topology::random_connected(d[0], d[1], d[2] as u64))
+            }
+            other => Err(format!("unknown topology kind '{other}'")),
+        }
+    }
+
+    /// Parses a byte count like `4096`, `64KiB` or `16MiB`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for malformed sizes.
+    pub fn parse_bytes(s: &str) -> Result<u64, String> {
+        let (num, mult) = if let Some(n) = s.strip_suffix("GiB") {
+            (n, 1u64 << 30)
+        } else if let Some(n) = s.strip_suffix("MiB") {
+            (n, 1 << 20)
+        } else if let Some(n) = s.strip_suffix("KiB") {
+            (n, 1 << 10)
+        } else {
+            (s, 1)
+        };
+        num.trim()
+            .parse::<u64>()
+            .map(|v| v * mult)
+            .map_err(|_| format!("cannot parse size '{s}'"))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn topology_specs_parse() {
+            assert_eq!(parse_topology("torus:8x8").unwrap().num_nodes(), 64);
+            assert_eq!(parse_topology("mesh:4x4").unwrap().num_nodes(), 16);
+            assert_eq!(parse_topology("torus3:2x2x2").unwrap().num_nodes(), 8);
+            assert_eq!(parse_topology("hypercube:5").unwrap().num_nodes(), 32);
+            assert_eq!(parse_topology("fattree:8,8,8").unwrap().num_nodes(), 64);
+            assert_eq!(parse_topology("bigraph:4,8,4").unwrap().num_nodes(), 32);
+            assert_eq!(parse_topology("dragonfly:4,2").unwrap().num_nodes(), 40);
+            assert_eq!(parse_topology("dgx2").unwrap().num_nodes(), 16);
+            assert_eq!(parse_topology("random:10,5,7").unwrap().num_nodes(), 10);
+        }
+
+        #[test]
+        fn bad_specs_error() {
+            assert!(parse_topology("torus:8").is_err());
+            assert!(parse_topology("blob:1x2").is_err());
+            assert!(parse_topology("fattree:1,2").is_err());
+            assert!(parse_topology("torus:axb").is_err());
+        }
+
+        #[test]
+        fn byte_sizes_parse() {
+            assert_eq!(parse_bytes("4096").unwrap(), 4096);
+            assert_eq!(parse_bytes("64KiB").unwrap(), 64 << 10);
+            assert_eq!(parse_bytes("16MiB").unwrap(), 16 << 20);
+            assert_eq!(parse_bytes("1GiB").unwrap(), 1 << 30);
+            assert!(parse_bytes("lots").is_err());
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The §VII-B collectives executed end-to-end on the network engines:
+//! timing relations between reduce-scatter, all-gather, all-reduce,
+//! broadcast and all-to-all, plus sequential composition.
+
+use multitree::algorithms::{AllReduce, MultiTree};
+use multitree::verify::verify_schedule;
+use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::{NodeId, Topology};
+
+fn engine() -> FlowEngine {
+    FlowEngine::new(NetworkConfig::paper_default())
+}
+
+#[test]
+fn reduce_scatter_costs_half_an_all_reduce() {
+    let topo = Topology::torus(4, 4);
+    let bytes = 8 << 20;
+    let ar = engine()
+        .run(&topo, &MultiTree::default().build(&topo).unwrap(), bytes)
+        .unwrap();
+    let rs = engine()
+        .run(
+            &topo,
+            &MultiTree::default().build_reduce_scatter(&topo).unwrap(),
+            bytes,
+        )
+        .unwrap();
+    let ratio = rs.completion_ns / ar.completion_ns;
+    assert!(
+        (0.4..0.6).contains(&ratio),
+        "reduce-scatter should be ~half: {ratio}"
+    );
+}
+
+#[test]
+fn all_gather_matches_reduce_scatter_time() {
+    // the phases are mirror images over the same trees
+    let topo = Topology::torus(4, 4);
+    let bytes = 8 << 20;
+    let rs = engine()
+        .run(
+            &topo,
+            &MultiTree::default().build_reduce_scatter(&topo).unwrap(),
+            bytes,
+        )
+        .unwrap();
+    let ag = engine()
+        .run(
+            &topo,
+            &MultiTree::default().build_all_gather(&topo).unwrap(),
+            bytes,
+        )
+        .unwrap();
+    let ratio = ag.completion_ns / rs.completion_ns;
+    assert!((0.9..1.1).contains(&ratio), "AG/RS ratio {ratio}");
+}
+
+#[test]
+fn composed_rs_ag_times_like_native_all_reduce() {
+    let topo = Topology::torus(4, 4);
+    let bytes = 4 << 20;
+    let composed = MultiTree::default()
+        .build_reduce_scatter(&topo)
+        .unwrap()
+        .then(&MultiTree::default().build_all_gather(&topo).unwrap());
+    verify_schedule(&composed).unwrap();
+    let native = engine()
+        .run(&topo, &MultiTree::default().build(&topo).unwrap(), bytes)
+        .unwrap();
+    let comp = engine().run(&topo, &composed, bytes).unwrap();
+    let ratio = comp.completion_ns / native.completion_ns;
+    assert!(
+        (0.85..1.25).contains(&ratio),
+        "composed vs native ratio {ratio}"
+    );
+}
+
+#[test]
+fn all_to_all_is_cheaper_than_all_gather() {
+    // personalized exchange moves ~D per node vs all-gather's replication
+    let topo = Topology::torus(4, 4);
+    let bytes = 8 << 20;
+    let plan = MultiTree::default().build_all_to_all(&topo).unwrap();
+    let a2a = engine().run(&topo, &plan.schedule, bytes).unwrap();
+    let ag = engine()
+        .run(
+            &topo,
+            &MultiTree::default().build_all_gather(&topo).unwrap(),
+            bytes,
+        )
+        .unwrap();
+    assert!(
+        a2a.completion_ns < ag.completion_ns,
+        "a2a {} !< ag {}",
+        a2a.completion_ns,
+        ag.completion_ns
+    );
+}
+
+#[test]
+fn broadcast_from_any_root_completes() {
+    let topo = Topology::mesh(3, 3);
+    for root in 0..9 {
+        let s = MultiTree::default()
+            .build_broadcast(&topo, NodeId::new(root))
+            .unwrap();
+        let r = engine().run(&topo, &s, 1 << 20).unwrap();
+        assert!(r.completion_ns > 0.0);
+        // every non-root node receives the full payload once
+        assert_eq!(r.messages, 8);
+    }
+}
+
+#[test]
+fn subsets_pay_for_fewer_chunk_owners() {
+    // a subset all-reduce of the same payload has fewer chunk owners and
+    // must relay through non-participants, so it can never beat the full
+    // machine's all-reduce of that payload (the full construction both
+    // maximizes owners and avoids relays)
+    let topo = Topology::torus(8, 8);
+    let bytes = 8 << 20;
+    let time_for = |k: usize| {
+        let participants: Vec<NodeId> = (0..64).step_by(64 / k).map(NodeId::new).collect();
+        let s = MultiTree::default()
+            .build_among(&topo, &participants)
+            .unwrap();
+        engine().run(&topo, &s, bytes).unwrap().completion_ns
+    };
+    let full = engine()
+        .run(&topo, &MultiTree::default().build(&topo).unwrap(), bytes)
+        .unwrap()
+        .completion_ns;
+    for k in [8usize, 16, 32] {
+        let t = time_for(k);
+        assert!(full < t, "full {full} !< {k}-subset {t}");
+    }
+}
+
+#[test]
+fn merged_jobs_slower_than_isolated() {
+    let topo = Topology::torus(4, 4);
+    let a_set: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+    let b_set: Vec<NodeId> = (8..16).map(NodeId::new).collect();
+    let a = MultiTree::default().build_among(&topo, &a_set).unwrap();
+    let b = MultiTree::default().build_among(&topo, &b_set).unwrap();
+    let bytes = 4 << 20;
+    let iso = engine().run(&topo, &a, bytes).unwrap().completion_ns;
+    let merged = a.merge_concurrent(&b);
+    let co = engine().run(&topo, &merged, 2 * bytes).unwrap().completion_ns;
+    assert!(co > iso, "co-located {co} !> isolated {iso}");
+}

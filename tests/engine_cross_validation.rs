@@ -1,0 +1,121 @@
+//! Cross-validation of the two network engines: the fast flow-level
+//! engine must agree with the flit-level cycle engine on contention-free
+//! schedules, and both must match closed-form timing where one exists.
+
+use multitree::algorithms::{AllReduce, HalvingDoubling, Hdrm, MultiTree, Ring};
+use mt_netsim::flowctrl::frame_message;
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+
+fn agree(topo: &Topology, algo: &dyn AllReduce, bytes: u64, tolerance: f64) {
+    let cfg = NetworkConfig::paper_default();
+    let schedule = algo.build(topo).unwrap();
+    let f = FlowEngine::new(cfg).run(topo, &schedule, bytes).unwrap();
+    let c = CycleEngine::new(cfg).run(topo, &schedule, bytes).unwrap();
+    let ratio = c.completion_ns / f.completion_ns;
+    assert!(
+        ((1.0 - tolerance)..(1.0 + tolerance)).contains(&ratio),
+        "{} {}B on {:?}: cycle {} vs flow {} (ratio {ratio:.3})",
+        schedule.algorithm(),
+        bytes,
+        topo.kind(),
+        c.completion_ns,
+        f.completion_ns
+    );
+    // identical flit accounting
+    assert_eq!(f.flits_sent, c.flits_sent);
+    assert_eq!(f.head_flits, c.head_flits);
+    assert_eq!(f.flit_hops, c.flit_hops);
+}
+
+#[test]
+fn engines_agree_on_torus() {
+    let topo = Topology::torus(4, 4);
+    for bytes in [32 << 10, 256 << 10u64] {
+        agree(&topo, &MultiTree::default(), bytes, 0.25);
+        agree(&topo, &Ring, bytes, 0.25);
+        agree(&topo, &HalvingDoubling, bytes, 0.35);
+    }
+}
+
+#[test]
+fn engines_agree_on_mesh() {
+    let topo = Topology::mesh(4, 4);
+    agree(&topo, &MultiTree::default(), 128 << 10, 0.25);
+    agree(&topo, &Ring, 128 << 10, 0.35);
+}
+
+#[test]
+fn engines_agree_on_indirect_networks() {
+    agree(
+        &Topology::dgx2_like_16(),
+        &MultiTree::default(),
+        128 << 10,
+        0.3,
+    );
+    agree(&Topology::bigraph_32(), &Hdrm, 128 << 10, 0.35);
+}
+
+#[test]
+fn both_engines_match_two_node_closed_form() {
+    // Two nodes exchanging D/2 each way in two lockstep steps:
+    // completion = gates + serialization + hop latency.
+    let topo = Topology::torus(1, 2);
+    let mut cfg = NetworkConfig::paper_default();
+    cfg.lockstep = false;
+    let bytes = 128 << 10u64;
+    let schedule = Ring.build(&topo).unwrap();
+    let chunk = frame_message(bytes / 2, &cfg).total_flits() as f64; // per-step flits
+    let hop = cfg.link_latency_ns + f64::from(cfg.router_pipeline_cycles);
+    let expected = 2.0 * (chunk + hop);
+    for report in [
+        FlowEngine::new(cfg).run(&topo, &schedule, bytes).unwrap(),
+        CycleEngine::new(cfg).run(&topo, &schedule, bytes).unwrap(),
+    ] {
+        let err = (report.completion_ns - expected).abs() / expected;
+        assert!(
+            err < 0.02,
+            "completion {} vs closed form {expected}",
+            report.completion_ns
+        );
+    }
+}
+
+#[test]
+fn message_based_flow_control_consistent_across_engines() {
+    let topo = Topology::torus(4, 4);
+    let schedule = MultiTree::default().build(&topo).unwrap();
+    let bytes = 256 << 10;
+    let pkt = NetworkConfig::paper_default();
+    let msg = NetworkConfig::paper_message_based();
+    for engine in ["flow", "cycle"] {
+        let (p, m) = match engine {
+            "flow" => (
+                FlowEngine::new(pkt).run(&topo, &schedule, bytes).unwrap(),
+                FlowEngine::new(msg).run(&topo, &schedule, bytes).unwrap(),
+            ),
+            _ => (
+                CycleEngine::new(pkt).run(&topo, &schedule, bytes).unwrap(),
+                CycleEngine::new(msg).run(&topo, &schedule, bytes).unwrap(),
+            ),
+        };
+        let speedup = p.completion_ns / m.completion_ns;
+        assert!(
+            (1.01..1.10).contains(&speedup),
+            "{engine}: message-based speedup {speedup}"
+        );
+    }
+}
+
+#[test]
+fn cycle_engine_charges_dbtree_contention_more() {
+    use multitree::algorithms::DbTree;
+    let topo = Topology::torus(4, 4);
+    let cfg = NetworkConfig::paper_default();
+    let bytes = 256 << 10;
+    let db = DbTree::default().build(&topo).unwrap();
+    let mt = MultiTree::default().build(&topo).unwrap();
+    let db_c = CycleEngine::new(cfg).run(&topo, &db, bytes).unwrap();
+    let mt_c = CycleEngine::new(cfg).run(&topo, &mt, bytes).unwrap();
+    assert!(db_c.completion_ns > 1.3 * mt_c.completion_ns);
+}

@@ -1,0 +1,133 @@
+//! The paper's generality claim (§III, Table I: MultiTree "applies well
+//! on various topologies") stressed beyond the evaluated four families:
+//! 3D Torus and Hypercube networks, plus the halving-doubling best case.
+
+use multitree::algorithms::{AllReduce, DbTree, HalvingDoubling, MultiTree, Ring};
+use multitree::cost::analyze;
+use multitree::verify::verify_schedule;
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use mt_topology::Topology;
+
+#[test]
+fn multitree_verifies_and_stays_contention_free_on_new_topologies() {
+    for topo in [
+        Topology::torus3d(2, 2, 2),
+        Topology::torus3d(4, 4, 4),
+        Topology::torus3d(3, 4, 2),
+        Topology::hypercube(3),
+        Topology::hypercube(6),
+    ] {
+        let s = MultiTree::default().build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+        let stats = analyze(&s, &topo, 16 << 20);
+        assert!(
+            stats.is_contention_free(),
+            "multitree contends on {:?}: {stats:?}",
+            topo.kind()
+        );
+        assert!(stats.volume_ratio < 1.05);
+    }
+}
+
+#[test]
+fn all_baselines_verify_on_new_topologies() {
+    for topo in [Topology::torus3d(2, 2, 2), Topology::hypercube(4)] {
+        for algo in [
+            &Ring as &dyn AllReduce,
+            &DbTree::default(),
+            &HalvingDoubling,
+            &MultiTree::default(),
+        ] {
+            let s = algo.build(&topo).unwrap();
+            verify_schedule(&s)
+                .unwrap_or_else(|e| panic!("{} on {:?}: {e}", s.algorithm(), topo.kind()));
+        }
+    }
+}
+
+#[test]
+fn multitree_beats_ring_on_3d_torus() {
+    // 6 links per node vs ring's 1 -> even bigger utilization headroom
+    // than on the 2D grids
+    let topo = Topology::torus3d(4, 4, 4);
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let ring = engine
+        .run(&topo, &Ring.build(&topo).unwrap(), 16 << 20)
+        .unwrap();
+    let mt = engine
+        .run(&topo, &MultiTree::default().build(&topo).unwrap(), 16 << 20)
+        .unwrap();
+    let speedup = ring.completion_ns / mt.completion_ns;
+    assert!(speedup > 4.0, "3D-torus speedup only {speedup}");
+    // ring uses 1/12 of the links, multitree nearly all
+    assert!(ring.link_usage_fraction() < 0.2);
+    assert!(mt.link_usage_fraction() > 0.9);
+}
+
+#[test]
+fn hypercube_is_halving_doublings_home_game() {
+    // on a hypercube every HD partner is one hop away: HD gets close to
+    // multitree (per-node volume-optimal with log steps); both verify,
+    // and multitree must not lose badly on HD's best-case network
+    let topo = Topology::hypercube(6);
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let hd = engine
+        .run(&topo, &HalvingDoubling.build(&topo).unwrap(), 16 << 20)
+        .unwrap();
+    let mt = engine
+        .run(&topo, &MultiTree::default().build(&topo).unwrap(), 16 << 20)
+        .unwrap();
+    let hd_stats = analyze(
+        &HalvingDoubling.build(&topo).unwrap(),
+        &topo,
+        16 << 20,
+    );
+    assert!(hd_stats.is_contention_free());
+    assert_eq!(hd_stats.max_hops, 1, "HD pairs are neighbors on a hypercube");
+    let ratio = mt.completion_ns / hd.completion_ns;
+    assert!(
+        ratio < 1.5,
+        "multitree {} vs native HD {}: ratio {ratio}",
+        mt.completion_ns,
+        hd.completion_ns
+    );
+}
+
+#[test]
+fn cycle_engine_handles_3d_datelines() {
+    // DBTree's multi-hop DOR traffic crosses 3D wraparounds; the dateline
+    // VCs must keep the cycle engine deadlock-free
+    let topo = Topology::torus3d(3, 3, 3);
+    let s = DbTree::default().build(&topo).unwrap();
+    let r = CycleEngine::new(NetworkConfig::paper_default())
+        .run(&topo, &s, 64 << 10)
+        .unwrap();
+    assert!(r.completion_ns > 0.0);
+}
+
+#[test]
+fn engines_agree_on_3d_torus() {
+    let topo = Topology::torus3d(2, 2, 2);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let cfg = NetworkConfig::paper_default();
+    let f = FlowEngine::new(cfg).run(&topo, &s, 128 << 10).unwrap();
+    let c = CycleEngine::new(cfg).run(&topo, &s, 128 << 10).unwrap();
+    let ratio = c.completion_ns / f.completion_ns;
+    assert!((0.75..1.35).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn multitree_handles_dragonfly() {
+    let topo = Topology::dragonfly(4, 2); // 40 nodes, 20 routers
+    let s = MultiTree::default().build(&topo).unwrap();
+    verify_schedule(&s).unwrap();
+    let stats = analyze(&s, &topo, 8 << 20);
+    assert!(stats.is_contention_free(), "{stats:?}");
+    // ring works too, but its spine-crossing pairs are slower
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let mt = engine.run(&topo, &s, 1 << 20).unwrap();
+    let ring = engine
+        .run(&topo, &Ring.build(&topo).unwrap(), 1 << 20)
+        .unwrap();
+    assert!(mt.completion_ns < ring.completion_ns);
+}

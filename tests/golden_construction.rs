@@ -1,0 +1,92 @@
+//! Golden tests: the constructions are fully deterministic, so their
+//! exact output on small inputs is pinned here. A failure means the
+//! construction changed behaviour — update deliberately, never casually
+//! (schedules are cached across epochs in deployment, §III-C1).
+
+use multitree::algorithms::{AllReduce, DbTree, MultiTree};
+use mt_topology::Topology;
+
+/// `(root, [(parent, child, step), ...])` per tree.
+type TreeEdges = (usize, Vec<(usize, usize, u32)>);
+
+#[test]
+fn mesh2x2_forest_structure_is_pinned() {
+    let topo = Topology::mesh(2, 2);
+    let forest = MultiTree::default().construct_forest(&topo).unwrap();
+    assert_eq!(forest.total_steps, 2);
+    let edges: Vec<TreeEdges> = forest
+        .trees
+        .iter()
+        .map(|t| {
+            (
+                t.root.index(),
+                t.edges
+                    .iter()
+                    .map(|e| (e.parent.index(), e.child.index(), e.step))
+                    .collect(),
+            )
+        })
+        .collect();
+    assert_eq!(
+        edges,
+        vec![
+            (0, vec![(0, 2, 1), (0, 1, 1), (2, 3, 2)]),
+            (1, vec![(1, 3, 1), (1, 0, 1), (3, 2, 2)]),
+            (2, vec![(2, 0, 1), (2, 3, 1), (0, 1, 2)]),
+            (3, vec![(3, 1, 1), (3, 2, 1), (1, 0, 2)]),
+        ]
+    );
+}
+
+#[test]
+fn headline_step_counts_are_pinned() {
+    let cases: Vec<(Topology, u32)> = vec![
+        (Topology::torus(4, 4), 10),
+        (Topology::torus(8, 8), 34),
+        (Topology::mesh(4, 4), 20),
+        (Topology::dgx2_like_16(), 30),
+        (Topology::bigraph_32(), 62),
+        (Topology::torus3d(4, 4, 4), 24),
+        (Topology::hypercube(6), 26),
+    ];
+    for (topo, steps) in cases {
+        let s = MultiTree::default().build(&topo).unwrap();
+        assert_eq!(
+            s.num_steps(),
+            steps,
+            "step count drifted on {:?}",
+            topo.kind()
+        );
+    }
+}
+
+#[test]
+fn dbtree_trees_are_pinned_for_16_ranks() {
+    let (p1, p2) = DbTree::build_trees(16);
+    // tree 0: the max-trailing-zeros tree over labels 1..=16, rank = label-1
+    assert_eq!(p1[15], None); // rank 15 (label 16) is the root
+    assert_eq!(p1[7], Some(15)); // label 8 hangs off label 16
+    assert_eq!(p1[3], Some(7));
+    assert_eq!(p1[0], Some(1)); // label 1 under label 2
+    // tree 1 is tree 0 shifted by one rank
+    assert_eq!(p2[0], None); // root moved to rank 0
+    assert_eq!(p2[8], Some(0));
+    for r in 0..16 {
+        if let Some(p) = p1[r] {
+            assert_eq!(p2[(r + 1) % 16], Some((p + 1) % 16));
+        }
+    }
+}
+
+#[test]
+fn schedules_are_bitwise_reproducible() {
+    // build twice, compare the full event streams
+    for topo in [Topology::torus(4, 4), Topology::bigraph_32()] {
+        let a = MultiTree::default().build(&topo).unwrap();
+        let b = MultiTree::default().build(&topo).unwrap();
+        assert_eq!(a, b);
+        let ja = serde_json::to_string(&a).unwrap();
+        let jb = serde_json::to_string(&b).unwrap();
+        assert_eq!(ja, jb);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests on the core invariants: for arbitrary grid shapes
+//! and arbitrary connected graphs, schedules must verify semantically,
+//! MultiTree forests must span with per-step link allocation within
+//! capacity, and byte accounting must conserve volume.
+
+use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring, Ring2D};
+use multitree::cost::analyze;
+use multitree::verify::verify_schedule;
+use mt_topology::{Topology, TopologyBuilder};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multitree_verifies_on_any_torus(rows in 1usize..6, cols in 1usize..6) {
+        let topo = Topology::torus(rows, cols);
+        let s = MultiTree::default().build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+    }
+
+    #[test]
+    fn multitree_verifies_on_any_mesh(rows in 1usize..6, cols in 1usize..6) {
+        let topo = Topology::mesh(rows, cols);
+        let s = MultiTree::default().build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+    }
+
+    #[test]
+    fn multitree_contention_free_on_any_grid(rows in 2usize..6, cols in 2usize..6, wrap: bool) {
+        let topo = if wrap {
+            Topology::torus(rows, cols)
+        } else {
+            Topology::mesh(rows, cols)
+        };
+        let s = MultiTree::default().build(&topo).unwrap();
+        let stats = analyze(&s, &topo, 1 << 20);
+        prop_assert!(stats.is_contention_free(), "{stats:?}");
+    }
+
+    #[test]
+    fn multitree_forest_spans_on_random_connected_graphs(
+        n in 2usize..12,
+        extra_edges in prop::collection::vec((0usize..12, 0usize..12), 0..20),
+        seed in 0u64..1000,
+    ) {
+        // random connected direct network: a random spanning tree (each
+        // node i>0 links to a pseudo-random earlier node) plus extras
+        let mut b = TopologyBuilder::new();
+        let nodes = b.add_nodes(n);
+        for i in 1..n {
+            let parent = (seed as usize).wrapping_mul(31).wrapping_add(i * 17) % i;
+            b.add_bidi(nodes[i].into(), nodes[parent].into());
+        }
+        for (a, c) in extra_edges {
+            let (a, c) = (a % n, c % n);
+            if a != c {
+                b.add_bidi(nodes[a].into(), nodes[c].into());
+            }
+        }
+        let topo = b.build().unwrap();
+        let forest = MultiTree::default().construct_forest(&topo).unwrap();
+        prop_assert_eq!(forest.trees.len(), n);
+        for tree in &forest.trees {
+            prop_assert_eq!(tree.len(), n, "tree must span");
+        }
+        // per-step allocation within capacity (multigraph-safe)
+        let mut usage: HashMap<(u32, usize), u32> = HashMap::new();
+        for tree in &forest.trees {
+            for e in &tree.edges {
+                for &l in &e.path {
+                    *usage.entry((e.step, l.index())).or_insert(0) += 1;
+                }
+            }
+        }
+        for ((_, l), count) in usage {
+            prop_assert!(count <= topo.links()[l].capacity);
+        }
+        // and the lowered schedule is a correct all-reduce
+        let s = MultiTree::default().build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+    }
+
+    #[test]
+    fn ring_verifies_on_random_connected_graphs(
+        n in 2usize..10,
+        seed in 0u64..1000,
+    ) {
+        let mut b = TopologyBuilder::new();
+        let nodes = b.add_nodes(n);
+        for i in 1..n {
+            let parent = (seed as usize).wrapping_mul(37).wrapping_add(i * 13) % i;
+            b.add_bidi(nodes[i].into(), nodes[parent].into());
+        }
+        let topo = b.build().unwrap();
+        let s = Ring.build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+    }
+
+    #[test]
+    fn dbtree_verifies_for_any_node_count(n in 2usize..20, chunks in 1usize..6) {
+        let topo = Topology::torus(1, n);
+        let s = DbTree::with_pipeline(chunks).build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+    }
+
+    #[test]
+    fn volume_conservation(rows in 2usize..5, cols in 2usize..5, kib in 1u64..512) {
+        // total bytes moved by reduce ops >= (n-1) x D for any correct
+        // all-reduce, and ring/multitree hit it exactly (optimality)
+        let topo = Topology::torus(rows, cols);
+        let n = (rows * cols) as u64;
+        let bytes = kib * 1024 * n; // divisible by segment count
+        for algo in [&Ring as &dyn AllReduce, &MultiTree::default()] {
+            let s = algo.build(&topo).unwrap();
+            let total: u64 = s.sent_bytes_per_node(bytes).iter().sum();
+            prop_assert_eq!(total, 2 * (n - 1) * bytes, "{}", s.algorithm());
+        }
+    }
+
+    #[test]
+    fn ring2d_verifies_on_any_grid(rows in 2usize..6, cols in 2usize..6) {
+        let topo = Topology::torus(rows, cols);
+        let s = Ring2D.build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+    }
+
+    #[test]
+    fn multitree_contention_free_on_3d_tori(x in 1usize..4, y in 1usize..4, z in 1usize..4) {
+        let topo = Topology::torus3d(x, y, z);
+        let s = MultiTree::default().build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+        let stats = analyze(&s, &topo, 1 << 20);
+        prop_assert!(stats.is_contention_free(), "{stats:?}");
+    }
+
+    #[test]
+    fn multitree_contention_free_on_hypercubes(dim in 1u32..6) {
+        let topo = Topology::hypercube(dim);
+        let s = MultiTree::default().build(&topo).unwrap();
+        verify_schedule(&s).unwrap();
+        let stats = analyze(&s, &topo, 1 << 20);
+        prop_assert!(stats.is_contention_free(), "{stats:?}");
+    }
+
+    #[test]
+    fn subset_allreduce_verifies_on_random_participant_sets(
+        mask in 1u32..65535,
+    ) {
+        // every non-trivial subset of a 4x4 torus all-reduces correctly
+        let topo = Topology::torus(4, 4);
+        let participants: Vec<mt_topology::NodeId> = (0..16)
+            .filter(|i| mask & (1 << i) != 0)
+            .map(mt_topology::NodeId::new)
+            .collect();
+        let s = MultiTree::default().build_among(&topo, &participants).unwrap();
+        multitree::verify::verify_allreduce_among(&s, &participants).unwrap();
+    }
+}

@@ -1,0 +1,72 @@
+//! Serialization round-trips: topologies, schedules, tables, reports and
+//! configurations are data structures users persist (the paper reuses
+//! schedules "computed once during initialization" across epochs — in a
+//! deployment they would be cached on disk).
+
+use multitree::algorithms::{AllReduce, MultiTree, Ring};
+use multitree::table::build_tables;
+use multitree::CommSchedule;
+use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig, SimReport};
+use mt_topology::Topology;
+use mt_trainsim::SystemConfig;
+
+#[test]
+fn topology_roundtrip() {
+    for topo in [
+        Topology::torus(4, 4),
+        Topology::mesh(3, 5),
+        Topology::fat_tree_64(),
+        Topology::bigraph_32(),
+    ] {
+        let json = serde_json::to_string(&topo).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.num_nodes(), topo.num_nodes());
+        assert_eq!(back.num_links(), topo.num_links());
+        assert_eq!(back.kind(), topo.kind());
+        // behaviourally identical: same routes
+        for a in 0..topo.num_nodes().min(8) {
+            for b in 0..topo.num_nodes().min(8) {
+                assert_eq!(topo.route(a.into(), b.into()), back.route(a.into(), b.into()));
+            }
+        }
+    }
+}
+
+#[test]
+fn schedule_roundtrip_preserves_simulation() {
+    let topo = Topology::torus(4, 4);
+    let schedule = MultiTree::default().build(&topo).unwrap();
+    let json = serde_json::to_string(&schedule).unwrap();
+    let back: CommSchedule = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, schedule);
+    // the deserialized schedule simulates identically
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let a = engine.run(&topo, &schedule, 1 << 20).unwrap();
+    let b = engine.run(&topo, &back, 1 << 20).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn tables_and_reports_roundtrip() {
+    let topo = Topology::mesh(2, 2);
+    let schedule = Ring.build(&topo).unwrap();
+    let tables = build_tables(&schedule, 4096);
+    let json = serde_json::to_string(&tables).unwrap();
+    let back: Vec<multitree::table::ScheduleTable> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, tables);
+
+    let report = FlowEngine::new(NetworkConfig::paper_default())
+        .run(&topo, &schedule, 4096)
+        .unwrap();
+    let json = serde_json::to_string(&report).unwrap();
+    let back: SimReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, report);
+}
+
+#[test]
+fn config_roundtrip() {
+    let cfg = SystemConfig::paper_default();
+    let json = serde_json::to_string(&cfg).unwrap();
+    let back: SystemConfig = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, cfg);
+}
