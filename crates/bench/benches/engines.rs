@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use multitree::algorithms::{AllReduce, MultiTree, Ring};
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use multitree::PreparedSchedule;
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 
 fn flow_engine(c: &mut Criterion) {
@@ -17,6 +18,59 @@ fn flow_engine(c: &mut Criterion) {
     });
     g.bench_function("ring", |b| {
         b.iter(|| FlowEngine::new(cfg).run(&topo, &ring, 16 << 20).unwrap())
+    });
+    g.finish();
+}
+
+/// The sweep-shaped workload the harness binaries actually run: one
+/// schedule simulated at every Fig. 9 payload size. `unprepared` pays
+/// validation, routing, and allocation once per size (the old
+/// `Engine::run` path); `prepared` pays them once per schedule and
+/// reuses one scratch across sizes.
+fn prepared_sweep(c: &mut Criterion) {
+    let topo = Topology::torus(8, 8);
+    let cfg = NetworkConfig::paper_default();
+    let mt = MultiTree::default().build(&topo).unwrap();
+    let sizes: Vec<u64> = (2..=26).step_by(2).map(|p| 1u64 << p).collect();
+    let engine = FlowEngine::new(cfg);
+    let mut g = c.benchmark_group("flow_sweep_64node_13sizes");
+    g.bench_function("unprepared", |b| {
+        b.iter(|| {
+            sizes
+                .iter()
+                .map(|&bytes| engine.run(&topo, &mt, bytes).unwrap().completion_ns)
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("prepared", |b| {
+        b.iter(|| {
+            let prep = PreparedSchedule::new(&mt, &topo).unwrap();
+            let mut scratch = SimScratch::new();
+            sizes
+                .iter()
+                .map(|&bytes| {
+                    engine
+                        .run_prepared(&prep, bytes, &mut scratch)
+                        .unwrap()
+                        .completion_ns
+                })
+                .sum::<f64>()
+        })
+    });
+    // steady-state per-run cost once the schedule is prepared, the number
+    // that bounds a long sweep
+    let prep = PreparedSchedule::new(&mt, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    g.bench_function("prepared_single_16MiB", |b| {
+        b.iter(|| {
+            engine
+                .run_prepared(&prep, 16 << 20, &mut scratch)
+                .unwrap()
+                .completion_ns
+        })
+    });
+    g.bench_function("unprepared_single_16MiB", |b| {
+        b.iter(|| engine.run(&topo, &mt, 16 << 20).unwrap().completion_ns)
     });
     g.finish();
 }
@@ -36,6 +90,6 @@ fn cycle_engine(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = flow_engine, cycle_engine
+    targets = flow_engine, prepared_sweep, cycle_engine
 }
 criterion_main!(benches);

@@ -70,6 +70,18 @@ impl Args {
     pub fn json_path(&self) -> Option<PathBuf> {
         self.get("json").map(PathBuf::from)
     }
+
+    /// The `--threads N` worker count for parallel sweeps (default 1 =
+    /// serial; results are identical either way).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value does not parse or is zero.
+    pub fn threads(&self) -> usize {
+        let t = self.get_or("threads", 1usize);
+        assert!(t >= 1, "--threads expects a positive integer");
+        t
+    }
 }
 
 #[cfg(test)]

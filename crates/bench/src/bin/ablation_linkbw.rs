@@ -4,13 +4,18 @@
 //! MultiTree-over-ring speedup at each point.
 //!
 //! ```text
-//! cargo run --release -p mt-bench --bin ablation_linkbw [-- --json out.json]
+//! cargo run --release -p mt-bench --bin ablation_linkbw [-- --threads n] [--json out.json]
 //! ```
+//!
+//! `--threads` parallelizes over (bandwidth, latency) grid points; the
+//! output is byte-identical to a single-threaded run.
 
 use multitree::algorithms::{AllReduce, MultiTree, Ring, Ring2D};
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::dump_json;
-use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_bench::parallel::run_indexed;
+use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -29,36 +34,51 @@ fn main() {
     let ring = Ring.build(&topo).unwrap();
     let r2d = Ring2D.build(&topo).unwrap();
     let mt = MultiTree::default().build(&topo).unwrap();
+    // schedules and their prepared forms are shared read-only by the grid
+    let ring_p = PreparedSchedule::new(&ring, &topo).expect("validates");
+    let r2d_p = PreparedSchedule::new(&r2d, &topo).expect("validates");
+    let mt_p = PreparedSchedule::new(&mt, &topo).expect("validates");
+
+    let grid: Vec<(f64, f64)> = [8.0f64, 16.0, 32.0, 64.0, 128.0]
+        .into_iter()
+        .flat_map(|bw| [50.0f64, 150.0, 500.0].into_iter().map(move |lat| (bw, lat)))
+        .collect();
+    let rows: Vec<Row> = run_indexed(grid, args.threads(), |&(link_gbps, latency_ns)| {
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.link_bandwidth = link_gbps;
+        cfg.link_latency_ns = latency_ns;
+        let engine = FlowEngine::new(cfg);
+        let mut scratch = SimScratch::new();
+        let t_ring = engine
+            .run_prepared(&ring_p, bytes, &mut scratch)
+            .unwrap()
+            .completion_ns;
+        let t_r2d = engine
+            .run_prepared(&r2d_p, bytes, &mut scratch)
+            .unwrap()
+            .completion_ns;
+        let t_mt = engine
+            .run_prepared(&mt_p, bytes, &mut scratch)
+            .unwrap()
+            .completion_ns;
+        Row {
+            link_gbps,
+            latency_ns,
+            speedup_vs_ring: t_ring / t_mt,
+            speedup_vs_ring2d: t_r2d / t_mt,
+        }
+    });
 
     println!("=== §V-A sweep — MultiTree speedup across link configurations (8x8 Torus, 16 MiB) ===");
     println!(
         "{:<12}{:<14}{:>16}{:>18}",
         "BW (GB/s)", "latency (ns)", "vs RING", "vs 2D-RING"
     );
-    let mut rows = Vec::new();
-    for link_gbps in [8.0f64, 16.0, 32.0, 64.0, 128.0] {
-        for latency_ns in [50.0f64, 150.0, 500.0] {
-            let mut cfg = NetworkConfig::paper_default();
-            cfg.link_bandwidth = link_gbps;
-            cfg.link_latency_ns = latency_ns;
-            let engine = FlowEngine::new(cfg);
-            let t_ring = engine.run(&topo, &ring, bytes).unwrap().completion_ns;
-            let t_r2d = engine.run(&topo, &r2d, bytes).unwrap().completion_ns;
-            let t_mt = engine.run(&topo, &mt, bytes).unwrap().completion_ns;
-            println!(
-                "{:<12}{:<14}{:>15.2}x{:>17.2}x",
-                link_gbps,
-                latency_ns,
-                t_ring / t_mt,
-                t_r2d / t_mt
-            );
-            rows.push(Row {
-                link_gbps,
-                latency_ns,
-                speedup_vs_ring: t_ring / t_mt,
-                speedup_vs_ring2d: t_r2d / t_mt,
-            });
-        }
+    for r in &rows {
+        println!(
+            "{:<12}{:<14}{:>15.2}x{:>17.2}x",
+            r.link_gbps, r.latency_ns, r.speedup_vs_ring, r.speedup_vs_ring2d
+        );
     }
     let min = rows
         .iter()

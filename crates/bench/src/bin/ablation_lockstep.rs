@@ -4,13 +4,18 @@
 //! overtaking each other) and for the baselines.
 //!
 //! ```text
-//! cargo run --release -p mt-bench --bin ablation_lockstep [-- --json out.json]
+//! cargo run --release -p mt-bench --bin ablation_lockstep [-- --threads n] [--json out.json]
 //! ```
+//!
+//! `--threads` parallelizes over algorithms; the output is
+//! byte-identical to a single-threaded run.
 
 use multitree::algorithms::{Algorithm, AllReduce, DbTree, MultiTree, Ring};
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
+use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
-use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -36,39 +41,50 @@ fn main() {
         ("MULTITREE", Algorithm::MultiTree(MultiTree::default())),
     ];
 
+    // one unit per algorithm: prepare once, run every (size, config)
+    let rows: Vec<Row> = run_indexed(algos, args.threads(), |(label, algo)| {
+        let schedule = algo.build(&topo).unwrap();
+        let prep = PreparedSchedule::new(&schedule, &topo).expect("schedules validate");
+        let mut scratch = SimScratch::new();
+        [64 << 10, 1 << 20, 16 << 20u64]
+            .into_iter()
+            .map(|bytes| {
+                let with = FlowEngine::new(locked)
+                    .run_prepared(&prep, bytes, &mut scratch)
+                    .unwrap()
+                    .completion_ns;
+                let without = FlowEngine::new(unlocked)
+                    .run_prepared(&prep, bytes, &mut scratch)
+                    .unwrap()
+                    .completion_ns;
+                Row {
+                    algorithm: label.to_string(),
+                    bytes,
+                    with_lockstep_ns: with,
+                    without_lockstep_ns: without,
+                    ratio: with / without,
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
     println!("=== Ablation — NI lockstep injection regulation (8x8 Torus) ===");
     println!(
         "{:<12}{:<10}{:>16}{:>18}{:>9}",
         "algorithm", "size", "lockstep (us)", "no lockstep (us)", "ratio"
     );
-    let mut rows = Vec::new();
-    for (label, algo) in &algos {
-        let schedule = algo.build(&topo).unwrap();
-        for bytes in [64 << 10, 1 << 20, 16 << 20u64] {
-            let with = FlowEngine::new(locked)
-                .run(&topo, &schedule, bytes)
-                .unwrap()
-                .completion_ns;
-            let without = FlowEngine::new(unlocked)
-                .run(&topo, &schedule, bytes)
-                .unwrap()
-                .completion_ns;
-            println!(
-                "{:<12}{:<10}{:>16.2}{:>18.2}{:>9.3}",
-                label,
-                fmt_size(bytes),
-                with / 1e3,
-                without / 1e3,
-                with / without
-            );
-            rows.push(Row {
-                algorithm: label.to_string(),
-                bytes,
-                with_lockstep_ns: with,
-                without_lockstep_ns: without,
-                ratio: with / without,
-            });
-        }
+    for r in &rows {
+        println!(
+            "{:<12}{:<10}{:>16.2}{:>18.2}{:>9.3}",
+            r.algorithm,
+            fmt_size(r.bytes),
+            r.with_lockstep_ns / 1e3,
+            r.without_lockstep_ns / 1e3,
+            r.ratio
+        );
     }
     println!(
         "\nLockstep holds each step's injection until the previous step's estimated\n\

@@ -7,14 +7,19 @@
 //! serialization latency is more dominant".
 //!
 //! ```text
-//! cargo run --release -p mt-bench --bin fig10_scalability [-- --strong] [--json out.json]
+//! cargo run --release -p mt-bench --bin fig10_scalability [-- --strong] [--threads n] [--json out.json]
 //! ```
+//!
+//! `--threads` parallelizes over (torus size, algorithm) units; the
+//! output is byte-identical to a single-threaded run.
 
 use multitree::algorithms::{Algorithm, AllReduce, MultiTree, Ring, Ring2D};
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::dump_json;
-use mt_bench::suites::{run_engine, scalability_tori, EngineKind};
-use mt_netsim::NetworkConfig;
+use mt_bench::parallel::run_indexed;
+use mt_bench::suites::{run_engine_prepared, scalability_tori, EngineKind};
+use mt_netsim::{NetworkConfig, SimScratch};
 use serde::Serialize;
 
 #[derive(Debug, Serialize)]
@@ -43,29 +48,36 @@ fn main() {
         ),
     ];
 
-    let mut rows: Vec<Row> = Vec::new();
-    let mut ring16 = f64::NAN;
-    for (n, topo) in scalability_tori() {
-        let bytes = if strong {
-            96 << 20 // fixed large problem
-        } else {
-            375 * 1024 * n as u64 // 375 x N KiB
-        };
-        for (label, algo, net) in &algos {
-            let schedule = algo.build(&topo).expect("torus supported");
-            let report = run_engine(engine, *net, &topo, &schedule, bytes);
-            if *label == "RING" && n == 16 {
-                ring16 = report.completion_ns;
-            }
-            rows.push(Row {
-                nodes: n,
-                algorithm: label.to_string(),
-                bytes,
-                completion_ns: report.completion_ns,
-                normalized_to_ring16: f64::NAN, // filled below
-            });
+    let units: Vec<_> = scalability_tori()
+        .into_iter()
+        .flat_map(|(n, topo)| {
+            let bytes = if strong {
+                96 << 20 // fixed large problem
+            } else {
+                375 * 1024 * n as u64 // 375 x N KiB
+            };
+            algos
+                .iter()
+                .map(|(label, algo, net)| (n, topo.clone(), bytes, *label, algo.clone(), *net))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut rows: Vec<Row> = run_indexed(units, args.threads(), |(n, topo, bytes, label, algo, net)| {
+        let schedule = algo.build(topo).expect("torus supported");
+        let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+        let report = run_engine_prepared(engine, *net, &prep, *bytes, &mut SimScratch::new());
+        Row {
+            nodes: *n,
+            algorithm: label.to_string(),
+            bytes: *bytes,
+            completion_ns: report.completion_ns,
+            normalized_to_ring16: f64::NAN, // filled below
         }
-    }
+    });
+    let ring16 = rows
+        .iter()
+        .find(|r| r.nodes == 16 && r.algorithm == "RING")
+        .map_or(f64::NAN, |r| r.completion_ns);
     for r in &mut rows {
         r.normalized_to_ring16 = r.completion_ns / ring16;
     }

@@ -5,16 +5,20 @@
 //! cargo run --release -p mt-bench --bin fig9_bandwidth -- --topo torus
 //! cargo run --release -p mt-bench --bin fig9_bandwidth            # all four
 //! options: --topo torus|mesh|fattree|bigraph   --engine flow|cycle
-//!          --max-size <bytes>  --json <path>
+//!          --max-size <bytes>  --threads <n>  --json <path>
 //! ```
+//!
+//! `--threads` parallelizes over (network, algorithm) sweep units; the
+//! output is byte-identical to a single-threaded run.
 
 use mt_bench::args::Args;
-use mt_bench::suites::{bandwidth_sweep, EngineKind, TopoFamily};
+use mt_bench::suites::{bandwidth_sweep_parallel, EngineKind, TopoFamily};
 use mt_bench::{dump_json, fig9_sizes, fmt_size};
 
 fn main() {
     let args = Args::parse();
     let engine: EngineKind = args.get_or("engine", EngineKind::Flow);
+    let threads = args.threads();
     let max_size: u64 = args.get_or("max-size", u64::MAX);
     let sizes: Vec<u64> = fig9_sizes().into_iter().filter(|&s| s <= max_size).collect();
 
@@ -30,7 +34,7 @@ fn main() {
 
     let mut all_points = Vec::new();
     for (family, tag) in families {
-        let points = bandwidth_sweep(family, &sizes, engine);
+        let points = bandwidth_sweep_parallel(family, &sizes, engine, threads);
         let mut networks: Vec<String> = points.iter().map(|p| p.network.clone()).collect();
         networks.dedup();
         for net in networks {

@@ -3,13 +3,18 @@
 //! "applies well on various topologies" row for MultiTree.
 //!
 //! ```text
-//! cargo run --release -p mt-bench --bin generality_sweep [-- --json out.json]
+//! cargo run --release -p mt-bench --bin generality_sweep [-- --threads n] [--json out.json]
 //! ```
+//!
+//! `--threads` parallelizes over (network, algorithm) units; the output
+//! is byte-identical to a single-threaded run.
 
 use multitree::algorithms::{Algorithm, AllReduce, DbTree, HalvingDoubling, MultiTree, Ring};
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
+use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
-use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -35,28 +40,46 @@ fn main() {
     ];
     let sizes = [32 << 10u64, 1 << 20, 16 << 20, 64 << 20];
     let engine = FlowEngine::new(NetworkConfig::paper_default());
+
+    // one unit per (network, algorithm); each sweeps all sizes serially
+    let units: Vec<(usize, usize)> = (0..networks.len())
+        .flat_map(|ni| (0..algos.len()).map(move |ai| (ni, ai)))
+        .collect();
+    let series: Vec<Vec<f64>> = run_indexed(units, args.threads(), |&(ni, ai)| {
+        let topo = &networks[ni].1;
+        let schedule = algos[ai].1.build(topo).expect("applicable");
+        let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+        let mut scratch = SimScratch::new();
+        sizes
+            .iter()
+            .map(|&bytes| {
+                engine
+                    .run_prepared(&prep, bytes, &mut scratch)
+                    .unwrap()
+                    .algbw_gbps()
+            })
+            .collect()
+    });
+    let gbps_at = |ni: usize, ai: usize, si: usize| series[ni * algos.len() + ai][si];
+
     let mut rows = Vec::new();
-    for (net, topo) in &networks {
+    for (ni, (net, _)) in networks.iter().enumerate() {
         println!("\n=== {net} — all-reduce bandwidth (GB/s) ===");
         print!("{:<10}", "size");
         for (label, _) in &algos {
             print!("{label:>12}");
         }
         println!();
-        let schedules: Vec<_> = algos
-            .iter()
-            .map(|(_, a)| a.build(topo).expect("applicable"))
-            .collect();
-        for &bytes in &sizes {
+        for (si, &bytes) in sizes.iter().enumerate() {
             print!("{:<10}", fmt_size(bytes));
-            for ((label, _), s) in algos.iter().zip(&schedules) {
-                let r = engine.run(topo, s, bytes).unwrap();
-                print!("{:>12.3}", r.algbw_gbps());
+            for (ai, (label, _)) in algos.iter().enumerate() {
+                let gbps = gbps_at(ni, ai, si);
+                print!("{gbps:>12.3}");
                 rows.push(Row {
                     network: net.to_string(),
                     algorithm: label.to_string(),
                     bytes,
-                    gbps: r.algbw_gbps(),
+                    gbps,
                 });
             }
             println!();

@@ -1,0 +1,95 @@
+//! Deterministic parallel execution of independent sweep units.
+//!
+//! The harness binaries decompose a sweep into *units* — one
+//! `(network, algorithm)` pair, say — that share no state and each
+//! produce a result. [`run_indexed`] fans the units out over scoped
+//! worker threads and reassembles the results **in unit order**, so the
+//! output of a parallel run is byte-identical to a serial run: thread
+//! scheduling can reorder execution but never the result vector, and
+//! each unit's floating-point work happens entirely on one thread in a
+//! fixed sequence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `f` over every item, using up to `threads` worker threads, and
+/// returns the results in item order. `threads <= 1` runs inline with no
+/// thread machinery at all; either way the result vector is identical.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn run_indexed<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        for _ in 0..threads.min(n) {
+            let tx = tx.clone();
+            let (next, items, f) = (&next, &items, &f);
+            scope.spawn(move || loop {
+                // self-scheduling: each worker claims the next unclaimed
+                // unit, so stragglers don't idle the pool
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every unit completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_regardless_of_thread_count() {
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 4, 16] {
+            let got = run_indexed(items.clone(), threads, |&x| x * x);
+            assert_eq!(got, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_workloads_still_order() {
+        // make later items finish first
+        let items: Vec<u64> = (0..16).rev().collect();
+        let got = run_indexed(items.clone(), 8, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros(x * 50));
+            x + 1
+        });
+        let expect: Vec<u64> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(run_indexed(Vec::<u8>::new(), 4, |&x| x), Vec::<u8>::new());
+        assert_eq!(run_indexed(vec![7u8], 4, |&x| x * 2), vec![14]);
+    }
+}

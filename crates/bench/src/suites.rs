@@ -1,9 +1,10 @@
 //! Experiment suites shared by the harness binaries and the integration
 //! tests: each function regenerates the data series of one figure.
 
+use crate::parallel::run_indexed;
 use multitree::algorithms::{Algorithm, AllReduce, DbTree, Hdrm, MultiTree, Ring, Ring2D};
-use multitree::CommSchedule;
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use multitree::{CommSchedule, PreparedSchedule};
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -41,6 +42,25 @@ pub fn run_engine(
             .expect("flow engine"),
         EngineKind::Cycle => CycleEngine::new(cfg)
             .run(topo, schedule, bytes)
+            .expect("cycle engine"),
+    }
+}
+
+/// Runs a prepared schedule on the chosen engine, reusing `scratch`
+/// across calls — the sweep fast path (bit-identical to [`run_engine`]).
+pub fn run_engine_prepared(
+    kind: EngineKind,
+    cfg: NetworkConfig,
+    prep: &PreparedSchedule<'_>,
+    bytes: u64,
+    scratch: &mut SimScratch,
+) -> mt_netsim::SimReport {
+    match kind {
+        EngineKind::Flow => FlowEngine::new(cfg)
+            .run_prepared(prep, bytes, scratch)
+            .expect("flow engine"),
+        EngineKind::Cycle => CycleEngine::new(cfg)
+            .run_prepared(prep, bytes, scratch)
             .expect("cycle engine"),
     }
 }
@@ -167,32 +187,62 @@ pub struct BandwidthPoint {
 }
 
 /// Sweeps all paper algorithms over `sizes` bytes on every network of a
-/// family (one Fig. 9 subfigure).
+/// family (one Fig. 9 subfigure). Equivalent to
+/// [`bandwidth_sweep_parallel`] with one thread.
 pub fn bandwidth_sweep(
     family: TopoFamily,
     sizes: &[u64],
     engine: EngineKind,
 ) -> Vec<BandwidthPoint> {
-    let mut out = Vec::new();
-    for (net_label, topo) in fig9_networks(family) {
-        for ac in paper_algorithms(&topo) {
-            let schedule = ac
-                .algorithm
-                .build(&topo)
-                .expect("paper algorithms support their topologies");
-            for &bytes in sizes {
-                let report = run_engine(engine, ac.network, &topo, &schedule, bytes);
-                out.push(BandwidthPoint {
+    bandwidth_sweep_parallel(family, sizes, engine, 1)
+}
+
+/// [`bandwidth_sweep`] fanned out over `threads` workers.
+///
+/// The sweep decomposes into independent `(network, algorithm)` units;
+/// each unit builds and prepares its schedule once, then runs every
+/// payload size serially on one thread with a reused scratch. Results
+/// come back in the serial loop order, so the output is byte-identical
+/// for any thread count.
+pub fn bandwidth_sweep_parallel(
+    family: TopoFamily,
+    sizes: &[u64],
+    engine: EngineKind,
+    threads: usize,
+) -> Vec<BandwidthPoint> {
+    let units: Vec<(String, Topology, AlgoConfig)> = fig9_networks(family)
+        .into_iter()
+        .flat_map(|(net_label, topo)| {
+            paper_algorithms(&topo)
+                .into_iter()
+                .map(move |ac| (net_label.clone(), topo.clone(), ac))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    run_indexed(units, threads, |(net_label, topo, ac)| {
+        let schedule = ac
+            .algorithm
+            .build(topo)
+            .expect("paper algorithms support their topologies");
+        let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+        let mut scratch = SimScratch::new();
+        sizes
+            .iter()
+            .map(|&bytes| {
+                let report = run_engine_prepared(engine, ac.network, &prep, bytes, &mut scratch);
+                BandwidthPoint {
                     network: net_label.clone(),
                     algorithm: ac.label.to_string(),
                     bytes,
                     completion_ns: report.completion_ns,
                     gbps: report.algbw_gbps(),
-                });
-            }
-        }
-    }
-    out
+                }
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The Fig. 10 torus ladder: 16, 32, 64, 128, 256 nodes.

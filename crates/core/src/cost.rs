@@ -10,6 +10,7 @@ use crate::event::CommEvent;
 use crate::schedule::CommSchedule;
 use mt_topology::{LinkId, Topology};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Analytic properties of a schedule on a topology.
@@ -87,8 +88,8 @@ pub fn analyze(schedule: &CommSchedule, topo: &Topology, total_bytes: u64) -> Sc
             let path = event_path(e, topo);
             max_hops = max_hops.max(path.len());
             hop_sum += path.len();
-            for l in path {
-                *usage.entry(l).or_insert(0) += 1;
+            for l in path.iter() {
+                *usage.entry(*l).or_insert(0) += 1;
             }
         }
         for (l, count) in usage {
@@ -176,8 +177,8 @@ pub fn step_profile(schedule: &CommSchedule, topo: &Topology, total_bytes: u64) 
             for e in events {
                 let b = e.bytes(total_bytes, schedule.total_segments());
                 bytes += b;
-                for l in event_path(e, topo) {
-                    *link_bytes.entry(l).or_insert(0) += b;
+                for l in event_path(e, topo).iter() {
+                    *link_bytes.entry(*l).or_insert(0) += b;
                 }
             }
             StepProfile {
@@ -193,10 +194,14 @@ pub fn step_profile(schedule: &CommSchedule, topo: &Topology, total_bytes: u64) 
 
 /// The physical link path an event takes: its explicit allocation if the
 /// algorithm provided one, otherwise the topology's deterministic route.
-pub fn event_path(e: &CommEvent, topo: &Topology) -> Vec<LinkId> {
+///
+/// Borrows the event's stored path when one exists (the common case for
+/// link-allocating algorithms like MultiTree), allocating only when a
+/// route must be computed.
+pub fn event_path<'e>(e: &'e CommEvent, topo: &Topology) -> Cow<'e, [LinkId]> {
     match &e.path {
-        Some(p) => p.clone(),
-        None => topo.route(e.src.into(), e.dst.into()),
+        Some(p) => Cow::Borrowed(p.as_slice()),
+        None => Cow::Owned(topo.route(e.src.into(), e.dst.into())),
     }
 }
 
@@ -221,8 +226,8 @@ pub fn alpha_beta_time_ns(
             let bytes = e.bytes(total_bytes, schedule.total_segments());
             let path = event_path(e, topo);
             max_hops = max_hops.max(path.len());
-            for l in path {
-                *link_bytes.entry(l).or_insert(0) += bytes;
+            for l in path.iter() {
+                *link_bytes.entry(*l).or_insert(0) += bytes;
             }
         }
         let ser = link_bytes

@@ -49,6 +49,7 @@ pub mod collective;
 pub mod cost;
 mod error;
 mod event;
+pub mod prepared;
 mod schedule;
 pub mod table;
 pub mod util;
@@ -58,4 +59,5 @@ pub mod viz;
 pub use chunk::ChunkRange;
 pub use error::AlgorithmError;
 pub use event::{CollectiveOp, CommEvent, EventId, FlowId};
+pub use prepared::PreparedSchedule;
 pub use schedule::CommSchedule;

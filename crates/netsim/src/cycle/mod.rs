@@ -25,9 +25,9 @@
 use crate::config::{FlowControlMode, NetworkConfig};
 use crate::flowctrl::frame_message;
 use crate::report::SimReport;
+use crate::scratch::{reset_to, SimScratch};
 use crate::Engine;
-use multitree::cost::event_path;
-use multitree::{AlgorithmError, CommSchedule};
+use multitree::{AlgorithmError, CommSchedule, PreparedSchedule};
 use mt_topology::Topology;
 use std::collections::VecDeque;
 
@@ -153,7 +153,25 @@ impl CycleEngine {
         schedule: &CommSchedule,
         total_bytes: u64,
     ) -> Result<(SimReport, CycleStats), AlgorithmError> {
-        self.run_impl(topo, schedule, total_bytes)
+        let prep = PreparedSchedule::new(schedule, topo)?;
+        let mut scratch = SimScratch::new();
+        self.run_prepared_detailed(&prep, total_bytes, &mut scratch)
+    }
+
+    /// Executes an already-prepared schedule, reusing `scratch`'s
+    /// dependency-tracking buffers. Bit-identical to [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
+    /// exceeds the cycle watchdog.
+    pub fn run_prepared(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<SimReport, AlgorithmError> {
+        Ok(self.run_prepared_detailed(prep, total_bytes, scratch)?.0)
     }
 }
 
@@ -164,20 +182,28 @@ impl Engine for CycleEngine {
         schedule: &CommSchedule,
         total_bytes: u64,
     ) -> Result<SimReport, AlgorithmError> {
-        Ok(self.run_impl(topo, schedule, total_bytes)?.0)
+        let prep = PreparedSchedule::new(schedule, topo)?;
+        let mut scratch = SimScratch::new();
+        self.run_prepared(&prep, total_bytes, &mut scratch)
     }
 }
 
 impl CycleEngine {
-    fn run_impl(
+    /// [`CycleEngine::run_prepared`] with microarchitectural statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CycleEngine::run_prepared`].
+    pub fn run_prepared_detailed(
         &self,
-        topo: &Topology,
-        schedule: &CommSchedule,
+        prep: &PreparedSchedule<'_>,
         total_bytes: u64,
+        scratch: &mut SimScratch,
     ) -> Result<(SimReport, CycleStats), AlgorithmError> {
-        schedule.validate()?;
+        let topo = prep.topology();
+        let schedule = prep.schedule();
         let cfg = &self.cfg;
-        let events = schedule.events();
+        let events = prep.events();
         if events.is_empty() {
             return Ok((
                 SimReport {
@@ -214,7 +240,7 @@ impl CycleEngine {
         for (i, e) in events.iter().enumerate() {
             let bytes = e.bytes(total_bytes, segs);
             let framing = frame_message(bytes, cfg);
-            let path = event_path(e, topo);
+            let path = prep.path(i).to_vec();
             assert!(!path.is_empty(), "events always cross at least one link");
             let total = framing.total_flits();
             flits_sent += total;
@@ -312,15 +338,14 @@ impl CycleEngine {
             clock: 0,
         };
 
-        // dependency tracking
-        let mut remaining_deps: Vec<usize> = events.iter().map(|e| e.deps.len()).collect();
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); events.len()];
-        for e in events {
-            for d in &e.deps {
-                dependents[d.index()].push(e.id.index());
-            }
-        }
-        let mut issued = vec![false; events.len()];
+        // dependency tracking (reuses the scratch count-down buffers)
+        scratch.remaining_deps.clear();
+        scratch
+            .remaining_deps
+            .extend((0..events.len()).map(|i| prep.indegree(i)));
+        let remaining_deps = &mut scratch.remaining_deps;
+        reset_to(&mut scratch.issued, events.len(), false);
+        let issued = &mut scratch.issued;
         let mut delivered_count = 0usize;
         let mut inj_opt = inj_streams;
 
@@ -425,8 +450,8 @@ impl CycleEngine {
                 msg.delivered_at = Some(now);
                 completion_cycle = completion_cycle.max(now);
                 delivered_count += 1;
-                for &dep_idx in &dependents[msg.event] {
-                    remaining_deps[dep_idx] -= 1;
+                for &dep_idx in prep.dependents(msg.event) {
+                    remaining_deps[dep_idx as usize] -= 1;
                 }
             }
 

@@ -21,12 +21,11 @@
 use crate::config::NetworkConfig;
 use crate::flowctrl::frame_message;
 use crate::report::SimReport;
+use crate::scratch::{reset_to, Key, SimScratch};
 use crate::Engine;
-use multitree::cost::event_path;
-use multitree::{AlgorithmError, CommSchedule};
+use multitree::{AlgorithmError, CommSchedule, PreparedSchedule};
 use mt_topology::Topology;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+
 
 /// The flow-level engine. See the [module docs](self).
 #[derive(Debug, Clone, Default)]
@@ -70,24 +69,45 @@ impl FlowEngine {
         schedule: &CommSchedule,
         total_bytes: u64,
     ) -> Result<(SimReport, Vec<EventTrace>), AlgorithmError> {
-        self.run_impl(topo, schedule, total_bytes)
+        let prep = PreparedSchedule::new(schedule, topo)?;
+        let mut scratch = SimScratch::new();
+        self.run_prepared_traced(&prep, total_bytes, &mut scratch)
     }
-}
 
-/// Orders (time, event-id) min-first in a `BinaryHeap`.
-#[derive(PartialEq)]
-struct Key(f64, usize);
-impl Eq for Key {}
-impl PartialOrd for Key {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    /// Executes an already-prepared schedule, reusing `scratch`'s
+    /// buffers. The fast path for sweeps: validation, routing and
+    /// dependency-graph construction happened once in
+    /// [`PreparedSchedule::new`], and a run allocates nothing beyond
+    /// what `scratch` doesn't already hold. Produces bit-identical
+    /// results to [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
+    /// deadlocks (a dependency cycle hidden from static validation).
+    pub fn run_prepared(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<SimReport, AlgorithmError> {
+        self.run_prepared_impl(prep, total_bytes, scratch, None)
     }
-}
-impl Ord for Key {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0
-            .total_cmp(&other.0)
-            .then(self.1.cmp(&other.1))
+
+    /// [`FlowEngine::run_prepared`] with the per-message timeline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FlowEngine::run_prepared`].
+    pub fn run_prepared_traced(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<(SimReport, Vec<EventTrace>), AlgorithmError> {
+        let mut traces = Vec::with_capacity(prep.num_events());
+        let report = self.run_prepared_impl(prep, total_bytes, scratch, Some(&mut traces))?;
+        Ok((report, traces))
     }
 }
 
@@ -98,22 +118,33 @@ impl Engine for FlowEngine {
         schedule: &CommSchedule,
         total_bytes: u64,
     ) -> Result<SimReport, AlgorithmError> {
-        Ok(self.run_impl(topo, schedule, total_bytes)?.0)
+        let prep = PreparedSchedule::new(schedule, topo)?;
+        let mut scratch = SimScratch::new();
+        self.run_prepared(&prep, total_bytes, &mut scratch)
     }
 }
 
 impl FlowEngine {
-    fn run_impl(
+    fn run_prepared_impl(
         &self,
-        topo: &Topology,
-        schedule: &CommSchedule,
+        prep: &PreparedSchedule<'_>,
         total_bytes: u64,
-    ) -> Result<(SimReport, Vec<EventTrace>), AlgorithmError> {
-        schedule.validate()?;
+        scratch: &mut SimScratch,
+        mut trace: Option<&mut Vec<EventTrace>>,
+    ) -> Result<SimReport, AlgorithmError> {
+        let topo = prep.topology();
+        let schedule = prep.schedule();
         let cfg = &self.cfg;
         let flit_ns = cfg.flit_time_ns();
-        let events = schedule.events();
+        let events = prep.events();
         let segs = schedule.total_segments();
+
+        // wire framing depends only on (event, payload size): compute it
+        // once per run, shared by the gate and execution loops
+        scratch.framings.clear();
+        scratch
+            .framings
+            .extend(events.iter().map(|e| frame_message(e.bytes(total_bytes, segs), cfg)));
 
         // --- Lockstep gates (§IV-A): each step's injection waits for the
         // previous steps' estimated serialization times (the flits of the
@@ -124,61 +155,58 @@ impl FlowEngine {
         // message would *overtake* rather than queue behind, so it uses
         // the full serialization estimate (the cycle engine, which models
         // the buffering physically, applies the footnote-4 subtraction).
-        let gates: Vec<f64> = if cfg.lockstep {
-            let mut est = vec![0.0f64; schedule.num_steps() as usize + 1];
+        let framings = &scratch.framings;
+        let gates = &mut scratch.gates;
+        reset_to(gates, schedule.num_steps() as usize + 2, 0.0f64);
+        if cfg.lockstep {
+            // est[s] accumulates into gates[s + 1] in place
             if let Some(interval) = cfg.lockstep_interval_ns {
                 // open-loop injection: fixed interval per step
-                est.iter_mut().skip(1).for_each(|e| *e = interval);
+                gates.iter_mut().skip(2).for_each(|e| *e = interval);
             } else {
-                for e in events {
-                    let flits = frame_message(e.bytes(total_bytes, segs), cfg).total_flits();
+                for (i, _) in events.iter().enumerate() {
+                    let flits = framings[i].total_flits();
                     // serialization at the event's bottleneck link:
                     // multigraph capacities (§VII-B heterogeneous
                     // bandwidth) speed it up
-                    let min_cap = event_path(e, topo)
-                        .iter()
-                        .map(|l| topo.link(*l).capacity)
-                        .min()
-                        .unwrap_or(1)
-                        .max(1);
-                    let t = flits as f64 * flit_ns / f64::from(min_cap);
-                    let s = e.step as usize;
-                    if t > est[s] {
-                        est[s] = t;
+                    let t = flits as f64 * flit_ns / f64::from(prep.min_capacity(i));
+                    let s = prep.step(i) as usize;
+                    if t > gates[s + 1] {
+                        gates[s + 1] = t;
                     }
                 }
             }
-            let mut gates = vec![0.0f64; schedule.num_steps() as usize + 2];
             for s in 1..=schedule.num_steps() as usize {
-                gates[s + 1] = gates[s] + est[s];
+                gates[s + 1] += gates[s];
             }
-            gates
-        } else {
-            vec![0.0; schedule.num_steps() as usize + 2]
-        };
+        }
+        let gates = &scratch.gates;
 
         // --- Event-driven execution.
-        let mut link_free = vec![0.0f64; topo.num_links()];
+        reset_to(&mut scratch.link_free, topo.num_links(), 0.0f64);
         // per-node software launch serialization (§VII-B; 0 = HW offload)
-        let mut node_free = vec![0.0f64; topo.num_nodes()];
-        let mut remaining_deps: Vec<usize> = events.iter().map(|e| e.deps.len()).collect();
-        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); events.len()];
-        for e in events {
-            for d in &e.deps {
-                dependents[d.index()].push(e.id.index());
-            }
-        }
-        let mut delivered_at = vec![f64::NAN; events.len()];
-        let mut traces: Vec<EventTrace> = Vec::with_capacity(events.len());
-        let mut heap: BinaryHeap<Reverse<Key>> = BinaryHeap::new();
-        let mut ready_at = vec![0.0f64; events.len()];
-        for (i, e) in events.iter().enumerate() {
+        reset_to(&mut scratch.node_free, topo.num_nodes(), 0.0f64);
+        scratch.remaining_deps.clear();
+        scratch
+            .remaining_deps
+            .extend((0..events.len()).map(|i| prep.indegree(i)));
+        let link_free = &mut scratch.link_free;
+        let node_free = &mut scratch.node_free;
+        let remaining_deps = &mut scratch.remaining_deps;
+        reset_to(&mut scratch.ready_at, events.len(), 0.0f64);
+        let ready_at = &mut scratch.ready_at;
+        let heap = &mut scratch.heap;
+        heap.clear();
+        for i in 0..events.len() {
             if remaining_deps[i] == 0 {
-                let t = gates[e.step as usize];
+                let t = gates[prep.step(i) as usize];
                 ready_at[i] = t;
-                heap.push(Reverse(Key(t, i)));
+                heap.push(Key(t, i));
             }
         }
+
+        reset_to(&mut scratch.used, topo.num_links(), false);
+        let used = &mut scratch.used;
 
         let mut done = 0usize;
         let mut completion: f64 = 0.0;
@@ -187,30 +215,27 @@ impl FlowEngine {
         let mut flit_hops = 0u64;
         let mut head_flit_hops = 0u64;
         let mut busy_ns = 0.0f64;
-        let mut used = vec![false; topo.num_links()];
+        let hop_ns = cfg.link_latency_ns + f64::from(cfg.router_pipeline_cycles) * cfg.cycle_ns();
 
-        while let Some(Reverse(Key(t0, i))) = heap.pop() {
-            let e = &events[i];
+        while let Some(Key(t0, i)) = heap.pop() {
+            let src = prep.src_index(i);
             // software scheduling: message launches serialize per node
-            let t = t0.max(node_free[e.src.index()]) + cfg.sw_launch_overhead_ns;
+            let t = t0.max(node_free[src]) + cfg.sw_launch_overhead_ns;
             if cfg.sw_launch_overhead_ns > 0.0 {
-                node_free[e.src.index()] = t;
+                node_free[src] = t;
             }
-            let framing = frame_message(e.bytes(total_bytes, segs), cfg);
+            let framing = framings[i];
             let flits = framing.total_flits();
             flits_sent += flits;
             head_flits += framing.head_flits;
-            let path = event_path(e, topo);
+            let path = prep.path(i);
             flit_hops += flits * path.len() as u64;
             head_flit_hops += framing.head_flits * path.len() as u64;
 
-            let hop_ns =
-                cfg.link_latency_ns + f64::from(cfg.router_pipeline_cycles) * cfg.cycle_ns();
             let mut head_arrival = t; // when the head flit is available at the hop
             let mut last_start = t;
             let mut last_ser = 0.0;
-            for l in &path {
-                let cap = f64::from(topo.link(*l).capacity);
+            for (l, &cap) in path.iter().zip(prep.path_capacities(i)) {
                 let ser = flits as f64 * flit_ns / cap;
                 let start = head_arrival.max(link_free[l.index()]);
                 link_free[l.index()] = start + ser;
@@ -227,23 +252,24 @@ impl FlowEngine {
             } else {
                 last_start + hop_ns + last_ser
             };
-            delivered_at[i] = delivery;
-            traces.push(EventTrace {
-                event: i,
-                step: e.step,
-                start_ns: t,
-                delivery_ns: delivery,
-            });
+            if let Some(traces) = trace.as_deref_mut() {
+                traces.push(EventTrace {
+                    event: i,
+                    step: prep.step(i),
+                    start_ns: t,
+                    delivery_ns: delivery,
+                });
+            }
             completion = completion.max(delivery);
             done += 1;
 
-            for &dep_idx in &dependents[i] {
+            for &dep_idx in prep.dependents(i) {
+                let dep_idx = dep_idx as usize;
                 remaining_deps[dep_idx] -= 1;
-                let de = &events[dep_idx];
                 ready_at[dep_idx] = ready_at[dep_idx].max(delivery);
                 if remaining_deps[dep_idx] == 0 {
-                    let start = ready_at[dep_idx].max(gates[de.step as usize]);
-                    heap.push(Reverse(Key(start, dep_idx)));
+                    let start = ready_at[dep_idx].max(gates[prep.step(dep_idx) as usize]);
+                    heap.push(Key(start, dep_idx));
                 }
             }
         }
@@ -258,22 +284,21 @@ impl FlowEngine {
             });
         }
 
-        traces.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
-        Ok((
-            SimReport {
-                total_bytes,
-                completion_ns: completion,
-                flits_sent,
-                head_flits,
-                messages: events.len(),
-                flit_hops,
-                head_flit_hops,
-                links_used: used.iter().filter(|&&u| u).count(),
-                total_links: topo.num_links(),
-                busy_ns,
-            },
-            traces,
-        ))
+        if let Some(traces) = trace {
+            traces.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+        }
+        Ok(SimReport {
+            total_bytes,
+            completion_ns: completion,
+            flits_sent,
+            head_flits,
+            messages: events.len(),
+            flit_hops,
+            head_flit_hops,
+            links_used: used.iter().filter(|&&u| u).count(),
+            total_links: topo.num_links(),
+            busy_ns,
+        })
     }
 }
 

@@ -46,16 +46,26 @@ pub mod flow;
 pub mod flowctrl;
 pub mod nic;
 mod report;
+mod scratch;
 pub mod synthetic;
 
 pub use config::{FlowControlMode, NetworkConfig};
 pub use energy::EnergyModel;
 pub use report::SimReport;
+pub use scratch::SimScratch;
 
 use multitree::{AlgorithmError, CommSchedule};
 use mt_topology::Topology;
 
 /// A network engine that can execute a collective schedule.
+///
+/// [`Engine::run`] is the convenient one-shot entry point: it prepares
+/// the schedule ([`multitree::PreparedSchedule`]) and executes it once.
+/// Sweeps that run the same `(schedule, topology)` pair at many payload
+/// sizes should prepare once and call the engines' `run_prepared`
+/// methods ([`flow::FlowEngine::run_prepared`],
+/// [`cycle::CycleEngine::run_prepared`]) with a reused [`SimScratch`];
+/// the results are bit-identical.
 pub trait Engine {
     /// Simulates the schedule moving `total_bytes` of gradient data and
     /// reports timing.

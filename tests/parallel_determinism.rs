@@ -1,0 +1,76 @@
+//! The parallel sweep executor must be invisible in the data: a
+//! `--threads N` run produces the exact bytes of a serial run. These
+//! tests serialize whole result series to JSON and compare the strings,
+//! so any float that drifted by one ULP — or any row that moved — fails.
+
+use mt_bench::parallel::run_indexed;
+use mt_bench::suites::{bandwidth_sweep, bandwidth_sweep_parallel, EngineKind, TopoFamily};
+
+/// Paper-sized but quick: three sizes spanning latency- and
+/// bandwidth-bound regimes.
+const SIZES: [u64; 3] = [32 << 10, 1 << 20, 16 << 20];
+
+#[test]
+fn bandwidth_sweep_bytes_identical_across_thread_counts() {
+    let serial = serde_json::to_string(&bandwidth_sweep(
+        TopoFamily::Torus,
+        &SIZES,
+        EngineKind::Flow,
+    ))
+    .unwrap();
+    for threads in [2, 4, 8] {
+        let parallel = serde_json::to_string(&bandwidth_sweep_parallel(
+            TopoFamily::Torus,
+            &SIZES,
+            EngineKind::Flow,
+            threads,
+        ))
+        .unwrap();
+        assert_eq!(serial, parallel, "threads={threads}");
+    }
+}
+
+#[test]
+fn fat_tree_sweep_bytes_identical() {
+    let serial = serde_json::to_string(&bandwidth_sweep(
+        TopoFamily::FatTree,
+        &SIZES[..2],
+        EngineKind::Flow,
+    ))
+    .unwrap();
+    let parallel = serde_json::to_string(&bandwidth_sweep_parallel(
+        TopoFamily::FatTree,
+        &SIZES[..2],
+        EngineKind::Flow,
+        4,
+    ))
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn cycle_engine_sweep_bytes_identical() {
+    // the cycle engine is the slow validation path; keep the payload small
+    let serial = serde_json::to_string(&bandwidth_sweep(
+        TopoFamily::Torus,
+        &[16 << 10],
+        EngineKind::Cycle,
+    ))
+    .unwrap();
+    let parallel = serde_json::to_string(&bandwidth_sweep_parallel(
+        TopoFamily::Torus,
+        &[16 << 10],
+        EngineKind::Cycle,
+        4,
+    ))
+    .unwrap();
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn executor_oversubscription_is_harmless() {
+    // more threads than units: every unit still lands in its slot
+    let items: Vec<u32> = (0..3).collect();
+    let got = run_indexed(items, 64, |&x| x * 10);
+    assert_eq!(got, vec![0, 10, 20]);
+}

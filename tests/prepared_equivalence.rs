@@ -1,0 +1,123 @@
+//! The prepare/execute split must not change a single bit of any
+//! result: `Engine::run` (prepare + fresh scratch each call) and
+//! `run_prepared` (one `PreparedSchedule`, one `SimScratch` reused
+//! across payload sizes) are the same simulation.
+
+use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring};
+use multitree::PreparedSchedule;
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
+use mt_topology::Topology;
+
+fn algos() -> Vec<(&'static str, Box<dyn AllReduce>)> {
+    vec![
+        ("ring", Box::new(Ring)),
+        ("dbtree", Box::new(DbTree::default())),
+        ("multitree", Box::new(MultiTree::default())),
+    ]
+}
+
+fn topos() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("4x4 torus", Topology::torus(4, 4)),
+        ("16-node fat-tree", Topology::dgx2_like_16()),
+    ]
+}
+
+#[test]
+fn flow_prepared_equals_unprepared() {
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    for (topo_name, topo) in topos() {
+        for (algo_name, algo) in algos() {
+            let s = algo.build(&topo).unwrap();
+            let prep = PreparedSchedule::new(&s, &topo).unwrap();
+            let mut scratch = SimScratch::new();
+            for bytes in [4 << 10, 1 << 20, 16 << 20u64] {
+                let plain = engine.run(&topo, &s, bytes).unwrap();
+                let prepared = engine.run_prepared(&prep, bytes, &mut scratch).unwrap();
+                assert_eq!(plain, prepared, "{algo_name} on {topo_name} at {bytes}B");
+            }
+        }
+    }
+}
+
+#[test]
+fn flow_prepared_traces_equal_unprepared() {
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let (plain_report, plain_traces) = engine.run_traced(&topo, &s, 1 << 20).unwrap();
+    let (prep_report, prep_traces) = engine
+        .run_prepared_traced(&prep, 1 << 20, &mut scratch)
+        .unwrap();
+    assert_eq!(plain_report, prep_report);
+    assert_eq!(plain_traces, prep_traces);
+}
+
+#[test]
+fn cycle_prepared_equals_unprepared() {
+    let engine = CycleEngine::new(NetworkConfig::paper_default());
+    for (topo_name, topo) in topos() {
+        for (algo_name, algo) in algos() {
+            let s = algo.build(&topo).unwrap();
+            let prep = PreparedSchedule::new(&s, &topo).unwrap();
+            let mut scratch = SimScratch::new();
+            for bytes in [4 << 10, 64 << 10u64] {
+                let plain = engine.run(&topo, &s, bytes).unwrap();
+                let prepared = engine.run_prepared(&prep, bytes, &mut scratch).unwrap();
+                assert_eq!(plain, prepared, "{algo_name} on {topo_name} at {bytes}B");
+            }
+        }
+    }
+}
+
+#[test]
+fn cycle_prepared_detailed_stats_equal() {
+    let engine = CycleEngine::new(NetworkConfig::paper_default());
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let (plain_report, plain_stats) = engine.run_detailed(&topo, &s, 64 << 10).unwrap();
+    let (prep_report, prep_stats) = engine
+        .run_prepared_detailed(&prep, 64 << 10, &mut scratch)
+        .unwrap();
+    assert_eq!(plain_report, prep_report);
+    assert_eq!(plain_stats, prep_stats);
+}
+
+#[test]
+fn scratch_reuse_carries_no_state() {
+    // running a big payload, then a small one, must give the same small
+    // result as a fresh scratch would
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let topo = Topology::torus(8, 8);
+    let s = DbTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut reused = SimScratch::new();
+    let _ = engine.run_prepared(&prep, 64 << 20, &mut reused).unwrap();
+    let after_big = engine.run_prepared(&prep, 4 << 10, &mut reused).unwrap();
+    let fresh = engine
+        .run_prepared(&prep, 4 << 10, &mut SimScratch::new())
+        .unwrap();
+    assert_eq!(after_big, fresh);
+}
+
+#[test]
+fn one_scratch_serves_both_engines_and_many_schedules() {
+    let flow = FlowEngine::new(NetworkConfig::paper_default());
+    let cycle = CycleEngine::new(NetworkConfig::paper_default());
+    let torus = Topology::torus(4, 4);
+    let ft = Topology::dgx2_like_16();
+    let s1 = MultiTree::default().build(&torus).unwrap();
+    let s2 = Ring.build(&ft).unwrap();
+    let p1 = PreparedSchedule::new(&s1, &torus).unwrap();
+    let p2 = PreparedSchedule::new(&s2, &ft).unwrap();
+    let mut scratch = SimScratch::new();
+    let a = flow.run_prepared(&p1, 1 << 20, &mut scratch).unwrap();
+    let b = cycle.run_prepared(&p2, 16 << 10, &mut scratch).unwrap();
+    let c = flow.run_prepared(&p1, 1 << 20, &mut scratch).unwrap();
+    assert_eq!(a, c, "interleaving engines/schedules must not leak state");
+    assert_eq!(b, cycle.run(&ft, &s2, 16 << 10).unwrap());
+}

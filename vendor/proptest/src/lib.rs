@@ -1,0 +1,304 @@
+//! Offline shim of `proptest`: the subset this workspace's property
+//! tests use, with a deterministic generator instead of a persisting
+//! RNG + shrinker.
+//!
+//! Supported surface:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(n))]
+//!   #[test] fn f(x in 1u64..100, flag: bool, ...) { ... } }`
+//! * integer [`std::ops::Range`] strategies, tuples of strategies, and
+//!   `prop::collection::vec(strategy, len_range)`
+//! * `prop_assert!` / `prop_assert_eq!` (fail immediately; no shrinking)
+//!
+//! Generation is deterministic: case `k` of a range strategy sweeps
+//! `lo + k` while `k` fits in the range (so small edge cases — including
+//! previously recorded regression values — are always revisited), then
+//! falls back to seeded pseudo-random sampling.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Per-test configuration (only `cases` is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic per-case generator state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+    /// Case index within the test (drives the sequential sweep).
+    pub case: u32,
+    /// Index of the next parameter to be generated in this case.
+    pub param: u32,
+}
+
+impl TestRng {
+    /// Creates the generator for one case of one property.
+    pub fn new(case: u32) -> Self {
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15u64 ^ (u64::from(case) << 1),
+            case,
+            param: 0,
+        }
+    }
+
+    /// Next raw pseudo-random word (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_param(&mut self) -> u32 {
+        let p = self.param;
+        self.param += 1;
+        p
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Produces this case's value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128) - (self.start as u128);
+                let param = rng.next_param();
+                // early cases sweep the range floor (staggered per
+                // parameter so multi-parameter tests don't move in
+                // lockstep); later cases sample pseudo-randomly
+                let offset = if u128::from(rng.case) < span && param == 0 {
+                    u128::from(rng.case)
+                } else if u128::from(rng.case) + u128::from(param) * 7 < span {
+                    u128::from(rng.case) + u128::from(param) * 7
+                } else {
+                    u128::from(rng.next_u64()) % span
+                };
+                ((self.start as u128) + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Types generatable from a bare `name: Type` parameter.
+pub trait Arbitrary: Sized {
+    /// Produces this case's value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let param = rng.next_param();
+        // alternate across cases so both phases are covered densely
+        (rng.case + param) % 2 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+/// Strategy namespace mirror (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use std::ops::Range;
+
+        /// Generates `Vec`s with lengths drawn from `len` and elements
+        /// from `element`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// See [`vec()`].
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.len.generate(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a property holds, with optional format-message context.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests (see the crate docs for the supported shape).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      #[test]
+      fn $name:ident( $($params:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::new(__case);
+                $crate::__proptest_bind! { __rng, $body, $($params)* }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block, ) => { $body };
+    ($rng:ident, $body:block, $n:ident in $s:expr, $($rest:tt)*) => {
+        let $n = $crate::Strategy::generate(&($s), &mut $rng);
+        $crate::__proptest_bind! { $rng, $body, $($rest)* }
+    };
+    ($rng:ident, $body:block, $n:ident in $s:expr) => {
+        let $n = $crate::Strategy::generate(&($s), &mut $rng);
+        $body
+    };
+    ($rng:ident, $body:block, $n:ident : $t:ty, $($rest:tt)*) => {
+        let $n: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng, $body, $($rest)* }
+    };
+    ($rng:ident, $body:block, $n:ident : $t:ty) => {
+        let $n: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $body
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_sweep_then_sample() {
+        // the first `span` cases cover every value of a small range
+        let mut seen = std::collections::HashSet::new();
+        for case in 0..64 {
+            let mut rng = crate::TestRng::new(case);
+            seen.insert((1u64..64).generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 63, "full coverage of 1..64");
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        for case in 0..500 {
+            let mut rng = crate::TestRng::new(case);
+            let v = (5usize..17).generate(&mut rng);
+            assert!((5..17).contains(&v));
+            let (a, b) = ((0u32..3), (100u64..200)).generate(&mut rng);
+            assert!(a < 3);
+            assert!((100..200).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_len() {
+        for case in 0..100 {
+            let mut rng = crate::TestRng::new(case);
+            let v = prop::collection::vec((0usize..12, 0usize..12), 0..20)
+                .generate(&mut rng);
+            assert!(v.len() < 20);
+            assert!(v.iter().all(|&(a, b)| a < 12 && b < 12));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_binds_params(x in 1u64..10, flag: bool, pair in (0u32..4, 0u32..4)) {
+            prop_assert!((1..10).contains(&x));
+            prop_assert!(pair.0 < 4 && pair.1 < 4, "{pair:?} flag={flag}");
+            prop_assert_eq!(pair.0 < 4, true);
+        }
+    }
+}
