@@ -87,9 +87,70 @@ fn cycle_engine(c: &mut Criterion) {
     g.finish();
 }
 
+/// The event-driven cycle engine against the dense reference it
+/// replaced: a MultiTree payload sweep on the paper's 4x4 torus, and a
+/// single 16 MiB cycle-accurate run (previously impractical — the dense
+/// engine spins through every cycle of every ~152-cycle link latency).
+fn cycle_sweep_16node(c: &mut Criterion) {
+    let topo = Topology::torus(4, 4);
+    let cfg = NetworkConfig::paper_default();
+    let mt = MultiTree::default().build(&topo).unwrap();
+    let engine = CycleEngine::new(cfg);
+    let sizes: Vec<u64> = [16u64 << 10, 64 << 10, 256 << 10, 1 << 20].to_vec();
+    let mut g = c.benchmark_group("cycle_sweep_16node");
+    g.sample_size(10);
+    g.bench_function("dense_reference_sweep", |b| {
+        b.iter(|| {
+            sizes
+                .iter()
+                .map(|&bytes| {
+                    engine
+                        .run_reference_detailed(&topo, &mt, bytes)
+                        .unwrap()
+                        .0
+                        .completion_ns
+                })
+                .sum::<f64>()
+        })
+    });
+    let prep = PreparedSchedule::new(&mt, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    g.bench_function("event_driven_sweep", |b| {
+        b.iter(|| {
+            sizes
+                .iter()
+                .map(|&bytes| {
+                    engine
+                        .run_prepared(&prep, bytes, &mut scratch)
+                        .unwrap()
+                        .completion_ns
+                })
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("dense_reference_single_16MiB", |b| {
+        b.iter(|| {
+            engine
+                .run_reference_detailed(&topo, &mt, 16 << 20)
+                .unwrap()
+                .0
+                .completion_ns
+        })
+    });
+    g.bench_function("event_driven_single_16MiB", |b| {
+        b.iter(|| {
+            engine
+                .run_prepared(&prep, 16 << 20, &mut scratch)
+                .unwrap()
+                .completion_ns
+        })
+    });
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = flow_engine, prepared_sweep, cycle_engine
+    targets = flow_engine, prepared_sweep, cycle_engine, cycle_sweep_16node
 }
 criterion_main!(benches);

@@ -2,14 +2,22 @@
 //! workloads): per-pattern completion time and mean link utilization on
 //! the cycle engine — exercising the router model outside collectives.
 //!
+//! Each `(network, pattern)` pair is one sweep unit, prepared once and
+//! run through `CycleEngine::run_prepared` with a reused `SimScratch`.
+//! Units fan out over `--threads` workers with order-preserving
+//! reassembly, so output is byte-identical for any thread count.
+//!
 //! ```text
-//! cargo run --release -p mt-bench --bin synthetic_traffic [-- --json out.json]
+//! cargo run --release -p mt-bench --bin synthetic_traffic \
+//!     [-- --threads N] [--json out.json]
 //! ```
 
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
+use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
 use mt_netsim::synthetic::TrafficPattern;
-use mt_netsim::{cycle::CycleEngine, Engine, NetworkConfig};
+use mt_netsim::{cycle::CycleEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -38,31 +46,38 @@ fn main() {
     ];
     let total: u64 = 16 * 64 * 1024; // 64 KiB per node
 
-    println!("=== Synthetic traffic on the cycle engine ({} per node) ===", fmt_size(total / 16));
+    let units: Vec<(usize, usize)> = (0..networks.len())
+        .flat_map(|n| (0..patterns.len()).map(move |p| (n, p)))
+        .collect();
+    let rows: Vec<Row> = run_indexed(units, args.threads(), |&(n, p)| {
+        let (net, topo) = &networks[n];
+        let (name, pattern) = &patterns[p];
+        let s = pattern.schedule(topo);
+        let prep = PreparedSchedule::new(&s, topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let r = engine.run_prepared(&prep, total, &mut scratch).unwrap();
+        Row {
+            network: net.to_string(),
+            pattern: name.to_string(),
+            bytes_per_node: total / 16,
+            completion_us: r.completion_ns / 1e3,
+            mean_link_utilization: r.mean_link_utilization(),
+        }
+    });
+
+    println!(
+        "=== Synthetic traffic on the cycle engine ({} per node) ===",
+        fmt_size(total / 16)
+    );
     println!(
         "{:<18}{:<16}{:>16}{:>12}",
         "network", "pattern", "completion (us)", "mean util"
     );
-    let mut rows = Vec::new();
-    for (net, topo) in &networks {
-        for (name, p) in &patterns {
-            let s = p.schedule(topo);
-            let r = engine.run(topo, &s, total).unwrap();
-            println!(
-                "{:<18}{:<16}{:>16.1}{:>12.3}",
-                net,
-                name,
-                r.completion_ns / 1e3,
-                r.mean_link_utilization()
-            );
-            rows.push(Row {
-                network: net.to_string(),
-                pattern: name.to_string(),
-                bytes_per_node: total / 16,
-                completion_us: r.completion_ns / 1e3,
-                mean_link_utilization: r.mean_link_utilization(),
-            });
-        }
+    for r in &rows {
+        println!(
+            "{:<18}{:<16}{:>16.1}{:>12.3}",
+            r.network, r.pattern, r.completion_us, r.mean_link_utilization
+        );
     }
     println!(
         "\nNeighbor traffic rides single hops; transpose and bit-complement pile onto\n\

@@ -3,14 +3,23 @@
 //! reporting their completion-time ratios — the evidence behind
 //! DESIGN.md's claim that the flow engine is faithful where it is used.
 //!
+//! Each `(network, algorithm)` pair is one sweep unit: the schedule is
+//! prepared once, and both engines execute it at every payload size via
+//! their `run_prepared` entry points with a reused `SimScratch`. Units
+//! fan out over `--threads` workers; results are reassembled in unit
+//! order, so the output is byte-identical for any thread count.
+//!
 //! ```text
-//! cargo run --release -p mt-bench --bin validate_engines [-- --json out.json]
+//! cargo run --release -p mt-bench --bin validate_engines \
+//!     [-- --threads N] [--network <substring>] [--json out.json]
 //! ```
 
 use multitree::algorithms::{Algorithm, AllReduce, DbTree, MultiTree, Ring};
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
+use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig};
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -27,12 +36,17 @@ struct Row {
 fn main() {
     let args = Args::parse();
     let cfg = NetworkConfig::paper_default();
-    let networks: Vec<(&str, Topology)> = vec![
+    let mut networks: Vec<(&str, Topology)> = vec![
         ("4x4 Torus", Topology::torus(4, 4)),
         ("4x4 Mesh", Topology::mesh(4, 4)),
         ("16-node Fat-Tree", Topology::dgx2_like_16()),
         ("32-node BiGraph", Topology::bigraph_32()),
     ];
+    if let Some(filter) = args.get("network") {
+        let needle = filter.to_lowercase();
+        networks.retain(|(name, _)| name.to_lowercase().contains(&needle));
+        assert!(!networks.is_empty(), "--network {filter:?} matches nothing");
+    }
     let algos: Vec<(&str, Algorithm)> = vec![
         ("RING", Algorithm::Ring(Ring)),
         ("DBTREE", Algorithm::DbTree(DbTree::default())),
@@ -40,43 +54,58 @@ fn main() {
     ];
     let sizes = [32 << 10u64, 256 << 10];
 
-    println!("=== Cross-engine validation: cycle (ground truth) vs flow ===");
-    println!(
-        "{:<18}{:<11}{:<9}{:>12}{:>11}{:>8}",
-        "network", "algorithm", "size", "cycle (us)", "flow (us)", "ratio"
-    );
-    let mut rows = Vec::new();
-    for (net, topo) in &networks {
-        for (label, algo) in &algos {
-            let schedule = algo.build(topo).unwrap();
-            for &bytes in &sizes {
-                let c = CycleEngine::new(cfg)
-                    .run(topo, &schedule, bytes)
+    // one unit per (network, algorithm); each prepares once and sweeps
+    // the sizes with reused scratch buffers
+    let units: Vec<(usize, usize)> = (0..networks.len())
+        .flat_map(|n| (0..algos.len()).map(move |a| (n, a)))
+        .collect();
+    let results: Vec<Vec<Row>> = run_indexed(units, args.threads(), |&(n, a)| {
+        let (net, topo) = &networks[n];
+        let (label, algo) = &algos[a];
+        let schedule = algo.build(topo).unwrap();
+        let prep = PreparedSchedule::new(&schedule, topo).unwrap();
+        let cycle = CycleEngine::new(cfg);
+        let flow = FlowEngine::new(cfg);
+        let mut scratch = SimScratch::new();
+        sizes
+            .iter()
+            .map(|&bytes| {
+                let c = cycle
+                    .run_prepared(&prep, bytes, &mut scratch)
                     .unwrap()
                     .completion_ns;
-                let f = FlowEngine::new(cfg)
-                    .run(topo, &schedule, bytes)
+                let f = flow
+                    .run_prepared(&prep, bytes, &mut scratch)
                     .unwrap()
                     .completion_ns;
-                println!(
-                    "{:<18}{:<11}{:<9}{:>12.1}{:>11.1}{:>8.3}",
-                    net,
-                    label,
-                    fmt_size(bytes),
-                    c / 1e3,
-                    f / 1e3,
-                    c / f
-                );
-                rows.push(Row {
+                Row {
                     network: net.to_string(),
                     algorithm: label.to_string(),
                     bytes,
                     cycle_us: c / 1e3,
                     flow_us: f / 1e3,
                     ratio: c / f,
-                });
-            }
-        }
+                }
+            })
+            .collect()
+    });
+    let rows: Vec<Row> = results.into_iter().flatten().collect();
+
+    println!("=== Cross-engine validation: cycle (ground truth) vs flow ===");
+    println!(
+        "{:<18}{:<11}{:<9}{:>12}{:>11}{:>8}",
+        "network", "algorithm", "size", "cycle (us)", "flow (us)", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:<18}{:<11}{:<9}{:>12.1}{:>11.1}{:>8.3}",
+            r.network,
+            r.algorithm,
+            fmt_size(r.bytes),
+            r.cycle_us,
+            r.flow_us,
+            r.ratio
+        );
     }
     let (min, max) = rows
         .iter()

@@ -178,6 +178,12 @@ impl<'a> PreparedSchedule<'a> {
         (self.path_offsets[i + 1] - self.path_offsets[i]) as usize
     }
 
+    /// The first link of event `i`'s path — the injection port a
+    /// cycle-accurate NI enqueues the message on. Paths are never empty.
+    pub fn first_link(&self, i: usize) -> LinkId {
+        self.path_links[self.path_offsets[i] as usize]
+    }
+
     /// The bottleneck (minimum) capacity along event `i`'s path, in link
     /// multiplicity units, clamped to at least 1.
     pub fn min_capacity(&self, i: usize) -> u32 {

@@ -7,42 +7,43 @@ use mt_topology::{Topology, TopologyKind, Vertex};
 /// breaks the channel-dependency cycles of DOR routing on rings (the
 /// classic dateline scheme). Non-torus topologies have none.
 pub(crate) fn dateline_links(topo: &Topology) -> Vec<bool> {
+    let mut out = Vec::new();
+    dateline_links_into(topo, &mut out);
+    out
+}
+
+/// [`dateline_links`] writing into a reused buffer (`out` is cleared and
+/// refilled; its capacity persists across runs).
+pub(crate) fn dateline_links_into(topo: &Topology, out: &mut Vec<bool>) {
+    out.clear();
     // a link is a dateline iff the two endpoints' coordinates wrap across
     // the 0/max boundary in some dimension of extent > 2
     let wrap = |a: usize, b: usize, extent: usize| {
         extent > 2 && ((a == extent - 1 && b == 0) || (a == 0 && b == extent - 1))
     };
     match topo.kind() {
-        TopologyKind::Torus { rows, cols } => topo
-            .links()
-            .iter()
-            .map(|l| {
-                let (Vertex::Node(a), Vertex::Node(b)) = (l.src, l.dst) else {
-                    return false;
-                };
-                let (ar, ac) = (a.index() / cols, a.index() % cols);
-                let (br, bc) = (b.index() / cols, b.index() % cols);
-                wrap(ar, br, rows) || wrap(ac, bc, cols)
-            })
-            .collect(),
+        TopologyKind::Torus { rows, cols } => out.extend(topo.links().iter().map(|l| {
+            let (Vertex::Node(a), Vertex::Node(b)) = (l.src, l.dst) else {
+                return false;
+            };
+            let (ar, ac) = (a.index() / cols, a.index() % cols);
+            let (br, bc) = (b.index() / cols, b.index() % cols);
+            wrap(ar, br, rows) || wrap(ac, bc, cols)
+        })),
         TopologyKind::Torus3D {
             x_dim,
             y_dim,
             z_dim,
-        } => topo
-            .links()
-            .iter()
-            .map(|l| {
-                let (Vertex::Node(a), Vertex::Node(b)) = (l.src, l.dst) else {
-                    return false;
-                };
-                let c = |n: usize| (n % x_dim, (n / x_dim) % y_dim, n / (x_dim * y_dim));
-                let (ax, ay, az) = c(a.index());
-                let (bx, by, bz) = c(b.index());
-                wrap(ax, bx, x_dim) || wrap(ay, by, y_dim) || wrap(az, bz, z_dim)
-            })
-            .collect(),
-        _ => vec![false; topo.num_links()],
+        } => out.extend(topo.links().iter().map(|l| {
+            let (Vertex::Node(a), Vertex::Node(b)) = (l.src, l.dst) else {
+                return false;
+            };
+            let c = |n: usize| (n % x_dim, (n / x_dim) % y_dim, n / (x_dim * y_dim));
+            let (ax, ay, az) = c(a.index());
+            let (bx, by, bz) = c(b.index());
+            wrap(ax, bx, x_dim) || wrap(ay, by, y_dim) || wrap(az, bz, z_dim)
+        })),
+        _ => out.resize(topo.num_links(), false),
     }
 }
 

@@ -1,7 +1,5 @@
 //! Flits and message bookkeeping for the cycle engine.
 
-use mt_topology::LinkId;
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(super) enum Kind {
     Head,
@@ -17,12 +15,15 @@ impl Kind {
 }
 
 /// One flit in flight. `route_pos` indexes the message path entry this
-/// flit must take next; `== path.len()` means "eject here".
+/// flit must take next; `== hops` means "eject here".
 #[derive(Debug, Clone, Copy)]
 pub(super) struct Flit {
     pub(super) msg: u32,
     pub(super) kind: Kind,
     pub(super) route_pos: u16,
+    /// The message's path length, carried in the flit so the hot
+    /// ejection test needs no message-table lookup.
+    pub(super) hops: u16,
     pub(super) vc: u8,
     pub(super) crossed_dateline: bool,
     /// Total flits of this packet (valid on head flits, for VCT credit
@@ -30,13 +31,12 @@ pub(super) struct Flit {
     pub(super) pkt_flits: u32,
 }
 
-/// Per-message bookkeeping.
+/// Per-message bookkeeping. Messages share indices with the prepared
+/// schedule's events, and the link path itself is *borrowed* from the
+/// [`multitree::PreparedSchedule`] (`prep.path(msg_index)`) instead of
+/// being copied per run; the path length rides in each flit.
+#[derive(Debug, Clone, Copy, Default)]
 pub(super) struct Msg {
-    pub(super) event: usize,
-    pub(super) path: Vec<LinkId>,
     pub(super) total_flits: u64,
     pub(super) ejected_flits: u64,
-    pub(super) delivered_at: Option<u64>,
-    pub(super) vc_base: u8,
 }
-

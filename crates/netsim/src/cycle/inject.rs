@@ -2,22 +2,83 @@
 //! issue state used by the cycle engine (the event-indexed face of the
 //! Fig. 6 NI — the table-indexed model lives in [`crate::nic`]).
 
-use super::flit::{Flit, Kind, Msg};
-use std::collections::VecDeque;
+use super::flit::{Flit, Kind};
+use crate::config::{FlowControlMode, NetworkConfig};
+use crate::flowctrl::Framing;
 
 /// An injection stream: generates the flits of one message in order.
+///
+/// Packet lengths are not materialized as a list: under packet-based
+/// flow control every packet is `payload/flit + 1` flits except possibly
+/// the last, and under message-based flow control there is exactly one
+/// packet — three integers describe the whole sequence, so a stream is
+/// plain-old-data and streams can live in reused scratch buffers with no
+/// per-message allocation.
+#[derive(Debug, Clone, Copy, Default)]
 pub(super) struct InjStream {
     pub(super) msg: u32,
-    /// (packet length) list remaining; current packet progress.
-    pub(super) packets: VecDeque<u32>,
-    pub(super) sent_in_packet: u32,
+    /// The message's path length, stamped into every generated flit.
+    hops: u16,
+    /// Packets not yet fully injected, including the current one.
+    pkts_left: u32,
+    /// Flits of every packet but the last.
+    full_pkt_flits: u32,
+    /// Flits of the final packet.
+    last_pkt_flits: u32,
+    sent_in_packet: u32,
+    vc_base: u8,
 }
 
 impl InjStream {
+    /// Frames message `msg` (with wire framing `framing`) into an
+    /// injection stream under the engine's flow-control mode.
+    pub(super) fn new(
+        msg: u32,
+        hops: u16,
+        framing: &Framing,
+        cfg: &NetworkConfig,
+        vc_base: u8,
+    ) -> Self {
+        let data = framing.data_flits as u32;
+        let (pkts_left, full_pkt_flits, last_pkt_flits) = match cfg.flow_control {
+            FlowControlMode::PacketBased => {
+                let per_pkt_data = cfg.payload_bytes / cfg.flit_bytes;
+                debug_assert!(per_pkt_data > 0, "packet payload below one flit");
+                if data == 0 {
+                    (0, 0, 0)
+                } else {
+                    let pkts = data.div_ceil(per_pkt_data);
+                    let last_data = data - (pkts - 1) * per_pkt_data;
+                    (pkts, per_pkt_data + 1, last_data + 1)
+                }
+            }
+            FlowControlMode::MessageBased => (1, data + 1, data + 1),
+        };
+        InjStream {
+            msg,
+            hops,
+            pkts_left,
+            full_pkt_flits,
+            last_pkt_flits,
+            sent_in_packet: 0,
+            vc_base,
+        }
+    }
+
+    fn cur_pkt_flits(&self) -> u32 {
+        if self.pkts_left == 1 {
+            self.last_pkt_flits
+        } else {
+            self.full_pkt_flits
+        }
+    }
+
     /// Peeks the next flit to inject (None when exhausted).
-    pub(super) fn peek(&self, msgs: &[Msg]) -> Option<Flit> {
-        let &pkt_len = self.packets.front()?;
-        let m = &msgs[self.msg as usize];
+    pub(super) fn peek(&self) -> Option<Flit> {
+        if self.pkts_left == 0 {
+            return None;
+        }
+        let pkt_len = self.cur_pkt_flits();
         let kind = if pkt_len == 1 {
             Kind::HeadTail
         } else if self.sent_in_packet == 0 {
@@ -31,35 +92,34 @@ impl InjStream {
             msg: self.msg,
             kind,
             route_pos: 0,
-            vc: m.vc_base,
+            hops: self.hops,
+            vc: self.vc_base,
             crossed_dateline: false,
             pkt_flits: pkt_len,
         })
     }
 
     pub(super) fn advance(&mut self) {
-        let pkt_len = *self.packets.front().expect("advance past end");
+        debug_assert!(self.pkts_left > 0, "advance past end");
         self.sent_in_packet += 1;
-        if self.sent_in_packet == pkt_len {
-            self.packets.pop_front();
+        if self.sent_in_packet == self.cur_pkt_flits() {
+            self.pkts_left -= 1;
             self.sent_in_packet = 0;
         }
     }
 
     pub(super) fn is_done(&self) -> bool {
-        self.packets.is_empty()
+        self.pkts_left == 0
     }
 }
 
-/// Per-node NI state (paper Fig. 6): in-order issue, timestep counter,
-/// lockstep gate.
+/// Per-node NI state (paper Fig. 6): timestep counter and lockstep gate.
+/// The node's schedule table itself lives in the engine scratch as a CSR
+/// row of event indices plus a cursor (in-order issue).
+#[derive(Debug, Clone, Copy, Default)]
 pub(super) struct Nic {
-    /// Event indices this node sends, ordered by (step, id) — the
-    /// schedule table.
-    pub(super) pending: VecDeque<usize>,
     pub(super) cur_step: u32,
     pub(super) step_start: u64,
     /// Events of the current step not yet issued.
     pub(super) unissued_in_step: u32,
 }
-

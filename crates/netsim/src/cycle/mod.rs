@@ -19,10 +19,37 @@
 //!   delivery, and the lockstep timestep counter with estimated step
 //!   times.
 //!
-//! Intended for validation and small/medium payloads; the [`crate::flow`]
-//! engine handles the paper's multi-MiB sweeps.
+//! # Execution model
+//!
+//! The engine is cycle-accurate but **event-driven**: it only pays for
+//! cycles in which some component can act.
+//!
+//! * Flits and credits in flight live in a **calendar queue** (a ring of
+//!   per-cycle arrival lists indexed by `arrival % (latency + 1)` — every
+//!   wire delay is the same constant), so arrival processing touches
+//!   exactly the arriving flits instead of scanning every link.
+//! * Routers are visited through an **active-vertex worklist** (a bitset
+//!   iterated in ascending order, so arbitration order matches a dense
+//!   scan bit for bit): a vertex is live while it holds buffered flits
+//!   or pending injection streams, and is lazily retired when drained.
+//! * When the network is **quiescent** — no buffered flits, no pending
+//!   injection streams, no deliveries this cycle — the clock jumps
+//!   straight to the next arrival front or lockstep step boundary
+//!   instead of spinning one cycle at a time through ~150-cycle link
+//!   latencies. Every skipped cycle is provably a no-op, so results are
+//!   bit-identical to the dense reference engine
+//!   ([`CycleEngine::run_reference_detailed`], enforced by
+//!   `tests/prepared_equivalence.rs`).
+//! * All simulation state (buffers, calendars, messages, NI tables,
+//!   worklists) lives in [`SimScratch`] and is reused across runs; the
+//!   steady-state loop performs **no heap allocation**, and per-event
+//!   link paths are borrowed from the [`PreparedSchedule`] rather than
+//!   copied.
+//!
+//! This makes multi-MiB cycle-accurate runs practical; the [`crate::flow`]
+//! engine remains the fast path for the very largest sweeps.
 
-use crate::config::{FlowControlMode, NetworkConfig};
+use crate::config::NetworkConfig;
 use crate::flowctrl::frame_message;
 use crate::report::SimReport;
 use crate::scratch::{reset_to, SimScratch};
@@ -63,36 +90,199 @@ impl CycleEngine {
 mod dateline;
 mod flit;
 mod inject;
+mod reference;
 mod router;
 
 pub(crate) use dateline::dateline_links;
+use dateline::dateline_links_into;
 use flit::{Flit, Msg};
 use inject::{InjStream, Nic};
 
-struct Sim<'a> {
-    topo: &'a Topology,
-    cfg: &'a NetworkConfig,
-    /// per (link * num_vcs + vc): input buffer at the link's destination
+/// Reusable cycle-engine state, embedded in [`SimScratch`]. Every vector
+/// is sized per run (capacity persists across runs) and cleared before
+/// use; no state leaks between runs.
+#[derive(Default)]
+pub(crate) struct CycleScratch {
+    /// Per (link * num_vcs + vc): input buffer at the link's destination.
+    /// Deques size themselves to each buffer's actual demand, which keeps
+    /// the hot working set far smaller than a uniform
+    /// `vc_buffer_flits`-deep slab would.
     buffers: Vec<VecDeque<Flit>>,
-    /// per (link * num_vcs + vc): credits available at the link's source
+    /// Per (link * num_vcs + vc): compact summary of the buffer's front
+    /// flit, refreshed on every push-to-empty and pop. Arbitration and
+    /// ejection scans probe this small contiguous array instead of
+    /// dereferencing scattered heap deques and message paths — the
+    /// probes vastly outnumber the pushes and pops that maintain it.
+    front_info: Vec<FrontInfo>,
+    /// Per link (as output): number of buffered head flits currently
+    /// routed to it (fronts whose cached `next_link` is this link).
+    /// When zero and the link's injection queue is empty, output
+    /// arbitration cannot possibly succeed and the candidate scan is
+    /// skipped — a pure optimization, since failed probes have no side
+    /// effects.
+    cand_count: Vec<u32>,
+    /// Per (link * num_vcs + vc): credits available at the link's source.
     credits: Vec<u32>,
-    /// per link: in-flight flits (arrival_cycle, flit)
-    channels: Vec<VecDeque<(u64, Flit)>>,
-    /// per link: in-flight credit returns (arrival_cycle, vc)
-    credit_channels: Vec<VecDeque<(u64, u8)>>,
-    /// per link (as output): current packet lock
+    /// Calendar ring of in-flight flits: slot `t % wheel` holds the
+    /// (link, flit) pairs arriving at cycle `t`.
+    cal_flits: Vec<Vec<(u32, Flit)>>,
+    /// Calendar ring of in-flight credit returns: (link, vc) pairs.
+    cal_credits: Vec<Vec<(u32, u8)>>,
+    /// Per link (as output): current packet lock.
     locks: Vec<Option<Lock>>,
-    /// per link (as output): round-robin pointer over candidates
+    /// Per link (as output): round-robin pointer over candidates.
     rr: Vec<u32>,
-    /// per link: is a torus dateline (wraparound) link
+    /// Per link: is a torus dateline (wraparound) link.
     dateline: Vec<bool>,
-    /// per link: flits transmitted (utilization accounting)
+    /// Per link: dense index of the destination vertex.
+    link_dst: Vec<u32>,
+    /// Per link: flits transmitted (utilization accounting).
     tx_count: Vec<u64>,
     msgs: Vec<Msg>,
-    /// per node: injection streams awaiting service, per first-link
-    inject: Vec<VecDeque<InjStream>>,
+    /// Per event: the not-yet-issued injection stream.
+    streams: Vec<InjStream>,
+    /// Per link: issued injection streams whose path starts with that
+    /// link, FIFO — the per-(node, first-link) injection queues.
+    inject_q: Vec<VecDeque<InjStream>>,
+    /// Per node: total streams across that node's injection queues.
+    inject_count: Vec<u32>,
+    /// NI schedule tables: event indices grouped by source node (CSR
+    /// rows via `ni_offsets`), each row ordered by (step, id).
+    ni_order: Vec<u32>,
+    ni_offsets: Vec<u32>,
+    /// Per node: cursor into its `ni_order` row (in-order issue).
+    ni_cursor: Vec<u32>,
     nics: Vec<Nic>,
+    /// Per lockstep step: estimated step time in cycles (footnote 4).
+    step_est: Vec<u64>,
+    /// Per vertex: buffered flits + pending injection streams.
+    vertex_work: Vec<u32>,
+    /// Bitset over vertices with nonzero `vertex_work` (lazily retired).
+    active_vertices: Vec<u64>,
+    /// Bitset over nodes whose NI still has unissued events.
+    ni_active: Vec<u64>,
+    /// Bitset over input links already used this cycle (crossbar
+    /// constraint), cleared each cycle.
+    input_used: Vec<u64>,
+    /// Messages fully ejected this cycle.
+    newly_delivered: Vec<u32>,
+}
+
+impl CycleScratch {
+    /// Total heap capacity (in elements across all buffers) — the
+    /// steady-state allocation check compares this across runs.
+    #[cfg(test)]
+    pub(crate) fn capacity_elements(&self) -> usize {
+        self.buffers.iter().map(VecDeque::capacity).sum::<usize>()
+            + self.front_info.capacity()
+            + self.cand_count.capacity()
+            + self.credits.capacity()
+            + self.cal_flits.iter().map(Vec::capacity).sum::<usize>()
+            + self.cal_credits.iter().map(Vec::capacity).sum::<usize>()
+            + self.locks.capacity()
+            + self.rr.capacity()
+            + self.dateline.capacity()
+            + self.link_dst.capacity()
+            + self.tx_count.capacity()
+            + self.msgs.capacity()
+            + self.streams.capacity()
+            + self.inject_q.iter().map(VecDeque::capacity).sum::<usize>()
+            + self.inject_count.capacity()
+            + self.ni_order.capacity()
+            + self.ni_offsets.capacity()
+            + self.ni_cursor.capacity()
+            + self.nics.capacity()
+            + self.step_est.capacity()
+            + self.vertex_work.capacity()
+            + self.active_vertices.capacity()
+            + self.ni_active.capacity()
+            + self.input_used.capacity()
+            + self.newly_delivered.capacity()
+    }
+}
+
+/// What the head of one (link, VC) input buffer can do, reduced to two
+/// words: `next_link` is the link index a startable head flit wants
+/// next, [`FRONT_EJECT`] when the front flit terminates at this router,
+/// or [`FRONT_NONE`] when the buffer is empty or fronted by a mid-route
+/// body/tail flit (which only moves under an existing lock).
+#[derive(Debug, Clone, Copy)]
+struct FrontInfo {
+    next_link: u32,
+    /// Packet length for the VCT credit check (head fronts only).
+    pkt_flits: u32,
+    /// The front flit's VC (head fronts only), for output-VC selection.
+    vc: u8,
+    /// Dateline flag (head fronts only), for output-VC selection.
+    crossed: bool,
+}
+
+const FRONT_NONE: u32 = u32::MAX;
+const FRONT_EJECT: u32 = u32::MAX - 1;
+
+impl Default for FrontInfo {
+    fn default() -> Self {
+        FrontInfo {
+            next_link: FRONT_NONE,
+            pkt_flits: 0,
+            vc: 0,
+            crossed: false,
+        }
+    }
+}
+
+fn bit_get(words: &[u64], i: usize) -> bool {
+    words[i >> 6] >> (i & 63) & 1 != 0
+}
+
+fn bit_set(words: &mut [u64], i: usize) {
+    words[i >> 6] |= 1 << (i & 63);
+}
+
+fn bit_clear(words: &mut [u64], i: usize) {
+    words[i >> 6] &= !(1 << (i & 63));
+}
+
+/// Clears every queue and resizes the vector of queues to `len`,
+/// preserving the capacity of surviving queues.
+fn reset_queues<T>(v: &mut Vec<VecDeque<T>>, len: usize) {
+    v.truncate(len);
+    for q in v.iter_mut() {
+        q.clear();
+    }
+    v.resize_with(len, VecDeque::new);
+}
+
+/// Clears every list and resizes the vector of lists to `len`.
+fn reset_lists<T>(v: &mut Vec<Vec<T>>, len: usize) {
+    v.truncate(len);
+    for l in v.iter_mut() {
+        l.clear();
+    }
+    v.resize_with(len, Vec::new);
+}
+
+struct Sim<'a, 'p> {
+    topo: &'a Topology,
+    cfg: &'a NetworkConfig,
+    prep: &'a PreparedSchedule<'p>,
+    s: &'a mut CycleScratch,
     clock: u64,
+    /// Effective wire delay in cycles (arrivals land `delay` cycles after
+    /// transmission; at least 1 because arrivals are processed at the
+    /// start of a cycle, before the router stage).
+    delay: u64,
+    /// Calendar ring size, `delay + 1`.
+    wheel: u64,
+    /// Total flits sitting in input buffers.
+    buffered: u64,
+    /// Total issued-but-unfinished injection streams.
+    injecting: u64,
+    /// Flits in flight on wires (calendar entries).
+    inflight_flits: u64,
+    /// Credits in flight on wires (calendar entries).
+    inflight_credits: u64,
+    max_buffer: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -144,6 +334,12 @@ impl CycleEngine {
     /// Like [`Engine::run`], additionally returning microarchitectural
     /// statistics (per-link flit counts, buffer high-water marks).
     ///
+    /// This is the one-shot convenience entry point: it prepares the
+    /// schedule and allocates a fresh [`SimScratch`] internally. Sweeps
+    /// should prepare once and call
+    /// [`CycleEngine::run_prepared_detailed`] with a reused scratch —
+    /// the zero-allocation steady-state path.
+    ///
     /// # Errors
     ///
     /// Same as [`Engine::run`].
@@ -159,7 +355,7 @@ impl CycleEngine {
     }
 
     /// Executes an already-prepared schedule, reusing `scratch`'s
-    /// dependency-tracking buffers. Bit-identical to [`Engine::run`].
+    /// simulation buffers. Bit-identical to [`Engine::run`].
     ///
     /// # Errors
     ///
@@ -171,7 +367,7 @@ impl CycleEngine {
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<SimReport, AlgorithmError> {
-        Ok(self.run_prepared_detailed(prep, total_bytes, scratch)?.0)
+        Ok(self.run_core(prep, total_bytes, scratch)?.0)
     }
 }
 
@@ -188,8 +384,17 @@ impl Engine for CycleEngine {
     }
 }
 
+/// Timing and occupancy facts the core loop produces besides the report.
+struct CoreStats {
+    max_buffer: usize,
+    cycles: u64,
+}
+
 impl CycleEngine {
     /// [`CycleEngine::run_prepared`] with microarchitectural statistics.
+    /// This is the reuse path for detailed sweeps: `scratch` carries all
+    /// simulation state across runs, and the per-link flit counts are
+    /// *moved* into the returned [`CycleStats`] rather than cloned.
     ///
     /// # Errors
     ///
@@ -200,279 +405,349 @@ impl CycleEngine {
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<(SimReport, CycleStats), AlgorithmError> {
+        let (report, core) = self.run_core(prep, total_bytes, scratch)?;
+        let stats = CycleStats {
+            link_flits: std::mem::take(&mut scratch.cycle.tx_count),
+            max_buffer_occupancy: core.max_buffer,
+            cycles: core.cycles,
+        };
+        Ok((report, stats))
+    }
+
+    /// The shared simulation core: sets up scratch state, runs the
+    /// event-driven cycle loop, and builds the report. Per-link flit
+    /// counts stay in `scratch.cycle.tx_count` for the caller.
+    fn run_core(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<(SimReport, CoreStats), AlgorithmError> {
         let topo = prep.topology();
         let schedule = prep.schedule();
         let cfg = &self.cfg;
         let events = prep.events();
-        if events.is_empty() {
-            return Ok((
-                SimReport {
-                    total_bytes,
-                    completion_ns: 0.0,
-                    flits_sent: 0,
-                    head_flits: 0,
-                    messages: 0,
-                    flit_hops: 0,
-                    head_flit_hops: 0,
-                    links_used: 0,
-                    total_links: topo.num_links(),
-                    busy_ns: 0.0,
-                },
-                CycleStats {
-                    link_flits: vec![0; topo.num_links()],
-                    max_buffer_occupancy: 0,
-                    cycles: 0,
-                },
-            ));
-        }
+        let n = events.len();
         let segs = schedule.total_segments();
         let nv = topo.num_vertices();
+        let nn = topo.num_nodes();
         let nl = topo.num_links();
         let vcs = cfg.num_vcs as usize;
+        let num_steps = schedule.num_steps();
 
-        // --- messages & framing
-        let mut msgs: Vec<Msg> = Vec::with_capacity(events.len());
-        let mut inj_streams: Vec<Option<InjStream>> = Vec::with_capacity(events.len());
+        // split the scratch into its independently-borrowed parts
+        let s = &mut scratch.cycle;
+        let framings = &mut scratch.framings;
+        let remaining_deps = &mut scratch.remaining_deps;
+
+        // --- per-event wire framing, computed once and shared by the
+        // message table and the lockstep estimator
+        framings.clear();
+        framings.extend(
+            events
+                .iter()
+                .map(|e| frame_message(e.bytes(total_bytes, segs), cfg)),
+        );
+
+        // --- messages & injection streams
+        s.msgs.clear();
+        s.streams.clear();
         let mut flits_sent = 0u64;
         let mut head_flits = 0u64;
         let mut flit_hops = 0u64;
         let mut head_flit_hops = 0u64;
         for (i, e) in events.iter().enumerate() {
-            let bytes = e.bytes(total_bytes, segs);
-            let framing = frame_message(bytes, cfg);
-            let path = prep.path(i).to_vec();
-            assert!(!path.is_empty(), "events always cross at least one link");
+            let framing = &framings[i];
+            let hops = prep.hops(i);
+            assert!(hops >= 1, "events always cross at least one link");
             let total = framing.total_flits();
             flits_sent += total;
             head_flits += framing.head_flits;
-            flit_hops += total * path.len() as u64;
-            head_flit_hops += framing.head_flits * path.len() as u64;
-            // packet lengths
-            let mut packets = VecDeque::new();
-            match cfg.flow_control {
-                FlowControlMode::PacketBased => {
-                    let per_pkt_data = u64::from(cfg.payload_bytes) / u64::from(cfg.flit_bytes);
-                    let mut data = framing.data_flits;
-                    while data > 0 {
-                        let take = data.min(per_pkt_data);
-                        packets.push_back(take as u32 + 1); // + head
-                        data -= take;
-                    }
-                }
-                FlowControlMode::MessageBased => {
-                    packets.push_back(framing.data_flits as u32 + 1);
-                }
-            }
+            flit_hops += total * hops as u64;
+            head_flit_hops += framing.head_flits * hops as u64;
             let vc_base = ((e.flow.0 % (vcs / 2).max(1)) * 2) as u8;
-            msgs.push(Msg {
-                event: i,
-                path,
+            s.msgs.push(Msg {
                 total_flits: total,
                 ejected_flits: 0,
-                delivered_at: None,
-                vc_base,
             });
-            inj_streams.push(Some(InjStream {
-                msg: i as u32,
-                packets,
-                sent_in_packet: 0,
-            }));
+            s.streams
+                .push(InjStream::new(i as u32, hops as u16, framing, cfg, vc_base));
         }
 
-        let dateline = dateline_links(topo);
+        dateline_links_into(topo, &mut s.dateline);
+        s.link_dst.clear();
+        s.link_dst
+            .extend(topo.links().iter().map(|l| topo.vertex_index(l.dst) as u32));
 
-        // --- NI schedule tables: per node, events ordered by (step, id)
-        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); topo.num_nodes()];
-        for (i, e) in events.iter().enumerate() {
-            per_node[e.src.index()].push(i);
+        // --- NI schedule tables: per node, events ordered by (step, id),
+        // flattened into CSR rows with per-node issue cursors
+        reset_to(&mut s.ni_offsets, nn + 1, 0);
+        for i in 0..n {
+            s.ni_offsets[prep.src_index(i) + 1] += 1;
         }
-        for list in &mut per_node {
-            list.sort_by_key(|&i| (events[i].step, i));
+        for node in 0..nn {
+            s.ni_offsets[node + 1] += s.ni_offsets[node];
         }
+        s.ni_cursor.clear();
+        s.ni_cursor.extend_from_slice(&s.ni_offsets[..nn]);
+        reset_to(&mut s.ni_order, n, 0);
+        for i in 0..n {
+            let c = &mut s.ni_cursor[prep.src_index(i)];
+            s.ni_order[*c as usize] = i as u32;
+            *c += 1;
+        }
+        for node in 0..nn {
+            let row =
+                &mut s.ni_order[s.ni_offsets[node] as usize..s.ni_offsets[node + 1] as usize];
+            row.sort_unstable_by_key(|&i| (prep.step(i as usize), i));
+        }
+        s.ni_cursor.clear();
+        s.ni_cursor.extend_from_slice(&s.ni_offsets[..nn]);
+
         // lockstep step estimates (in cycles): flits of the step's largest
         // chunk, less the NI buffer when it does not fit (footnote 4)
-        let mut step_est = vec![0u64; schedule.num_steps() as usize + 2];
+        reset_to(&mut s.step_est, num_steps as usize + 2, 0);
         if let (true, Some(interval)) = (cfg.lockstep, cfg.lockstep_interval_ns) {
             let cycles = (interval / cfg.cycle_ns()).round() as u64;
-            step_est.iter_mut().skip(1).for_each(|e| *e = cycles);
+            s.step_est.iter_mut().skip(1).for_each(|e| *e = cycles);
         } else if cfg.lockstep {
-            for e in events {
-                let flits = frame_message(e.bytes(total_bytes, segs), cfg).total_flits();
+            for (i, e) in events.iter().enumerate() {
+                let flits = framings[i].total_flits();
                 let eff = if flits <= u64::from(cfg.vc_buffer_flits) {
                     flits
                 } else {
                     flits - u64::from(cfg.vc_buffer_flits)
                 };
-                let s = e.step as usize;
-                step_est[s] = step_est[s].max(eff);
+                let st = e.step as usize;
+                s.step_est[st] = s.step_est[st].max(eff);
             }
         }
 
-        let nics: Vec<Nic> = per_node
-            .iter()
-            .map(|list| {
-                let unissued = list.iter().filter(|&&i| events[i].step == 1).count() as u32;
-                Nic {
-                    pending: list.iter().copied().collect(),
-                    cur_step: 1,
-                    step_start: 0,
-                    unissued_in_step: unissued,
-                }
-            })
-            .collect();
+        s.nics.clear();
+        reset_to(&mut s.ni_active, nn.div_ceil(64), 0);
+        for node in 0..nn {
+            let row = &s.ni_order[s.ni_offsets[node] as usize..s.ni_offsets[node + 1] as usize];
+            let unissued = row
+                .iter()
+                .filter(|&&i| prep.step(i as usize) == 1)
+                .count() as u32;
+            s.nics.push(Nic {
+                cur_step: 1,
+                step_start: 0,
+                unissued_in_step: unissued,
+            });
+            if !row.is_empty() {
+                bit_set(&mut s.ni_active, node);
+            }
+        }
+
+        // --- network state
+        let raw_latency = cfg.link_latency_cycles() + u64::from(cfg.router_pipeline_cycles);
+        let delay = raw_latency.max(1);
+        let wheel = delay + 1;
+        reset_queues(&mut s.buffers, nl * vcs);
+        reset_to(&mut s.front_info, nl * vcs, FrontInfo::default());
+        reset_to(&mut s.cand_count, nl, 0);
+        reset_to(&mut s.credits, nl * vcs, cfg.vc_buffer_flits);
+        reset_lists(&mut s.cal_flits, wheel as usize);
+        reset_lists(&mut s.cal_credits, wheel as usize);
+        reset_to(&mut s.locks, nl, None);
+        reset_to(&mut s.rr, nl, 0);
+        reset_to(&mut s.tx_count, nl, 0);
+        reset_queues(&mut s.inject_q, nl);
+        reset_to(&mut s.inject_count, nn, 0);
+        reset_to(&mut s.vertex_work, nv, 0);
+        reset_to(&mut s.active_vertices, nv.div_ceil(64), 0);
+        reset_to(&mut s.input_used, nl.div_ceil(64), 0);
+        s.newly_delivered.clear();
+
+        // dependency tracking (count-down per event)
+        remaining_deps.clear();
+        remaining_deps.extend((0..n).map(|i| prep.indegree(i)));
 
         let mut sim = Sim {
             topo,
             cfg,
-            buffers: vec![VecDeque::new(); nl * vcs],
-            credits: vec![cfg.vc_buffer_flits; nl * vcs],
-            channels: vec![VecDeque::new(); nl],
-            credit_channels: vec![VecDeque::new(); nl],
-            locks: vec![None; nl],
-            rr: vec![0; nl],
-            dateline,
-            tx_count: vec![0; nl],
-            msgs,
-            inject: (0..topo.num_nodes()).map(|_| VecDeque::new()).collect(),
-            nics,
+            prep,
+            s,
             clock: 0,
+            delay,
+            wheel,
+            buffered: 0,
+            injecting: 0,
+            inflight_flits: 0,
+            inflight_credits: 0,
+            max_buffer: 0,
         };
 
-        // dependency tracking (reuses the scratch count-down buffers)
-        scratch.remaining_deps.clear();
-        scratch
-            .remaining_deps
-            .extend((0..events.len()).map(|i| prep.indegree(i)));
-        let remaining_deps = &mut scratch.remaining_deps;
-        reset_to(&mut scratch.issued, events.len(), false);
-        let issued = &mut scratch.issued;
         let mut delivered_count = 0usize;
-        let mut inj_opt = inj_streams;
-
-        let latency = cfg.link_latency_cycles() + u64::from(cfg.router_pipeline_cycles);
         let mut completion_cycle = 0u64;
-        let mut max_buffer = 0usize;
 
-        while delivered_count < events.len() {
+        while delivered_count < n {
             if sim.clock > self.max_cycles {
                 return Err(AlgorithmError::MalformedSchedule {
                     detail: format!(
                         "cycle simulation exceeded {} cycles with {}/{} messages delivered",
-                        self.max_cycles,
-                        delivered_count,
-                        events.len()
+                        self.max_cycles, delivered_count, n
                     ),
                 });
             }
             let now = sim.clock;
+            let slot = (now % sim.wheel) as usize;
 
-            // 1. credit arrivals
-            for l in 0..nl {
-                while let Some(&(t, vc)) = sim.credit_channels[l].front() {
-                    if t > now {
-                        break;
-                    }
-                    sim.credit_channels[l].pop_front();
-                    sim.credits[l * vcs + vc as usize] += 1;
-                }
+            // 1. credit arrivals (this cycle's calendar slot)
+            let mut credit_list = std::mem::take(&mut sim.s.cal_credits[slot]);
+            sim.inflight_credits -= credit_list.len() as u64;
+            for &(l, vc) in &credit_list {
+                sim.s.credits[l as usize * vcs + vc as usize] += 1;
             }
+            credit_list.clear();
+            sim.s.cal_credits[slot] = credit_list;
 
             // 2. link arrivals -> input buffers
-            for l in 0..nl {
-                while let Some(&(t, flit)) = sim.channels[l].front() {
-                    if t > now {
-                        break;
-                    }
-                    sim.channels[l].pop_front();
-                    let idx = l * vcs + flit.vc as usize;
-                    debug_assert!(
-                        sim.buffers[idx].len() < cfg.vc_buffer_flits as usize,
-                        "credit protocol violated: buffer overflow"
-                    );
-                    sim.buffers[idx].push_back(flit);
-                    max_buffer = max_buffer.max(sim.buffers[idx].len());
+            let mut flit_list = std::mem::take(&mut sim.s.cal_flits[slot]);
+            sim.inflight_flits -= flit_list.len() as u64;
+            sim.buffered += flit_list.len() as u64;
+            for &(l, flit) in &flit_list {
+                let idx = l as usize * vcs + flit.vc as usize;
+                let new_len = sim.buf_push(idx, flit);
+                if new_len == 1 {
+                    let fi = sim.front_info_of(&flit);
+                    sim.set_front(idx, fi);
                 }
+                sim.max_buffer = sim.max_buffer.max(new_len as usize);
+                let dst = sim.s.link_dst[l as usize] as usize;
+                sim.s.vertex_work[dst] += 1;
+                bit_set(&mut sim.s.active_vertices, dst);
             }
+            flit_list.clear();
+            sim.s.cal_flits[slot] = flit_list;
 
             // 3. NI issue: in-order from the schedule table, gated by
-            // dependencies and the lockstep timestep counter.
-            for node in 0..topo.num_nodes() {
-                // advance the timestep counter
-                loop {
-                    let nic = &sim.nics[node];
-                    let cur = nic.cur_step;
-                    if cur > schedule.num_steps() {
-                        break;
+            // dependencies and the lockstep timestep counter. Only nodes
+            // with unissued events are visited.
+            for w in 0..sim.s.ni_active.len() {
+                let mut bits = sim.s.ni_active[w];
+                while bits != 0 {
+                    let node = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let end = sim.s.ni_offsets[node + 1];
+                    // advance the timestep counter
+                    loop {
+                        let nic = sim.s.nics[node];
+                        if nic.cur_step > num_steps {
+                            break;
+                        }
+                        let est = if cfg.lockstep {
+                            sim.s.step_est[nic.cur_step as usize]
+                        } else {
+                            0
+                        };
+                        if nic.unissued_in_step == 0 && now >= nic.step_start + est {
+                            let next = nic.cur_step + 1;
+                            // remaining row entries are (step, id)-sorted,
+                            // so the next step's events sit in a prefix
+                            let unissued = sim.s.ni_order
+                                [sim.s.ni_cursor[node] as usize..end as usize]
+                                .iter()
+                                .take_while(|&&i| prep.step(i as usize) <= next)
+                                .filter(|&&i| prep.step(i as usize) == next)
+                                .count() as u32;
+                            let nic = &mut sim.s.nics[node];
+                            nic.cur_step = next;
+                            nic.step_start = now;
+                            nic.unissued_in_step = unissued;
+                        } else {
+                            break;
+                        }
                     }
-                    let est = if cfg.lockstep {
-                        step_est[cur as usize]
-                    } else {
-                        0
-                    };
-                    if sim.nics[node].unissued_in_step == 0 && now >= sim.nics[node].step_start + est
-                    {
-                        let next = cur + 1;
-                        let unissued = sim.nics[node]
-                            .pending
-                            .iter()
-                            .filter(|&&i| events[i].step == next && !issued[i])
-                            .count() as u32;
-                        let nic = &mut sim.nics[node];
-                        nic.cur_step = next;
-                        nic.step_start = now;
-                        nic.unissued_in_step = unissued;
-                    } else {
-                        break;
+                    // issue head-of-table events whose deps are clear
+                    while sim.s.ni_cursor[node] < end {
+                        let i = sim.s.ni_order[sim.s.ni_cursor[node] as usize] as usize;
+                        if prep.step(i) > sim.s.nics[node].cur_step || remaining_deps[i] > 0 {
+                            break;
+                        }
+                        sim.s.ni_cursor[node] += 1;
+                        sim.s.nics[node].unissued_in_step =
+                            sim.s.nics[node].unissued_in_step.saturating_sub(1);
+                        let stream = sim.s.streams[i];
+                        let first = prep.first_link(i);
+                        sim.s.inject_q[first.index()].push_back(stream);
+                        sim.s.inject_count[node] += 1;
+                        sim.injecting += 1;
+                        // node vertex indices coincide with node indices
+                        sim.s.vertex_work[node] += 1;
+                        bit_set(&mut sim.s.active_vertices, node);
                     }
-                }
-                // issue head-of-table events whose deps are clear
-                while let Some(&i) = sim.nics[node].pending.front() {
-                    let e = &events[i];
-                    if e.step > sim.nics[node].cur_step || remaining_deps[i] > 0 {
-                        break;
+                    if sim.s.ni_cursor[node] == end {
+                        bit_clear(&mut sim.s.ni_active, node);
                     }
-                    sim.nics[node].pending.pop_front();
-                    issued[i] = true;
-                    sim.nics[node].unissued_in_step =
-                        sim.nics[node].unissued_in_step.saturating_sub(1);
-                    let stream = inj_opt[i].take().expect("stream issued once");
-                    sim.inject[node].push_back(stream);
                 }
             }
 
-            // 4. routers: ejection + output arbitration
-            let mut newly_delivered: Vec<u32> = Vec::new();
-            sim.router_stage(nv, vcs, latency, &mut newly_delivered);
+            // 4. routers: ejection + output arbitration over the
+            // active-vertex worklist
+            sim.s.newly_delivered.clear();
+            sim.router_stage(vcs);
 
             // 5. completions clear dependencies
-            for m in newly_delivered {
-                let msg = &mut sim.msgs[m as usize];
-                msg.delivered_at = Some(now);
+            for k in 0..sim.s.newly_delivered.len() {
+                let m = sim.s.newly_delivered[k] as usize;
                 completion_cycle = completion_cycle.max(now);
                 delivered_count += 1;
-                for &dep_idx in prep.dependents(msg.event) {
+                for &dep_idx in prep.dependents(m) {
                     remaining_deps[dep_idx as usize] -= 1;
                 }
             }
 
-            sim.clock += 1;
+            // 6. advance the clock; when nothing can act next cycle, jump
+            // straight to the next arrival front or lockstep boundary
+            if sim.buffered == 0 && sim.injecting == 0 && sim.s.newly_delivered.is_empty() {
+                let mut wake = u64::MAX;
+                for d in 1..=sim.delay {
+                    let sl = ((now + d) % sim.wheel) as usize;
+                    if !sim.s.cal_flits[sl].is_empty() || !sim.s.cal_credits[sl].is_empty() {
+                        wake = now + d;
+                        break;
+                    }
+                }
+                if cfg.lockstep {
+                    // a quiescent NI can still cross a step boundary at
+                    // step_start + est, re-enabling issue
+                    for w in 0..sim.s.ni_active.len() {
+                        let mut bits = sim.s.ni_active[w];
+                        while bits != 0 {
+                            let node = (w << 6) | bits.trailing_zeros() as usize;
+                            bits &= bits - 1;
+                            let nic = sim.s.nics[node];
+                            if nic.unissued_in_step == 0 && nic.cur_step <= num_steps {
+                                let est = sim.s.step_est[nic.cur_step as usize];
+                                if est > 0 {
+                                    wake = wake.min(nic.step_start + est);
+                                }
+                            }
+                        }
+                    }
+                }
+                debug_assert!(wake > now, "wake target must be in the future");
+                // no wake source at all = true deadlock; land beyond the
+                // watchdog so the error matches the dense engine's
+                sim.clock = if wake == u64::MAX {
+                    self.max_cycles + 1
+                } else {
+                    wake
+                };
+            } else {
+                sim.clock = now + 1;
+            }
         }
 
         // End-state invariants: every flit that entered the network was
-        // consumed — no stranded buffers, channels or injection streams.
-        assert!(
-            sim.buffers.iter().all(VecDeque::is_empty),
-            "flits stranded in input buffers after completion"
-        );
-        assert!(
-            sim.channels.iter().all(VecDeque::is_empty),
-            "flits stranded on links after completion"
-        );
-        assert!(
-            sim.inject.iter().all(VecDeque::is_empty),
-            "messages stranded at injection after completion"
-        );
-        let ejected: u64 = sim.msgs.iter().map(|m| m.ejected_flits).sum();
+        // consumed — no stranded buffers, wires or injection streams.
+        assert_eq!(sim.buffered, 0, "flits stranded in input buffers after completion");
+        assert_eq!(sim.inflight_flits, 0, "flits stranded on links after completion");
+        assert_eq!(sim.injecting, 0, "messages stranded at injection after completion");
+        let ejected: u64 = sim.s.msgs.iter().map(|m| m.ejected_flits).sum();
         assert_eq!(ejected, flits_sent, "flit conservation violated");
 
         let report = SimReport {
@@ -480,19 +755,22 @@ impl CycleEngine {
             completion_ns: completion_cycle as f64 * cfg.cycle_ns(),
             flits_sent,
             head_flits,
-            messages: events.len(),
+            messages: n,
             flit_hops,
             head_flit_hops,
-            links_used: sim.tx_count.iter().filter(|&&c| c > 0).count(),
+            links_used: sim.s.tx_count.iter().filter(|&&c| c > 0).count(),
             total_links: nl,
-            busy_ns: sim.tx_count.iter().sum::<u64>() as f64 * cfg.cycle_ns(),
+            busy_ns: sim.s.tx_count.iter().sum::<u64>() as f64 * cfg.cycle_ns(),
         };
-        let stats = CycleStats {
-            link_flits: sim.tx_count.clone(),
-            max_buffer_occupancy: max_buffer,
-            cycles: sim.clock,
-        };
-        Ok((report, stats))
+        let cycles = sim.clock;
+        let max_buffer = sim.max_buffer;
+        Ok((
+            report,
+            CoreStats {
+                max_buffer,
+                cycles,
+            },
+        ))
     }
 }
 
@@ -599,6 +877,46 @@ mod tests {
             .unwrap_err();
         assert!(err.to_string().contains("exceeded"));
     }
+
+    #[test]
+    fn empty_schedule_completes_instantly() {
+        let topo = Topology::torus(2, 2);
+        let s = CommSchedule::new("empty", 4, 4);
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let (r, stats) = CycleEngine::new(NetworkConfig::paper_default())
+            .run_prepared_detailed(&prep, 1 << 20, &mut scratch)
+            .unwrap();
+        assert_eq!(r.completion_ns, 0.0);
+        assert_eq!(r.flits_sent, 0);
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.link_flits, vec![0; topo.num_links()]);
+    }
+
+    #[test]
+    fn steady_state_reuses_scratch_capacity() {
+        // after a warm-up run, repeated runs at the same payload size must
+        // not grow any scratch buffer: the simulation loop and per-run
+        // setup are allocation-free once capacities are established
+        // (tx_count is excluded: run_prepared_detailed moves it into the
+        // returned stats by design, so the plain run_prepared path is the
+        // one measured here)
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let engine = CycleEngine::new(NetworkConfig::paper_default());
+        let mut scratch = SimScratch::new();
+        engine.run_prepared(&prep, 256 << 10, &mut scratch).unwrap();
+        let warm = scratch.cycle.capacity_elements();
+        for _ in 0..3 {
+            engine.run_prepared(&prep, 256 << 10, &mut scratch).unwrap();
+            assert_eq!(
+                scratch.cycle.capacity_elements(),
+                warm,
+                "scratch capacity grew across identical runs"
+            );
+        }
+    }
 }
 
 
@@ -610,8 +928,9 @@ mod stats_tests {
     #[test]
     fn detailed_stats_match_report() {
         let topo = Topology::torus(4, 4);
+        let cfg = NetworkConfig::paper_default();
         let s = MultiTree::default().build(&topo).unwrap();
-        let (report, stats) = CycleEngine::new(NetworkConfig::paper_default())
+        let (report, stats) = CycleEngine::new(cfg)
             .run_detailed(&topo, &s, 64 << 10)
             .unwrap();
         assert_eq!(stats.links_used(), report.links_used);
@@ -620,8 +939,10 @@ mod stats_tests {
             report.busy_ns
         );
         assert!(stats.cycles > 0);
-        // credit protocol bounds occupancy by the configured buffer depth
-        assert!(stats.max_buffer_occupancy <= 318);
+        // the credit protocol bounds any (input, VC) buffer by its
+        // configured depth: a flit is only transmitted after taking a
+        // credit, and credits are only returned as flits drain
+        assert!(stats.max_buffer_occupancy <= cfg.vc_buffer_flits as usize);
         assert!(stats.max_buffer_occupancy > 0);
     }
 

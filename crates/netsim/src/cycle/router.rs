@@ -1,121 +1,154 @@
 //! Per-cycle router behaviour: ejection, output arbitration, credit
 //! bookkeeping and flit transmission (the switch-allocation and
 //! VC-management stages of a VC router, collapsed into one cycle).
+//!
+//! Routers are visited through the active-vertex worklist: only vertices
+//! holding buffered flits or pending injection streams do any work, and
+//! the bitset is walked in ascending vertex order so the arbitration
+//! sequence — and therefore every round-robin decision — is bit-identical
+//! to a dense `0..num_vertices` scan.
 
 use super::flit::Flit;
-use super::{Lock, Sim, Source};
-use mt_topology::{LinkId, Vertex};
+use super::{bit_clear, bit_get, bit_set, FrontInfo, Lock, Sim, Source, FRONT_EJECT, FRONT_NONE};
 use crate::config::FlowControlMode;
+use mt_topology::{LinkId, Vertex};
 
-impl Sim<'_> {
-    /// One cycle of all routers: ejection, then output arbitration, under
-    /// the crossbar constraint of one flit per input and per output.
-    pub(super) fn router_stage(&mut self, nv: usize, vcs: usize, latency: u64, delivered: &mut Vec<u32>) {
+impl Sim<'_, '_> {
+    /// Appends a flit to buffer `idx`; returns the new buffer length.
+    #[inline]
+    pub(super) fn buf_push(&mut self, idx: usize, f: Flit) -> u32 {
+        let q = &mut self.s.buffers[idx];
+        debug_assert!(
+            q.len() < self.cfg.vc_buffer_flits as usize,
+            "credit protocol violated: buffer overflow"
+        );
+        q.push_back(f);
+        q.len() as u32
+    }
+
+    /// Pops the front flit of buffer `idx`, if any.
+    #[inline]
+    fn buf_pop(&mut self, idx: usize) -> Option<Flit> {
+        self.s.buffers[idx].pop_front()
+    }
+
+    /// The front flit of buffer `idx`, if any.
+    #[inline]
+    fn buf_front(&self, idx: usize) -> Option<&Flit> {
+        self.s.buffers[idx].front()
+    }
+
+    /// One cycle of all (active) routers: ejection, then output
+    /// arbitration, under the crossbar constraint of one flit per input
+    /// and per output.
+    pub(super) fn router_stage(&mut self, vcs: usize) {
         // one flit per input link per cycle; injection is not globally
         // throttled — the paper's direct-network NI bandwidth "matches the
         // network bandwidth of the attached router" (§V-A), so a node may
         // feed all its output ports in the same cycle (each output still
         // moves at most one flit per cycle). Indirect-network nodes have a
         // single uplink, which serializes their injection naturally.
-        let mut input_used = vec![false; self.topo.num_links()];
+        self.s.input_used.iter_mut().for_each(|w| *w = 0);
 
-        for v in 0..nv {
-            let vertex = self.topo.vertex_at(v);
+        // Snapshot each word of the active bitset: the router stage only
+        // ever *clears* bits (transmits land in the calendar, not in
+        // buffers), so nothing is missed, and vertices drained by an
+        // earlier cycle are retired here for free.
+        for w in 0..self.s.active_vertices.len() {
+            let mut bits = self.s.active_vertices[w];
+            while bits != 0 {
+                let v = (w << 6) | bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let vertex = self.topo.vertex_at(v);
+                self.eject_stage(vertex, vcs);
 
-            // --- ejection: any input whose head flit terminates here
-            for &in_link in self.topo.in_links(vertex) {
-                if input_used[in_link.index()] {
-                    continue;
-                }
-                for vc in 0..vcs {
-                    let idx = in_link.index() * vcs + vc;
-                    let eject = match self.buffers[idx].front() {
-                        Some(f) => (f.route_pos as usize) == self.msgs[f.msg as usize].path.len(),
-                        None => false,
-                    };
-                    if eject {
-                        let flit = self.buffers[idx].pop_front().expect("checked non-empty");
-                        self.return_credit(in_link, vc as u8, latency);
-                        input_used[in_link.index()] = true;
-                        let m = &mut self.msgs[flit.msg as usize];
-                        m.ejected_flits += 1;
-                        if m.ejected_flits == m.total_flits {
-                            delivered.push(flit.msg);
-                        }
-                        break;
+                // --- output arbitration per outgoing link
+                for &out_link in self.topo.out_links(vertex) {
+                    if let Some(lock) = self.s.locks[out_link.index()] {
+                        self.continue_stream(out_link, lock);
+                    } else {
+                        self.allocate_stream(vertex, out_link, vcs);
                     }
                 }
-            }
 
-            // --- output arbitration per outgoing link
-            for &out_link in self.topo.out_links(vertex) {
-                if let Some(lock) = self.locks[out_link.index()] {
-                    self.continue_stream(out_link, lock, &mut input_used, latency);
-                } else {
-                    self.allocate_stream(vertex, out_link, vcs, &mut input_used, latency);
+                if self.s.vertex_work[v] == 0 {
+                    bit_clear(&mut self.s.active_vertices, v);
                 }
             }
         }
     }
 
+    /// Ejection: any input whose front flit terminates at `vertex` (at
+    /// most one flit per input link per cycle). The scan reads only the
+    /// contiguous front-info cache, in ascending VC order — the same
+    /// order a dense `0..vcs` buffer scan would find them.
+    fn eject_stage(&mut self, vertex: Vertex, vcs: usize) {
+        for &in_link in self.topo.in_links(vertex) {
+            if bit_get(&self.s.input_used, in_link.index()) {
+                continue;
+            }
+            let base = in_link.index() * vcs;
+            for vc in 0..vcs {
+                let idx = base + vc;
+                if self.s.front_info[idx].next_link != FRONT_EJECT {
+                    continue;
+                }
+                let flit = self.buf_pop(idx).expect("cached front exists");
+                self.note_buffer_pop(in_link.index(), idx);
+                self.return_credit(in_link, vc as u8);
+                bit_set(&mut self.s.input_used, in_link.index());
+                let m = &mut self.s.msgs[flit.msg as usize];
+                m.ejected_flits += 1;
+                if m.ejected_flits == m.total_flits {
+                    self.s.newly_delivered.push(flit.msg);
+                }
+                break;
+            }
+        }
+    }
+
     /// Streams the next flit of the packet currently locking `out_link`.
-    fn continue_stream(
-        &mut self,
-        out_link: LinkId,
-        lock: Lock,
-        input_used: &mut [bool],
-        latency: u64,
-    ) {
+    fn continue_stream(&mut self, out_link: LinkId, lock: Lock) {
         let vcs = self.cfg.num_vcs as usize;
         let out_idx = out_link.index() * vcs + lock.out_vc as usize;
-        if self.credits[out_idx] == 0 {
+        if self.s.credits[out_idx] == 0 {
             return; // wormhole backpressure
         }
         match lock.from {
             Source::Buffer { link, vc } => {
-                if input_used[link as usize] {
+                if bit_get(&self.s.input_used, link as usize) {
                     return;
                 }
                 let in_idx = link as usize * vcs + vc as usize;
-                let Some(&flit) = self.buffers[in_idx].front() else {
+                let Some(flit) = self.buf_pop(in_idx) else {
                     return; // bubble: upstream hasn't delivered yet
                 };
                 debug_assert!(!flit.kind.is_head(), "lock must stream body/tail flits");
-                self.buffers[in_idx].pop_front();
-                self.return_credit(LinkId::new(link as usize), vc, latency);
-                input_used[link as usize] = true;
-                self.transmit(out_link, flit, lock.out_vc, latency);
+                self.note_buffer_pop(link as usize, in_idx);
+                self.return_credit(LinkId::new(link as usize), vc);
+                bit_set(&mut self.s.input_used, link as usize);
+                self.transmit(out_link, flit, lock.out_vc);
                 self.step_lock(out_link, lock);
             }
             Source::Injection => {
-                let node = self
-                    .topo
-                    .link(out_link)
-                    .src
-                    .as_node()
-                    .expect("injection source is a node")
-                    .index();
                 // the locked stream is the first one routed over out_link
                 // (injection queues are FIFO per output port)
-                let msgs = &self.msgs;
-                let Some(pos) = self.inject[node]
-                    .iter()
-                    .position(|s| msgs[s.msg as usize].path[0] == out_link)
-                else {
+                let Some(stream) = self.s.inject_q[out_link.index()].front_mut() else {
                     return;
                 };
-                let Some(mut flit) = self.inject[node][pos].peek(&self.msgs) else {
+                let Some(mut flit) = stream.peek() else {
                     return;
                 };
                 debug_assert!(!flit.kind.is_head());
-                self.inject[node][pos].advance();
-                if self.inject[node][pos].is_done() {
-                    self.inject[node].remove(pos);
+                stream.advance();
+                if stream.is_done() {
+                    self.s.inject_q[out_link.index()].pop_front();
+                    self.note_stream_done(out_link);
                 }
                 flit.vc = lock.out_vc;
                 flit.route_pos = 1;
-                flit.crossed_dateline = self.dateline[out_link.index()];
-                self.transmit_raw(out_link, flit, latency);
+                flit.crossed_dateline = self.s.dateline[out_link.index()];
+                self.transmit_raw(out_link, flit);
                 self.consume_credit(out_link, lock.out_vc);
                 self.step_lock(out_link, lock);
             }
@@ -124,84 +157,83 @@ impl Sim<'_> {
 
     /// Tries to start a new packet on `out_link`: round-robin over
     /// injection and all (input, vc) heads that route to this output.
-    fn allocate_stream(
-        &mut self,
-        vertex: Vertex,
-        out_link: LinkId,
-        vcs: usize,
-        input_used: &mut [bool],
-        latency: u64,
-    ) {
-        // candidate list: injection (for source nodes), then (in_link, vc)
-        let mut candidates: Vec<Source> = Vec::new();
-        if let Some(node) = vertex.as_node() {
-            if !self.inject[node.index()].is_empty() {
-                candidates.push(Source::Injection);
-            }
-        }
-        for &in_link in self.topo.in_links(vertex) {
-            for vc in 0..vcs {
-                candidates.push(Source::Buffer {
-                    link: in_link.index() as u32,
-                    vc: vc as u8,
-                });
-            }
-        }
-        if candidates.is_empty() {
+    ///
+    /// The candidate list is never materialized: candidate `k` decodes as
+    /// injection (index 0, present when the node has any pending stream)
+    /// followed by the (in_link, vc) pairs in input order — the same
+    /// sequence the dense engine builds, so every round-robin pointer
+    /// takes the same value.
+    fn allocate_stream(&mut self, vertex: Vertex, out_link: LinkId, vcs: usize) {
+        // no buffered head routes here and nothing to inject on this
+        // port: every candidate probe would fail, and failed probes have
+        // no side effects (the round-robin pointer only moves on
+        // success), so the scan can be skipped wholesale
+        if self.s.cand_count[out_link.index()] == 0
+            && self.s.inject_q[out_link.index()].is_empty()
+        {
             return;
         }
-        let start = self.rr[out_link.index()] as usize % candidates.len();
-        for k in 0..candidates.len() {
-            let cand = candidates[(start + k) % candidates.len()];
-            if self.try_start(cand, out_link, input_used, latency) {
-                self.rr[out_link.index()] = ((start + k + 1) % candidates.len()) as u32;
+        let has_inj = usize::from(
+            vertex
+                .as_node()
+                .is_some_and(|node| self.s.inject_count[node.index()] > 0),
+        );
+        let in_links = self.topo.in_links(vertex);
+        let n = has_inj + in_links.len() * vcs;
+        if n == 0 {
+            return;
+        }
+        let start = self.s.rr[out_link.index()] as usize % n;
+        for k in 0..n {
+            let c = (start + k) % n;
+            let cand = if c < has_inj {
+                Source::Injection
+            } else {
+                Source::Buffer {
+                    link: in_links[(c - has_inj) / vcs].index() as u32,
+                    vc: ((c - has_inj) % vcs) as u8,
+                }
+            };
+            if self.try_start(cand, out_link) {
+                self.s.rr[out_link.index()] = ((start + k + 1) % n) as u32;
                 return;
             }
         }
     }
 
     /// Attempts to start the packet at `cand`'s head on `out_link`.
-    fn try_start(
-        &mut self,
-        cand: Source,
-        out_link: LinkId,
-        input_used: &mut [bool],
-        latency: u64,
-    ) -> bool {
+    fn try_start(&mut self, cand: Source, out_link: LinkId) -> bool {
         let vcs = self.cfg.num_vcs as usize;
         match cand {
             Source::Buffer { link, vc } => {
-                if input_used[link as usize] {
-                    return false;
-                }
+                // hot path: one contiguous cache read decides empty,
+                // non-head and wrong-route fronts at once — the deque and
+                // the message path are only touched on success
                 let in_idx = link as usize * vcs + vc as usize;
-                let Some(&flit) = self.buffers[in_idx].front() else {
-                    return false;
-                };
-                if !flit.kind.is_head() {
+                let fi = self.s.front_info[in_idx];
+                if fi.next_link != out_link.index() as u32 {
                     return false;
                 }
-                let m = &self.msgs[flit.msg as usize];
-                if (flit.route_pos as usize) >= m.path.len()
-                    || m.path[flit.route_pos as usize] != out_link
-                {
+                if bit_get(&self.s.input_used, link as usize) {
                     return false;
                 }
-                let out_vc = self.output_vc(flit, out_link);
-                if !self.credit_check(out_link, out_vc, flit.pkt_flits) {
+                let out_vc = self.output_vc_parts(fi.vc, fi.crossed, out_link);
+                if !self.credit_check(out_link, out_vc, fi.pkt_flits) {
                     return false;
                 }
-                let mut flit = self.buffers[in_idx].pop_front().expect("checked");
-                self.return_credit(LinkId::new(link as usize), vc, latency);
-                input_used[link as usize] = true;
-                flit.crossed_dateline = flit.crossed_dateline || self.dateline[out_link.index()];
+                let mut flit = self.buf_pop(in_idx).expect("cached front exists");
+                self.note_buffer_pop(link as usize, in_idx);
+                self.return_credit(LinkId::new(link as usize), vc);
+                bit_set(&mut self.s.input_used, link as usize);
+                flit.crossed_dateline =
+                    flit.crossed_dateline || self.s.dateline[out_link.index()];
                 flit.vc = out_vc;
                 flit.route_pos += 1;
                 let remaining = flit.pkt_flits - 1;
-                self.transmit_raw(out_link, flit, latency);
+                self.transmit_raw(out_link, flit);
                 self.consume_credit(out_link, out_vc);
                 if remaining > 0 {
-                    self.locks[out_link.index()] = Some(Lock {
+                    self.s.locks[out_link.index()] = Some(Lock {
                         from: Source::Buffer { link, vc },
                         out_vc,
                         remaining,
@@ -210,23 +242,12 @@ impl Sim<'_> {
                 true
             }
             Source::Injection => {
-                let node = self
-                    .topo
-                    .link(out_link)
-                    .src
-                    .as_node()
-                    .expect("injection at a node")
-                    .index();
                 // serve the FIRST stream whose path starts with out_link
                 // (FIFO per output port)
-                let msgs = &self.msgs;
-                let Some(pos) = self.inject[node]
-                    .iter()
-                    .position(|s| msgs[s.msg as usize].path[0] == out_link)
-                else {
+                let Some(&stream) = self.s.inject_q[out_link.index()].front() else {
                     return false;
                 };
-                let Some(flit) = self.inject[node][pos].peek(&self.msgs) else {
+                let Some(mut flit) = stream.peek() else {
                     return false;
                 };
                 if !flit.kind.is_head() {
@@ -238,19 +259,22 @@ impl Sim<'_> {
                 if !self.credit_check(out_link, out_vc, flit.pkt_flits) {
                     return false;
                 }
-                let mut flit = flit;
-                self.inject[node][pos].advance();
-                if self.inject[node][pos].is_done() {
-                    self.inject[node].remove(pos);
+                let stream = self.s.inject_q[out_link.index()]
+                    .front_mut()
+                    .expect("checked non-empty");
+                stream.advance();
+                if stream.is_done() {
+                    self.s.inject_q[out_link.index()].pop_front();
+                    self.note_stream_done(out_link);
                 }
-                flit.crossed_dateline = self.dateline[out_link.index()];
+                flit.crossed_dateline = self.s.dateline[out_link.index()];
                 flit.vc = out_vc;
                 flit.route_pos = 1;
                 let remaining = flit.pkt_flits - 1;
-                self.transmit_raw(out_link, flit, latency);
+                self.transmit_raw(out_link, flit);
                 self.consume_credit(out_link, out_vc);
                 if remaining > 0 {
-                    self.locks[out_link.index()] = Some(Lock {
+                    self.s.locks[out_link.index()] = Some(Lock {
                         from: Source::Injection,
                         out_vc,
                         remaining,
@@ -261,11 +285,75 @@ impl Sim<'_> {
         }
     }
 
+    /// Bookkeeping for a flit leaving an input buffer: the buffered-flit
+    /// total and the buffer's vertex (the popping router) lose one unit,
+    /// and the front-info cache is refreshed from the new front.
+    fn note_buffer_pop(&mut self, link: usize, in_idx: usize) {
+        self.buffered -= 1;
+        self.s.vertex_work[self.s.link_dst[link] as usize] -= 1;
+        let fi = match self.buf_front(in_idx) {
+            Some(f) => self.front_info_of(f),
+            None => FrontInfo::default(),
+        };
+        self.set_front(in_idx, fi);
+    }
+
+    /// Installs a new front-info entry, keeping the per-output candidate
+    /// counts in sync (a front counts while it is a startable head routed
+    /// to some output link).
+    pub(super) fn set_front(&mut self, in_idx: usize, fi: FrontInfo) {
+        let old = self.s.front_info[in_idx].next_link;
+        if old < FRONT_EJECT {
+            self.s.cand_count[old as usize] -= 1;
+        }
+        if fi.next_link < FRONT_EJECT {
+            self.s.cand_count[fi.next_link as usize] += 1;
+        }
+        self.s.front_info[in_idx] = fi;
+    }
+
+    /// Computes the front-info cache entry for a flit at the head of an
+    /// input buffer. Called once per front *change* (push-to-empty, pop);
+    /// arbitration probes then reuse the cached entry.
+    pub(super) fn front_info_of(&self, f: &Flit) -> FrontInfo {
+        let next_link = if f.route_pos == f.hops {
+            FRONT_EJECT
+        } else if f.kind.is_head() {
+            self.prep.path(f.msg as usize)[f.route_pos as usize].index() as u32
+        } else {
+            FRONT_NONE
+        };
+        FrontInfo {
+            next_link,
+            pkt_flits: f.pkt_flits,
+            vc: f.vc,
+            crossed: f.crossed_dateline,
+        }
+    }
+
+    /// Bookkeeping for a fully injected stream leaving its queue.
+    fn note_stream_done(&mut self, out_link: LinkId) {
+        let node = self
+            .topo
+            .link(out_link)
+            .src
+            .as_node()
+            .expect("injection source is a node")
+            .index();
+        self.injecting -= 1;
+        self.s.inject_count[node] -= 1;
+        self.s.vertex_work[node] -= 1;
+    }
+
     /// Output VC: the packet's base VC pair, escaped to the high VC after
     /// crossing a torus dateline.
     fn output_vc(&self, flit: Flit, out_link: LinkId) -> u8 {
-        let crossed = flit.crossed_dateline || self.dateline[out_link.index()];
-        let base = flit.vc & !1; // clear the dateline bit
+        self.output_vc_parts(flit.vc, flit.crossed_dateline, out_link)
+    }
+
+    fn output_vc_parts(&self, vc: u8, crossed_dateline: bool, out_link: LinkId) -> u8 {
+        let crossed = crossed_dateline || self.s.dateline[out_link.index()];
+        let base = vc & !1; // clear the dateline bit
         base | u8::from(crossed)
     }
 
@@ -273,7 +361,7 @@ impl Sim<'_> {
     /// for big gradient messages (room for one flit).
     fn credit_check(&self, out_link: LinkId, vc: u8, pkt_flits: u32) -> bool {
         let vcs = self.cfg.num_vcs as usize;
-        let have = self.credits[out_link.index() * vcs + vc as usize];
+        let have = self.s.credits[out_link.index() * vcs + vc as usize];
         match self.cfg.flow_control {
             FlowControlMode::PacketBased => have >= pkt_flits.min(self.cfg.vc_buffer_flits),
             FlowControlMode::MessageBased => have >= 1,
@@ -283,35 +371,38 @@ impl Sim<'_> {
     fn consume_credit(&mut self, link: LinkId, vc: u8) {
         let vcs = self.cfg.num_vcs as usize;
         let idx = link.index() * vcs + vc as usize;
-        debug_assert!(self.credits[idx] > 0);
-        self.credits[idx] -= 1;
+        debug_assert!(self.s.credits[idx] > 0);
+        self.s.credits[idx] -= 1;
     }
 
-    fn return_credit(&mut self, link: LinkId, vc: u8, latency: u64) {
-        self.credit_channels[link.index()].push_back((self.clock + latency, vc));
+    fn return_credit(&mut self, link: LinkId, vc: u8) {
+        let slot = ((self.clock + self.delay) % self.wheel) as usize;
+        self.s.cal_credits[slot].push((link.index() as u32, vc));
+        self.inflight_credits += 1;
     }
 
     /// Puts a body/tail flit from a locked stream on the wire.
-    fn transmit(&mut self, out_link: LinkId, mut flit: Flit, out_vc: u8, latency: u64) {
+    fn transmit(&mut self, out_link: LinkId, mut flit: Flit, out_vc: u8) {
         flit.vc = out_vc;
-        flit.crossed_dateline = flit.crossed_dateline || self.dateline[out_link.index()];
+        flit.crossed_dateline = flit.crossed_dateline || self.s.dateline[out_link.index()];
         flit.route_pos += 1;
-        self.transmit_raw(out_link, flit, latency);
+        self.transmit_raw(out_link, flit);
         self.consume_credit(out_link, out_vc);
     }
 
-    fn transmit_raw(&mut self, out_link: LinkId, flit: Flit, latency: u64) {
-        self.tx_count[out_link.index()] += 1;
-        self.channels[out_link.index()].push_back((self.clock + latency, flit));
+    fn transmit_raw(&mut self, out_link: LinkId, flit: Flit) {
+        self.s.tx_count[out_link.index()] += 1;
+        let slot = ((self.clock + self.delay) % self.wheel) as usize;
+        self.s.cal_flits[slot].push((out_link.index() as u32, flit));
+        self.inflight_flits += 1;
     }
 
     fn step_lock(&mut self, out_link: LinkId, lock: Lock) {
         let remaining = lock.remaining - 1;
-        self.locks[out_link.index()] = if remaining == 0 {
+        self.s.locks[out_link.index()] = if remaining == 0 {
             None
         } else {
             Some(Lock { remaining, ..lock })
         };
     }
 }
-

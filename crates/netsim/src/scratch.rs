@@ -71,13 +71,13 @@ pub struct SimScratch {
     pub(crate) used: Vec<bool>,
     /// Per lockstep step: injection gate times (flow engine).
     pub(crate) gates: Vec<f64>,
-    /// Per event: issued to the network (cycle engine NI state).
-    pub(crate) issued: Vec<bool>,
     /// Per event: wire framing at the current payload size, computed
     /// once per run and shared by the gate and execution loops.
     pub(crate) framings: Vec<crate::flowctrl::Framing>,
     /// Ready-event queue ordered by (time, id) (flow engine).
     pub(crate) heap: MinQueue,
+    /// The cycle engine's buffers, calendars, worklists and NI tables.
+    pub(crate) cycle: crate::cycle::CycleScratch,
 }
 
 impl SimScratch {

@@ -2,11 +2,19 @@
 //! result: `Engine::run` (prepare + fresh scratch each call) and
 //! `run_prepared` (one `PreparedSchedule`, one `SimScratch` reused
 //! across payload sizes) are the same simulation.
+//!
+//! The second half of this suite is the cycle engine's differential
+//! harness: the event-driven engine (`run_prepared_detailed`) against
+//! the dense reference implementation (`run_reference_detailed`), which
+//! must agree on every field of both the `SimReport` and the
+//! `CycleStats` — idle-cycle skipping, active lists and calendar queues
+//! are pure reorganizations, not approximations.
 
 use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring};
 use multitree::PreparedSchedule;
 use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
+use proptest::prelude::*;
 
 fn algos() -> Vec<(&'static str, Box<dyn AllReduce>)> {
     vec![
@@ -120,4 +128,106 @@ fn one_scratch_serves_both_engines_and_many_schedules() {
     let c = flow.run_prepared(&p1, 1 << 20, &mut scratch).unwrap();
     assert_eq!(a, c, "interleaving engines/schedules must not leak state");
     assert_eq!(b, cycle.run(&ft, &s2, 16 << 10).unwrap());
+}
+
+// --- event-driven vs dense reference ---------------------------------
+
+fn equivalence_topos() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("4x4 torus", Topology::torus(4, 4)),
+        ("4x4 mesh", Topology::mesh(4, 4)),
+        ("16-node fat-tree", Topology::dgx2_like_16()),
+    ]
+}
+
+/// Asserts the event-driven engine and the dense reference produce
+/// bit-identical reports AND statistics for one configuration.
+fn assert_engines_identical(
+    cfg: NetworkConfig,
+    topo: &Topology,
+    algo: &dyn AllReduce,
+    bytes: u64,
+    label: &str,
+) {
+    let engine = CycleEngine::new(cfg);
+    let s = algo.build(topo).unwrap();
+    let (ref_report, ref_stats) = engine.run_reference_detailed(topo, &s, bytes).unwrap();
+    let prep = PreparedSchedule::new(&s, topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let (new_report, new_stats) = engine
+        .run_prepared_detailed(&prep, bytes, &mut scratch)
+        .unwrap();
+    assert_eq!(ref_report, new_report, "report diverged: {label}");
+    assert_eq!(ref_stats, new_stats, "stats diverged: {label}");
+}
+
+#[test]
+fn event_driven_cycle_engine_matches_dense_reference() {
+    // 3 algorithms x 3 topologies x {packet, message} flow control
+    // x {lockstep on, off}: every combination must agree bit for bit.
+    for (topo_name, topo) in equivalence_topos() {
+        for (algo_name, algo) in algos() {
+            for (fc_name, base) in [
+                ("packet", NetworkConfig::paper_default()),
+                ("message", NetworkConfig::paper_message_based()),
+            ] {
+                for lockstep in [true, false] {
+                    let mut cfg = base;
+                    cfg.lockstep = lockstep;
+                    let label = format!(
+                        "{algo_name} on {topo_name}, {fc_name}-based, lockstep={lockstep}"
+                    );
+                    assert_engines_identical(cfg, &topo, algo.as_ref(), 48 << 10, &label);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn event_driven_engine_matches_reference_across_sizes() {
+    // payload sweep on the paper's primary cell, including sizes around
+    // packet/buffer boundaries
+    let topo = Topology::torus(4, 4);
+    let algo = MultiTree::default();
+    for bytes in [1u64, 255, 256, 4 << 10, 100_000, 256 << 10] {
+        assert_engines_identical(
+            NetworkConfig::paper_default(),
+            &topo,
+            &algo,
+            bytes,
+            &format!("multitree at {bytes}B"),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_payloads_never_diverge(
+        bytes in 1u64..200_000,
+        algo_idx in 0usize..3,
+        message_based: bool,
+    ) {
+        let topo = Topology::torus(4, 4);
+        let algos = algos();
+        let (name, algo) = &algos[algo_idx];
+        let cfg = if message_based {
+            NetworkConfig::paper_message_based()
+        } else {
+            NetworkConfig::paper_default()
+        };
+        let engine = CycleEngine::new(cfg);
+        let s = algo.build(&topo).unwrap();
+        let (ref_report, ref_stats) =
+            engine.run_reference_detailed(&topo, &s, bytes).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let (new_report, new_stats) = engine
+            .run_prepared_detailed(&prep, bytes, &mut scratch)
+            .unwrap();
+        prop_assert_eq!(&ref_report, &new_report, "report diverged: {} at {}B", name, bytes);
+        prop_assert_eq!(&ref_stats, &new_stats, "stats diverged: {} at {}B", name, bytes);
+    }
 }
