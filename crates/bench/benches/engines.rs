@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use multitree::algorithms::{AllReduce, MultiTree, Ring};
 use multitree::PreparedSchedule;
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
+use mt_netsim::telemetry::LinkTimeline;
+use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
 
 fn flow_engine(c: &mut Criterion) {
@@ -50,7 +51,7 @@ fn prepared_sweep(c: &mut Criterion) {
                 .iter()
                 .map(|&bytes| {
                     engine
-                        .run_prepared(&prep, bytes, &mut scratch)
+                        .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
                         .unwrap()
                         .completion_ns
                 })
@@ -64,7 +65,7 @@ fn prepared_sweep(c: &mut Criterion) {
     g.bench_function("prepared_single_16MiB", |b| {
         b.iter(|| {
             engine
-                .run_prepared(&prep, 16 << 20, &mut scratch)
+                .run_prepared_with(&prep, 16 << 20, &mut scratch, &mut NoopObserver)
                 .unwrap()
                 .completion_ns
         })
@@ -91,6 +92,10 @@ fn cycle_engine(c: &mut Criterion) {
 /// replaced: a MultiTree payload sweep on the paper's 4x4 torus, and a
 /// single 16 MiB cycle-accurate run (previously impractical — the dense
 /// engine spins through every cycle of every ~152-cycle link latency).
+/// `event_driven_sweep` runs through the observer entry point with a
+/// `NoopObserver` — its medians are the evidence that the disabled hooks
+/// cost nothing — and `event_driven_sweep_timeline` prices an *enabled*
+/// `LinkTimeline` on the same workload.
 fn cycle_sweep_16node(c: &mut Criterion) {
     let topo = Topology::torus(4, 4);
     let cfg = NetworkConfig::paper_default();
@@ -104,11 +109,9 @@ fn cycle_sweep_16node(c: &mut Criterion) {
             sizes
                 .iter()
                 .map(|&bytes| {
-                    engine
-                        .run_reference_detailed(&topo, &mt, bytes)
-                        .unwrap()
-                        .0
-                        .completion_ns
+                    #[allow(deprecated)] // the oracle stays the baseline
+                    let (r, _) = engine.run_reference_detailed(&topo, &mt, bytes).unwrap();
+                    r.completion_ns
                 })
                 .sum::<f64>()
         })
@@ -121,7 +124,21 @@ fn cycle_sweep_16node(c: &mut Criterion) {
                 .iter()
                 .map(|&bytes| {
                     engine
-                        .run_prepared(&prep, bytes, &mut scratch)
+                        .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+                        .unwrap()
+                        .completion_ns
+                })
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("event_driven_sweep_timeline", |b| {
+        b.iter(|| {
+            let mut tl = LinkTimeline::new(1_000.0);
+            sizes
+                .iter()
+                .map(|&bytes| {
+                    engine
+                        .run_prepared_with(&prep, bytes, &mut scratch, &mut tl)
                         .unwrap()
                         .completion_ns
                 })
@@ -130,17 +147,15 @@ fn cycle_sweep_16node(c: &mut Criterion) {
     });
     g.bench_function("dense_reference_single_16MiB", |b| {
         b.iter(|| {
-            engine
-                .run_reference_detailed(&topo, &mt, 16 << 20)
-                .unwrap()
-                .0
-                .completion_ns
+            #[allow(deprecated)] // the oracle stays the baseline
+            let (r, _) = engine.run_reference_detailed(&topo, &mt, 16 << 20).unwrap();
+            r.completion_ns
         })
     });
     g.bench_function("event_driven_single_16MiB", |b| {
         b.iter(|| {
             engine
-                .run_prepared(&prep, 16 << 20, &mut scratch)
+                .run_prepared_with(&prep, 16 << 20, &mut scratch, &mut NoopObserver)
                 .unwrap()
                 .completion_ns
         })

@@ -15,7 +15,7 @@ use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::dump_json;
 use mt_bench::parallel::run_indexed;
-use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -50,15 +50,15 @@ fn main() {
         let engine = FlowEngine::new(cfg);
         let mut scratch = SimScratch::new();
         let t_ring = engine
-            .run_prepared(&ring_p, bytes, &mut scratch)
+            .run_prepared_with(&ring_p, bytes, &mut scratch, &mut NoopObserver)
             .unwrap()
             .completion_ns;
         let t_r2d = engine
-            .run_prepared(&r2d_p, bytes, &mut scratch)
+            .run_prepared_with(&r2d_p, bytes, &mut scratch, &mut NoopObserver)
             .unwrap()
             .completion_ns;
         let t_mt = engine
-            .run_prepared(&mt_p, bytes, &mut scratch)
+            .run_prepared_with(&mt_p, bytes, &mut scratch, &mut NoopObserver)
             .unwrap()
             .completion_ns;
         Row {

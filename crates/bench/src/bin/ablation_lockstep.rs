@@ -15,7 +15,7 @@ use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
-use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -50,11 +50,11 @@ fn main() {
             .into_iter()
             .map(|bytes| {
                 let with = FlowEngine::new(locked)
-                    .run_prepared(&prep, bytes, &mut scratch)
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
                     .unwrap()
                     .completion_ns;
                 let without = FlowEngine::new(unlocked)
-                    .run_prepared(&prep, bytes, &mut scratch)
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
                     .unwrap()
                     .completion_ns;
                 Row {

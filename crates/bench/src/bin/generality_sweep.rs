@@ -14,7 +14,7 @@ use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
-use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -54,7 +54,7 @@ fn main() {
             .iter()
             .map(|&bytes| {
                 engine
-                    .run_prepared(&prep, bytes, &mut scratch)
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
                     .unwrap()
                     .algbw_gbps()
             })

@@ -1,0 +1,143 @@
+//! Link-utilization-over-time heatmaps: runs every paper algorithm on
+//! the 4x4 torus, 4x4 mesh, and 16-node fat-tree through the cycle
+//! engine with a `(LinkTimeline, PhaseProfile)` observer pair, printing
+//! a per-unit summary plus the per-step phase table, and optionally
+//! exporting the full time-resolved per-link grid as NDJSON or CSV.
+//!
+//! This is the time-resolved refinement of the paper's §I utilization
+//! claim: scalar link-usage fractions ("only 25% link utilization rate"
+//! for ring) become per-bucket busy fractions and queue depths, showing
+//! *when* each algorithm leaves links idle, not just whether.
+//!
+//! Units fan out over `--threads` workers and results are reassembled in
+//! unit order, so exports are byte-identical for any thread count (the
+//! CI job diffs `--threads 1` against `--threads 4`).
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin link_heatmap \
+//!     [-- --size <bytes>] [--bucket-ns <ns>] [--threads N] \
+//!     [--ndjson out.ndjson] [--csv out.csv]
+//! ```
+
+use multitree::algorithms::AllReduce;
+use multitree::PreparedSchedule;
+use mt_bench::args::Args;
+use mt_bench::fmt_size;
+use mt_bench::parallel::run_indexed;
+use mt_bench::suites::{paper_algorithms, AlgoConfig};
+use mt_netsim::cycle::CycleEngine;
+use mt_netsim::telemetry::{LinkTimeline, PhaseProfile};
+use mt_netsim::SimScratch;
+use mt_topology::Topology;
+
+struct UnitOut {
+    network: String,
+    algorithm: &'static str,
+    completion_us: f64,
+    links_used: usize,
+    total_links: usize,
+    peak: Option<(usize, usize, f64)>,
+    bucket_ns: f64,
+    lockstep_stall_us: f64,
+    credit_stalls: u64,
+    phase_table: String,
+    ndjson: Vec<u8>,
+    csv: Vec<u8>,
+}
+
+fn main() {
+    let args = Args::parse();
+    let bytes: u64 = args.get_or("size", 256 << 10);
+    let bucket_ns: f64 = args.get_or("bucket-ns", 1_000.0);
+    assert!(bucket_ns > 0.0, "--bucket-ns expects a positive duration");
+
+    let networks: Vec<(&str, Topology)> = vec![
+        ("4x4 Torus", Topology::torus(4, 4)),
+        ("4x4 Mesh", Topology::mesh(4, 4)),
+        ("16-node Fat-Tree", Topology::dgx2_like_16()),
+    ];
+    let units: Vec<(String, Topology, AlgoConfig)> = networks
+        .into_iter()
+        .flat_map(|(name, topo)| {
+            paper_algorithms(&topo)
+                .into_iter()
+                .map(move |ac| (name.to_string(), topo.clone(), ac))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let outs: Vec<UnitOut> = run_indexed(units, args.threads(), |(net, topo, ac)| {
+        let schedule = ac
+            .algorithm
+            .build(topo)
+            .expect("paper algorithms support their topologies");
+        let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+        let mut scratch = SimScratch::new();
+        // one run, two observers: the tuple composes them at zero cost
+        let mut obs = (LinkTimeline::new(bucket_ns), PhaseProfile::new());
+        let report = CycleEngine::new(ac.network)
+            .run_prepared_with(&prep, bytes, &mut scratch, &mut obs)
+            .expect("cycle engine");
+        let (tl, profile) = obs;
+        let mut ndjson = Vec::new();
+        tl.write_ndjson(&mut ndjson, net, ac.label)
+            .expect("in-memory writes cannot fail");
+        let mut csv = Vec::new();
+        tl.write_csv(&mut csv, net, ac.label)
+            .expect("in-memory writes cannot fail");
+        UnitOut {
+            network: net.clone(),
+            algorithm: ac.label,
+            completion_us: report.completion_ns / 1e3,
+            links_used: report.links_used,
+            total_links: report.total_links,
+            peak: tl.peak(),
+            bucket_ns,
+            lockstep_stall_us: profile.total_lockstep_stall_ns() / 1e3,
+            credit_stalls: profile.total_credit_stalls(),
+            phase_table: profile.to_string(),
+            ndjson,
+            csv,
+        }
+    });
+
+    println!(
+        "=== Link utilization over time — cycle engine, {} all-reduce, {:.0} ns buckets ===",
+        fmt_size(bytes),
+        bucket_ns
+    );
+    for o in &outs {
+        println!(
+            "\n--- {} / {} — {:.1} us, {}/{} links used ---",
+            o.network, o.algorithm, o.completion_us, o.links_used, o.total_links
+        );
+        if let Some((bucket, link, util)) = o.peak {
+            println!(
+                "peak link utilization {:.0}% (link {} during {:.1}-{:.1} us); \
+                 lockstep stall {:.1} us, {} credit stalls",
+                util * 100.0,
+                link,
+                bucket as f64 * o.bucket_ns / 1e3,
+                (bucket + 1) as f64 * o.bucket_ns / 1e3,
+                o.lockstep_stall_us,
+                o.credit_stalls
+            );
+        }
+        print!("{}", o.phase_table);
+    }
+
+    if let Some(path) = args.get("ndjson") {
+        let joined: Vec<u8> = outs.iter().flat_map(|o| o.ndjson.clone()).collect();
+        std::fs::write(path, joined).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = args.get("csv") {
+        let joined: Vec<u8> = outs.iter().flat_map(|o| o.csv.clone()).collect();
+        std::fs::write(path, joined).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    println!(
+        "\nRing keeps one narrow lane busy the whole run; MultiTree lights up every\n\
+         link in short, dense phases — same payload, a fraction of the wall-clock."
+    );
+}

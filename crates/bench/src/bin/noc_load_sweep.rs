@@ -7,10 +7,11 @@
 //! cargo run --release -p mt-bench --bin noc_load_sweep [-- --json out.json]
 //! ```
 
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::dump_json;
 use mt_netsim::synthetic::TrafficPattern;
-use mt_netsim::{flow::FlowEngine, NetworkConfig};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, SimObserver, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -19,6 +20,22 @@ struct Row {
     pattern: String,
     offered_load: f64,
     mean_latency_ns: f64,
+}
+
+/// Accumulates Σ(delivery − round start) over all messages straight from
+/// the flow-engine finish hook — no per-event trace list needed.
+#[derive(Default)]
+struct LatencyAccum {
+    interval_ns: f64,
+    sum_ns: f64,
+    count: u64,
+}
+
+impl SimObserver for LatencyAccum {
+    fn on_flow_event_finish(&mut self, delivery_ns: f64, _event: u32, step: u32) {
+        self.sum_ns += delivery_ns - (f64::from(step) - 1.0) * self.interval_ns;
+        self.count += 1;
+    }
 }
 
 fn main() {
@@ -51,13 +68,15 @@ fn main() {
             let mut cfg = NetworkConfig::paper_default();
             cfg.lockstep_interval_ns = Some(flits / load);
             let s = p.schedule_rounds(&topo, rounds);
-            let (_, traces) = FlowEngine::new(cfg).run_traced(&topo, &s, total).unwrap();
-            let interval = flits / load;
-            let mean: f64 = traces
-                .iter()
-                .map(|t| t.delivery_ns - (f64::from(t.step) - 1.0) * interval)
-                .sum::<f64>()
-                / traces.len() as f64;
+            let prep = PreparedSchedule::new(&s, &topo).unwrap();
+            let mut acc = LatencyAccum {
+                interval_ns: flits / load,
+                ..LatencyAccum::default()
+            };
+            FlowEngine::new(cfg)
+                .run_prepared_with(&prep, total, &mut SimScratch::new(), &mut acc)
+                .unwrap();
+            let mean: f64 = acc.sum_ns / acc.count as f64;
             print!("{mean:>16.0}");
             rows.push(Row {
                 pattern: name.to_string(),

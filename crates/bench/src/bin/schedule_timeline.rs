@@ -1,15 +1,19 @@
 //! Per-step timeline of an all-reduce (a textual Gantt): when each
 //! lockstep step starts injecting and finishes delivering, for MultiTree
 //! and ring side by side — the execution-level view of Fig. 3's schedule.
+//! The per-step aggregation comes straight from a `PhaseProfile`
+//! observer attached to the unified `run_prepared_with` entry point.
 //!
 //! ```text
 //! cargo run --release -p mt-bench --bin schedule_timeline [-- --size <bytes>]
 //! ```
 
 use multitree::algorithms::{AllReduce, MultiTree, Ring};
+use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::fmt_size;
-use mt_netsim::{flow::FlowEngine, NetworkConfig};
+use mt_netsim::telemetry::PhaseProfile;
+use mt_netsim::{flow::FlowEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 
 fn main() {
@@ -22,7 +26,12 @@ fn main() {
         MultiTree::default().build(&topo).unwrap(),
         Ring.build(&topo).unwrap(),
     ] {
-        let (report, traces) = engine.run_traced(&topo, &schedule, bytes).unwrap();
+        let prep = PreparedSchedule::new(&schedule, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut profile = PhaseProfile::new();
+        let report = engine
+            .run_prepared_with(&prep, bytes, &mut scratch, &mut profile)
+            .unwrap();
         println!(
             "\n=== {} on 4x4 torus, {} — {} steps, completes at {:.1} us ===",
             schedule.algorithm(),
@@ -35,16 +44,11 @@ fn main() {
             "step", "msgs", "start (us)", "done (us)", "span"
         );
         let scale = 40.0 / report.completion_ns;
-        for step in 1..=schedule.num_steps() {
-            let of_step: Vec<_> = traces.iter().filter(|t| t.step == step).collect();
-            if of_step.is_empty() {
+        for sp in profile.steps() {
+            if sp.messages == 0 {
                 continue;
             }
-            let start = of_step.iter().map(|t| t.start_ns).fold(f64::INFINITY, f64::min);
-            let done = of_step
-                .iter()
-                .map(|t| t.delivery_ns)
-                .fold(0.0f64, f64::max);
+            let (start, done) = (sp.first_issue_ns, sp.last_delivery_ns);
             let a = (start * scale) as usize;
             let b = ((done * scale) as usize).max(a + 1);
             let bar: String = (0..40)
@@ -52,8 +56,8 @@ fn main() {
                 .collect();
             println!(
                 "{:<6}{:>10}{:>12.1}{:>12.1}  {bar}",
-                step,
-                of_step.len(),
+                sp.step,
+                sp.messages,
                 start / 1e3,
                 done / 1e3
             );

@@ -3,7 +3,7 @@
 //! the cycle engine — exercising the router model outside collectives.
 //!
 //! Each `(network, pattern)` pair is one sweep unit, prepared once and
-//! run through `CycleEngine::run_prepared` with a reused `SimScratch`.
+//! run through `CycleEngine::run_prepared_with` with a reused `SimScratch`.
 //! Units fan out over `--threads` workers with order-preserving
 //! reassembly, so output is byte-identical for any thread count.
 //!
@@ -17,7 +17,7 @@ use mt_bench::args::Args;
 use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
 use mt_netsim::synthetic::TrafficPattern;
-use mt_netsim::{cycle::CycleEngine, NetworkConfig, SimScratch};
+use mt_netsim::{cycle::CycleEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -55,7 +55,7 @@ fn main() {
         let s = pattern.schedule(topo);
         let prep = PreparedSchedule::new(&s, topo).unwrap();
         let mut scratch = SimScratch::new();
-        let r = engine.run_prepared(&prep, total, &mut scratch).unwrap();
+        let r = engine.run_prepared_with(&prep, total, &mut scratch, &mut NoopObserver).unwrap();
         Row {
             network: net.to_string(),
             pattern: name.to_string(),

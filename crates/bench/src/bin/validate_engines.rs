@@ -5,9 +5,11 @@
 //!
 //! Each `(network, algorithm)` pair is one sweep unit: the schedule is
 //! prepared once, and both engines execute it at every payload size via
-//! their `run_prepared` entry points with a reused `SimScratch`. Units
-//! fan out over `--threads` workers; results are reassembled in unit
-//! order, so the output is byte-identical for any thread count.
+//! the unified `run_prepared_with` entry point with a reused
+//! `SimScratch`; both return the same `EngineReport` shape, so one
+//! closure handles either engine. Units fan out over `--threads`
+//! workers; results are reassembled in unit order, so the output is
+//! byte-identical for any thread count.
 //!
 //! ```text
 //! cargo run --release -p mt-bench --bin validate_engines \
@@ -19,7 +21,9 @@ use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::parallel::run_indexed;
 use mt_bench::{dump_json, fmt_size};
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, NetworkConfig, SimScratch};
+use mt_netsim::{
+    cycle::CycleEngine, flow::FlowEngine, EngineReport, NetworkConfig, NoopObserver, SimScratch,
+};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -70,21 +74,21 @@ fn main() {
         sizes
             .iter()
             .map(|&bytes| {
-                let c = cycle
-                    .run_prepared(&prep, bytes, &mut scratch)
-                    .unwrap()
-                    .completion_ns;
-                let f = flow
-                    .run_prepared(&prep, bytes, &mut scratch)
-                    .unwrap()
-                    .completion_ns;
+                // one report shape for both engines: completion comes out
+                // of the shared SimReport core either way
+                let c: EngineReport = cycle
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+                    .unwrap();
+                let f: EngineReport = flow
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+                    .unwrap();
                 Row {
                     network: net.to_string(),
                     algorithm: label.to_string(),
                     bytes,
-                    cycle_us: c / 1e3,
-                    flow_us: f / 1e3,
-                    ratio: c / f,
+                    cycle_us: c.completion_ns / 1e3,
+                    flow_us: f.completion_ns / 1e3,
+                    ratio: c.completion_ns / f.completion_ns,
                 }
             })
             .collect()

@@ -4,7 +4,10 @@
 use crate::parallel::run_indexed;
 use multitree::algorithms::{Algorithm, AllReduce, DbTree, Hdrm, MultiTree, Ring, Ring2D};
 use multitree::{CommSchedule, PreparedSchedule};
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
+use mt_netsim::{
+    cycle::CycleEngine, flow::FlowEngine, Engine, EngineReport, NetworkConfig, NoopObserver,
+    SimObserver, SimScratch,
+};
 use mt_topology::Topology;
 use serde::Serialize;
 
@@ -48,19 +51,33 @@ pub fn run_engine(
 
 /// Runs a prepared schedule on the chosen engine, reusing `scratch`
 /// across calls — the sweep fast path (bit-identical to [`run_engine`]).
+/// Equivalent to [`run_engine_prepared_with`] with a [`NoopObserver`].
 pub fn run_engine_prepared(
     kind: EngineKind,
     cfg: NetworkConfig,
     prep: &PreparedSchedule<'_>,
     bytes: u64,
     scratch: &mut SimScratch,
-) -> mt_netsim::SimReport {
+) -> EngineReport {
+    run_engine_prepared_with(kind, cfg, prep, bytes, scratch, &mut NoopObserver)
+}
+
+/// Runs a prepared schedule on the chosen engine through the unified
+/// observer entry point, streaming telemetry into `obs`.
+pub fn run_engine_prepared_with<O: SimObserver>(
+    kind: EngineKind,
+    cfg: NetworkConfig,
+    prep: &PreparedSchedule<'_>,
+    bytes: u64,
+    scratch: &mut SimScratch,
+    obs: &mut O,
+) -> EngineReport {
     match kind {
         EngineKind::Flow => FlowEngine::new(cfg)
-            .run_prepared(prep, bytes, scratch)
+            .run_prepared_with(prep, bytes, scratch, obs)
             .expect("flow engine"),
         EngineKind::Cycle => CycleEngine::new(cfg)
-            .run_prepared(prep, bytes, scratch)
+            .run_prepared_with(prep, bytes, scratch, obs)
             .expect("cycle engine"),
     }
 }

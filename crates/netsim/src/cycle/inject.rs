@@ -122,4 +122,9 @@ pub(super) struct Nic {
     pub(super) step_start: u64,
     /// Events of the current step not yet issued.
     pub(super) unissued_in_step: u32,
+    /// Cycle the current step's last event issued (`step_start` if the
+    /// step had no work). Observer-only: feeds the lockstep-stall
+    /// argument of `SimObserver::on_step_advance` and is neither read
+    /// nor written when the observer is disabled.
+    pub(super) work_done: u64,
 }

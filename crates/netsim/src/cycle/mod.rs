@@ -51,7 +51,8 @@
 
 use crate::config::NetworkConfig;
 use crate::flowctrl::frame_message;
-use crate::report::SimReport;
+use crate::observer::{NoopObserver, ObservedEngine, RunInfo, SimObserver};
+use crate::report::{EngineDetail, EngineReport, SimReport};
 use crate::scratch::{reset_to, SimScratch};
 use crate::Engine;
 use multitree::{AlgorithmError, CommSchedule, PreparedSchedule};
@@ -171,7 +172,6 @@ pub(crate) struct CycleScratch {
 impl CycleScratch {
     /// Total heap capacity (in elements across all buffers) — the
     /// steady-state allocation check compares this across runs.
-    #[cfg(test)]
     pub(crate) fn capacity_elements(&self) -> usize {
         self.buffers.iter().map(VecDeque::capacity).sum::<usize>()
             + self.front_info.capacity()
@@ -262,11 +262,12 @@ fn reset_lists<T>(v: &mut Vec<Vec<T>>, len: usize) {
     v.resize_with(len, Vec::new);
 }
 
-struct Sim<'a, 'p> {
+struct Sim<'a, 'p, O: SimObserver> {
     topo: &'a Topology,
     cfg: &'a NetworkConfig,
     prep: &'a PreparedSchedule<'p>,
     s: &'a mut CycleScratch,
+    obs: &'a mut O,
     clock: u64,
     /// Effective wire delay in cycles (arrivals land `delay` cycles after
     /// transmission; at least 1 because arrivals are processed at the
@@ -331,18 +332,44 @@ impl CycleStats {
 }
 
 impl CycleEngine {
+    /// The unified entry point: executes an already-prepared schedule,
+    /// reusing `scratch`'s simulation buffers and streaming telemetry
+    /// into `obs`. With [`NoopObserver`] every hook call site compiles
+    /// out and this is the zero-allocation steady-state path,
+    /// bit-identical to [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
+    /// exceeds the cycle watchdog.
+    pub fn run_prepared_with<O: SimObserver>(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+        obs: &mut O,
+    ) -> Result<EngineReport, AlgorithmError> {
+        let (report, core) = self.run_core(prep, total_bytes, scratch, obs)?;
+        Ok(EngineReport {
+            sim: report,
+            detail: EngineDetail::Cycle {
+                cycles: core.cycles,
+                max_buffer_occupancy: core.max_buffer,
+            },
+        })
+    }
+
     /// Like [`Engine::run`], additionally returning microarchitectural
     /// statistics (per-link flit counts, buffer high-water marks).
-    ///
-    /// This is the one-shot convenience entry point: it prepares the
-    /// schedule and allocates a fresh [`SimScratch`] internally. Sweeps
-    /// should prepare once and call
-    /// [`CycleEngine::run_prepared_detailed`] with a reused scratch —
-    /// the zero-allocation steady-state path.
     ///
     /// # Errors
     ///
     /// Same as [`Engine::run`].
+    #[deprecated(
+        note = "use run_prepared_with with a telemetry::LinkTimeline observer (per-link flit \
+                counts) and the EngineReport cycle detail"
+    )]
+    #[allow(deprecated)] // wrapper delegates to the deprecated prepared variant
     pub fn run_detailed(
         &self,
         topo: &Topology,
@@ -361,13 +388,16 @@ impl CycleEngine {
     ///
     /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
     /// exceeds the cycle watchdog.
+    #[deprecated(note = "use run_prepared_with(prep, bytes, scratch, &mut NoopObserver)")]
     pub fn run_prepared(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<SimReport, AlgorithmError> {
-        Ok(self.run_core(prep, total_bytes, scratch)?.0)
+        Ok(self
+            .run_core(prep, total_bytes, scratch, &mut NoopObserver)?
+            .0)
     }
 }
 
@@ -380,7 +410,9 @@ impl Engine for CycleEngine {
     ) -> Result<SimReport, AlgorithmError> {
         let prep = PreparedSchedule::new(schedule, topo)?;
         let mut scratch = SimScratch::new();
-        self.run_prepared(&prep, total_bytes, &mut scratch)
+        Ok(self
+            .run_core(&prep, total_bytes, &mut scratch, &mut NoopObserver)?
+            .0)
     }
 }
 
@@ -399,13 +431,17 @@ impl CycleEngine {
     /// # Errors
     ///
     /// Same as [`CycleEngine::run_prepared`].
+    #[deprecated(
+        note = "use run_prepared_with with a telemetry::LinkTimeline observer (per-link flit \
+                counts) and the EngineReport cycle detail"
+    )]
     pub fn run_prepared_detailed(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<(SimReport, CycleStats), AlgorithmError> {
-        let (report, core) = self.run_core(prep, total_bytes, scratch)?;
+        let (report, core) = self.run_core(prep, total_bytes, scratch, &mut NoopObserver)?;
         let stats = CycleStats {
             link_flits: std::mem::take(&mut scratch.cycle.tx_count),
             max_buffer_occupancy: core.max_buffer,
@@ -417,11 +453,12 @@ impl CycleEngine {
     /// The shared simulation core: sets up scratch state, runs the
     /// event-driven cycle loop, and builds the report. Per-link flit
     /// counts stay in `scratch.cycle.tx_count` for the caller.
-    fn run_core(
+    fn run_core<O: SimObserver>(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
+        obs: &mut O,
     ) -> Result<(SimReport, CoreStats), AlgorithmError> {
         let topo = prep.topology();
         let schedule = prep.schedule();
@@ -535,6 +572,7 @@ impl CycleEngine {
                 cur_step: 1,
                 step_start: 0,
                 unissued_in_step: unissued,
+                work_done: 0,
             });
             if !row.is_empty() {
                 bit_set(&mut s.ni_active, node);
@@ -565,11 +603,21 @@ impl CycleEngine {
         remaining_deps.clear();
         remaining_deps.extend((0..n).map(|i| prep.indegree(i)));
 
+        if O::ENABLED {
+            obs.on_run_start(&RunInfo {
+                engine: ObservedEngine::Cycle,
+                cfg,
+                prep,
+                total_bytes,
+            });
+        }
+
         let mut sim = Sim {
             topo,
             cfg,
             prep,
             s,
+            obs,
             clock: 0,
             delay,
             wheel,
@@ -615,6 +663,9 @@ impl CycleEngine {
                     let fi = sim.front_info_of(&flit);
                     sim.set_front(idx, fi);
                 }
+                if O::ENABLED {
+                    sim.obs.on_buffer_level(now, l, flit.vc, new_len);
+                }
                 sim.max_buffer = sim.max_buffer.max(new_len as usize);
                 let dst = sim.s.link_dst[l as usize] as usize;
                 sim.s.vertex_work[dst] += 1;
@@ -653,10 +704,25 @@ impl CycleEngine {
                                 .take_while(|&&i| prep.step(i as usize) <= next)
                                 .filter(|&&i| prep.step(i as usize) == next)
                                 .count() as u32;
+                            if O::ENABLED {
+                                // injection-side lockstep stall: time from
+                                // the step's last issue (or start) to this
+                                // boundary crossing
+                                let stall = if cfg.lockstep {
+                                    now.saturating_sub(nic.step_start.max(nic.work_done))
+                                } else {
+                                    0
+                                };
+                                sim.obs
+                                    .on_step_advance(now, node as u32, nic.cur_step, stall);
+                            }
                             let nic = &mut sim.s.nics[node];
                             nic.cur_step = next;
                             nic.step_start = now;
                             nic.unissued_in_step = unissued;
+                            if O::ENABLED && unissued == 0 {
+                                nic.work_done = now;
+                            }
                         } else {
                             break;
                         }
@@ -670,6 +736,12 @@ impl CycleEngine {
                         sim.s.ni_cursor[node] += 1;
                         sim.s.nics[node].unissued_in_step =
                             sim.s.nics[node].unissued_in_step.saturating_sub(1);
+                        if O::ENABLED {
+                            if sim.s.nics[node].unissued_in_step == 0 {
+                                sim.s.nics[node].work_done = now;
+                            }
+                            sim.obs.on_event_issued(now, i as u32, node as u32);
+                        }
                         let stream = sim.s.streams[i];
                         let first = prep.first_link(i);
                         sim.s.inject_q[first.index()].push_back(stream);
@@ -762,6 +834,9 @@ impl CycleEngine {
             total_links: nl,
             busy_ns: sim.s.tx_count.iter().sum::<u64>() as f64 * cfg.cycle_ns(),
         };
+        if O::ENABLED {
+            sim.obs.on_run_end(report.completion_ns);
+        }
         let cycles = sim.clock;
         let max_buffer = sim.max_buffer;
         Ok((
@@ -879,6 +954,8 @@ mod tests {
     }
 
     #[test]
+    // regression coverage for the deprecated wrapper until it is removed
+    #[allow(deprecated)]
     fn empty_schedule_completes_instantly() {
         let topo = Topology::torus(2, 2);
         let s = CommSchedule::new("empty", 4, 4);
@@ -896,20 +973,22 @@ mod tests {
     #[test]
     fn steady_state_reuses_scratch_capacity() {
         // after a warm-up run, repeated runs at the same payload size must
-        // not grow any scratch buffer: the simulation loop and per-run
-        // setup are allocation-free once capacities are established
-        // (tx_count is excluded: run_prepared_detailed moves it into the
-        // returned stats by design, so the plain run_prepared path is the
-        // one measured here)
+        // not grow any scratch buffer: the NoopObserver simulation loop
+        // and per-run setup are allocation-free once capacities are
+        // established
         let topo = Topology::torus(4, 4);
         let s = MultiTree::default().build(&topo).unwrap();
         let prep = PreparedSchedule::new(&s, &topo).unwrap();
         let engine = CycleEngine::new(NetworkConfig::paper_default());
         let mut scratch = SimScratch::new();
-        engine.run_prepared(&prep, 256 << 10, &mut scratch).unwrap();
+        engine
+            .run_prepared_with(&prep, 256 << 10, &mut scratch, &mut NoopObserver)
+            .unwrap();
         let warm = scratch.cycle.capacity_elements();
         for _ in 0..3 {
-            engine.run_prepared(&prep, 256 << 10, &mut scratch).unwrap();
+            engine
+                .run_prepared_with(&prep, 256 << 10, &mut scratch, &mut NoopObserver)
+                .unwrap();
             assert_eq!(
                 scratch.cycle.capacity_elements(),
                 warm,
@@ -926,6 +1005,8 @@ mod stats_tests {
     use multitree::algorithms::{AllReduce, MultiTree, Ring};
 
     #[test]
+    // regression coverage for the deprecated wrapper until it is removed
+    #[allow(deprecated)]
     fn detailed_stats_match_report() {
         let topo = Topology::torus(4, 4);
         let cfg = NetworkConfig::paper_default();
@@ -946,27 +1027,42 @@ mod stats_tests {
         assert!(stats.max_buffer_occupancy > 0);
     }
 
+    /// max/mean flits among used links, like [`CycleStats::load_imbalance`]
+    /// but over an observer's per-link counts.
+    fn imbalance(link_flits: &[u64]) -> f64 {
+        let used: Vec<u64> = link_flits.iter().copied().filter(|&c| c > 0).collect();
+        let max = *used.iter().max().expect("some link carried traffic") as f64;
+        let mean = used.iter().sum::<u64>() as f64 / used.len() as f64;
+        max / mean
+    }
+
+    fn observed_link_flits(s: &CommSchedule, topo: &Topology) -> Vec<u64> {
+        let prep = PreparedSchedule::new(s, topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut tl = crate::telemetry::LinkTimeline::new(1_000.0);
+        CycleEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 64 << 10, &mut scratch, &mut tl)
+            .unwrap();
+        tl.link_flits().to_vec()
+    }
+
     #[test]
     fn ring_load_is_balanced_but_narrow() {
         let topo = Topology::torus(4, 4);
         let s = Ring.build(&topo).unwrap();
-        let (_, stats) = CycleEngine::new(NetworkConfig::paper_default())
-            .run_detailed(&topo, &s, 64 << 10)
-            .unwrap();
+        let flits = observed_link_flits(&s, &topo);
         // snake ring: exactly one out-link per node used, all equally
-        assert_eq!(stats.links_used(), 16);
-        assert!((stats.load_imbalance() - 1.0).abs() < 1e-9);
+        assert_eq!(flits.iter().filter(|&&c| c > 0).count(), 16);
+        assert!((imbalance(&flits) - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn multitree_spreads_load_across_all_links() {
         let topo = Topology::torus(4, 4);
         let s = MultiTree::default().build(&topo).unwrap();
-        let (_, stats) = CycleEngine::new(NetworkConfig::paper_default())
-            .run_detailed(&topo, &s, 64 << 10)
-            .unwrap();
-        assert_eq!(stats.links_used(), 64);
+        let flits = observed_link_flits(&s, &topo);
+        assert_eq!(flits.iter().filter(|&&c| c > 0).count(), 64);
         // trees are balanced: no link carries more than ~2x the mean
-        assert!(stats.load_imbalance() < 2.0, "{}", stats.load_imbalance());
+        assert!(imbalance(&flits) < 2.0, "{}", imbalance(&flits));
     }
 }

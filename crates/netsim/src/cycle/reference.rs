@@ -119,6 +119,12 @@ impl CycleEngine {
     /// # Errors
     ///
     /// Same as [`crate::Engine::run`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "not part of the observer-based simulation API; kept only as the \
+                differential-testing oracle — annotate oracle call sites with \
+                #[allow(deprecated)]"
+    )]
     pub fn run_reference_detailed(
         &self,
         topo: &Topology,

@@ -11,9 +11,10 @@
 use super::flit::Flit;
 use super::{bit_clear, bit_get, bit_set, FrontInfo, Lock, Sim, Source, FRONT_EJECT, FRONT_NONE};
 use crate::config::FlowControlMode;
+use crate::observer::SimObserver;
 use mt_topology::{LinkId, Vertex};
 
-impl Sim<'_, '_> {
+impl<O: SimObserver> Sim<'_, '_, O> {
     /// Appends a flit to buffer `idx`; returns the new buffer length.
     #[inline]
     pub(super) fn buf_push(&mut self, idx: usize, f: Flit) -> u32 {
@@ -97,10 +98,17 @@ impl Sim<'_, '_> {
                 self.note_buffer_pop(in_link.index(), idx);
                 self.return_credit(in_link, vc as u8);
                 bit_set(&mut self.s.input_used, in_link.index());
+                if O::ENABLED {
+                    self.obs
+                        .on_flit_ejected(self.clock, in_link.index() as u32, vc as u8, flit.msg);
+                }
                 let m = &mut self.s.msgs[flit.msg as usize];
                 m.ejected_flits += 1;
                 if m.ejected_flits == m.total_flits {
                     self.s.newly_delivered.push(flit.msg);
+                    if O::ENABLED {
+                        self.obs.on_message_delivered(self.clock, flit.msg);
+                    }
                 }
                 break;
             }
@@ -112,6 +120,10 @@ impl Sim<'_, '_> {
         let vcs = self.cfg.num_vcs as usize;
         let out_idx = out_link.index() * vcs + lock.out_vc as usize;
         if self.s.credits[out_idx] == 0 {
+            if O::ENABLED {
+                self.obs
+                    .on_credit_stall(self.clock, out_link.index() as u32, lock.out_vc);
+            }
             return; // wormhole backpressure
         }
         match lock.from {
@@ -148,6 +160,14 @@ impl Sim<'_, '_> {
                 flit.vc = lock.out_vc;
                 flit.route_pos = 1;
                 flit.crossed_dateline = self.s.dateline[out_link.index()];
+                if O::ENABLED {
+                    self.obs.on_flit_injected(
+                        self.clock,
+                        out_link.index() as u32,
+                        lock.out_vc,
+                        flit.msg,
+                    );
+                }
                 self.transmit_raw(out_link, flit);
                 self.consume_credit(out_link, lock.out_vc);
                 self.step_lock(out_link, lock);
@@ -219,6 +239,10 @@ impl Sim<'_, '_> {
                 }
                 let out_vc = self.output_vc_parts(fi.vc, fi.crossed, out_link);
                 if !self.credit_check(out_link, out_vc, fi.pkt_flits) {
+                    if O::ENABLED {
+                        self.obs
+                            .on_credit_stall(self.clock, out_link.index() as u32, out_vc);
+                    }
                     return false;
                 }
                 let mut flit = self.buf_pop(in_idx).expect("cached front exists");
@@ -257,6 +281,10 @@ impl Sim<'_, '_> {
                 }
                 let out_vc = self.output_vc(flit, out_link);
                 if !self.credit_check(out_link, out_vc, flit.pkt_flits) {
+                    if O::ENABLED {
+                        self.obs
+                            .on_credit_stall(self.clock, out_link.index() as u32, out_vc);
+                    }
                     return false;
                 }
                 let stream = self.s.inject_q[out_link.index()]
@@ -270,6 +298,14 @@ impl Sim<'_, '_> {
                 flit.crossed_dateline = self.s.dateline[out_link.index()];
                 flit.vc = out_vc;
                 flit.route_pos = 1;
+                if O::ENABLED {
+                    self.obs.on_flit_injected(
+                        self.clock,
+                        out_link.index() as u32,
+                        out_vc,
+                        flit.msg,
+                    );
+                }
                 let remaining = flit.pkt_flits - 1;
                 self.transmit_raw(out_link, flit);
                 self.consume_credit(out_link, out_vc);
@@ -291,6 +327,15 @@ impl Sim<'_, '_> {
     fn note_buffer_pop(&mut self, link: usize, in_idx: usize) {
         self.buffered -= 1;
         self.s.vertex_work[self.s.link_dst[link] as usize] -= 1;
+        if O::ENABLED {
+            let vcs = self.cfg.num_vcs as usize;
+            self.obs.on_buffer_level(
+                self.clock,
+                link as u32,
+                (in_idx % vcs) as u8,
+                self.s.buffers[in_idx].len() as u32,
+            );
+        }
         let fi = match self.buf_front(in_idx) {
             Some(f) => self.front_info_of(f),
             None => FrontInfo::default(),
@@ -392,6 +437,10 @@ impl Sim<'_, '_> {
 
     fn transmit_raw(&mut self, out_link: LinkId, flit: Flit) {
         self.s.tx_count[out_link.index()] += 1;
+        if O::ENABLED {
+            self.obs
+                .on_link_tx(self.clock, out_link.index() as u32, flit.vc, flit.msg);
+        }
         let slot = ((self.clock + self.delay) % self.wheel) as usize;
         self.s.cal_flits[slot].push((out_link.index() as u32, flit));
         self.inflight_flits += 1;

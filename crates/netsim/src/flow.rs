@@ -20,7 +20,8 @@
 
 use crate::config::NetworkConfig;
 use crate::flowctrl::frame_message;
-use crate::report::SimReport;
+use crate::observer::{NoopObserver, ObservedEngine, RunInfo, SimObserver};
+use crate::report::{EngineDetail, EngineReport, SimReport};
 use crate::scratch::{reset_to, Key, SimScratch};
 use crate::Engine;
 use multitree::{AlgorithmError, CommSchedule, PreparedSchedule};
@@ -57,12 +58,43 @@ impl FlowEngine {
         &self.cfg
     }
 
+    /// The unified entry point: executes an already-prepared schedule,
+    /// reusing `scratch`'s buffers and streaming telemetry into `obs`.
+    ///
+    /// The fast path for sweeps: validation, routing and
+    /// dependency-graph construction happened once in
+    /// [`PreparedSchedule::new`], and with [`NoopObserver`] a run
+    /// allocates nothing beyond what `scratch` doesn't already hold and
+    /// produces bit-identical results to [`Engine::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
+    /// deadlocks (a dependency cycle hidden from static validation).
+    pub fn run_prepared_with<O: SimObserver>(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+        obs: &mut O,
+    ) -> Result<EngineReport, AlgorithmError> {
+        Ok(EngineReport {
+            sim: self.run_prepared_impl(prep, total_bytes, scratch, obs)?,
+            detail: EngineDetail::Flow,
+        })
+    }
+
     /// Like [`Engine::run`], additionally returning the per-message
     /// timeline — useful for Gantt-style analysis of how steps overlap.
     ///
     /// # Errors
     ///
     /// Same as [`Engine::run`].
+    #[deprecated(
+        note = "use run_prepared_with with a telemetry::PhaseProfile (or a custom SimObserver \
+                collecting on_flow_event_start/finish)"
+    )]
+    #[allow(deprecated)] // wrapper delegates to the deprecated prepared variant
     pub fn run_traced(
         &self,
         topo: &Topology,
@@ -75,23 +107,20 @@ impl FlowEngine {
     }
 
     /// Executes an already-prepared schedule, reusing `scratch`'s
-    /// buffers. The fast path for sweeps: validation, routing and
-    /// dependency-graph construction happened once in
-    /// [`PreparedSchedule::new`], and a run allocates nothing beyond
-    /// what `scratch` doesn't already hold. Produces bit-identical
-    /// results to [`Engine::run`].
+    /// buffers. Produces bit-identical results to [`Engine::run`].
     ///
     /// # Errors
     ///
     /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
     /// deadlocks (a dependency cycle hidden from static validation).
+    #[deprecated(note = "use run_prepared_with(prep, bytes, scratch, &mut NoopObserver)")]
     pub fn run_prepared(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<SimReport, AlgorithmError> {
-        self.run_prepared_impl(prep, total_bytes, scratch, None)
+        self.run_prepared_impl(prep, total_bytes, scratch, &mut NoopObserver)
     }
 
     /// [`FlowEngine::run_prepared`] with the per-message timeline.
@@ -99,15 +128,47 @@ impl FlowEngine {
     /// # Errors
     ///
     /// Same as [`FlowEngine::run_prepared`].
+    #[deprecated(
+        note = "use run_prepared_with with a telemetry::PhaseProfile (or a custom SimObserver \
+                collecting on_flow_event_start/finish)"
+    )]
     pub fn run_prepared_traced(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<(SimReport, Vec<EventTrace>), AlgorithmError> {
-        let mut traces = Vec::with_capacity(prep.num_events());
-        let report = self.run_prepared_impl(prep, total_bytes, scratch, Some(&mut traces))?;
+        let mut coll = TraceCollector {
+            traces: Vec::with_capacity(prep.num_events()),
+            last_start: 0.0,
+        };
+        let report = self.run_prepared_impl(prep, total_bytes, scratch, &mut coll)?;
+        let mut traces = coll.traces;
+        traces.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
         Ok((report, traces))
+    }
+}
+
+/// Rebuilds the old `run_traced` trace list from the observer hooks:
+/// an event's start hook always immediately precedes its finish hook,
+/// so pairing them reproduces the historical push order exactly.
+struct TraceCollector {
+    traces: Vec<EventTrace>,
+    last_start: f64,
+}
+
+impl SimObserver for TraceCollector {
+    fn on_flow_event_start(&mut self, start_ns: f64, _event: u32, _step: u32) {
+        self.last_start = start_ns;
+    }
+
+    fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, step: u32) {
+        self.traces.push(EventTrace {
+            event: event as usize,
+            step,
+            start_ns: self.last_start,
+            delivery_ns,
+        });
     }
 }
 
@@ -120,17 +181,17 @@ impl Engine for FlowEngine {
     ) -> Result<SimReport, AlgorithmError> {
         let prep = PreparedSchedule::new(schedule, topo)?;
         let mut scratch = SimScratch::new();
-        self.run_prepared(&prep, total_bytes, &mut scratch)
+        self.run_prepared_impl(&prep, total_bytes, &mut scratch, &mut NoopObserver)
     }
 }
 
 impl FlowEngine {
-    fn run_prepared_impl(
+    fn run_prepared_impl<O: SimObserver>(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
-        mut trace: Option<&mut Vec<EventTrace>>,
+        obs: &mut O,
     ) -> Result<SimReport, AlgorithmError> {
         let topo = prep.topology();
         let schedule = prep.schedule();
@@ -138,6 +199,15 @@ impl FlowEngine {
         let flit_ns = cfg.flit_time_ns();
         let events = prep.events();
         let segs = schedule.total_segments();
+
+        if O::ENABLED {
+            obs.on_run_start(&RunInfo {
+                engine: ObservedEngine::Flow,
+                cfg,
+                prep,
+                total_bytes,
+            });
+        }
 
         // wire framing depends only on (event, payload size): compute it
         // once per run, shared by the gate and execution loops
@@ -224,6 +294,9 @@ impl FlowEngine {
             if cfg.sw_launch_overhead_ns > 0.0 {
                 node_free[src] = t;
             }
+            if O::ENABLED {
+                obs.on_flow_event_start(t, i as u32, prep.step(i));
+            }
             let framing = framings[i];
             let flits = framing.total_flits();
             flits_sent += flits;
@@ -244,6 +317,9 @@ impl FlowEngine {
                 last_ser = ser;
                 busy_ns += ser;
                 used[l.index()] = true;
+                if O::ENABLED {
+                    obs.on_flow_link_busy(l.index() as u32, start, ser);
+                }
             }
             // Delivery: head reaches dst one hop after the last link
             // starts, and the body streams for the serialization time.
@@ -252,13 +328,8 @@ impl FlowEngine {
             } else {
                 last_start + hop_ns + last_ser
             };
-            if let Some(traces) = trace.as_deref_mut() {
-                traces.push(EventTrace {
-                    event: i,
-                    step: prep.step(i),
-                    start_ns: t,
-                    delivery_ns: delivery,
-                });
+            if O::ENABLED {
+                obs.on_flow_event_finish(delivery, i as u32, prep.step(i));
             }
             completion = completion.max(delivery);
             done += 1;
@@ -284,8 +355,8 @@ impl FlowEngine {
             });
         }
 
-        if let Some(traces) = trace {
-            traces.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+        if O::ENABLED {
+            obs.on_run_end(completion);
         }
         Ok(SimReport {
             total_bytes,
@@ -469,6 +540,10 @@ mod trace_tests {
     use mt_topology::Topology;
 
     #[test]
+    // regression coverage for the deprecated wrapper until it is removed:
+    // it must keep reproducing the historical trace list bit-for-bit from
+    // the observer hooks
+    #[allow(deprecated)]
     fn traces_cover_every_event_and_respect_steps() {
         let topo = Topology::torus(4, 4);
         let s = MultiTree::default().build(&topo).unwrap();

@@ -19,6 +19,15 @@
 //! message-based flow control (one head flit per gradient message), and
 //! reproduces the head-flit overhead of Fig. 2.
 //!
+//! Both engines execute through one generic entry point,
+//! `run_prepared_with`, parameterized by a zero-cost [`SimObserver`]
+//! ([`observer`]): pass [`NoopObserver`] for the bare hot loop, or a
+//! telemetry observer ([`telemetry::LinkTimeline`],
+//! [`telemetry::PhaseProfile`], or a tuple of both) for time-resolved
+//! per-link utilization and per-step phase accounting. Results come back
+//! as one [`EngineReport`] (shared [`SimReport`] core + engine detail)
+//! for both engines.
+//!
 //! # Example
 //!
 //! ```
@@ -45,13 +54,16 @@ pub mod energy;
 pub mod flow;
 pub mod flowctrl;
 pub mod nic;
+pub mod observer;
 mod report;
 mod scratch;
 pub mod synthetic;
+pub mod telemetry;
 
 pub use config::{FlowControlMode, NetworkConfig};
 pub use energy::EnergyModel;
-pub use report::SimReport;
+pub use observer::{NoopObserver, ObservedEngine, RunInfo, SimObserver};
+pub use report::{EngineDetail, EngineReport, SimReport};
 pub use scratch::SimScratch;
 
 use multitree::{AlgorithmError, CommSchedule};
@@ -60,12 +72,16 @@ use mt_topology::Topology;
 /// A network engine that can execute a collective schedule.
 ///
 /// [`Engine::run`] is the convenient one-shot entry point: it prepares
-/// the schedule ([`multitree::PreparedSchedule`]) and executes it once.
-/// Sweeps that run the same `(schedule, topology)` pair at many payload
-/// sizes should prepare once and call the engines' `run_prepared`
-/// methods ([`flow::FlowEngine::run_prepared`],
-/// [`cycle::CycleEngine::run_prepared`]) with a reused [`SimScratch`];
-/// the results are bit-identical.
+/// the schedule ([`multitree::PreparedSchedule`]) and executes it once
+/// with a [`NoopObserver`]. Sweeps that run the same
+/// `(schedule, topology)` pair at many payload sizes should prepare once
+/// and call the engines' generic `run_prepared_with` entry points
+/// ([`flow::FlowEngine::run_prepared_with`],
+/// [`cycle::CycleEngine::run_prepared_with`]) with a reused
+/// [`SimScratch`] and any [`SimObserver`]; the results are
+/// bit-identical. (`run` stays on this trait — rather than deprecated
+/// like the other legacy entry points — because it is object-safe and
+/// used through `&dyn Engine`.)
 pub trait Engine {
     /// Simulates the schedule moving `total_bytes` of gradient data and
     /// reports timing.

@@ -59,6 +59,9 @@ pub struct NicSim {
     lockstep: u64,
     /// Estimated duration per step, in cycles (paper footnote 4).
     step_est: Vec<u64>,
+    /// Cycles spent with work ready for a future step while the lockstep
+    /// down-counter still gated the timestep advance.
+    lockstep_stall_cycles: u64,
     reduces_seen: HashSet<(usize, usize)>,
     gathers_seen: HashSet<(usize, usize)>,
     issued: Vec<IssuedOp>,
@@ -77,6 +80,7 @@ impl NicSim {
             timestep: 1,
             lockstep: initial,
             step_est,
+            lockstep_stall_cycles: 0,
             reduces_seen: HashSet::new(),
             gathers_seen: HashSet::new(),
             issued: Vec::new(),
@@ -117,11 +121,17 @@ impl NicSim {
                         .unwrap_or(0);
                     continue;
                 }
+                // the head entry is ready to go but the down-counter still
+                // gates it: this cycle is pure lockstep stall, counted so
+                // telemetry can attribute it (it is otherwise invisible in
+                // the issue trace)
+                self.lockstep_stall_cycles += 1;
                 return;
             }
             match entry.op {
                 TableOp::Nop => {
-                    // the stall is realized by the step's lockstep estimate
+                    // the stall is realized by the step's lockstep estimate;
+                    // cycles it gates show up in `lockstep_stall_cycles`
                     self.head += 1;
                 }
                 TableOp::Reduce => {
@@ -176,6 +186,15 @@ impl NicSim {
     /// The current timestep-counter value.
     pub fn timestep(&self) -> u32 {
         self.timestep
+    }
+
+    /// Cycles the NI spent stalled on the lockstep down-counter with the
+    /// head entry otherwise ready to advance. Previously this wait was
+    /// folded silently into issue times; the explicit counter is what the
+    /// per-step telemetry ([`crate::telemetry::PhaseProfile`]) reads in
+    /// unit-level NI studies.
+    pub fn lockstep_stall_cycles(&self) -> u64 {
+        self.lockstep_stall_cycles
     }
 
     /// True when every table entry has been processed.
@@ -335,6 +354,35 @@ mod tests {
             step2_issue >= 49,
             "step-2 op issued at {step2_issue} despite 50-cycle estimate"
         );
+        // the wait is no longer silent: every gated cycle is counted
+        assert!(
+            nic.lockstep_stall_cycles() > 0,
+            "lockstep gate must register as explicit stall cycles"
+        );
+    }
+
+    #[test]
+    fn no_lockstep_estimate_means_no_stall_cycles() {
+        let topo = Topology::mesh(2, 2);
+        let schedule = MultiTree::default().build(&topo).unwrap();
+        let tables = build_tables(&schedule, 4096);
+        let est = vec![0u64; schedule.num_steps() as usize + 2];
+        let mut nic = NicSim::new(&tables[0], est);
+        for e in schedule.events() {
+            nic.deliver(Delivery {
+                op: match e.op {
+                    CollectiveOp::Reduce => TableOp::Reduce,
+                    CollectiveOp::Gather => TableOp::Gather,
+                },
+                flow: e.flow,
+                from: e.src,
+            });
+        }
+        for cycle in 0..200 {
+            nic.tick(cycle);
+        }
+        assert!(nic.is_done());
+        assert_eq!(nic.lockstep_stall_cycles(), 0);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Zero-cost simulation observers.
+//!
+//! Both engines execute through one generic entry point —
+//! [`crate::cycle::CycleEngine::run_prepared_with`] /
+//! [`crate::flow::FlowEngine::run_prepared_with`] — parameterized by a
+//! [`SimObserver`]. The observer is **monomorphized** into the hot loop:
+//! every hook call site is guarded by `if O::ENABLED { … }` on the
+//! associated constant, so with [`NoopObserver`] (`ENABLED = false`) the
+//! guards and the argument computations behind them are compiled out and
+//! the codegen is identical to an unobserved loop. The benchmark record
+//! in `BENCH_cycle.json` tracks this (the acceptance bar is ≤ 2%
+//! overhead on the 16 KiB–1 MiB cycle sweep; measured: none).
+//!
+//! Production observers live in [`crate::telemetry`]:
+//! [`crate::telemetry::LinkTimeline`] (time-bucketed per-link
+//! utilization and queue occupancy) and
+//! [`crate::telemetry::PhaseProfile`] (per-schedule-step latency, stall
+//! and contention accounting). Two observers compose as a tuple:
+//! `(&mut a, &mut b)` is not needed — pass `&mut (a, b)`.
+//!
+//! Observers are strictly **passive**: no hook can influence the
+//! simulation, so an observed run produces bit-identical reports to an
+//! unobserved one (asserted by `tests/telemetry.rs`).
+
+use crate::config::NetworkConfig;
+use multitree::PreparedSchedule;
+
+/// Which engine is driving the hooks of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObservedEngine {
+    /// The flit-level cycle engine ([`crate::cycle`]). Time arguments of
+    /// cycle hooks are in **cycles**; convert with
+    /// [`RunInfo::cycle_ns`].
+    Cycle,
+    /// The flow-level engine ([`crate::flow`]). Flow hooks carry times
+    /// in **nanoseconds** directly.
+    Flow,
+}
+
+/// Static facts about a run, handed to [`SimObserver::on_run_start`] so
+/// observers can size their state and capture conversion constants.
+#[derive(Debug, Clone, Copy)]
+pub struct RunInfo<'a, 'p> {
+    /// The engine executing this run.
+    pub engine: ObservedEngine,
+    /// The engine's network configuration.
+    pub cfg: &'a NetworkConfig,
+    /// The prepared schedule being executed (topology, events, steps,
+    /// paths).
+    pub prep: &'a PreparedSchedule<'p>,
+    /// Payload size of this run.
+    pub total_bytes: u64,
+}
+
+impl RunInfo<'_, '_> {
+    /// Unidirectional links in the topology.
+    pub fn num_links(&self) -> usize {
+        self.prep.topology().num_links()
+    }
+
+    /// Accelerator nodes in the topology.
+    pub fn num_nodes(&self) -> usize {
+        self.prep.topology().num_nodes()
+    }
+
+    /// Events (messages) in the schedule.
+    pub fn num_events(&self) -> usize {
+        self.prep.num_events()
+    }
+
+    /// Lockstep steps in the schedule (steps are 1-based).
+    pub fn num_steps(&self) -> u32 {
+        self.prep.schedule().num_steps()
+    }
+
+    /// Virtual channels per link.
+    pub fn num_vcs(&self) -> usize {
+        self.cfg.num_vcs as usize
+    }
+
+    /// Duration of one cycle in ns (converts cycle-hook times).
+    pub fn cycle_ns(&self) -> f64 {
+        self.cfg.cycle_ns()
+    }
+}
+
+/// Telemetry hooks invoked by the engines' generic entry points.
+///
+/// Every hook has an empty default body, so an observer implements only
+/// what it needs. Hooks must be **passive** — they receive copies of
+/// simulation facts and cannot perturb the run.
+///
+/// Cycle-engine hooks carry times in cycles; flow-engine hooks carry
+/// nanoseconds. A run invokes `on_run_start` once, then engine hooks,
+/// then `on_run_end` once (only on successful completion).
+pub trait SimObserver {
+    /// Gate for every hook call site: engines wrap each invocation (and
+    /// the computation of its arguments) in `if O::ENABLED`. Leave it
+    /// `true` for real observers; [`NoopObserver`] overrides it to
+    /// `false`, which compiles the hooks out entirely.
+    const ENABLED: bool = true;
+
+    /// A run is starting; `info` describes it.
+    fn on_run_start(&mut self, _info: &RunInfo<'_, '_>) {}
+
+    /// The run completed at `_completion_ns`.
+    fn on_run_end(&mut self, _completion_ns: f64) {}
+
+    // --- cycle-engine hooks -------------------------------------------
+
+    /// The NI at `_node` issued event `_event` into its injection queue.
+    fn on_event_issued(&mut self, _cycle: u64, _event: u32, _node: u32) {}
+
+    /// A flit of message `_msg` entered the network on `_link` (its
+    /// path's first link), on virtual channel `_vc`.
+    fn on_flit_injected(&mut self, _cycle: u64, _link: u32, _vc: u8, _msg: u32) {}
+
+    /// `_link` transmitted one flit of `_msg` this cycle (the link is
+    /// busy for one cycle starting at `_cycle`). Fires for every hop,
+    /// including injection.
+    fn on_link_tx(&mut self, _cycle: u64, _link: u32, _vc: u8, _msg: u32) {}
+
+    /// A flit of `_msg` was consumed at its destination from the input
+    /// buffer of (`_link`, `_vc`).
+    fn on_flit_ejected(&mut self, _cycle: u64, _link: u32, _vc: u8, _msg: u32) {}
+
+    /// Message `_msg` fully arrived (its dependents may now issue).
+    fn on_message_delivered(&mut self, _cycle: u64, _msg: u32) {}
+
+    /// The input buffer of (`_link`, `_vc`) changed to `_flits` buffered
+    /// flits (fires on every push and pop).
+    fn on_buffer_level(&mut self, _cycle: u64, _link: u32, _vc: u8, _flits: u32) {}
+
+    /// Output `_link` had a flit ready for `_vc` but no downstream
+    /// credit this cycle (backpressure).
+    fn on_credit_stall(&mut self, _cycle: u64, _link: u32, _vc: u8) {}
+
+    /// The NI at `_node` advanced its timestep counter past
+    /// `_completed_step`. `_stall_cycles` is the injection-side idle
+    /// time of that step: cycles between the step's last issue (or its
+    /// start, if the node had no work) and this advance — the lockstep
+    /// wait the paper's footnote-4 estimator imposes (0 when lockstep
+    /// is off).
+    fn on_step_advance(&mut self, _cycle: u64, _node: u32, _completed_step: u32, _stall_cycles: u64) {
+    }
+
+    // --- flow-engine hooks --------------------------------------------
+
+    /// Event `_event` of step `_step` started serializing at `_start_ns`.
+    fn on_flow_event_start(&mut self, _start_ns: f64, _event: u32, _step: u32) {}
+
+    /// Event `_event` of step `_step` fully arrived at `_delivery_ns`.
+    fn on_flow_event_finish(&mut self, _delivery_ns: f64, _event: u32, _step: u32) {}
+
+    /// `_link` serves one transfer for `_busy_ns` starting at
+    /// `_start_ns`.
+    fn on_flow_link_busy(&mut self, _link: u32, _start_ns: f64, _busy_ns: f64) {}
+}
+
+/// The do-nothing observer: `ENABLED = false` compiles every hook call
+/// site out of the engine loop, making
+/// `run_prepared_with(…, &mut NoopObserver)` codegen-identical to the
+/// pre-observer entry points.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {
+    const ENABLED: bool = false;
+}
+
+/// Two observers compose as a tuple; both see every hook, in order.
+impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
+    const ENABLED: bool = A::ENABLED || B::ENABLED;
+
+    fn on_run_start(&mut self, info: &RunInfo<'_, '_>) {
+        self.0.on_run_start(info);
+        self.1.on_run_start(info);
+    }
+
+    fn on_run_end(&mut self, completion_ns: f64) {
+        self.0.on_run_end(completion_ns);
+        self.1.on_run_end(completion_ns);
+    }
+
+    fn on_event_issued(&mut self, cycle: u64, event: u32, node: u32) {
+        self.0.on_event_issued(cycle, event, node);
+        self.1.on_event_issued(cycle, event, node);
+    }
+
+    fn on_flit_injected(&mut self, cycle: u64, link: u32, vc: u8, msg: u32) {
+        self.0.on_flit_injected(cycle, link, vc, msg);
+        self.1.on_flit_injected(cycle, link, vc, msg);
+    }
+
+    fn on_link_tx(&mut self, cycle: u64, link: u32, vc: u8, msg: u32) {
+        self.0.on_link_tx(cycle, link, vc, msg);
+        self.1.on_link_tx(cycle, link, vc, msg);
+    }
+
+    fn on_flit_ejected(&mut self, cycle: u64, link: u32, vc: u8, msg: u32) {
+        self.0.on_flit_ejected(cycle, link, vc, msg);
+        self.1.on_flit_ejected(cycle, link, vc, msg);
+    }
+
+    fn on_message_delivered(&mut self, cycle: u64, msg: u32) {
+        self.0.on_message_delivered(cycle, msg);
+        self.1.on_message_delivered(cycle, msg);
+    }
+
+    fn on_buffer_level(&mut self, cycle: u64, link: u32, vc: u8, flits: u32) {
+        self.0.on_buffer_level(cycle, link, vc, flits);
+        self.1.on_buffer_level(cycle, link, vc, flits);
+    }
+
+    fn on_credit_stall(&mut self, cycle: u64, link: u32, vc: u8) {
+        self.0.on_credit_stall(cycle, link, vc);
+        self.1.on_credit_stall(cycle, link, vc);
+    }
+
+    fn on_step_advance(&mut self, cycle: u64, node: u32, completed_step: u32, stall_cycles: u64) {
+        self.0.on_step_advance(cycle, node, completed_step, stall_cycles);
+        self.1.on_step_advance(cycle, node, completed_step, stall_cycles);
+    }
+
+    fn on_flow_event_start(&mut self, start_ns: f64, event: u32, step: u32) {
+        self.0.on_flow_event_start(start_ns, event, step);
+        self.1.on_flow_event_start(start_ns, event, step);
+    }
+
+    fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, step: u32) {
+        self.0.on_flow_event_finish(delivery_ns, event, step);
+        self.1.on_flow_event_finish(delivery_ns, event, step);
+    }
+
+    fn on_flow_link_busy(&mut self, link: u32, start_ns: f64, busy_ns: f64) {
+        self.0.on_flow_link_busy(link, start_ns, busy_ns);
+        self.1.on_flow_link_busy(link, start_ns, busy_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Counter(u64);
+    impl SimObserver for Counter {
+        fn on_link_tx(&mut self, _c: u64, _l: u32, _v: u8, _m: u32) {
+            self.0 += 1;
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled_and_tuples_compose() {
+        const {
+            assert!(!NoopObserver::ENABLED);
+            assert!(<(Counter, Counter)>::ENABLED);
+            assert!(<(NoopObserver, Counter)>::ENABLED);
+            assert!(!<(NoopObserver, NoopObserver)>::ENABLED);
+        }
+        let mut pair = (Counter::default(), Counter::default());
+        pair.on_link_tx(1, 2, 3, 4);
+        pair.on_link_tx(2, 2, 3, 4);
+        assert_eq!((pair.0 .0, pair.1 .0), (2, 2));
+    }
+}

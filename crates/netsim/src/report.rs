@@ -87,9 +87,102 @@ impl std::fmt::Display for SimReport {
     }
 }
 
+/// The unified result of the generic entry points
+/// ([`crate::cycle::CycleEngine::run_prepared_with`],
+/// [`crate::flow::FlowEngine::run_prepared_with`]): the shared
+/// [`SimReport`] core plus the engine-specific detail, so one consumer
+/// handles both engines without pattern-matching two shapes.
+///
+/// Derefs to [`SimReport`], so report fields and derived metrics read
+/// directly: `report.completion_ns`, `report.algbw_gbps()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineReport {
+    /// The engine-independent result.
+    pub sim: SimReport,
+    /// Engine-specific scalars (kept allocation-free; per-link and
+    /// time-resolved data comes from observers instead).
+    pub detail: EngineDetail,
+}
+
+/// Engine-specific scalars of an [`EngineReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EngineDetail {
+    /// Flow-engine runs carry no extra scalars.
+    Flow,
+    /// Cycle-engine microarchitectural facts.
+    Cycle {
+        /// Cycles simulated.
+        cycles: u64,
+        /// High-water mark of any single (input, VC) buffer, in flits.
+        max_buffer_occupancy: usize,
+    },
+}
+
+impl EngineReport {
+    /// Cycles simulated (cycle engine only).
+    pub fn cycles(&self) -> Option<u64> {
+        match self.detail {
+            EngineDetail::Cycle { cycles, .. } => Some(cycles),
+            EngineDetail::Flow => None,
+        }
+    }
+
+    /// Buffer high-water mark in flits (cycle engine only).
+    pub fn max_buffer_occupancy(&self) -> Option<usize> {
+        match self.detail {
+            EngineDetail::Cycle {
+                max_buffer_occupancy,
+                ..
+            } => Some(max_buffer_occupancy),
+            EngineDetail::Flow => None,
+        }
+    }
+}
+
+impl std::ops::Deref for EngineReport {
+    type Target = SimReport;
+
+    fn deref(&self) -> &SimReport {
+        &self.sim
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn engine_report_exposes_detail_uniformly() {
+        let sim = SimReport {
+            total_bytes: 1_000,
+            completion_ns: 2_000.0,
+            flits_sent: 80,
+            head_flits: 4,
+            messages: 2,
+            flit_hops: 160,
+            head_flit_hops: 8,
+            links_used: 4,
+            total_links: 16,
+            busy_ns: 8_000.0,
+        };
+        let flow = EngineReport {
+            sim: sim.clone(),
+            detail: EngineDetail::Flow,
+        };
+        let cycle = EngineReport {
+            sim,
+            detail: EngineDetail::Cycle {
+                cycles: 2_000,
+                max_buffer_occupancy: 7,
+            },
+        };
+        assert_eq!(flow.cycles(), None);
+        assert_eq!(cycle.cycles(), Some(2_000));
+        assert_eq!(cycle.max_buffer_occupancy(), Some(7));
+        // Deref: SimReport fields and methods read through
+        assert_eq!(flow.completion_ns, 2_000.0);
+        assert!((cycle.algbw_gbps() - 0.5).abs() < 1e-12);
+    }
 
     #[test]
     fn display_summary() {

@@ -47,11 +47,15 @@ impl MinQueue {
             Key(f64::from_bits((p >> 64) as u64), (p & u128::from(u64::MAX)) as usize)
         })
     }
+
+    pub(crate) fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
 }
 
 /// Scratch buffers for the prepared-run entry points
-/// ([`crate::flow::FlowEngine::run_prepared`],
-/// [`crate::cycle::CycleEngine::run_prepared`]).
+/// ([`crate::flow::FlowEngine::run_prepared_with`],
+/// [`crate::cycle::CycleEngine::run_prepared_with`]).
 ///
 /// A sweep that executes one [`multitree::PreparedSchedule`] at many
 /// payload sizes allocates these once and reuses them across runs; each
@@ -84,6 +88,22 @@ impl SimScratch {
     /// An empty scratch; buffers grow on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Total heap capacity (in elements) across every internal buffer of
+    /// both engines. Exposed for the steady-state zero-allocation tests
+    /// (capacity must not grow across identical runs); not a stable API.
+    #[doc(hidden)]
+    pub fn capacity_elements(&self) -> usize {
+        self.link_free.capacity()
+            + self.node_free.capacity()
+            + self.ready_at.capacity()
+            + self.remaining_deps.capacity()
+            + self.used.capacity()
+            + self.gates.capacity()
+            + self.framings.capacity()
+            + self.heap.capacity()
+            + self.cycle.capacity_elements()
     }
 }
 

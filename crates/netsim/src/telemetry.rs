@@ -1,0 +1,603 @@
+//! Production observers: time-resolved link telemetry and per-step
+//! phase profiling (the paper's "where does the time go" analyses, §VI).
+//!
+//! Both work with either engine through the [`crate::SimObserver`]
+//! hooks: cycle-engine hooks arrive in cycles and are converted with the
+//! run's `cycle_ns`; flow-engine hooks arrive in nanoseconds directly.
+//! Arithmetic is deterministic — per-run state is processed in hook
+//! order on one thread — so exported NDJSON/CSV is byte-identical across
+//! repeated runs and across sweep thread counts.
+
+use crate::observer::{RunInfo, SimObserver};
+use std::io::{self, Write};
+
+/// Time-bucketed per-link utilization and queue occupancy.
+///
+/// For every `(bucket, link)` cell the observer accumulates the link's
+/// **busy time** (ns spent transmitting flits / serving transfers) and
+/// the time-integral of its **input-queue occupancy** (flit·ns across
+/// the link's VC buffers; cycle engine only). Exports as NDJSON or CSV
+/// for heatmap plotting; exact per-link flit totals are kept alongside
+/// (cycle engine), matching `CycleStats::link_flits` bit for bit.
+#[derive(Debug, Clone, Default)]
+pub struct LinkTimeline {
+    bucket_ns: f64,
+    cycle_ns: f64,
+    num_links: usize,
+    num_vcs: usize,
+    completion_ns: f64,
+    /// Bucket-major `[bucket * num_links + link]`: busy ns.
+    busy: Vec<f64>,
+    /// Bucket-major `[bucket * num_links + link]`: occupancy flit·ns.
+    queue: Vec<f64>,
+    /// Per link: exact flits transmitted (cycle engine).
+    link_flits: Vec<u64>,
+    /// Per (link, vc): current buffered flits (cycle engine).
+    vc_level: Vec<u32>,
+    /// Per link: current total buffered flits across VCs.
+    occ: Vec<u32>,
+    /// Per link: cycle of the last occupancy change.
+    occ_since: Vec<u64>,
+}
+
+impl LinkTimeline {
+    /// Creates a timeline with the given bucket width in ns.
+    pub fn new(bucket_ns: f64) -> Self {
+        assert!(bucket_ns > 0.0, "bucket width must be positive");
+        LinkTimeline {
+            bucket_ns,
+            ..Self::default()
+        }
+    }
+
+    /// Bucket width in ns.
+    pub fn bucket_ns(&self) -> f64 {
+        self.bucket_ns
+    }
+
+    /// Number of links observed in the last run.
+    pub fn num_links(&self) -> usize {
+        self.num_links
+    }
+
+    /// Number of time buckets with recorded activity.
+    pub fn num_buckets(&self) -> usize {
+        self.busy.len().checked_div(self.num_links).unwrap_or(0)
+    }
+
+    /// Completion time of the observed run, in ns.
+    pub fn completion_ns(&self) -> f64 {
+        self.completion_ns
+    }
+
+    /// Busy time of `link` within `bucket`, in ns.
+    pub fn busy_ns(&self, bucket: usize, link: usize) -> f64 {
+        self.busy[bucket * self.num_links + link]
+    }
+
+    /// Utilization of `link` within `bucket` (busy time over the bucket
+    /// width; the final, possibly partial bucket is normalized by the
+    /// full width, so it reads as a fraction of a whole bucket).
+    pub fn utilization(&self, bucket: usize, link: usize) -> f64 {
+        self.busy_ns(bucket, link) / self.bucket_ns
+    }
+
+    /// Mean input-queue occupancy of `link` within `bucket`, in flits
+    /// (cycle engine; 0 for flow runs).
+    pub fn mean_queue(&self, bucket: usize, link: usize) -> f64 {
+        self.queue[bucket * self.num_links + link] / self.bucket_ns
+    }
+
+    /// Exact flits transmitted per link (cycle engine; empty for flow
+    /// runs). Indexable by `LinkId::index`.
+    pub fn link_flits(&self) -> &[u64] {
+        &self.link_flits
+    }
+
+    /// Mean utilization across all links within `bucket`.
+    pub fn mean_utilization(&self, bucket: usize) -> f64 {
+        if self.num_links == 0 {
+            return 0.0;
+        }
+        let row = &self.busy[bucket * self.num_links..(bucket + 1) * self.num_links];
+        row.iter().sum::<f64>() / (self.bucket_ns * self.num_links as f64)
+    }
+
+    /// The busiest `(bucket, link, utilization)` cell, if any activity
+    /// was recorded.
+    pub fn peak(&self) -> Option<(usize, usize, f64)> {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for b in 0..self.num_buckets() {
+            for l in 0..self.num_links {
+                let u = self.utilization(b, l);
+                if u > 0.0 && best.is_none_or(|(_, _, bu)| u > bu) {
+                    best = Some((b, l, u));
+                }
+            }
+        }
+        best
+    }
+
+    /// Writes one NDJSON record per active `(bucket, link)` cell.
+    ///
+    /// Fields: `net`, `algo` (caller-supplied labels), `bucket`,
+    /// `t0_ns` (bucket start), `link`, `busy_ns`, `util`, `mean_queue`.
+    /// Cells with no busy time and no queue occupancy are omitted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_ndjson(&self, w: &mut dyn Write, net: &str, algo: &str) -> io::Result<()> {
+        self.for_each_active(|b, l, busy, util, queue| {
+            writeln!(
+                w,
+                "{{\"net\":{net:?},\"algo\":{algo:?},\"bucket\":{b},\"t0_ns\":{},\"link\":{l},\"busy_ns\":{busy},\"util\":{util},\"mean_queue\":{queue}}}",
+                b as f64 * self.bucket_ns,
+            )
+        })
+    }
+
+    /// Writes one CSV row per active cell (same fields as
+    /// [`LinkTimeline::write_ndjson`], no header).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_csv(&self, w: &mut dyn Write, net: &str, algo: &str) -> io::Result<()> {
+        self.for_each_active(|b, l, busy, util, queue| {
+            writeln!(
+                w,
+                "{net},{algo},{b},{},{l},{busy},{util},{queue}",
+                b as f64 * self.bucket_ns,
+            )
+        })
+    }
+
+    fn for_each_active(
+        &self,
+        mut f: impl FnMut(usize, usize, f64, f64, f64) -> io::Result<()>,
+    ) -> io::Result<()> {
+        for b in 0..self.num_buckets() {
+            for l in 0..self.num_links {
+                let busy = self.busy_ns(b, l);
+                let queue = self.mean_queue(b, l);
+                if busy == 0.0 && queue == 0.0 {
+                    continue;
+                }
+                f(b, l, busy, self.utilization(b, l), queue)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Grows the bucket-major grids to cover bucket index `b`.
+    fn ensure_bucket(&mut self, b: usize) {
+        let need = (b + 1) * self.num_links;
+        if self.busy.len() < need {
+            self.busy.resize(need, 0.0);
+            self.queue.resize(need, 0.0);
+        }
+    }
+
+    /// Adds `dur * weight` starting at `t0` to `link`'s cells of one
+    /// grid, split across bucket boundaries.
+    fn add_interval(&mut self, queue_grid: bool, link: usize, t0: f64, dur: f64, weight: f64) {
+        let mut t = t0;
+        let mut left = dur;
+        while left > 0.0 {
+            let b = (t / self.bucket_ns) as usize;
+            self.ensure_bucket(b);
+            let bucket_end = (b + 1) as f64 * self.bucket_ns;
+            let take = left.min(bucket_end - t);
+            // guard against zero-width takes from float rounding at
+            // bucket boundaries
+            if take <= 0.0 {
+                break;
+            }
+            let grid = if queue_grid { &mut self.queue } else { &mut self.busy };
+            grid[b * self.num_links + link] += take * weight;
+            t += take;
+            left -= take;
+        }
+    }
+
+    /// Integrates `link`'s pending occupancy interval up to `cycle`.
+    fn flush_occupancy(&mut self, link: usize, cycle: u64) {
+        let level = self.occ[link];
+        let since = self.occ_since[link];
+        if level > 0 && cycle > since {
+            let t0 = since as f64 * self.cycle_ns;
+            let dur = (cycle - since) as f64 * self.cycle_ns;
+            self.add_interval(true, link, t0, dur, f64::from(level));
+        }
+        self.occ_since[link] = cycle;
+    }
+}
+
+impl SimObserver for LinkTimeline {
+    fn on_run_start(&mut self, info: &RunInfo<'_, '_>) {
+        self.cycle_ns = info.cycle_ns();
+        self.num_links = info.num_links();
+        self.num_vcs = info.num_vcs();
+        self.completion_ns = 0.0;
+        self.busy.clear();
+        self.queue.clear();
+        self.link_flits.clear();
+        self.link_flits.resize(self.num_links, 0);
+        self.vc_level.clear();
+        self.vc_level.resize(self.num_links * self.num_vcs, 0);
+        self.occ.clear();
+        self.occ.resize(self.num_links, 0);
+        self.occ_since.clear();
+        self.occ_since.resize(self.num_links, 0);
+    }
+
+    fn on_link_tx(&mut self, cycle: u64, link: u32, _vc: u8, _msg: u32) {
+        let l = link as usize;
+        self.link_flits[l] += 1;
+        self.add_interval(false, l, cycle as f64 * self.cycle_ns, self.cycle_ns, 1.0);
+    }
+
+    fn on_buffer_level(&mut self, cycle: u64, link: u32, vc: u8, flits: u32) {
+        let l = link as usize;
+        self.flush_occupancy(l, cycle);
+        let cell = &mut self.vc_level[l * self.num_vcs + vc as usize];
+        let old = *cell;
+        *cell = flits;
+        self.occ[l] = self.occ[l] + flits - old;
+    }
+
+    fn on_flow_link_busy(&mut self, link: u32, start_ns: f64, busy_ns: f64) {
+        self.add_interval(false, link as usize, start_ns, busy_ns, 1.0);
+    }
+
+    fn on_run_end(&mut self, completion_ns: f64) {
+        self.completion_ns = completion_ns;
+        // buffers drain to empty before completion; flush any pending
+        // nonzero interval defensively (no-op for well-formed runs)
+        let last_cycle = if self.cycle_ns > 0.0 {
+            (completion_ns / self.cycle_ns).ceil() as u64
+        } else {
+            0
+        };
+        for l in 0..self.num_links {
+            self.flush_occupancy(l, last_cycle);
+        }
+    }
+}
+
+/// Per-schedule-step latency, stall and contention accounting.
+///
+/// One [`StepProfile`] per lockstep step records when the step's first
+/// event issued, when its last message arrived, how many messages and
+/// flits it moved, its total lockstep stall (cycle engine: the explicit
+/// counter the NI folds into its step estimate, see
+/// [`SimObserver::on_step_advance`]) and how many credit stalls its
+/// injections suffered (cycle engine; attributed to the highest step
+/// issued so far).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseProfile {
+    cycle_ns: f64,
+    /// Per event: its lockstep step (cached from the schedule).
+    event_step: Vec<u32>,
+    /// Highest step any NI has issued so far (credit-stall attribution).
+    cur_step: u32,
+    steps: Vec<StepProfile>,
+}
+
+/// Accounting for one lockstep step (see [`PhaseProfile`]).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct StepProfile {
+    /// The step number (1-based).
+    pub step: u32,
+    /// Messages the step issued.
+    pub messages: u64,
+    /// Flits the step injected (cycle engine; 0 for flow runs).
+    pub flits: u64,
+    /// When the step's first event issued, in ns (∞ if it never did).
+    pub first_issue_ns: f64,
+    /// When the step's last message fully arrived, in ns.
+    pub last_delivery_ns: f64,
+    /// Summed per-node lockstep stall, in ns (cycle engine).
+    pub lockstep_stall_ns: f64,
+    /// Credit-stalled output arbitration attempts while this was the
+    /// newest issuing step (cycle engine).
+    pub credit_stalls: u64,
+}
+
+impl StepProfile {
+    fn new(step: u32) -> Self {
+        StepProfile {
+            step,
+            messages: 0,
+            flits: 0,
+            first_issue_ns: f64::INFINITY,
+            last_delivery_ns: 0.0,
+            lockstep_stall_ns: 0.0,
+            credit_stalls: 0,
+        }
+    }
+
+    /// First-issue-to-last-delivery latency of the step, in ns (0 if
+    /// the step issued nothing).
+    pub fn latency_ns(&self) -> f64 {
+        if self.first_issue_ns.is_finite() {
+            (self.last_delivery_ns - self.first_issue_ns).max(0.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl PhaseProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-step accounting, ordered by step number (1-based steps; the
+    /// slice starts at step 1).
+    pub fn steps(&self) -> &[StepProfile] {
+        self.steps.get(1..).unwrap_or(&[])
+    }
+
+    /// Total lockstep stall across all steps and nodes, in ns.
+    pub fn total_lockstep_stall_ns(&self) -> f64 {
+        self.steps.iter().map(|s| s.lockstep_stall_ns).sum()
+    }
+
+    /// Total credit stalls across all steps.
+    pub fn total_credit_stalls(&self) -> u64 {
+        self.steps.iter().map(|s| s.credit_stalls).sum()
+    }
+
+    fn step_mut(&mut self, step: u32) -> &mut StepProfile {
+        &mut self.steps[step as usize]
+    }
+}
+
+impl SimObserver for PhaseProfile {
+    fn on_run_start(&mut self, info: &RunInfo<'_, '_>) {
+        self.cycle_ns = info.cycle_ns();
+        self.cur_step = 0;
+        self.event_step.clear();
+        self.event_step
+            .extend((0..info.num_events()).map(|i| info.prep.step(i)));
+        self.steps.clear();
+        self.steps
+            .extend((0..=info.num_steps()).map(StepProfile::new));
+    }
+
+    fn on_event_issued(&mut self, cycle: u64, event: u32, _node: u32) {
+        let step = self.event_step[event as usize];
+        let t = cycle as f64 * self.cycle_ns;
+        let s = self.step_mut(step);
+        s.messages += 1;
+        if t < s.first_issue_ns {
+            s.first_issue_ns = t;
+        }
+        self.cur_step = self.cur_step.max(step);
+    }
+
+    fn on_flit_injected(&mut self, _cycle: u64, _link: u32, _vc: u8, msg: u32) {
+        let step = self.event_step[msg as usize];
+        self.step_mut(step).flits += 1;
+    }
+
+    fn on_message_delivered(&mut self, cycle: u64, msg: u32) {
+        let step = self.event_step[msg as usize];
+        let t = cycle as f64 * self.cycle_ns;
+        let s = self.step_mut(step);
+        if t > s.last_delivery_ns {
+            s.last_delivery_ns = t;
+        }
+    }
+
+    fn on_credit_stall(&mut self, _cycle: u64, _link: u32, _vc: u8) {
+        if self.cur_step >= 1 {
+            self.step_mut(self.cur_step).credit_stalls += 1;
+        }
+    }
+
+    fn on_step_advance(&mut self, _cycle: u64, _node: u32, completed_step: u32, stall_cycles: u64) {
+        if (completed_step as usize) < self.steps.len() {
+            self.step_mut(completed_step).lockstep_stall_ns +=
+                stall_cycles as f64 * self.cycle_ns;
+        }
+    }
+
+    fn on_flow_event_start(&mut self, start_ns: f64, event: u32, _step: u32) {
+        let step = self.event_step[event as usize];
+        let s = self.step_mut(step);
+        s.messages += 1;
+        if start_ns < s.first_issue_ns {
+            s.first_issue_ns = start_ns;
+        }
+        self.cur_step = self.cur_step.max(step);
+    }
+
+    fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, _step: u32) {
+        let step = self.event_step[event as usize];
+        let s = self.step_mut(step);
+        if delivery_ns > s.last_delivery_ns {
+            s.last_delivery_ns = delivery_ns;
+        }
+    }
+}
+
+impl std::fmt::Display for PhaseProfile {
+    /// A per-step table: issue window, latency, stall and contention.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:>4} {:>8} {:>10} {:>12} {:>12} {:>12} {:>8}",
+            "step", "msgs", "flits", "start_us", "latency_us", "stall_us", "cstalls"
+        )?;
+        for s in self.steps() {
+            if s.messages == 0 && s.lockstep_stall_ns == 0.0 {
+                continue;
+            }
+            let start = if s.first_issue_ns.is_finite() {
+                s.first_issue_ns / 1e3
+            } else {
+                0.0
+            };
+            writeln!(
+                f,
+                "{:>4} {:>8} {:>10} {:>12.2} {:>12.2} {:>12.2} {:>8}",
+                s.step,
+                s.messages,
+                s.flits,
+                start,
+                s.latency_ns() / 1e3,
+                s.lockstep_stall_ns / 1e3,
+                s.credit_stalls
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle::CycleEngine;
+    use crate::flow::FlowEngine;
+    use crate::{NetworkConfig, SimScratch};
+    use multitree::algorithms::{AllReduce, MultiTree};
+    use multitree::PreparedSchedule;
+    use mt_topology::Topology;
+
+    #[test]
+    fn cycle_timeline_busy_matches_report_and_flit_totals() {
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut tl = LinkTimeline::new(1_000.0);
+        let r = CycleEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 64 << 10, &mut scratch, &mut tl)
+            .unwrap();
+        // busy time over all cells equals the report's busy_ns
+        let total: f64 = (0..tl.num_buckets())
+            .flat_map(|b| (0..tl.num_links()).map(move |l| (b, l)))
+            .map(|(b, l)| tl.busy_ns(b, l))
+            .sum();
+        assert!(
+            (total - r.sim.busy_ns).abs() < 1e-6 * r.sim.busy_ns.max(1.0),
+            "bucketed busy {total} != report busy {}",
+            r.sim.busy_ns
+        );
+        // exact flit totals match the report-level aggregates
+        assert_eq!(tl.link_flits().len(), topo.num_links());
+        assert_eq!(
+            tl.link_flits().iter().filter(|&&c| c > 0).count(),
+            r.sim.links_used
+        );
+        assert_eq!(tl.completion_ns(), r.sim.completion_ns);
+        assert!(tl.peak().is_some());
+    }
+
+    #[test]
+    fn flow_timeline_busy_matches_report() {
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut tl = LinkTimeline::new(500.0);
+        let r = FlowEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut tl)
+            .unwrap();
+        let total: f64 = (0..tl.num_buckets())
+            .flat_map(|b| (0..tl.num_links()).map(move |l| (b, l)))
+            .map(|(b, l)| tl.busy_ns(b, l))
+            .sum();
+        assert!(
+            (total - r.sim.busy_ns).abs() < 1e-6 * r.sim.busy_ns,
+            "bucketed busy {total} != report busy {}",
+            r.sim.busy_ns
+        );
+        // flow runs have no flit-exact counters
+        assert!(tl.link_flits().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn phase_profile_accounts_every_message_once() {
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        for cycle_engine in [false, true] {
+            let mut pp = PhaseProfile::new();
+            let cfg = NetworkConfig::paper_default();
+            let r = if cycle_engine {
+                CycleEngine::new(cfg)
+                    .run_prepared_with(&prep, 64 << 10, &mut scratch, &mut pp)
+                    .unwrap()
+            } else {
+                FlowEngine::new(cfg)
+                    .run_prepared_with(&prep, 64 << 10, &mut scratch, &mut pp)
+                    .unwrap()
+            };
+            let msgs: u64 = pp.steps().iter().map(|s| s.messages).sum();
+            assert_eq!(msgs as usize, r.sim.messages, "engine cycle={cycle_engine}");
+            if cycle_engine {
+                let flits: u64 = pp.steps().iter().map(|s| s.flits).sum();
+                assert_eq!(flits, r.sim.flits_sent);
+            }
+            let last = pp
+                .steps()
+                .iter()
+                .map(|s| s.last_delivery_ns)
+                .fold(0.0f64, f64::max);
+            assert_eq!(last, r.sim.completion_ns);
+            // steps issue in order: first-issue times are monotone
+            let mut prev = 0.0;
+            for s in pp.steps() {
+                assert!(s.first_issue_ns >= prev - 1e-9, "step {}", s.step);
+                if s.first_issue_ns.is_finite() {
+                    prev = s.first_issue_ns;
+                }
+            }
+            let rendered = pp.to_string();
+            assert!(rendered.contains("latency_us"));
+        }
+    }
+
+    #[test]
+    fn lockstep_stall_is_visible_to_phase_profile() {
+        // with lockstep on, small payloads leave NIs idle-waiting at
+        // step boundaries; the profile must surface nonzero stall, and
+        // turning lockstep off must zero it
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut on = PhaseProfile::new();
+        CycleEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 16 << 10, &mut scratch, &mut on)
+            .unwrap();
+        assert!(on.total_lockstep_stall_ns() > 0.0);
+        let mut cfg = NetworkConfig::paper_default();
+        cfg.lockstep = false;
+        let mut off = PhaseProfile::new();
+        CycleEngine::new(cfg)
+            .run_prepared_with(&prep, 16 << 10, &mut scratch, &mut off)
+            .unwrap();
+        assert_eq!(off.total_lockstep_stall_ns(), 0.0);
+    }
+
+    #[test]
+    fn bucket_boundary_intervals_split_exactly() {
+        let mut tl = LinkTimeline::new(10.0);
+        tl.num_links = 2;
+        tl.busy.clear();
+        // an interval spanning three buckets lands 5 + 10 + 3
+        tl.add_interval(false, 1, 5.0, 18.0, 1.0);
+        assert_eq!(tl.num_buckets(), 3);
+        assert_eq!(tl.busy_ns(0, 1), 5.0);
+        assert_eq!(tl.busy_ns(1, 1), 10.0);
+        assert_eq!(tl.busy_ns(2, 1), 3.0);
+        assert_eq!(tl.busy_ns(0, 0), 0.0);
+    }
+}

@@ -8,7 +8,9 @@
 
 use multitree::algorithms::{AllReduce, MultiTree, Ring};
 use multitree::viz::topology_to_dot;
-use mt_netsim::{cycle::CycleEngine, NetworkConfig};
+use multitree::PreparedSchedule;
+use mt_netsim::telemetry::LinkTimeline;
+use mt_netsim::{cycle::CycleEngine, NetworkConfig, SimScratch};
 use mt_topology::Topology;
 use std::fs;
 use std::path::PathBuf;
@@ -47,12 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("heat_ring", Ring.build(&topo)?),
         ("heat_multitree", MultiTree::default().build(&topo)?),
     ] {
-        let (_, stats) = engine.run_detailed(&topo, &schedule, 64 << 10)?;
+        let prep = PreparedSchedule::new(&schedule, &topo)?;
+        let mut tl = LinkTimeline::new(1_000.0);
+        engine.run_prepared_with(&prep, 64 << 10, &mut SimScratch::new(), &mut tl)?;
         let path = out.join(format!("{name}.dot"));
-        fs::write(&path, topology_to_dot(&topo, Some(&stats.link_flits)))?;
+        fs::write(&path, topology_to_dot(&topo, Some(tl.link_flits())))?;
         println!(
             "{name}: {} of {} links used -> {}",
-            stats.links_used(),
+            tl.link_flits().iter().filter(|&&c| c > 0).count(),
             topo.num_links(),
             path.display()
         );

@@ -1,18 +1,28 @@
 //! The prepare/execute split must not change a single bit of any
-//! result: `Engine::run` (prepare + fresh scratch each call) and
-//! `run_prepared` (one `PreparedSchedule`, one `SimScratch` reused
-//! across payload sizes) are the same simulation.
+//! result: `Engine::run` (prepare + fresh scratch each call), the
+//! deprecated `run_prepared` wrappers, and the unified observer entry
+//! point `run_prepared_with` (one `PreparedSchedule`, one `SimScratch`
+//! reused across payload sizes) are the same simulation. The wrappers
+//! are exercised deliberately — this suite is their regression coverage
+//! until they are removed — hence the file-level `allow(deprecated)`.
 //!
 //! The second half of this suite is the cycle engine's differential
-//! harness: the event-driven engine (`run_prepared_detailed`) against
-//! the dense reference implementation (`run_reference_detailed`), which
-//! must agree on every field of both the `SimReport` and the
-//! `CycleStats` — idle-cycle skipping, active lists and calendar queues
-//! are pure reorganizations, not approximations.
+//! harness: the event-driven engine (through both the deprecated
+//! `run_prepared_detailed` and `run_prepared_with` + `NoopObserver`)
+//! against the dense reference implementation
+//! (`run_reference_detailed`), which must agree on every field of both
+//! the `SimReport` and the `CycleStats` — idle-cycle skipping, active
+//! lists, calendar queues and compiled-out observer hooks are pure
+//! reorganizations, not approximations. The NoopObserver path must also
+//! stay allocation-free in steady state.
+
+#![allow(deprecated)]
 
 use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring};
 use multitree::PreparedSchedule;
-use mt_netsim::{cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, SimScratch};
+use mt_netsim::{
+    cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, NoopObserver, SimScratch,
+};
 use mt_topology::Topology;
 use proptest::prelude::*;
 
@@ -159,6 +169,30 @@ fn assert_engines_identical(
         .unwrap();
     assert_eq!(ref_report, new_report, "report diverged: {label}");
     assert_eq!(ref_stats, new_stats, "stats diverged: {label}");
+    // the unified observer entry point is the same simulation: with a
+    // NoopObserver it must match the oracle bit for bit, and its steady
+    // state must not allocate (disabled hooks compile out entirely)
+    let mut scratch = SimScratch::new();
+    let noop = engine
+        .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    assert_eq!(noop.sim, ref_report, "observer-path report diverged: {label}");
+    assert_eq!(noop.cycles(), Some(ref_stats.cycles), "cycles diverged: {label}");
+    assert_eq!(
+        noop.max_buffer_occupancy(),
+        Some(ref_stats.max_buffer_occupancy),
+        "buffer high-water diverged: {label}"
+    );
+    let warm = scratch.capacity_elements();
+    let again = engine
+        .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    assert_eq!(again, noop, "repeat run diverged: {label}");
+    assert_eq!(
+        scratch.capacity_elements(),
+        warm,
+        "NoopObserver steady state allocated: {label}"
+    );
 }
 
 #[test]
