@@ -134,6 +134,7 @@ pub fn fig9_networks(family: TopoFamily) -> Vec<(String, Topology)> {
 
 /// One evaluated configuration: algorithm plus the flow-control mode it
 /// runs with (`MULTITREEMSG` = MultiTree + message-based flow control).
+#[derive(Debug, Clone)]
 pub struct AlgoConfig {
     /// Display name as used in the paper's legends.
     pub label: &'static str,

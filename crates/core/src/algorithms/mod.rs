@@ -16,6 +16,7 @@ mod multitree_indirect;
 mod multitree_subset;
 mod pipelined;
 mod rebalance;
+pub mod repair;
 mod ring;
 mod ring2d;
 
@@ -24,6 +25,7 @@ pub use dbtree::DbTree;
 pub use halving_doubling::HalvingDoubling;
 pub use hdrm::Hdrm;
 pub use multitree::{Forest, ForestEdge, MultiTree, Tree, TreeOrder};
+pub use repair::{repair_multitree, RepairReport, RepairStrategy, RepairedSchedule};
 pub use ring::Ring;
 pub use ring2d::Ring2D;
 

@@ -223,8 +223,14 @@ impl MultiTree {
 
     /// Algorithm 1 lines 9–14: find a predecessor `p` (added in an earlier
     /// time step, examined in join order) with a free link to a node `c`
-    /// not yet in the tree; allocate it.
-    fn try_add_direct(topo: &Topology, tree: &mut TreeBuild, t: u32, pool: &mut [u32]) -> bool {
+    /// not yet in the tree; allocate it. Shared with the incremental
+    /// repair in [`crate::algorithms::repair`].
+    pub(crate) fn try_add_direct(
+        topo: &Topology,
+        tree: &mut TreeBuild,
+        t: u32,
+        pool: &mut [u32],
+    ) -> bool {
         for mi in 0..tree.members.len() {
             let (p, joined) = tree.members[mi];
             if joined >= t {
@@ -286,7 +292,7 @@ impl TreeBuild {
         });
     }
 
-    fn finish(self) -> Tree {
+    pub(crate) fn finish(self) -> Tree {
         Tree {
             root: self.root,
             edges: self.edges,

@@ -34,6 +34,12 @@ pub enum AlgorithmError {
         /// What is wrong.
         detail: String,
     },
+    /// A fault-injection plan references nonexistent links/nodes or
+    /// carries out-of-range parameters.
+    InvalidFaultPlan {
+        /// What is wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for AlgorithmError {
@@ -50,6 +56,9 @@ impl fmt::Display for AlgorithmError {
             }
             AlgorithmError::VerificationFailed { detail } => {
                 write!(f, "all-reduce verification failed: {detail}")
+            }
+            AlgorithmError::InvalidFaultPlan { detail } => {
+                write!(f, "invalid fault plan: {detail}")
             }
         }
     }

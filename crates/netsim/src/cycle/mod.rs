@@ -50,6 +50,7 @@
 //! engine remains the fast path for the very largest sweeps.
 
 use crate::config::NetworkConfig;
+use crate::fault::{CompiledFaults, FaultEvent, FaultPlan, FaultReport, FaultedRun, NO_FAULTS};
 use crate::flowctrl::frame_message;
 use crate::observer::{NoopObserver, ObservedEngine, RunInfo, SimObserver};
 use crate::report::{EngineDetail, EngineReport, SimReport};
@@ -262,12 +263,22 @@ fn reset_lists<T>(v: &mut Vec<Vec<T>>, len: usize) {
     v.resize_with(len, Vec::new);
 }
 
-struct Sim<'a, 'p, O: SimObserver> {
+struct Sim<'a, 'p, O: SimObserver, const F: bool> {
     topo: &'a Topology,
     cfg: &'a NetworkConfig,
     prep: &'a PreparedSchedule<'p>,
     s: &'a mut CycleScratch,
     obs: &'a mut O,
+    /// Compiled fault plan; [`NO_FAULTS`] (and never queried) when the
+    /// `F` monomorphization flag is off.
+    faults: &'a CompiledFaults,
+    /// Per link: first cycle the link may transmit again — degrade
+    /// pacing state (a link degraded by factor `k` moves one flit every
+    /// `ceil(k)` cycles). Empty when `F` is off.
+    link_next_free: Vec<u64>,
+    /// Last cycle a flit moved (transmitted or ejected); feeds the
+    /// stall watchdog. Only maintained when `F` is on.
+    last_progress: u64,
     clock: u64,
     /// Effective wire delay in cycles (arrivals land `delay` cycles after
     /// transmission; at least 1 because arrivals are processed at the
@@ -349,13 +360,61 @@ impl CycleEngine {
         scratch: &mut SimScratch,
         obs: &mut O,
     ) -> Result<EngineReport, AlgorithmError> {
-        let (report, core) = self.run_core(prep, total_bytes, scratch, obs)?;
+        let (report, core, _) =
+            self.run_core::<O, false>(prep, total_bytes, scratch, obs, &NO_FAULTS, &[])?;
         Ok(EngineReport {
             sim: report,
             detail: EngineDetail::Cycle {
                 cycles: core.cycles,
                 max_buffer_occupancy: core.max_buffer,
             },
+        })
+    }
+
+    /// Executes a prepared schedule under a [`FaultPlan`] at flit
+    /// granularity: links die, flap or degrade and hosts crash at the
+    /// planned times while the schedule runs. Unlike the healthy entry
+    /// points, an incomplete run is not an error — when no flit moves
+    /// for the plan's detection window the NI watchdog converts the
+    /// would-be hang into a stalled [`FaultReport`]. Where the
+    /// flow engine black-holes traffic routed over dead links, the
+    /// cycle engine models the wedge faithfully: flits back up in
+    /// front of the dead link until progress stops (so `lost_events`
+    /// is always empty here — undelivered messages are accounted by
+    /// `delivered`/`first_undelivered_step`).
+    ///
+    /// An empty plan reproduces [`CycleEngine::run_prepared_with`]
+    /// bit-for-bit. Fault queries are monomorphized in (the healthy
+    /// entry points compile them out entirely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::InvalidFaultPlan`] if the plan
+    /// references links/nodes outside the topology, and
+    /// [`AlgorithmError::MalformedSchedule`] for schedules that are
+    /// structurally broken independent of the faults.
+    pub fn run_prepared_faulted_with<O: SimObserver>(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+        plan: &FaultPlan,
+        obs: &mut O,
+    ) -> Result<FaultedRun, AlgorithmError> {
+        let topo = prep.topology();
+        let faults = plan.compile(topo.num_links(), topo.num_nodes())?;
+        let fault_times: Vec<f64> = plan.events.iter().map(FaultEvent::time_ns).collect();
+        let (report, core, fr) =
+            self.run_core::<O, true>(prep, total_bytes, scratch, obs, &faults, &fault_times)?;
+        Ok(FaultedRun {
+            report: EngineReport {
+                sim: report,
+                detail: EngineDetail::Cycle {
+                    cycles: core.cycles,
+                    max_buffer_occupancy: core.max_buffer,
+                },
+            },
+            faults: fr.expect("faulted runs always produce a fault report"),
         })
     }
 
@@ -396,7 +455,7 @@ impl CycleEngine {
         scratch: &mut SimScratch,
     ) -> Result<SimReport, AlgorithmError> {
         Ok(self
-            .run_core(prep, total_bytes, scratch, &mut NoopObserver)?
+            .run_core::<_, false>(prep, total_bytes, scratch, &mut NoopObserver, &NO_FAULTS, &[])?
             .0)
     }
 }
@@ -411,7 +470,14 @@ impl Engine for CycleEngine {
         let prep = PreparedSchedule::new(schedule, topo)?;
         let mut scratch = SimScratch::new();
         Ok(self
-            .run_core(&prep, total_bytes, &mut scratch, &mut NoopObserver)?
+            .run_core::<_, false>(
+                &prep,
+                total_bytes,
+                &mut scratch,
+                &mut NoopObserver,
+                &NO_FAULTS,
+                &[],
+            )?
             .0)
     }
 }
@@ -441,7 +507,8 @@ impl CycleEngine {
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<(SimReport, CycleStats), AlgorithmError> {
-        let (report, core) = self.run_core(prep, total_bytes, scratch, &mut NoopObserver)?;
+        let (report, core, _) =
+            self.run_core::<_, false>(prep, total_bytes, scratch, &mut NoopObserver, &NO_FAULTS, &[])?;
         let stats = CycleStats {
             link_flits: std::mem::take(&mut scratch.cycle.tx_count),
             max_buffer_occupancy: core.max_buffer,
@@ -453,13 +520,21 @@ impl CycleEngine {
     /// The shared simulation core: sets up scratch state, runs the
     /// event-driven cycle loop, and builds the report. Per-link flit
     /// counts stay in `scratch.cycle.tx_count` for the caller.
-    fn run_core<O: SimObserver>(
+    ///
+    /// `F` monomorphizes fault injection: when off, every fault query
+    /// compiles out (`faults` must be [`NO_FAULTS`] and `fault_times`
+    /// empty) and the loop is the healthy engine bit for bit; when on,
+    /// link/node fault gates and the progress watchdog are live and the
+    /// third return value carries the [`FaultReport`].
+    fn run_core<O: SimObserver, const F: bool>(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
         obs: &mut O,
-    ) -> Result<(SimReport, CoreStats), AlgorithmError> {
+        faults: &CompiledFaults,
+        fault_times: &[f64],
+    ) -> Result<(SimReport, CoreStats, Option<FaultReport>), AlgorithmError> {
         let topo = prep.topology();
         let schedule = prep.schedule();
         let cfg = &self.cfg;
@@ -610,14 +685,30 @@ impl CycleEngine {
                 prep,
                 total_bytes,
             });
+            if F {
+                for (idx, &at_ns) in fault_times.iter().enumerate() {
+                    obs.on_fault_injected(at_ns, idx as u32);
+                }
+            }
         }
 
-        let mut sim = Sim {
+        // watchdog window in cycles (faulted runs only): no flit
+        // movement for this long declares the run stalled
+        let window_cycles = if F {
+            ((faults.detect_window_ns() / cfg.cycle_ns()).ceil() as u64).max(1)
+        } else {
+            0
+        };
+
+        let mut sim = Sim::<O, F> {
             topo,
             cfg,
             prep,
             s,
             obs,
+            faults,
+            link_next_free: if F { vec![0; nl] } else { Vec::new() },
+            last_progress: 0,
             clock: 0,
             delay,
             wheel,
@@ -630,6 +721,7 @@ impl CycleEngine {
 
         let mut delivered_count = 0usize;
         let mut completion_cycle = 0u64;
+        let mut stalled = false;
 
         while delivered_count < n {
             if sim.clock > self.max_cycles {
@@ -639,6 +731,18 @@ impl CycleEngine {
                         self.max_cycles, delivered_count, n
                     ),
                 });
+            }
+            // NI watchdog: flits are pending but none has moved for a
+            // whole detection window — the network is wedged (dead link
+            // or dead node blocking the route). Quiescent lockstep
+            // waits (no buffered/injecting work) are legitimate and
+            // exempt.
+            if F
+                && (sim.buffered > 0 || sim.injecting > 0)
+                && sim.clock > sim.last_progress + window_cycles
+            {
+                stalled = true;
+                break;
             }
             let now = sim.clock;
             let slot = (now % sim.wheel) as usize;
@@ -682,6 +786,11 @@ impl CycleEngine {
                 while bits != 0 {
                     let node = (w << 6) | bits.trailing_zeros() as usize;
                     bits &= bits - 1;
+                    // a crashed host's NI issues nothing further (its
+                    // unissued events simply never enter the network)
+                    if F && sim.faults.node_dead(node as u32, now as f64 * cfg.cycle_ns()) {
+                        continue;
+                    }
                     let end = sim.s.ni_offsets[node + 1];
                     // advance the timestep counter
                     loop {
@@ -742,6 +851,11 @@ impl CycleEngine {
                             }
                             sim.obs.on_event_issued(now, i as u32, node as u32);
                         }
+                        if F {
+                            // an NI handing work to the network counts as
+                            // progress for the stall watchdog
+                            sim.last_progress = now;
+                        }
                         let stream = sim.s.streams[i];
                         let first = prep.first_link(i);
                         sim.s.inject_q[first.index()].push_back(stream);
@@ -791,6 +905,11 @@ impl CycleEngine {
                         while bits != 0 {
                             let node = (w << 6) | bits.trailing_zeros() as usize;
                             bits &= bits - 1;
+                            // dead NIs never issue again: no wake from them
+                            if F && sim.faults.node_dead(node as u32, now as f64 * cfg.cycle_ns())
+                            {
+                                continue;
+                            }
                             let nic = sim.s.nics[node];
                             if nic.unissued_in_step == 0 && nic.cur_step <= num_steps {
                                 let est = sim.s.step_est[nic.cur_step as usize];
@@ -802,29 +921,89 @@ impl CycleEngine {
                     }
                 }
                 debug_assert!(wake > now, "wake target must be in the future");
-                // no wake source at all = true deadlock; land beyond the
-                // watchdog so the error matches the dense engine's
-                sim.clock = if wake == u64::MAX {
-                    self.max_cycles + 1
+                if wake == u64::MAX {
+                    if F {
+                        // nothing in flight and nothing can ever issue
+                        // (e.g. the only remaining sources crashed):
+                        // stall immediately rather than spinning out
+                        // the detection window on an empty network
+                        stalled = true;
+                        break;
+                    }
+                    // no wake source at all = true deadlock; land beyond
+                    // the watchdog so the error matches the dense engine's
+                    sim.clock = self.max_cycles + 1;
                 } else {
-                    wake
-                };
+                    sim.clock = wake;
+                    if F {
+                        // an idle network is waiting by design (wire
+                        // latency or a lockstep boundary), not wedged:
+                        // the watchdog timer does not run while idle
+                        sim.last_progress = wake;
+                    }
+                }
             } else {
                 sim.clock = now + 1;
             }
         }
 
-        // End-state invariants: every flit that entered the network was
-        // consumed — no stranded buffers, wires or injection streams.
-        assert_eq!(sim.buffered, 0, "flits stranded in input buffers after completion");
-        assert_eq!(sim.inflight_flits, 0, "flits stranded on links after completion");
-        assert_eq!(sim.injecting, 0, "messages stranded at injection after completion");
-        let ejected: u64 = sim.s.msgs.iter().map(|m| m.ejected_flits).sum();
-        assert_eq!(ejected, flits_sent, "flit conservation violated");
+        if !stalled {
+            // End-state invariants: every flit that entered the network
+            // was consumed — no stranded buffers, wires or injection
+            // streams. (A stalled faulted run wedges by design, so the
+            // conservation laws intentionally do not hold there.)
+            assert_eq!(sim.buffered, 0, "flits stranded in input buffers after completion");
+            assert_eq!(sim.inflight_flits, 0, "flits stranded on links after completion");
+            assert_eq!(sim.injecting, 0, "messages stranded at injection after completion");
+            let ejected: u64 = sim.s.msgs.iter().map(|m| m.ejected_flits).sum();
+            assert_eq!(ejected, flits_sent, "flit conservation violated");
+        }
+
+        let mut completion_ns = completion_cycle as f64 * cfg.cycle_ns();
+        let fault_report = if F {
+            let mut first: Option<(u32, usize)> = None; // (step, event)
+            if stalled {
+                for (i, m) in sim.s.msgs.iter().enumerate() {
+                    if m.ejected_flits < m.total_flits {
+                        let s = prep.step(i);
+                        let better = match first {
+                            None => true,
+                            Some((fs, _)) => s < fs,
+                        };
+                        if better {
+                            first = Some((s, i));
+                        }
+                    }
+                }
+                // the watchdog fires one detection window after the last
+                // flit moved; that firing time is the run's end
+                let fired_at =
+                    sim.last_progress as f64 * cfg.cycle_ns() + faults.detect_window_ns();
+                completion_ns = completion_ns.max(fired_at);
+                if O::ENABLED {
+                    let (step, event) = first.expect("a stalled run has an undelivered event");
+                    sim.obs
+                        .on_timeout_fired(fired_at, prep.src_index(event) as u32, step);
+                }
+            }
+            Some(FaultReport {
+                delivered: delivered_count,
+                total: n,
+                // the cycle engine wedges traffic in front of dead links
+                // instead of black-holing it; nothing is "lost"
+                lost_events: Vec::new(),
+                first_undelivered_step: first.map(|(s, _)| s),
+                last_progress_ns: sim.last_progress as f64 * cfg.cycle_ns(),
+                stalled,
+                detect_window_ns: faults.detect_window_ns(),
+            })
+        } else {
+            None
+        };
 
         let report = SimReport {
             total_bytes,
-            completion_ns: completion_cycle as f64 * cfg.cycle_ns(),
+            completion_ns,
             flits_sent,
             head_flits,
             messages: n,
@@ -845,6 +1024,7 @@ impl CycleEngine {
                 max_buffer,
                 cycles,
             },
+            fault_report,
         ))
     }
 }

@@ -14,7 +14,35 @@ use crate::config::FlowControlMode;
 use crate::observer::SimObserver;
 use mt_topology::{LinkId, Vertex};
 
-impl<O: SimObserver> Sim<'_, '_, O> {
+impl<O: SimObserver, const F: bool> Sim<'_, '_, O, F> {
+    /// Simulation time of the current cycle in ns (fault queries are
+    /// time-stamped in ns). Only called when `F` is on.
+    #[inline]
+    fn now_ns(&self) -> f64 {
+        self.clock as f64 * self.cfg.cycle_ns()
+    }
+
+    /// Whether faults forbid transmitting on `out` this cycle: the link
+    /// is dead or mid-flap, or degrade pacing has not released it yet.
+    /// Only called when `F` is on.
+    #[inline]
+    fn fault_blocked(&self, out: LinkId) -> bool {
+        self.clock < self.link_next_free[out.index()]
+            || self.faults.link_blocked(out.index() as u32, self.now_ns())
+    }
+
+    /// Whether `out`'s source is a crashed host whose NI can no longer
+    /// inject (pass-through switch traffic is unaffected). Only called
+    /// when `F` is on.
+    #[inline]
+    fn injection_dead(&self, out: LinkId) -> bool {
+        self.topo
+            .link(out)
+            .src
+            .as_node()
+            .is_some_and(|n| self.faults.node_dead(n.index() as u32, self.now_ns()))
+    }
+
     /// Appends a flit to buffer `idx`; returns the new buffer length.
     #[inline]
     pub(super) fn buf_push(&mut self, idx: usize, f: Flit) -> u32 {
@@ -84,6 +112,15 @@ impl<O: SimObserver> Sim<'_, '_, O> {
     /// contiguous front-info cache, in ascending VC order — the same
     /// order a dense `0..vcs` buffer scan would find them.
     fn eject_stage(&mut self, vertex: Vertex, vcs: usize) {
+        // a crashed host's NI stops consuming: arriving flits stay
+        // buffered (and back the network up) until the watchdog fires
+        if F
+            && vertex
+                .as_node()
+                .is_some_and(|n| self.faults.node_dead(n.index() as u32, self.now_ns()))
+        {
+            return;
+        }
         for &in_link in self.topo.in_links(vertex) {
             if bit_get(&self.s.input_used, in_link.index()) {
                 continue;
@@ -98,6 +135,9 @@ impl<O: SimObserver> Sim<'_, '_, O> {
                 self.note_buffer_pop(in_link.index(), idx);
                 self.return_credit(in_link, vc as u8);
                 bit_set(&mut self.s.input_used, in_link.index());
+                if F {
+                    self.last_progress = self.clock;
+                }
                 if O::ENABLED {
                     self.obs
                         .on_flit_ejected(self.clock, in_link.index() as u32, vc as u8, flit.msg);
@@ -117,6 +157,9 @@ impl<O: SimObserver> Sim<'_, '_, O> {
 
     /// Streams the next flit of the packet currently locking `out_link`.
     fn continue_stream(&mut self, out_link: LinkId, lock: Lock) {
+        if F && self.fault_blocked(out_link) {
+            return; // link dead, flapping or degrade-paced this cycle
+        }
         let vcs = self.cfg.num_vcs as usize;
         let out_idx = out_link.index() * vcs + lock.out_vc as usize;
         if self.s.credits[out_idx] == 0 {
@@ -143,6 +186,9 @@ impl<O: SimObserver> Sim<'_, '_, O> {
                 self.step_lock(out_link, lock);
             }
             Source::Injection => {
+                if F && self.injection_dead(out_link) {
+                    return; // crashed host: its NI injects nothing more
+                }
                 // the locked stream is the first one routed over out_link
                 // (injection queues are FIFO per output port)
                 let Some(stream) = self.s.inject_q[out_link.index()].front_mut() else {
@@ -223,6 +269,9 @@ impl<O: SimObserver> Sim<'_, '_, O> {
 
     /// Attempts to start the packet at `cand`'s head on `out_link`.
     fn try_start(&mut self, cand: Source, out_link: LinkId) -> bool {
+        if F && self.fault_blocked(out_link) {
+            return false; // link dead, flapping or degrade-paced
+        }
         let vcs = self.cfg.num_vcs as usize;
         match cand {
             Source::Buffer { link, vc } => {
@@ -266,6 +315,9 @@ impl<O: SimObserver> Sim<'_, '_, O> {
                 true
             }
             Source::Injection => {
+                if F && self.injection_dead(out_link) {
+                    return false; // crashed host: its NI injects nothing
+                }
                 // serve the FIRST stream whose path starts with out_link
                 // (FIFO per output port)
                 let Some(&stream) = self.s.inject_q[out_link.index()].front() else {
@@ -436,6 +488,18 @@ impl<O: SimObserver> Sim<'_, '_, O> {
     }
 
     fn transmit_raw(&mut self, out_link: LinkId, flit: Flit) {
+        if F {
+            self.last_progress = self.clock;
+            // degrade pacing: a link at factor k carries one flit per
+            // ceil(k) cycles instead of one per cycle
+            let k = self.faults.degrade_factor(out_link.index() as u32, self.now_ns());
+            if k > 1.0 {
+                let gap = k.ceil() as u64;
+                if gap > 1 {
+                    self.link_next_free[out_link.index()] = self.clock + gap;
+                }
+            }
+        }
         self.s.tx_count[out_link.index()] += 1;
         if O::ENABLED {
             self.obs

@@ -1,0 +1,482 @@
+//! Deterministic fault injection for both engines.
+//!
+//! A [`FaultPlan`] is pure, serde-able data: a list of timed
+//! [`FaultEvent`]s (permanent link failure, transient link flap, link
+//! degradation, node dropout) plus the detection window of the NI
+//! timeout watchdog. Plans are compiled once per run into
+//! [`CompiledFaults`] — dense per-link/per-node lookup tables the hot
+//! loops can query in O(1)ish — and applied *inside*
+//! `run_prepared_faulted_with` on either engine, so a faulty run is
+//! exactly as deterministic as a healthy one: same schedule, same plan,
+//! same report, bit for bit, regardless of `--threads` or observers.
+//!
+//! Faulty runs return a [`FaultedRun`]: the usual engine report plus a
+//! [`FaultReport`] saying whether the collective completed, which
+//! messages were lost, and where the watchdog localized the stall. A
+//! healthy schedule under an empty plan is byte-identical to the
+//! unfaulted entry points.
+//!
+//! All event times are **nanoseconds** of simulation time; the cycle
+//! engine converts its clock through `NetworkConfig::cycle_ns` when it
+//! queries the tables. Node dropout models a host crash with the
+//! router/switch silicon still alive: the NI stops injecting and
+//! ejecting, so in-flight traffic backs up behind the dead endpoint
+//! while pass-through traffic keeps flowing.
+
+use multitree::AlgorithmError;
+use mt_topology::{LinkId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One timed fault. Times are simulation nanoseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// `link` fails permanently at `at_ns`: transfers not yet started on
+    /// it never start, and messages routed over it are lost.
+    LinkDown {
+        /// The failing unidirectional link.
+        link: LinkId,
+        /// When it fails.
+        at_ns: f64,
+    },
+    /// `link` is unusable during `[from_ns, to_ns)`, then recovers:
+    /// transfers wait out the flap instead of being lost.
+    LinkFlap {
+        /// The flapping unidirectional link.
+        link: LinkId,
+        /// Start of the outage.
+        from_ns: f64,
+        /// End of the outage (exclusive).
+        to_ns: f64,
+    },
+    /// From `at_ns` on, `link` serializes `factor`× slower (cable
+    /// renegotiated down, congested oversubscription, …). Multiple
+    /// degradations of one link compound multiplicatively.
+    LinkDegrade {
+        /// The degraded unidirectional link.
+        link: LinkId,
+        /// When the slowdown starts.
+        at_ns: f64,
+        /// Serialization-time multiplier, ≥ 1.
+        factor: f64,
+    },
+    /// The host at `node` crashes at `at_ns`: its NI stops injecting and
+    /// ejecting (the attached router keeps forwarding pass-through
+    /// traffic).
+    NodeDown {
+        /// The crashing compute node.
+        node: NodeId,
+        /// When it crashes.
+        at_ns: f64,
+    },
+}
+
+impl FaultEvent {
+    /// When this fault takes effect (for flaps: the start of the outage).
+    pub fn time_ns(&self) -> f64 {
+        match *self {
+            FaultEvent::LinkDown { at_ns, .. }
+            | FaultEvent::LinkDegrade { at_ns, .. }
+            | FaultEvent::NodeDown { at_ns, .. } => at_ns,
+            FaultEvent::LinkFlap { from_ns, .. } => from_ns,
+        }
+    }
+}
+
+/// Default watchdog window: how long the NI tolerates zero delivery
+/// progress before declaring the step stalled (50 µs).
+pub const DEFAULT_DETECT_WINDOW_NS: f64 = 50_000.0;
+
+/// A deterministic, serde-able fault schedule.
+///
+/// ```
+/// use mt_netsim::fault::FaultPlan;
+/// use mt_topology::LinkId;
+///
+/// let plan = FaultPlan::new()
+///     .link_down(LinkId::new(3), 1_000.0)
+///     .link_flap(LinkId::new(7), 500.0, 2_500.0)
+///     .degrade(LinkId::new(9), 0.0, 4.0);
+/// let compiled = plan.compile(16, 8).unwrap();
+/// assert!(compiled.link_blocked(LinkId::new(3).index() as u32, 1_000.0));
+/// assert!(!compiled.link_blocked(LinkId::new(7).index() as u32, 3_000.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The timed fault events, in any order.
+    pub events: Vec<FaultEvent>,
+    /// Watchdog window in ns (see [`DEFAULT_DETECT_WINDOW_NS`]).
+    pub detect_window_ns: f64,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            events: Vec::new(),
+            detect_window_ns: DEFAULT_DETECT_WINDOW_NS,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan with the default detection window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a permanent link failure.
+    pub fn link_down(mut self, link: LinkId, at_ns: f64) -> Self {
+        self.events.push(FaultEvent::LinkDown { link, at_ns });
+        self
+    }
+
+    /// Adds a transient link outage over `[from_ns, to_ns)`.
+    pub fn link_flap(mut self, link: LinkId, from_ns: f64, to_ns: f64) -> Self {
+        self.events.push(FaultEvent::LinkFlap { link, from_ns, to_ns });
+        self
+    }
+
+    /// Adds a bandwidth degradation (`factor`× slower from `at_ns` on).
+    pub fn degrade(mut self, link: LinkId, at_ns: f64, factor: f64) -> Self {
+        self.events.push(FaultEvent::LinkDegrade { link, at_ns, factor });
+        self
+    }
+
+    /// Adds a node (host) crash.
+    pub fn node_down(mut self, node: NodeId, at_ns: f64) -> Self {
+        self.events.push(FaultEvent::NodeDown { node, at_ns });
+        self
+    }
+
+    /// Overrides the watchdog detection window.
+    pub fn with_detect_window(mut self, window_ns: f64) -> Self {
+        self.detect_window_ns = window_ns;
+        self
+    }
+
+    /// Compiles the plan into dense lookup tables for a topology with
+    /// `num_links` links and `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::InvalidFaultPlan`] on out-of-range
+    /// link/node ids, non-finite or negative times, inverted flap
+    /// intervals, degrade factors below 1, or a non-positive detection
+    /// window.
+    pub fn compile(
+        &self,
+        num_links: usize,
+        num_nodes: usize,
+    ) -> Result<CompiledFaults, AlgorithmError> {
+        let invalid = |detail: String| AlgorithmError::InvalidFaultPlan { detail };
+        let check_time = |what: &str, t: f64| {
+            if t.is_finite() && t >= 0.0 {
+                Ok(())
+            } else {
+                Err(invalid(format!("{what} must be a finite non-negative time, got {t}")))
+            }
+        };
+        let check_link = |link: LinkId| {
+            if link.index() < num_links {
+                Ok(())
+            } else {
+                Err(invalid(format!(
+                    "{link} out of range (topology has {num_links} links)"
+                )))
+            }
+        };
+        if !(self.detect_window_ns.is_finite() && self.detect_window_ns > 0.0) {
+            return Err(invalid(format!(
+                "detect_window_ns must be finite and positive, got {}",
+                self.detect_window_ns
+            )));
+        }
+        let mut c = CompiledFaults {
+            down_at: vec![f64::INFINITY; num_links],
+            flaps: vec![Vec::new(); num_links],
+            degrades: vec![Vec::new(); num_links],
+            node_down_at: vec![f64::INFINITY; num_nodes],
+            detect_window_ns: self.detect_window_ns,
+        };
+        for e in &self.events {
+            match *e {
+                FaultEvent::LinkDown { link, at_ns } => {
+                    check_link(link)?;
+                    check_time("LinkDown.at_ns", at_ns)?;
+                    let d = &mut c.down_at[link.index()];
+                    *d = d.min(at_ns);
+                }
+                FaultEvent::LinkFlap { link, from_ns, to_ns } => {
+                    check_link(link)?;
+                    check_time("LinkFlap.from_ns", from_ns)?;
+                    check_time("LinkFlap.to_ns", to_ns)?;
+                    if to_ns <= from_ns {
+                        return Err(invalid(format!(
+                            "LinkFlap interval [{from_ns}, {to_ns}) on {link} is empty or inverted"
+                        )));
+                    }
+                    c.flaps[link.index()].push((from_ns, to_ns));
+                }
+                FaultEvent::LinkDegrade { link, at_ns, factor } => {
+                    check_link(link)?;
+                    check_time("LinkDegrade.at_ns", at_ns)?;
+                    if !(factor.is_finite() && factor >= 1.0) {
+                        return Err(invalid(format!(
+                            "LinkDegrade.factor must be finite and >= 1, got {factor}"
+                        )));
+                    }
+                    c.degrades[link.index()].push((at_ns, factor));
+                }
+                FaultEvent::NodeDown { node, at_ns } => {
+                    if node.index() >= num_nodes {
+                        return Err(invalid(format!(
+                            "{node} out of range (topology has {num_nodes} nodes)"
+                        )));
+                    }
+                    check_time("NodeDown.at_ns", at_ns)?;
+                    let d = &mut c.node_down_at[node.index()];
+                    *d = d.min(at_ns);
+                }
+            }
+        }
+        for f in &mut c.flaps {
+            f.sort_by(|a, b| a.partial_cmp(b).expect("finite times are totally ordered"));
+        }
+        for d in &mut c.degrades {
+            d.sort_by(|a, b| a.partial_cmp(b).expect("finite times are totally ordered"));
+        }
+        Ok(c)
+    }
+}
+
+/// A [`FaultPlan`] compiled into per-link/per-node lookup tables.
+///
+/// Produced by [`FaultPlan::compile`]; consumed by the engines' faulted
+/// entry points. Healthy links/nodes sit at `INFINITY` / empty vectors,
+/// so every query is a couple of loads on the common path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledFaults {
+    /// Per link: time of permanent failure (`INFINITY` = healthy).
+    down_at: Vec<f64>,
+    /// Per link: sorted transient outage intervals `[from, to)`.
+    flaps: Vec<Vec<(f64, f64)>>,
+    /// Per link: sorted `(from_ns, factor)` degradations; factors of all
+    /// entries with `from_ns <= t` compound multiplicatively.
+    degrades: Vec<Vec<(f64, f64)>>,
+    /// Per node: time of host crash (`INFINITY` = healthy).
+    node_down_at: Vec<f64>,
+    /// Watchdog window in ns.
+    detect_window_ns: f64,
+}
+
+/// The empty fault table the unfaulted engine paths reference (never
+/// queried — the `F = false` monomorphization compiles the queries out).
+pub(crate) const NO_FAULTS: CompiledFaults = CompiledFaults {
+    down_at: Vec::new(),
+    flaps: Vec::new(),
+    degrades: Vec::new(),
+    node_down_at: Vec::new(),
+    detect_window_ns: DEFAULT_DETECT_WINDOW_NS,
+};
+
+impl CompiledFaults {
+    /// True if `link` cannot transmit at time `t_ns` (permanently down or
+    /// inside a flap outage).
+    pub fn link_blocked(&self, link: u32, t_ns: f64) -> bool {
+        let i = link as usize;
+        if t_ns >= self.down_at[i] {
+            return true;
+        }
+        self.flaps[i].iter().any(|&(from, to)| t_ns >= from && t_ns < to)
+    }
+
+    /// Earliest time at or after `t_ns` when `link` can start a transfer,
+    /// or `None` if it is permanently down by then (waiting never helps).
+    pub fn available_from(&self, link: u32, t_ns: f64) -> Option<f64> {
+        let i = link as usize;
+        let mut t = t_ns;
+        for &(from, to) in &self.flaps[i] {
+            if t >= from && t < to {
+                t = to;
+            }
+        }
+        if t >= self.down_at[i] {
+            None
+        } else {
+            Some(t)
+        }
+    }
+
+    /// Serialization-time multiplier for `link` at `t_ns` (≥ 1; all
+    /// degradations that have kicked in compound).
+    pub fn degrade_factor(&self, link: u32, t_ns: f64) -> f64 {
+        self.degrades[link as usize]
+            .iter()
+            .take_while(|&&(from, _)| from <= t_ns)
+            .map(|&(_, factor)| factor)
+            .product()
+    }
+
+    /// True if the host at `node` has crashed by `t_ns`.
+    pub fn node_dead(&self, node: u32, t_ns: f64) -> bool {
+        t_ns >= self.node_down_at[node as usize]
+    }
+
+    /// Watchdog window in ns.
+    pub fn detect_window_ns(&self) -> f64 {
+        self.detect_window_ns
+    }
+
+    /// Links that eventually fail permanently — the set a repair has to
+    /// route around.
+    pub fn permanently_dead_links(&self) -> Vec<LinkId> {
+        self.down_at
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t.is_finite())
+            .map(|(i, _)| LinkId::new(i))
+            .collect()
+    }
+
+    /// Nodes that eventually crash.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.node_down_at
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t.is_finite())
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+/// What fault injection did to one run: delivery accounting plus the
+/// watchdog's localization of the stall (if any).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FaultReport {
+    /// Messages fully delivered.
+    pub delivered: usize,
+    /// Messages in the schedule.
+    pub total: usize,
+    /// Event indices lost outright (routed over a permanently dead link
+    /// or sourced at a crashed node).
+    pub lost_events: Vec<u32>,
+    /// Earliest schedule step with an undelivered message — where repair
+    /// has to resume.
+    pub first_undelivered_step: Option<u32>,
+    /// Simulation time of the last delivery progress.
+    pub last_progress_ns: f64,
+    /// True if the collective did not complete (the watchdog fired).
+    pub stalled: bool,
+    /// The watchdog window that was in force.
+    pub detect_window_ns: f64,
+}
+
+impl FaultReport {
+    /// True if every message was delivered despite the injected faults.
+    pub fn completed(&self) -> bool {
+        !self.stalled
+    }
+}
+
+/// Result of a faulted run: the engine report (timing is
+/// `last_progress + detect window` when stalled) plus the fault
+/// accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// The usual engine report. On a stalled run, `completion_ns` is the
+    /// watchdog firing time, and conservation-style invariants of the
+    /// healthy engines (every event delivered) do not hold.
+    pub report: crate::EngineReport,
+    /// Delivery/loss accounting and stall localization.
+    pub faults: FaultReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compile_validates_ids_and_params() {
+        let bad_link = FaultPlan::new().link_down(LinkId::new(99), 0.0);
+        assert!(matches!(
+            bad_link.compile(10, 4),
+            Err(AlgorithmError::InvalidFaultPlan { .. })
+        ));
+        let bad_node = FaultPlan::new().node_down(NodeId::new(4), 0.0);
+        assert!(bad_node.compile(10, 4).is_err());
+        let bad_factor = FaultPlan::new().degrade(LinkId::new(0), 0.0, 0.5);
+        assert!(bad_factor.compile(10, 4).is_err());
+        let bad_flap = FaultPlan::new().link_flap(LinkId::new(0), 5.0, 5.0);
+        assert!(bad_flap.compile(10, 4).is_err());
+        let bad_window = FaultPlan::new().with_detect_window(0.0);
+        assert!(bad_window.compile(10, 4).is_err());
+        let bad_time = FaultPlan::new().link_down(LinkId::new(0), f64::NAN);
+        assert!(bad_time.compile(10, 4).is_err());
+    }
+
+    #[test]
+    fn queries_follow_the_timeline() {
+        let c = FaultPlan::new()
+            .link_down(LinkId::new(1), 100.0)
+            .link_flap(LinkId::new(2), 50.0, 80.0)
+            .link_flap(LinkId::new(2), 80.0, 90.0)
+            .degrade(LinkId::new(3), 10.0, 2.0)
+            .degrade(LinkId::new(3), 20.0, 3.0)
+            .node_down(NodeId::new(1), 40.0)
+            .compile(4, 2)
+            .unwrap();
+        // permanent death
+        assert!(!c.link_blocked(1, 99.9));
+        assert!(c.link_blocked(1, 100.0));
+        assert_eq!(c.available_from(1, 0.0), Some(0.0));
+        assert_eq!(c.available_from(1, 100.0), None);
+        // flaps chain: waiting at 60 skips both intervals to 90
+        assert!(c.link_blocked(2, 60.0));
+        assert_eq!(c.available_from(2, 60.0), Some(90.0));
+        assert!(!c.link_blocked(2, 90.0));
+        // degradations compound
+        assert_eq!(c.degrade_factor(3, 5.0), 1.0);
+        assert_eq!(c.degrade_factor(3, 15.0), 2.0);
+        assert_eq!(c.degrade_factor(3, 25.0), 6.0);
+        // node death
+        assert!(!c.node_dead(1, 39.0));
+        assert!(c.node_dead(1, 40.0));
+        assert!(!c.node_dead(0, 1e12));
+        // repair-facing summaries
+        assert_eq!(c.permanently_dead_links(), vec![LinkId::new(1)]);
+        assert_eq!(c.dead_nodes(), vec![NodeId::new(1)]);
+    }
+
+    #[test]
+    fn earliest_link_down_wins() {
+        let c = FaultPlan::new()
+            .link_down(LinkId::new(0), 200.0)
+            .link_down(LinkId::new(0), 100.0)
+            .compile(1, 1)
+            .unwrap();
+        assert!(c.link_blocked(0, 150.0));
+    }
+
+    #[test]
+    fn plan_serde_roundtrips() {
+        let plan = FaultPlan::new()
+            .link_down(LinkId::new(3), 1_000.0)
+            .link_flap(LinkId::new(7), 500.0, 2_500.0)
+            .degrade(LinkId::new(9), 0.0, 4.0)
+            .node_down(NodeId::new(2), 9_000.0)
+            .with_detect_window(25_000.0);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn empty_plan_compiles_to_all_healthy() {
+        let c = FaultPlan::new().compile(8, 4).unwrap();
+        for l in 0..8 {
+            assert!(!c.link_blocked(l, 1e15));
+            assert_eq!(c.degrade_factor(l, 1e15), 1.0);
+        }
+        assert!(c.permanently_dead_links().is_empty());
+        assert!(c.dead_nodes().is_empty());
+    }
+}

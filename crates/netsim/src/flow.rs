@@ -19,6 +19,7 @@
 //! baseline, making our comparisons conservative).
 
 use crate::config::NetworkConfig;
+use crate::fault::{CompiledFaults, FaultEvent, FaultPlan, FaultReport, FaultedRun, NO_FAULTS};
 use crate::flowctrl::frame_message;
 use crate::observer::{NoopObserver, ObservedEngine, RunInfo, SimObserver};
 use crate::report::{EngineDetail, EngineReport, SimReport};
@@ -78,9 +79,58 @@ impl FlowEngine {
         scratch: &mut SimScratch,
         obs: &mut O,
     ) -> Result<EngineReport, AlgorithmError> {
+        let (sim, _) =
+            self.run_prepared_impl::<O, false>(prep, total_bytes, scratch, obs, &NO_FAULTS, &[])?;
         Ok(EngineReport {
-            sim: self.run_prepared_impl(prep, total_bytes, scratch, obs)?,
+            sim,
             detail: EngineDetail::Flow,
+        })
+    }
+
+    /// Executes a prepared schedule under a [`FaultPlan`]: links die,
+    /// flap or degrade and hosts crash at the planned times while the
+    /// schedule runs. Unlike the healthy entry points, an incomplete run
+    /// is not an error — the NI watchdog converts the would-be hang into
+    /// a stalled [`FaultReport`] (timing out `detect_window_ns` after the
+    /// last delivery progress), so callers can measure *how far* a
+    /// schedule gets and hand the dead-link set to
+    /// `algorithms::repair`.
+    ///
+    /// An empty plan reproduces [`FlowEngine::run_prepared_with`]
+    /// bit-for-bit. Fault queries are monomorphized in (the healthy
+    /// entry points compile them out entirely).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::InvalidFaultPlan`] if the plan
+    /// references links/nodes outside the topology, and
+    /// [`AlgorithmError::MalformedSchedule`] for schedules that are
+    /// structurally broken independent of the faults.
+    pub fn run_prepared_faulted_with<O: SimObserver>(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        total_bytes: u64,
+        scratch: &mut SimScratch,
+        plan: &FaultPlan,
+        obs: &mut O,
+    ) -> Result<FaultedRun, AlgorithmError> {
+        let topo = prep.topology();
+        let faults = plan.compile(topo.num_links(), topo.num_nodes())?;
+        let fault_times: Vec<f64> = plan.events.iter().map(FaultEvent::time_ns).collect();
+        let (sim, fr) = self.run_prepared_impl::<O, true>(
+            prep,
+            total_bytes,
+            scratch,
+            obs,
+            &faults,
+            &fault_times,
+        )?;
+        Ok(FaultedRun {
+            report: EngineReport {
+                sim,
+                detail: EngineDetail::Flow,
+            },
+            faults: fr.expect("faulted runs always produce a fault report"),
         })
     }
 
@@ -120,7 +170,8 @@ impl FlowEngine {
         total_bytes: u64,
         scratch: &mut SimScratch,
     ) -> Result<SimReport, AlgorithmError> {
-        self.run_prepared_impl(prep, total_bytes, scratch, &mut NoopObserver)
+        self.run_prepared_impl::<_, false>(prep, total_bytes, scratch, &mut NoopObserver, &NO_FAULTS, &[])
+            .map(|(sim, _)| sim)
     }
 
     /// [`FlowEngine::run_prepared`] with the per-message timeline.
@@ -142,7 +193,8 @@ impl FlowEngine {
             traces: Vec::with_capacity(prep.num_events()),
             last_start: 0.0,
         };
-        let report = self.run_prepared_impl(prep, total_bytes, scratch, &mut coll)?;
+        let (report, _) =
+            self.run_prepared_impl::<_, false>(prep, total_bytes, scratch, &mut coll, &NO_FAULTS, &[])?;
         let mut traces = coll.traces;
         traces.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
         Ok((report, traces))
@@ -181,18 +233,26 @@ impl Engine for FlowEngine {
     ) -> Result<SimReport, AlgorithmError> {
         let prep = PreparedSchedule::new(schedule, topo)?;
         let mut scratch = SimScratch::new();
-        self.run_prepared_impl(&prep, total_bytes, &mut scratch, &mut NoopObserver)
+        self.run_prepared_impl::<_, false>(&prep, total_bytes, &mut scratch, &mut NoopObserver, &NO_FAULTS, &[])
+            .map(|(sim, _)| sim)
     }
 }
 
 impl FlowEngine {
-    fn run_prepared_impl<O: SimObserver>(
+    /// The one simulation loop behind every entry point. `F` selects the
+    /// fault-injection variant at compile time: with `F = false` the
+    /// `faults` tables are never read and every fault branch folds away,
+    /// so the healthy paths cost exactly what they did before faults
+    /// existed.
+    fn run_prepared_impl<O: SimObserver, const F: bool>(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
         obs: &mut O,
-    ) -> Result<SimReport, AlgorithmError> {
+        faults: &CompiledFaults,
+        fault_times: &[f64],
+    ) -> Result<(SimReport, Option<FaultReport>), AlgorithmError> {
         let topo = prep.topology();
         let schedule = prep.schedule();
         let cfg = &self.cfg;
@@ -207,6 +267,11 @@ impl FlowEngine {
                 prep,
                 total_bytes,
             });
+        }
+        if F && O::ENABLED {
+            for (idx, &at_ns) in fault_times.iter().enumerate() {
+                obs.on_fault_injected(at_ns, idx as u32);
+            }
         }
 
         // wire framing depends only on (event, payload size): compute it
@@ -287,10 +352,21 @@ impl FlowEngine {
         let mut busy_ns = 0.0f64;
         let hop_ns = cfg.link_latency_ns + f64::from(cfg.router_pipeline_cycles) * cfg.cycle_ns();
 
+        // fault-run bookkeeping; F = false leaves these empty and unread
+        let mut lost_events: Vec<u32> = Vec::new();
+        let mut delivered_mask: Vec<bool> = if F { vec![false; events.len()] } else { Vec::new() };
+        let mut last_progress = 0.0f64;
+
         while let Some(Key(t0, i)) = heap.pop() {
             let src = prep.src_index(i);
             // software scheduling: message launches serialize per node
             let t = t0.max(node_free[src]) + cfg.sw_launch_overhead_ns;
+            if F && faults.node_dead(src as u32, t) {
+                // the source host crashed before launching: the message
+                // is gone and everything depending on it starves
+                lost_events.push(i as u32);
+                continue;
+            }
             if cfg.sw_launch_overhead_ns > 0.0 {
                 node_free[src] = t;
             }
@@ -308,9 +384,22 @@ impl FlowEngine {
             let mut head_arrival = t; // when the head flit is available at the hop
             let mut last_start = t;
             let mut last_ser = 0.0;
+            let mut lost = false;
             for (l, &cap) in path.iter().zip(prep.path_capacities(i)) {
-                let ser = flits as f64 * flit_ns / cap;
-                let start = head_arrival.max(link_free[l.index()]);
+                let mut ser = flits as f64 * flit_ns / cap;
+                let mut start = head_arrival.max(link_free[l.index()]);
+                if F {
+                    // flaps are waited out; a permanently dead link
+                    // black-holes the message
+                    match faults.available_from(l.index() as u32, start) {
+                        Some(available) => start = available,
+                        None => {
+                            lost = true;
+                            break;
+                        }
+                    }
+                    ser *= faults.degrade_factor(l.index() as u32, start);
+                }
                 link_free[l.index()] = start + ser;
                 head_arrival = start + hop_ns;
                 last_start = start;
@@ -320,6 +409,10 @@ impl FlowEngine {
                 if O::ENABLED {
                     obs.on_flow_link_busy(l.index() as u32, start, ser);
                 }
+            }
+            if F && lost {
+                lost_events.push(i as u32);
+                continue;
             }
             // Delivery: head reaches dst one hop after the last link
             // starts, and the body streams for the serialization time.
@@ -333,6 +426,10 @@ impl FlowEngine {
             }
             completion = completion.max(delivery);
             done += 1;
+            if F {
+                delivered_mask[i] = true;
+                last_progress = last_progress.max(delivery);
+            }
 
             for &dep_idx in prep.dependents(i) {
                 let dep_idx = dep_idx as usize;
@@ -345,7 +442,46 @@ impl FlowEngine {
             }
         }
 
-        if done != events.len() {
+        let fault_report = if F {
+            let total = events.len();
+            let stalled = done != total;
+            let mut first: Option<(u32, usize)> = None; // (step, event)
+            if stalled {
+                for (i, delivered) in delivered_mask.iter().enumerate().take(total) {
+                    if !delivered {
+                        let s = prep.step(i);
+                        let better = match first {
+                            None => true,
+                            Some((fs, _)) => s < fs,
+                        };
+                        if better {
+                            first = Some((s, i));
+                        }
+                    }
+                }
+                // the watchdog fires one detection window after progress
+                // last advanced; that firing time is the run's end
+                let fired_at = last_progress + faults.detect_window_ns();
+                completion = completion.max(fired_at);
+                if O::ENABLED {
+                    let (step, event) = first.expect("a stalled run has an undelivered event");
+                    obs.on_timeout_fired(fired_at, prep.src_index(event) as u32, step);
+                }
+            }
+            Some(FaultReport {
+                delivered: done,
+                total,
+                lost_events,
+                first_undelivered_step: first.map(|(s, _)| s),
+                last_progress_ns: last_progress,
+                stalled,
+                detect_window_ns: faults.detect_window_ns(),
+            })
+        } else {
+            None
+        };
+
+        if !F && done != events.len() {
             return Err(AlgorithmError::MalformedSchedule {
                 detail: format!(
                     "simulation deadlocked: {} of {} events never became ready",
@@ -358,18 +494,21 @@ impl FlowEngine {
         if O::ENABLED {
             obs.on_run_end(completion);
         }
-        Ok(SimReport {
-            total_bytes,
-            completion_ns: completion,
-            flits_sent,
-            head_flits,
-            messages: events.len(),
-            flit_hops,
-            head_flit_hops,
-            links_used: used.iter().filter(|&&u| u).count(),
-            total_links: topo.num_links(),
-            busy_ns,
-        })
+        Ok((
+            SimReport {
+                total_bytes,
+                completion_ns: completion,
+                flits_sent,
+                head_flits,
+                messages: events.len(),
+                flit_hops,
+                head_flit_hops,
+                links_used: used.iter().filter(|&&u| u).count(),
+                total_links: topo.num_links(),
+                busy_ns,
+            },
+            fault_report,
+        ))
     }
 }
 

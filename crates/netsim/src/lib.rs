@@ -51,6 +51,7 @@
 mod config;
 pub mod cycle;
 pub mod energy;
+pub mod fault;
 pub mod flow;
 pub mod flowctrl;
 pub mod nic;
@@ -62,6 +63,7 @@ pub mod telemetry;
 
 pub use config::{FlowControlMode, NetworkConfig};
 pub use energy::EnergyModel;
+pub use fault::{CompiledFaults, FaultEvent, FaultPlan, FaultReport, FaultedRun};
 pub use observer::{NoopObserver, ObservedEngine, RunInfo, SimObserver};
 pub use report::{EngineDetail, EngineReport, SimReport};
 pub use scratch::SimScratch;

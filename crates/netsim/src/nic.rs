@@ -13,6 +13,7 @@
 //! table-indexed hardware model for unit-level validation and for
 //! estimating the NI's hardware cost (paper §V-A).
 
+use crate::fault::{FaultReport, DEFAULT_DETECT_WINDOW_NS};
 use multitree::table::{ScheduleTable, TableEntry, TableOp};
 use multitree::FlowId;
 use mt_topology::NodeId;
@@ -65,6 +66,15 @@ pub struct NicSim {
     reduces_seen: HashSet<(usize, usize)>,
     gathers_seen: HashSet<(usize, usize)>,
     issued: Vec<IssuedOp>,
+    /// Stall-watchdog window in cycles: the NI declares itself stalled
+    /// after this many cycles without progress (a head advance, an
+    /// issue, or an incoming delivery).
+    watchdog_window: u64,
+    /// Last cycle the NI made progress (see `watchdog_window`).
+    last_progress: u64,
+    /// A delivery arrived since the last tick; counted as progress at
+    /// that tick (deliveries carry no cycle stamp of their own).
+    delivery_pending: bool,
 }
 
 impl NicSim {
@@ -84,12 +94,25 @@ impl NicSim {
             reduces_seen: HashSet::new(),
             gathers_seen: HashSet::new(),
             issued: Vec::new(),
+            watchdog_window: u64::MAX,
+            last_progress: 0,
+            delivery_pending: false,
         }
+    }
+
+    /// Arms the stall watchdog: after `window_cycles` cycles with no
+    /// progress (no head advance, no issue, no delivery) while the table
+    /// is undrained, [`NicSim::watchdog`] reports a stall. Unarmed NIs
+    /// (the default) never report one.
+    pub fn with_watchdog(mut self, window_cycles: u64) -> Self {
+        self.watchdog_window = window_cycles.max(1);
+        self
     }
 
     /// Records a message delivery (clears future dependencies —
     /// Fig. 6 paths (5) and (6)).
     pub fn deliver(&mut self, d: Delivery) {
+        self.delivery_pending = true;
         match d.op {
             TableOp::Reduce => {
                 self.reduces_seen.insert((d.flow.0, d.from.index()));
@@ -105,6 +128,18 @@ impl NicSim {
     /// head entry and issues everything that has become ready this cycle.
     pub fn tick(&mut self, cycle: u64) {
         self.lockstep = self.lockstep.saturating_sub(1);
+        if self.delivery_pending {
+            self.delivery_pending = false;
+            self.last_progress = cycle;
+        }
+        let (head0, step0) = (self.head, self.timestep);
+        self.tick_inner(cycle);
+        if self.head != head0 || self.timestep != step0 {
+            self.last_progress = cycle;
+        }
+    }
+
+    fn tick_inner(&mut self, cycle: u64) {
         loop {
             let Some(entry) = self.entries.get(self.head) else {
                 return;
@@ -200,6 +235,35 @@ impl NicSim {
     /// True when every table entry has been processed.
     pub fn is_done(&self) -> bool {
         self.head >= self.entries.len()
+    }
+
+    /// Polls the stall watchdog at `cycle`: when the table is undrained
+    /// and nothing has progressed for the armed window (see
+    /// [`NicSim::with_watchdog`]), returns a stalled [`FaultReport`]
+    /// localizing the head entry — the table-level analogue of the
+    /// engines' fault reports, so a replay driver terminates with a
+    /// diagnosis instead of spinning on a wedged NI forever.
+    /// `cycle_ns` converts the report's times to nanoseconds.
+    ///
+    /// `delivered`/`total` count table entries processed, and
+    /// `first_undelivered_step` is the step of the stuck head entry.
+    pub fn watchdog(&self, cycle: u64, cycle_ns: f64) -> Option<FaultReport> {
+        if self.is_done() || cycle.saturating_sub(self.last_progress) < self.watchdog_window {
+            return None;
+        }
+        Some(FaultReport {
+            delivered: self.head,
+            total: self.entries.len(),
+            lost_events: Vec::new(),
+            first_undelivered_step: self.entries.get(self.head).map(|e| e.step),
+            last_progress_ns: self.last_progress as f64 * cycle_ns,
+            stalled: true,
+            detect_window_ns: if self.watchdog_window == u64::MAX {
+                DEFAULT_DETECT_WINDOW_NS
+            } else {
+                self.watchdog_window as f64 * cycle_ns
+            },
+        })
     }
 
     /// Everything issued so far, in issue order.
@@ -430,5 +494,94 @@ mod tests {
             .issued()
             .iter()
             .any(|o| o.flow == flow && o.start_addr == entry.start_addr));
+    }
+
+    /// A table whose head entry has an external dependency that is never
+    /// delivered, plus the NI built on it.
+    fn wedged_nic(window: Option<u64>) -> NicSim {
+        let topo = Topology::mesh(2, 2);
+        let schedule = MultiTree::default().build(&topo).unwrap();
+        let tables = build_tables(&schedule, 4096);
+        let node = tables
+            .iter()
+            .position(|t| {
+                t.entries
+                    .iter()
+                    .any(|e| e.op == TableOp::Reduce && !e.aggregation_from.is_empty())
+            })
+            .expect("some node waits on reduce deliveries");
+        let est = vec![0u64; schedule.num_steps() as usize + 2];
+        let nic = NicSim::new(&tables[node], est);
+        match window {
+            Some(w) => nic.with_watchdog(w),
+            None => nic,
+        }
+    }
+
+    #[test]
+    fn watchdog_fires_on_withheld_deliveries() {
+        let mut nic = wedged_nic(Some(20));
+        for cycle in 0..100 {
+            nic.tick(cycle);
+        }
+        assert!(!nic.is_done(), "withheld deliveries must wedge the table");
+        let report = nic
+            .watchdog(99, 1.0)
+            .expect("20-cycle watchdog must fire after 99 stuck cycles");
+        assert!(report.stalled);
+        assert!(report.delivered < report.total);
+        assert!(report.first_undelivered_step.is_some());
+        assert_eq!(report.detect_window_ns, 20.0);
+    }
+
+    #[test]
+    fn delivery_resets_the_watchdog_timer() {
+        let mut nic = wedged_nic(Some(50));
+        for cycle in 0..40 {
+            nic.tick(cycle);
+        }
+        // an (irrelevant) delivery at cycle 40 is still NI progress
+        nic.deliver(Delivery {
+            op: TableOp::Gather,
+            flow: FlowId(0),
+            from: NodeId::new(3),
+        });
+        nic.tick(40);
+        assert!(
+            nic.watchdog(60, 1.0).is_none(),
+            "timer must restart from the delivery at cycle 40"
+        );
+        assert!(nic.watchdog(95, 1.0).is_some());
+    }
+
+    #[test]
+    fn unarmed_watchdog_never_fires_and_done_tables_are_clean() {
+        let mut wedged = wedged_nic(None);
+        for cycle in 0..1000 {
+            wedged.tick(cycle);
+        }
+        assert!(wedged.watchdog(999, 1.0).is_none());
+
+        // a drained table reports no stall however stale it is
+        let topo = Topology::mesh(2, 2);
+        let schedule = MultiTree::default().build(&topo).unwrap();
+        let tables = build_tables(&schedule, 4096);
+        let est = vec![0u64; schedule.num_steps() as usize + 2];
+        let mut nic = NicSim::new(&tables[0], est).with_watchdog(10);
+        for e in schedule.events() {
+            nic.deliver(Delivery {
+                op: match e.op {
+                    CollectiveOp::Reduce => TableOp::Reduce,
+                    CollectiveOp::Gather => TableOp::Gather,
+                },
+                flow: e.flow,
+                from: e.src,
+            });
+        }
+        for cycle in 0..200 {
+            nic.tick(cycle);
+        }
+        assert!(nic.is_done());
+        assert!(nic.watchdog(10_000, 1.0).is_none());
     }
 }

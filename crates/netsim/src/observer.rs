@@ -155,6 +155,18 @@ pub trait SimObserver {
     /// `_link` serves one transfer for `_busy_ns` starting at
     /// `_start_ns`.
     fn on_flow_link_busy(&mut self, _link: u32, _start_ns: f64, _busy_ns: f64) {}
+
+    // --- fault-injection hooks (both engines) -------------------------
+
+    /// Fault `_fault` (its index in the [`crate::fault::FaultPlan`]'s
+    /// event list) is armed for `_at_ns`. Fired once per plan event at
+    /// run start, in plan order; times are ns on both engines.
+    fn on_fault_injected(&mut self, _at_ns: f64, _fault: u32) {}
+
+    /// The NI watchdog declared the run stalled at `_at_ns`: no delivery
+    /// progress for the plan's detection window. `_node`/`_step` localize
+    /// the first undelivered message (its source and schedule step).
+    fn on_timeout_fired(&mut self, _at_ns: f64, _node: u32, _step: u32) {}
 }
 
 /// The do-nothing observer: `ENABLED = false` compiles every hook call
@@ -235,6 +247,16 @@ impl<A: SimObserver, B: SimObserver> SimObserver for (A, B) {
     fn on_flow_link_busy(&mut self, link: u32, start_ns: f64, busy_ns: f64) {
         self.0.on_flow_link_busy(link, start_ns, busy_ns);
         self.1.on_flow_link_busy(link, start_ns, busy_ns);
+    }
+
+    fn on_fault_injected(&mut self, at_ns: f64, fault: u32) {
+        self.0.on_fault_injected(at_ns, fault);
+        self.1.on_fault_injected(at_ns, fault);
+    }
+
+    fn on_timeout_fired(&mut self, at_ns: f64, node: u32, step: u32) {
+        self.0.on_timeout_fired(at_ns, node, step);
+        self.1.on_timeout_fired(at_ns, node, step);
     }
 }
 

@@ -91,6 +91,13 @@ pub struct Topology {
     adj: Vec<Vec<LinkId>>,
     /// Incoming links per vertex.
     radj: Vec<Vec<LinkId>>,
+    /// Per-link disabled flags for degraded views ([`Topology::without_links`]).
+    /// Invariant: empty unless at least one link is disabled, so healthy
+    /// topologies pay nothing. Disabled links keep their [`LinkId`]s (the
+    /// `links` vector is never compacted) but are absent from `adj`/`radj`,
+    /// so neighbor iteration, BFS routing and the tree constructions never
+    /// offer them.
+    disabled: Vec<bool>,
 }
 
 impl Topology {
@@ -115,7 +122,85 @@ impl Topology {
             links,
             adj,
             radj,
+            disabled: Vec::new(),
         }
+    }
+
+    /// A degraded view of this topology with the given links disabled
+    /// (in addition to any already disabled in `self`).
+    ///
+    /// Link ids are **stable**: the link table keeps its full length, so
+    /// id-indexed state (schedules with explicit paths, per-link engine
+    /// arrays) carries over unchanged. Disabled links disappear from the
+    /// adjacency lists, which transparently rebuilds every adjacency-driven
+    /// computation — routing falls back to BFS around the holes, and the
+    /// tree constructions never see the dead links.
+    pub fn without_links(&self, dead: &[LinkId]) -> Topology {
+        let mut disabled = self.disabled.clone();
+        disabled.resize(self.links.len(), false);
+        for &id in dead {
+            disabled[id.index()] = true;
+        }
+        Self::with_disabled(self, disabled)
+    }
+
+    /// A degraded view with every link touching `vertex` (in or out)
+    /// disabled — models a crashed node or switch.
+    pub fn without_vertex(&self, vertex: Vertex) -> Topology {
+        let mut disabled = self.disabled.clone();
+        disabled.resize(self.links.len(), false);
+        for (i, l) in self.links.iter().enumerate() {
+            if l.src == vertex || l.dst == vertex {
+                disabled[i] = true;
+            }
+        }
+        Self::with_disabled(self, disabled)
+    }
+
+    fn with_disabled(&self, mut disabled: Vec<bool>) -> Topology {
+        if !disabled.contains(&true) {
+            disabled.clear();
+        }
+        let nv = self.num_vertices();
+        let mut adj = vec![Vec::new(); nv];
+        let mut radj = vec![Vec::new(); nv];
+        for (i, l) in self.links.iter().enumerate() {
+            if disabled.get(i).copied().unwrap_or(false) {
+                continue;
+            }
+            let id = LinkId::new(i);
+            adj[Self::index_of(self.num_nodes, l.src)].push(id);
+            radj[Self::index_of(self.num_nodes, l.dst)].push(id);
+        }
+        Topology {
+            kind: self.kind,
+            num_nodes: self.num_nodes,
+            num_switches: self.num_switches,
+            links: self.links.clone(),
+            adj,
+            radj,
+            disabled,
+        }
+    }
+
+    /// True if this is a degraded view with at least one disabled link.
+    pub fn has_disabled_links(&self) -> bool {
+        !self.disabled.is_empty()
+    }
+
+    /// True if `id` is disabled in this view.
+    pub fn is_link_disabled(&self, id: LinkId) -> bool {
+        self.disabled.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Ids of all disabled links in this view.
+    pub fn disabled_links(&self) -> Vec<LinkId> {
+        self.disabled
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d)
+            .map(|(i, _)| LinkId::new(i))
+            .collect()
     }
 
     fn index_of(num_nodes: usize, v: Vertex) -> usize {
@@ -544,6 +629,63 @@ mod tests {
             Topology::hypercube(3).to_string(),
             "3-cube: 8 nodes, 0 switches, 24 links"
         );
+    }
+
+    #[test]
+    fn without_links_keeps_ids_and_drops_adjacency() {
+        let t = Topology::torus(4, 4);
+        let dead = t.find_link(0.into(), 1.into()).unwrap();
+        let d = t.without_links(&[dead]);
+        assert_eq!(d.num_links(), t.num_links(), "link ids must stay stable");
+        assert!(d.has_disabled_links());
+        assert!(d.is_link_disabled(dead));
+        assert_eq!(d.disabled_links(), vec![dead]);
+        assert!(d.find_link(0.into(), 1.into()).is_none());
+        assert!(!d.out_links(0.into()).contains(&dead));
+        assert!(!d.in_links(1.into()).contains(&dead));
+        // the reverse direction of the cable is untouched
+        assert!(d.find_link(1.into(), 0.into()).is_some());
+        assert!(d.is_connected());
+        // stacking removals accumulates
+        let dead2 = t.find_link(0.into(), 4.into()).unwrap();
+        let d2 = d.without_links(&[dead2]);
+        assert!(d2.is_link_disabled(dead) && d2.is_link_disabled(dead2));
+    }
+
+    #[test]
+    fn without_links_empty_set_is_identity() {
+        let t = Topology::mesh(3, 3);
+        let d = t.without_links(&[]);
+        assert!(!d.has_disabled_links());
+        assert_eq!(d.num_links(), t.num_links());
+        for v in 0..t.num_vertices() {
+            assert_eq!(d.out_links(d.vertex_at(v)), t.out_links(t.vertex_at(v)));
+        }
+    }
+
+    #[test]
+    fn without_vertex_isolates_it() {
+        let t = Topology::torus(4, 4);
+        let d = t.without_vertex(Vertex::Node(NodeId::new(5)));
+        assert!(d.out_links(5.into()).is_empty());
+        assert!(d.in_links(5.into()).is_empty());
+        assert!(!d.is_connected());
+        // everyone else still reaches everyone else
+        assert!(d.distance(0.into(), 15.into()).is_some());
+    }
+
+    #[test]
+    fn degraded_view_serde_roundtrips() {
+        let t = Topology::torus(2, 2);
+        let dead = t.find_link(0.into(), 1.into()).unwrap();
+        let d = t.without_links(&[dead]);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert!(back.is_link_disabled(dead));
+        assert!(back.has_disabled_links());
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Topology = serde_json::from_str(&json).unwrap();
+        assert!(!back.has_disabled_links());
     }
 
     #[test]

@@ -47,6 +47,13 @@ impl Topology {
         if src == dst {
             return Ok(Vec::new());
         }
+        // Degraded views invalidate the closed-form routes below (they
+        // assume every grid/tree link exists and would panic or return a
+        // path through a dead link); BFS follows the adjacency lists, which
+        // already exclude disabled links.
+        if self.has_disabled_links() {
+            return self.route_bfs(src, dst);
+        }
         match (self.kind(), src, dst) {
             (TopologyKind::Torus { rows, cols }, Vertex::Node(s), Vertex::Node(d)) => {
                 Ok(self.route_grid(s, d, rows, cols, true))
@@ -383,6 +390,42 @@ mod tests {
         let t = b.build().unwrap();
         assert_eq!(t.route(0.into(), 3.into()).len(), 3);
         check_path(&t, 0.into(), 3.into());
+    }
+
+    #[test]
+    fn routes_rebuild_after_link_removal() {
+        // the regression this guards: DOR caches nothing, but it *assumes*
+        // the full grid — after removing a link the route must re-derive
+        // from the degraded adjacency, never traversing the removed edge
+        // and never panicking
+        for t in [Topology::torus(4, 4), Topology::mesh(4, 4)] {
+            let dead = t.find_link(0.into(), 1.into()).unwrap();
+            let d = t.without_links(&[dead]);
+            let p = d.route(0.into(), 1.into());
+            assert!(!p.is_empty());
+            assert!(!p.contains(&dead), "route must avoid the removed edge");
+            check_path(&d, 0.into(), 1.into());
+            // all pairs still route, and never over the dead link
+            for a in 0..16usize {
+                for b in 0..16usize {
+                    let p = d.try_route(a.into(), b.into()).unwrap();
+                    assert!(!p.contains(&dead), "{a}->{b} used removed edge");
+                    check_path(&d, a.into(), b.into());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_routes_around_removed_uplink() {
+        let ft = Topology::dgx2_like_16();
+        // kill node 0's deterministic up-down path: the leaf->spine hop
+        let p = ft.route(0.into(), 15.into());
+        let dead = p[1];
+        let d = ft.without_links(&[dead]);
+        let rerouted = d.try_route(0.into(), 15.into()).unwrap();
+        assert!(!rerouted.contains(&dead));
+        check_path(&d, 0.into(), 15.into());
     }
 
     #[test]

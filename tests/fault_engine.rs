@@ -1,0 +1,261 @@
+//! Fault-injection semantics of both engines
+//! (`run_prepared_faulted_with`): an empty plan reproduces the healthy
+//! run bit for bit, dead links and crashed hosts stall the collective
+//! and are reported (never hung or panicked), transient flaps are
+//! ridden out, and degraded links slow the run without breaking it.
+
+use mt_netsim::cycle::CycleEngine;
+use mt_netsim::flow::FlowEngine;
+use mt_netsim::{FaultPlan, NetworkConfig, NoopObserver, SimObserver, SimScratch};
+use multitree::algorithms::{AllReduce, MultiTree};
+use multitree::PreparedSchedule;
+use mt_topology::{LinkId, NodeId, Topology};
+
+const BYTES: u64 = 256 << 10;
+
+/// A link used by the schedule (the first link of the first event).
+fn used_link(prep: &PreparedSchedule<'_>) -> LinkId {
+    prep.first_link(0)
+}
+
+#[test]
+fn empty_plan_is_bit_identical_to_healthy_run_on_both_engines() {
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let empty = FaultPlan::new();
+
+    let flow = FlowEngine::new(NetworkConfig::paper_default());
+    let healthy = flow
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let faulted = flow
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &empty, &mut NoopObserver)
+        .unwrap();
+    assert_eq!(healthy, faulted.report);
+    assert!(faulted.faults.completed());
+    assert_eq!(faulted.faults.delivered, faulted.faults.total);
+
+    let cycle = CycleEngine::new(NetworkConfig::paper_default());
+    let healthy = cycle
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let faulted = cycle
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &empty, &mut NoopObserver)
+        .unwrap();
+    assert_eq!(healthy, faulted.report);
+    assert!(faulted.faults.completed());
+}
+
+#[test]
+fn dead_link_stalls_and_is_reported_not_hung() {
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let plan = FaultPlan::new()
+        .link_down(used_link(&prep), 0.0)
+        .with_detect_window(5_000.0);
+
+    for engine in ["flow", "cycle"] {
+        let run = match engine {
+            "flow" => FlowEngine::new(NetworkConfig::paper_default())
+                .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+                .unwrap(),
+            _ => CycleEngine::new(NetworkConfig::paper_default())
+                .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+                .unwrap(),
+        };
+        assert!(run.faults.stalled, "{engine}: dead link must stall");
+        assert!(
+            run.faults.delivered < run.faults.total,
+            "{engine}: some messages must be undelivered"
+        );
+        assert!(
+            run.faults.first_undelivered_step.is_some(),
+            "{engine}: stall must be localized to a step"
+        );
+        // the watchdog converts the hang into a finite completion time
+        assert!(
+            run.report.sim.completion_ns
+                >= run.faults.last_progress_ns + run.faults.detect_window_ns,
+            "{engine}: completion must include the detection window"
+        );
+    }
+}
+
+#[test]
+fn transient_flap_is_ridden_out_and_costs_time() {
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    // outage well inside the run, much shorter than the detect window
+    let plan = FaultPlan::new().link_flap(used_link(&prep), 100.0, 8_000.0);
+
+    let flow = FlowEngine::new(NetworkConfig::paper_default());
+    let healthy = flow
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let flapped = flow
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(flapped.faults.completed(), "flap must not stall the run");
+    assert!(
+        flapped.report.sim.completion_ns > healthy.sim.completion_ns,
+        "riding out the outage costs time: {} !> {}",
+        flapped.report.sim.completion_ns,
+        healthy.sim.completion_ns
+    );
+
+    let cycle = CycleEngine::new(NetworkConfig::paper_default());
+    let healthy = cycle
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let flapped = cycle
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(flapped.faults.completed(), "flap must not stall the run");
+    assert!(flapped.report.sim.completion_ns >= healthy.sim.completion_ns);
+}
+
+#[test]
+fn degraded_link_slows_the_run_but_completes() {
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let plan = FaultPlan::new().degrade(used_link(&prep), 0.0, 4.0);
+
+    let flow = FlowEngine::new(NetworkConfig::paper_default());
+    let healthy = flow
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let degraded = flow
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(degraded.faults.completed());
+    assert!(
+        degraded.report.sim.completion_ns > healthy.sim.completion_ns,
+        "a 4x-degraded link on the critical path must cost time"
+    );
+
+    let cycle = CycleEngine::new(NetworkConfig::paper_default());
+    let healthy = cycle
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let degraded = cycle
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(degraded.faults.completed());
+    assert!(degraded.report.sim.completion_ns > healthy.sim.completion_ns);
+}
+
+#[test]
+fn crashed_host_stalls_both_engines() {
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let plan = FaultPlan::new()
+        .node_down(NodeId::new(5), 0.0)
+        .with_detect_window(5_000.0);
+
+    let flow = FlowEngine::new(NetworkConfig::paper_default())
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(flow.faults.stalled);
+    assert!(flow.faults.delivered < flow.faults.total);
+
+    let cycle = CycleEngine::new(NetworkConfig::paper_default())
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(cycle.faults.stalled);
+    assert!(cycle.faults.delivered < cycle.faults.total);
+}
+
+#[test]
+fn mid_run_link_death_delivers_a_prefix() {
+    // the link dies partway in: everything scheduled before the cut
+    // arrives, later traffic over it wedges
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let healthy = FlowEngine::new(NetworkConfig::paper_default())
+        .run_prepared_with(&prep, BYTES, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let cut_at = healthy.sim.completion_ns * 0.5;
+    let plan = FaultPlan::new()
+        .link_down(used_link(&prep), cut_at)
+        .with_detect_window(5_000.0);
+    let run = FlowEngine::new(NetworkConfig::paper_default())
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert!(run.faults.stalled);
+    assert!(run.faults.delivered > 0, "pre-cut traffic must deliver");
+    assert!(run.faults.last_progress_ns > 0.0);
+}
+
+/// Counts fault-observer callbacks.
+#[derive(Default)]
+struct FaultWatcher {
+    injected: u32,
+    timeouts: u32,
+    timeout_at_ns: f64,
+}
+
+impl SimObserver for FaultWatcher {
+    fn on_fault_injected(&mut self, _at_ns: f64, _fault: u32) {
+        self.injected += 1;
+    }
+    fn on_timeout_fired(&mut self, at_ns: f64, _node: u32, _step: u32) {
+        self.timeouts += 1;
+        self.timeout_at_ns = at_ns;
+    }
+}
+
+#[test]
+fn observer_sees_fault_arming_and_the_watchdog() {
+    let topo = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let plan = FaultPlan::new()
+        .link_down(used_link(&prep), 0.0)
+        .degrade(LinkId::new(1), 0.0, 2.0)
+        .with_detect_window(5_000.0);
+
+    for engine in ["flow", "cycle"] {
+        let mut watcher = FaultWatcher::default();
+        let run = match engine {
+            "flow" => FlowEngine::new(NetworkConfig::paper_default())
+                .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut watcher)
+                .unwrap(),
+            _ => CycleEngine::new(NetworkConfig::paper_default())
+                .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &plan, &mut watcher)
+                .unwrap(),
+        };
+        assert_eq!(watcher.injected, 2, "{engine}: one arming per plan event");
+        assert_eq!(watcher.timeouts, 1, "{engine}: the watchdog fires once");
+        assert_eq!(
+            watcher.timeout_at_ns,
+            run.faults.last_progress_ns + run.faults.detect_window_ns,
+            "{engine}: the watchdog fires one window after last progress"
+        );
+    }
+}
+
+#[test]
+fn fault_plan_validation_rejects_out_of_range_ids() {
+    let topo = Topology::torus(2, 2);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let bad = FaultPlan::new().link_down(LinkId::new(10_000), 0.0);
+    let err = FlowEngine::new(NetworkConfig::paper_default())
+        .run_prepared_faulted_with(&prep, BYTES, &mut scratch, &bad, &mut NoopObserver)
+        .unwrap_err();
+    assert!(err.to_string().contains("invalid fault plan"), "{err}");
+}

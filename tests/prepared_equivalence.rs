@@ -4,7 +4,9 @@
 //! point `run_prepared_with` (one `PreparedSchedule`, one `SimScratch`
 //! reused across payload sizes) are the same simulation. The wrappers
 //! are exercised deliberately — this suite is their regression coverage
-//! until they are removed — hence the file-level `allow(deprecated)`.
+//! until they are removed — so the wrapper tests carry narrow
+//! `#[allow(deprecated)]` attributes; everything else runs on the
+//! unified entry point.
 //!
 //! The second half of this suite is the cycle engine's differential
 //! harness: the event-driven engine (through both the deprecated
@@ -15,8 +17,6 @@
 //! lists, calendar queues and compiled-out observer hooks are pure
 //! reorganizations, not approximations. The NoopObserver path must also
 //! stay allocation-free in steady state.
-
-#![allow(deprecated)]
 
 use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring};
 use multitree::PreparedSchedule;
@@ -42,6 +42,7 @@ fn topos() -> Vec<(&'static str, Topology)> {
 }
 
 #[test]
+#[allow(deprecated)] // regression coverage for the deprecated wrapper
 fn flow_prepared_equals_unprepared() {
     let engine = FlowEngine::new(NetworkConfig::paper_default());
     for (topo_name, topo) in topos() {
@@ -59,6 +60,7 @@ fn flow_prepared_equals_unprepared() {
 }
 
 #[test]
+#[allow(deprecated)] // regression coverage for the deprecated wrapper
 fn flow_prepared_traces_equal_unprepared() {
     let engine = FlowEngine::new(NetworkConfig::paper_default());
     let topo = Topology::torus(4, 4);
@@ -74,6 +76,7 @@ fn flow_prepared_traces_equal_unprepared() {
 }
 
 #[test]
+#[allow(deprecated)] // regression coverage for the deprecated wrapper
 fn cycle_prepared_equals_unprepared() {
     let engine = CycleEngine::new(NetworkConfig::paper_default());
     for (topo_name, topo) in topos() {
@@ -91,6 +94,7 @@ fn cycle_prepared_equals_unprepared() {
 }
 
 #[test]
+#[allow(deprecated)] // regression coverage for the deprecated wrapper
 fn cycle_prepared_detailed_stats_equal() {
     let engine = CycleEngine::new(NetworkConfig::paper_default());
     let topo = Topology::torus(4, 4);
@@ -114,10 +118,14 @@ fn scratch_reuse_carries_no_state() {
     let s = DbTree::default().build(&topo).unwrap();
     let prep = PreparedSchedule::new(&s, &topo).unwrap();
     let mut reused = SimScratch::new();
-    let _ = engine.run_prepared(&prep, 64 << 20, &mut reused).unwrap();
-    let after_big = engine.run_prepared(&prep, 4 << 10, &mut reused).unwrap();
+    let _ = engine
+        .run_prepared_with(&prep, 64 << 20, &mut reused, &mut NoopObserver)
+        .unwrap();
+    let after_big = engine
+        .run_prepared_with(&prep, 4 << 10, &mut reused, &mut NoopObserver)
+        .unwrap();
     let fresh = engine
-        .run_prepared(&prep, 4 << 10, &mut SimScratch::new())
+        .run_prepared_with(&prep, 4 << 10, &mut SimScratch::new(), &mut NoopObserver)
         .unwrap();
     assert_eq!(after_big, fresh);
 }
@@ -133,11 +141,17 @@ fn one_scratch_serves_both_engines_and_many_schedules() {
     let p1 = PreparedSchedule::new(&s1, &torus).unwrap();
     let p2 = PreparedSchedule::new(&s2, &ft).unwrap();
     let mut scratch = SimScratch::new();
-    let a = flow.run_prepared(&p1, 1 << 20, &mut scratch).unwrap();
-    let b = cycle.run_prepared(&p2, 16 << 10, &mut scratch).unwrap();
-    let c = flow.run_prepared(&p1, 1 << 20, &mut scratch).unwrap();
+    let a = flow
+        .run_prepared_with(&p1, 1 << 20, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let b = cycle
+        .run_prepared_with(&p2, 16 << 10, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let c = flow
+        .run_prepared_with(&p1, 1 << 20, &mut scratch, &mut NoopObserver)
+        .unwrap();
     assert_eq!(a, c, "interleaving engines/schedules must not leak state");
-    assert_eq!(b, cycle.run(&ft, &s2, 16 << 10).unwrap());
+    assert_eq!(b.sim, cycle.run(&ft, &s2, 16 << 10).unwrap());
 }
 
 // --- event-driven vs dense reference ---------------------------------
@@ -152,6 +166,7 @@ fn equivalence_topos() -> Vec<(&'static str, Topology)> {
 
 /// Asserts the event-driven engine and the dense reference produce
 /// bit-identical reports AND statistics for one configuration.
+#[allow(deprecated)] // the deprecated detailed wrapper stays under differential test
 fn assert_engines_identical(
     cfg: NetworkConfig,
     topo: &Topology,
@@ -254,10 +269,14 @@ proptest! {
         };
         let engine = CycleEngine::new(cfg);
         let s = algo.build(&topo).unwrap();
+        // the reference oracle is deprecated for users, not for its tests
+        #[allow(deprecated)]
         let (ref_report, ref_stats) =
             engine.run_reference_detailed(&topo, &s, bytes).unwrap();
         let prep = PreparedSchedule::new(&s, &topo).unwrap();
         let mut scratch = SimScratch::new();
+        // the deprecated detailed wrapper stays under differential test
+        #[allow(deprecated)]
         let (new_report, new_stats) = engine
             .run_prepared_detailed(&prep, bytes, &mut scratch)
             .unwrap();

@@ -70,3 +70,18 @@ fn config_roundtrip() {
     let back: SystemConfig = serde_json::from_str(&json).unwrap();
     assert_eq!(back, cfg);
 }
+
+#[test]
+fn fault_plan_roundtrip() {
+    use mt_netsim::FaultPlan;
+    use mt_topology::{LinkId, NodeId};
+    let plan = FaultPlan::new()
+        .link_down(LinkId::new(3), 1_000.0)
+        .link_flap(LinkId::new(7), 500.0, 2_500.0)
+        .degrade(LinkId::new(9), 0.0, 4.0)
+        .node_down(NodeId::new(2), 8_000.0)
+        .with_detect_window(25_000.0);
+    let json = serde_json::to_string(&plan).unwrap();
+    let back: FaultPlan = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, plan);
+}
