@@ -7,18 +7,21 @@
 //! serialization latency is more dominant".
 //!
 //! ```text
-//! cargo run --release -p mt-bench --bin fig10_scalability [-- --strong] [--threads n] [--json out.json]
+//! cargo run --release -p mt-bench --bin fig10_scalability [-- --strong] [--max-nodes n] [--threads n] [--json out.json]
 //! ```
 //!
-//! `--threads` parallelizes over (torus size, algorithm) units; the
-//! output is byte-identical to a single-threaded run.
+//! `--max-nodes` (default 256, the paper's ceiling) extends the torus
+//! ladder past the figure: 512 adds a 16×32 torus and 1024 a 32×32 one,
+//! exercising the kilonode construction fast path. `--threads`
+//! parallelizes over (torus size, algorithm) units; the output is
+//! byte-identical to a single-threaded run.
 
 use multitree::algorithms::{Algorithm, AllReduce, MultiTree, Ring, Ring2D};
 use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::dump_json;
 use mt_bench::parallel::run_indexed;
-use mt_bench::suites::{run_engine_prepared, scalability_tori, EngineKind};
+use mt_bench::suites::{run_engine_prepared, scalability_tori_to, EngineKind};
 use mt_netsim::{NetworkConfig, SimScratch};
 use serde::Serialize;
 
@@ -35,6 +38,9 @@ fn main() {
     let args = Args::parse();
     let engine: EngineKind = args.get_or("engine", EngineKind::Flow);
     let strong = args.flag("strong");
+    let max_nodes: usize = args.get_or("max-nodes", 256);
+    let ladder = scalability_tori_to(max_nodes);
+    let top = ladder.last().expect("ladder is never empty").0;
     let pkt = NetworkConfig::paper_default();
     let msg = NetworkConfig::paper_message_based();
 
@@ -48,7 +54,8 @@ fn main() {
         ),
     ];
 
-    let units: Vec<_> = scalability_tori()
+    let units: Vec<_> = ladder
+        .clone()
         .into_iter()
         .flat_map(|(n, topo)| {
             let bytes = if strong {
@@ -92,7 +99,7 @@ fn main() {
         "{:<8}{:>14}{:>14}{:>16}",
         "nodes", "RING", "2D-RING", "MULTITREEMSG"
     );
-    for (n, _) in scalability_tori() {
+    for &(n, _) in &ladder {
         print!("{n:<8}");
         for label in ["RING", "2D-RING", "MULTITREEMSG"] {
             let r = rows
@@ -104,15 +111,15 @@ fn main() {
         }
         println!();
     }
-    // summary speedups at 256 nodes (the paper quotes 3x / 1.4x)
+    // summary speedups at the top rung (the paper quotes 3x / 1.4x at 256)
     let at = |label: &str| {
         rows.iter()
-            .find(|r| r.nodes == 256 && r.algorithm == label)
+            .find(|r| r.nodes == top && r.algorithm == label)
             .unwrap()
             .completion_ns
     };
     println!(
-        "\nAt 256 nodes: MULTITREEMSG is {:.2}x faster than RING, {:.2}x faster than 2D-RING",
+        "\nAt {top} nodes: MULTITREEMSG is {:.2}x faster than RING, {:.2}x faster than 2D-RING",
         at("RING") / at("MULTITREEMSG"),
         at("2D-RING") / at("MULTITREEMSG"),
     );

@@ -1,0 +1,71 @@
+//! Kilonode smoke check: constructs and flow-simulates the MultiTree
+//! all-reduce on a 32×32 torus (1024 nodes) and fails if either phase
+//! blows a wall-clock budget. CI runs this in release mode to keep the
+//! scale-out fast path honest — the construction walker is O(V·E)-bounded
+//! per step, so a regression back to the quadratic scan shows up as an
+//! order-of-magnitude wall-clock jump, not a flaky few percent.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin kilonode_smoke [-- --side 32] [--budget-s 60] [--bytes-mib 384]
+//! ```
+//!
+//! Exits non-zero (with a diagnostic) when the budget is exceeded or the
+//! run produces an implausible result.
+
+use multitree::algorithms::{AllReduce, MultiTree};
+use multitree::PreparedSchedule;
+use mt_bench::args::Args;
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
+use mt_topology::Topology;
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let side: usize = args.get_or("side", 32);
+    let budget_s: f64 = args.get_or("budget-s", 60.0);
+    let bytes_mib: u64 = args.get_or("bytes-mib", 384); // 375 KiB × 1024 rounded up
+    let topo = Topology::torus(side, side);
+    let n = topo.num_nodes();
+
+    let wall = Instant::now();
+    let t0 = Instant::now();
+    let schedule = MultiTree::default()
+        .build(&topo)
+        .expect("torus construction succeeds");
+    let construct = t0.elapsed();
+
+    let t0 = Instant::now();
+    let prep = PreparedSchedule::new(&schedule, &topo).expect("schedule validates");
+    let prepare = t0.elapsed();
+
+    let t0 = Instant::now();
+    let report = FlowEngine::new(NetworkConfig::paper_default())
+        .run_prepared_with(&prep, bytes_mib << 20, &mut SimScratch::new(), &mut NoopObserver)
+        .expect("flow run completes");
+    let flow = t0.elapsed();
+    let total = wall.elapsed();
+
+    println!(
+        "kilonode smoke: {n} nodes ({side}x{side} torus), {} events, {} steps",
+        schedule.events().len(),
+        schedule.num_steps()
+    );
+    println!("  construct: {construct:?}");
+    println!("  prepare:   {prepare:?}");
+    println!("  flow run:  {flow:?} (completion {:.3} ms)", report.sim.completion_ns / 1e6);
+    println!("  total:     {total:?} (budget {budget_s}s)");
+
+    assert!(report.sim.messages > 0, "no messages simulated");
+    assert!(
+        report.sim.completion_ns > 0.0,
+        "implausible zero completion time"
+    );
+    if total.as_secs_f64() > budget_s {
+        eprintln!(
+            "FAIL: kilonode smoke took {:.1}s, budget {budget_s}s",
+            total.as_secs_f64()
+        );
+        std::process::exit(1);
+    }
+    println!("OK: within budget");
+}

@@ -265,13 +265,27 @@ pub fn bandwidth_sweep_parallel(
 
 /// The Fig. 10 torus ladder: 16, 32, 64, 128, 256 nodes.
 pub fn scalability_tori() -> Vec<(usize, Topology)> {
-    vec![
-        (16, Topology::torus(4, 4)),
-        (32, Topology::torus(4, 8)),
-        (64, Topology::torus(8, 8)),
-        (128, Topology::torus(8, 16)),
-        (256, Topology::torus(16, 16)),
-    ]
+    scalability_tori_to(256)
+}
+
+/// The Fig. 10 torus ladder extended past the paper's 256-node ceiling:
+/// rungs double up to `max_nodes` (512 and 1024 use 16×32 and 32×32
+/// tori). `max_nodes = 256` reproduces the paper ladder exactly.
+pub fn scalability_tori_to(max_nodes: usize) -> Vec<(usize, Topology)> {
+    let ladder = [
+        (16, (4, 4)),
+        (32, (4, 8)),
+        (64, (8, 8)),
+        (128, (8, 16)),
+        (256, (16, 16)),
+        (512, (16, 32)),
+        (1024, (32, 32)),
+    ];
+    ladder
+        .iter()
+        .filter(|(n, _)| *n <= max_nodes.max(16))
+        .map(|&(n, (a, b))| (n, Topology::torus(a, b)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -318,5 +332,17 @@ mod tests {
         for (n, t) in tori {
             assert_eq!(t.num_nodes(), n);
         }
+        let kilo = scalability_tori_to(1024);
+        assert_eq!(kilo.len(), 7);
+        assert_eq!(kilo[5].0, 512);
+        assert_eq!(kilo[6].0, 1024);
+        for (n, t) in kilo {
+            assert_eq!(t.num_nodes(), n);
+        }
+        // the default ladder is the 256-capped ladder, rung for rung
+        assert_eq!(
+            scalability_tori_to(256).len(),
+            scalability_tori().len()
+        );
     }
 }

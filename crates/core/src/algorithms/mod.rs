@@ -24,7 +24,7 @@ pub use blink::Blink;
 pub use dbtree::DbTree;
 pub use halving_doubling::HalvingDoubling;
 pub use hdrm::Hdrm;
-pub use multitree::{Forest, ForestEdge, MultiTree, Tree, TreeOrder};
+pub use multitree::{Forest, ForestEdge, ForestScratch, MultiTree, Tree, TreeOrder};
 pub use repair::{repair_multitree, RepairReport, RepairStrategy, RepairedSchedule};
 pub use ring::Ring;
 pub use ring2d::Ring2D;

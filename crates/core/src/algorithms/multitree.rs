@@ -22,7 +22,6 @@ use crate::event::{CollectiveOp, EventId, FlowId};
 use crate::schedule::CommSchedule;
 use mt_topology::{LinkId, NodeId, Topology, Vertex};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Tree-selection order during construction (paper §III-C1).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -148,14 +147,136 @@ impl MultiTree {
     /// Returns [`AlgorithmError::ConstructionFailed`] if the topology is
     /// disconnected.
     pub fn construct_forest(&self, topo: &Topology) -> Result<Forest, AlgorithmError> {
+        self.construct_forest_with(topo, &mut ForestScratch::new())
+    }
+
+    /// Scratch-reusing form of [`MultiTree::construct_forest`]: repeated
+    /// constructions through the same [`ForestScratch`] (sweeps,
+    /// repairs, benchmarks) allocate only the returned forest once the
+    /// scratch has warmed up to the topology's size.
+    pub fn construct_forest_with(
+        &self,
+        topo: &Topology,
+        scratch: &mut ForestScratch,
+    ) -> Result<Forest, AlgorithmError> {
         if topo.is_direct() {
-            self.construct_forest_direct(topo)
+            self.construct_forest_direct(topo, scratch)
         } else {
-            self.construct_forest_indirect(topo)
+            self.construct_forest_indirect(topo, scratch)
         }
     }
 
-    fn construct_forest_direct(&self, topo: &Topology) -> Result<Forest, AlgorithmError> {
+    /// The pre-optimization builder, kept verbatim as the differential
+    /// oracle: the fast construction must reproduce its forests bit for
+    /// bit (asserted in `tests/golden_construction.rs`). Not part of the
+    /// public API.
+    #[doc(hidden)]
+    pub fn construct_forest_reference(&self, topo: &Topology) -> Result<Forest, AlgorithmError> {
+        if topo.is_direct() {
+            self.construct_forest_direct_reference(topo)
+        } else {
+            self.construct_forest_indirect_reference(topo)
+        }
+    }
+
+    /// Algorithm 1 on a direct network, bounded by O(V·E·steps)-ish
+    /// work: each tree scans its members through a per-step frontier
+    /// cursor (a parent that failed once in a step can never succeed
+    /// later in the same step — the pool only drains and the membership
+    /// only grows), permanently saturated parents (no out-link slot
+    /// toward an unjoined node) are skipped outright, and the turn order
+    /// is maintained incrementally instead of being rebuilt and
+    /// re-sorted at every inner pass.
+    fn construct_forest_direct(
+        &self,
+        topo: &Topology,
+        s: &mut ForestScratch,
+    ) -> Result<Forest, AlgorithmError> {
+        let n = topo.num_nodes();
+        let mut trees: Vec<TreeBuild> = (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
+        s.reset(topo, n);
+        s.reset_sat(n);
+        for tree in &trees {
+            s.sat[tree.root.index()].init_root(topo, tree);
+        }
+        if n > 1 {
+            s.active.extend(0..n);
+        }
+        if self.order == TreeOrder::RemainingHeight {
+            s.compute_ecc(topo, n);
+        }
+
+        let mut t: u32 = 0;
+        while !s.active.is_empty() {
+            t += 1;
+            // A new time step starts with a fresh topology graph G'.
+            s.reset_pool();
+            let mut added_this_step = false;
+            let mut progress = true;
+            while progress {
+                // The reference rebuilds the turn order at every pass
+                // start; sorting only when a depth changed since the last
+                // sort gives the same sequence because the key
+                // (remaining height, root id) is total and completion
+                // removal (`retain` below) preserves relative order.
+                if self.order == TreeOrder::RemainingHeight && s.order_dirty {
+                    let ForestScratch {
+                        active, ecc, depth, ..
+                    } = s;
+                    active.sort_unstable_by_key(|&i| {
+                        (std::cmp::Reverse(ecc[i].saturating_sub(depth[i])), i)
+                    });
+                    s.order_dirty = false;
+                }
+                progress = false;
+                let mut completed = false;
+                for idx in 0..s.active.len() {
+                    let ti = s.active[idx];
+                    if trees[ti].complete(n) {
+                        continue;
+                    }
+                    if try_add_direct_fast(
+                        topo,
+                        &mut trees[ti],
+                        t,
+                        &mut s.pool,
+                        &mut s.cursor[ti],
+                        &mut s.sat[ti],
+                    ) {
+                        progress = true;
+                        added_this_step = true;
+                        if s.depth[ti] != t {
+                            s.depth[ti] = t;
+                            s.order_dirty = true;
+                        }
+                        if trees[ti].complete(n) {
+                            completed = true;
+                        }
+                    }
+                }
+                if completed {
+                    s.active.retain(|&i| !trees[i].complete(n));
+                }
+            }
+            if !added_this_step {
+                return Err(AlgorithmError::ConstructionFailed {
+                    algorithm: "multitree",
+                    reason: "no tree could grow in a fresh time step; topology is disconnected"
+                        .into(),
+                });
+            }
+        }
+
+        Ok(Forest {
+            trees: trees.into_iter().map(TreeBuild::finish).collect(),
+            total_steps: t,
+        })
+    }
+
+    // ---- reference implementation (the pre-fast-path builder), kept
+    // verbatim as the differential oracle --------------------------------
+
+    fn construct_forest_direct_reference(&self, topo: &Topology) -> Result<Forest, AlgorithmError> {
         let n = topo.num_nodes();
         let mut trees: Vec<TreeBuild> = (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
         // Eccentricity of each root, for the remaining-height policy.
@@ -208,7 +329,8 @@ impl MultiTree {
         })
     }
 
-    /// The order in which incomplete trees take turns this cycle.
+    /// The order in which incomplete trees take turns this cycle
+    /// (reference path only — the fast path maintains the order).
     fn tree_turn_order(&self, trees: &[TreeBuild], ecc: &[u32], n: usize) -> Vec<usize> {
         let mut order: Vec<usize> = (0..trees.len()).filter(|&i| !trees[i].complete(n)).collect();
         if self.order == TreeOrder::RemainingHeight {
@@ -223,8 +345,8 @@ impl MultiTree {
 
     /// Algorithm 1 lines 9–14: find a predecessor `p` (added in an earlier
     /// time step, examined in join order) with a free link to a node `c`
-    /// not yet in the tree; allocate it. Shared with the incremental
-    /// repair in [`crate::algorithms::repair`].
+    /// not yet in the tree; allocate it. Reference walker — the optimized
+    /// equivalent is [`try_add_direct_fast`].
     pub(crate) fn try_add_direct(
         topo: &Topology,
         tree: &mut TreeBuild,
@@ -251,6 +373,239 @@ impl MultiTree {
             }
         }
         false
+    }
+}
+
+/// Per-tree frontier cursor: where the member scan resumes within the
+/// current time step. Sound because failure is monotone inside a step —
+/// the capacity pool only drains and the membership only grows, so a
+/// parent that found no `(neighbor, link)` once cannot find one until
+/// the next step resets the pool.
+#[derive(Clone, Copy, Default)]
+pub(crate) struct Cursor {
+    pub(crate) step: u32,
+    pub(crate) scan_from: usize,
+}
+
+/// Permanent-saturation tracking for one tree on a direct network: a
+/// member whose every out-link slot points at a node already in this
+/// tree can never yield another child in any step, so the scan skips it
+/// without touching its adjacency again.
+#[derive(Default)]
+pub(crate) struct SatTrack {
+    /// Per node: out-link slots whose destination node has not joined
+    /// this tree yet (meaningful for members only; parallel links count
+    /// once per link). 0 = permanently saturated.
+    unjoined: Vec<u32>,
+    /// Members below this index (join order) are all saturated.
+    first_active: usize,
+}
+
+impl SatTrack {
+    fn reset(&mut self, n: usize) {
+        self.unjoined.clear();
+        self.unjoined.resize(n, 0);
+        self.first_active = 0;
+    }
+
+    pub(crate) fn init_root(&mut self, topo: &Topology, tree: &TreeBuild) {
+        self.unjoined[tree.root.index()] = count_unjoined(topo, tree, tree.root);
+    }
+}
+
+/// Out-link slots of `p` whose destination is a node not yet in `tree`.
+fn count_unjoined(topo: &Topology, tree: &TreeBuild, p: NodeId) -> u32 {
+    let mut free = 0;
+    for &l in topo.out_links(p.into()) {
+        if let Some(d) = topo.link(l).dst.as_node() {
+            if !tree.in_tree[d.index()] {
+                free += 1;
+            }
+        }
+    }
+    free
+}
+
+/// The cursor-driven equivalent of [`MultiTree::try_add_direct`]: picks
+/// the exact same `(parent, child, link)` the reference would, but skips
+/// members already known to fail. Shared with the incremental repair in
+/// [`crate::algorithms::repair`].
+pub(crate) fn try_add_direct_fast(
+    topo: &Topology,
+    tree: &mut TreeBuild,
+    t: u32,
+    pool: &mut [u32],
+    cur: &mut Cursor,
+    sat: &mut SatTrack,
+) -> bool {
+    if cur.step != t {
+        cur.step = t;
+        cur.scan_from = 0;
+    }
+    while sat.first_active < tree.members.len()
+        && sat.unjoined[tree.members[sat.first_active].0.index()] == 0
+    {
+        sat.first_active += 1;
+    }
+    let mut mi = cur.scan_from.max(sat.first_active);
+    while mi < tree.members.len() {
+        let (p, joined) = tree.members[mi];
+        if joined >= t {
+            // members are stored in join order with nondecreasing steps:
+            // everything from here on joined this step
+            break;
+        }
+        if sat.unjoined[p.index()] > 0 {
+            for &link in topo.out_links(p.into()) {
+                let c = match topo.link(link).dst.as_node() {
+                    Some(c) => c,
+                    None => continue,
+                };
+                if pool[link.index()] == 0 || tree.in_tree[c.index()] {
+                    continue;
+                }
+                pool[link.index()] -= 1;
+                add_with_sat(topo, tree, sat, p, c, t, link);
+                cur.scan_from = mi;
+                return true;
+            }
+        }
+        mi += 1;
+    }
+    cur.scan_from = mi;
+    false
+}
+
+/// Adds `c` under `p` and maintains the saturation counts: `c` gets its
+/// own count, and every member with an out-link slot toward `c` loses
+/// one.
+fn add_with_sat(
+    topo: &Topology,
+    tree: &mut TreeBuild,
+    sat: &mut SatTrack,
+    p: NodeId,
+    c: NodeId,
+    t: u32,
+    link: LinkId,
+) {
+    tree.add(p, c, t, vec![link]);
+    sat.unjoined[c.index()] = count_unjoined(topo, tree, c);
+    for &l in topo.in_links(c.into()) {
+        if let Some(src) = topo.link(l).src.as_node() {
+            if src != c && tree.in_tree[src.index()] {
+                sat.unjoined[src.index()] -= 1;
+            }
+        }
+    }
+}
+
+/// Reusable construction scratch shared by every MultiTree construction
+/// path (direct, indirect, subset and repair). After one construction at
+/// a given topology size, later constructions through the same value
+/// allocate only the forest they return — the per-step link pool, the
+/// turn-order worklist, the per-tree cursors and the BFS buffers are all
+/// reused, matching the zero-steady-state-allocation discipline of the
+/// simulation engines' `SimScratch`.
+#[derive(Default)]
+pub struct ForestScratch {
+    /// Per-step link-capacity pool (Algorithm 1's fresh graph G').
+    pub(crate) pool: Vec<u32>,
+    /// Capacity template copied into `pool` at every step start.
+    pub(crate) capacities: Vec<u32>,
+    /// Incomplete-tree indices in turn order.
+    pub(crate) active: Vec<usize>,
+    /// Root eccentricities (RemainingHeight policy only).
+    pub(crate) ecc: Vec<u32>,
+    /// Per-tree construction depth (largest edge step so far).
+    pub(crate) depth: Vec<u32>,
+    /// The maintained turn order needs re-sorting at the next pass start.
+    pub(crate) order_dirty: bool,
+    /// Per-tree frontier cursors.
+    pub(crate) cursor: Vec<Cursor>,
+    /// Per-tree saturation tracking (direct networks only).
+    pub(crate) sat: Vec<SatTrack>,
+    /// BFS buffers for the batched eccentricity computation.
+    dist: Vec<usize>,
+    queue: Vec<usize>,
+    /// Switch-BFS state for the indirect walker.
+    pub(crate) switch_bfs: crate::algorithms::multitree_indirect::SwitchBfs,
+    /// Relay-BFS state for the subset walker.
+    pub(crate) relay_bfs: crate::algorithms::multitree_subset::RelayBfs,
+}
+
+impl ForestScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-construction reset: sizes the pool/cursor/turn-order buffers
+    /// for `n` trees on `topo` without giving up their capacity.
+    pub(crate) fn reset(&mut self, topo: &Topology, n: usize) {
+        self.capacities.clear();
+        self.capacities.extend(topo.links().iter().map(|l| l.capacity));
+        self.pool.clear();
+        self.pool.resize(topo.num_links(), 0);
+        self.active.clear();
+        self.ecc.clear();
+        self.depth.clear();
+        self.depth.resize(n, 0);
+        self.order_dirty = true;
+        self.cursor.clear();
+        self.cursor.resize(n, Cursor::default());
+    }
+
+    /// Prepares one saturation track per tree (direct path only).
+    pub(crate) fn reset_sat(&mut self, n: usize) {
+        if self.sat.len() < n {
+            self.sat.resize_with(n, SatTrack::default);
+        }
+        for s in &mut self.sat[..n] {
+            s.reset(n);
+        }
+    }
+
+    /// Copies the capacity template into the per-step pool.
+    pub(crate) fn reset_pool(&mut self) {
+        self.pool.copy_from_slice(&self.capacities);
+    }
+
+    /// Batched per-root eccentricity: one BFS per root instead of the
+    /// reference's O(V²) pairwise `Topology::distance` calls.
+    fn compute_ecc(&mut self, topo: &Topology, n: usize) {
+        self.ecc.clear();
+        for r in 0..n {
+            topo.distances_from_into(
+                Vertex::Node(NodeId::new(r)),
+                &mut self.dist,
+                &mut self.queue,
+            );
+            let e = (0..n)
+                .map(|o| self.dist[topo.vertex_index(Vertex::Node(NodeId::new(o)))])
+                .filter(|&d| d != usize::MAX)
+                .max()
+                .unwrap_or(0);
+            self.ecc.push(e as u32);
+        }
+    }
+
+    /// Total capacity (in elements) across the internal buffers — the
+    /// probe allocation-freedom tests assert on, like
+    /// `SimScratch::capacity_elements`.
+    #[doc(hidden)]
+    pub fn capacity_elements(&self) -> usize {
+        self.pool.capacity()
+            + self.capacities.capacity()
+            + self.active.capacity()
+            + self.ecc.capacity()
+            + self.depth.capacity()
+            + self.cursor.capacity()
+            + self.sat.capacity()
+            + self.sat.iter().map(|s| s.unjoined.capacity()).sum::<usize>()
+            + self.dist.capacity()
+            + self.queue.capacity()
+            + self.switch_bfs.capacity_elements()
+            + self.relay_bfs.capacity_elements()
     }
 }
 
@@ -328,28 +683,36 @@ pub(crate) fn lower_forest(
     seg_of: &dyn Fn(NodeId) -> u32,
 ) -> Result<(), AlgorithmError> {
     let tot = forest.total_steps;
+    let n = topo.num_nodes();
     // Reverse-link bookkeeping: parallel links (e.g. extent-2 torus
     // dimensions) must map to distinct reverse links within a step.
-    let mut reverse_used: HashMap<(u32, usize), u32> = HashMap::new();
+    let mut reverse_used = ReverseSlots::new(tot, topo.num_links());
 
-    // Per tree: reduce events indexed by child node, so gather/parent
-    // deps can be looked up.
+    // Node-indexed per-tree tables, cleared between trees.
+    // reduce events received by each node (from its children)
+    let mut reduces_into: Vec<Vec<EventId>> = vec![Vec::new(); n];
+    // gather event that delivered the full result to each node
+    let mut gather_into: Vec<Option<EventId>> = vec![None; n];
+    let mut edge_order: Vec<&ForestEdge> = Vec::new();
+
     for tree in &forest.trees {
         let flow = FlowId(seg_of(tree.root) as usize);
         let chunk = ChunkRange::single(seg_of(tree.root));
 
+        for v in reduces_into.iter_mut() {
+            v.clear();
+        }
+        gather_into.fill(None);
+
         // ---- Reduce-scatter: reverse each edge; leaves (largest t) first
         // so that dependencies already exist when we add an event.
-        let mut edges_by_t: Vec<&ForestEdge> = tree.edges.iter().collect();
-        edges_by_t.sort_by_key(|e| std::cmp::Reverse(e.step));
-        // reduce event that sends node X's aggregate to its parent
-        let mut reduce_of: HashMap<NodeId, EventId> = HashMap::new();
-        // reduce events received by each node (from its children)
-        let mut reduces_into: HashMap<NodeId, Vec<EventId>> = HashMap::new();
-        for e in &edges_by_t {
+        edge_order.clear();
+        edge_order.extend(tree.edges.iter());
+        edge_order.sort_by_key(|e| std::cmp::Reverse(e.step));
+        for e in &edge_order {
             let step = tot - e.step + 1;
             let path = reverse_path(topo, e, step, &mut reverse_used)?;
-            let deps = reduces_into.get(&e.child).cloned().unwrap_or_default();
+            let deps = reduces_into[e.child.index()].clone();
             let id = s.push_event(
                 e.child,
                 e.parent,
@@ -360,20 +723,18 @@ pub(crate) fn lower_forest(
                 deps,
                 Some(path),
             );
-            reduce_of.insert(e.child, id);
-            reduces_into.entry(e.parent).or_default().push(id);
+            reduces_into[e.parent.index()].push(id);
         }
 
         // ---- All-gather: edges in construction order (roots first).
-        let mut edges_fwd: Vec<&ForestEdge> = tree.edges.iter().collect();
-        edges_fwd.sort_by_key(|e| e.step);
-        let mut gather_into: HashMap<NodeId, EventId> = HashMap::new();
-        for e in &edges_fwd {
+        edge_order.clear();
+        edge_order.extend(tree.edges.iter());
+        edge_order.sort_by_key(|e| e.step);
+        for e in &edge_order {
             let deps = if e.parent == tree.root {
-                reduces_into.get(&tree.root).cloned().unwrap_or_default()
+                reduces_into[tree.root.index()].clone()
             } else {
-                vec![*gather_into
-                    .get(&e.parent)
+                vec![gather_into[e.parent.index()]
                     .expect("parent must have received its gather first")]
             };
             let id = s.push_event(
@@ -386,10 +747,34 @@ pub(crate) fn lower_forest(
                 deps,
                 Some(e.path.clone()),
             );
-            gather_into.insert(e.child, id);
+            gather_into[e.child.index()] = Some(id);
         }
     }
     Ok(())
+}
+
+/// Per-`(step, link)` reverse-capacity accounting for [`reverse_path`]:
+/// a flat `steps × links` table in place of a hash map, since both keys
+/// are dense small integers.
+pub(crate) struct ReverseSlots {
+    used: Vec<u32>,
+    num_links: usize,
+}
+
+impl ReverseSlots {
+    /// `max_step` is the largest 1-based step `reverse_path` will be
+    /// called with.
+    pub(crate) fn new(max_step: u32, num_links: usize) -> Self {
+        Self {
+            used: vec![0; max_step as usize * num_links],
+            num_links,
+        }
+    }
+
+    #[inline]
+    fn slot(&mut self, step: u32, link: usize) -> &mut u32 {
+        &mut self.used[(step as usize - 1) * self.num_links + link]
+    }
 }
 
 /// The reverse of an edge's allocated path, choosing distinct parallel
@@ -398,21 +783,18 @@ pub(crate) fn reverse_path(
     topo: &Topology,
     e: &ForestEdge,
     step: u32,
-    used: &mut HashMap<(u32, usize), u32>,
+    used: &mut ReverseSlots,
 ) -> Result<Vec<LinkId>, AlgorithmError> {
     let mut rev = Vec::with_capacity(e.path.len());
     for &l in e.path.iter().rev() {
         let link = topo.link(l);
-        // candidate reverse links dst -> src
-        let candidates: Vec<LinkId> = topo
-            .out_links(link.dst)
-            .iter()
-            .copied()
-            .filter(|&c| topo.link(c).dst == link.src)
-            .collect();
+        // candidate reverse links dst -> src, in adjacency order
         let mut chosen = None;
-        for c in candidates {
-            let slot = used.entry((step, c.index())).or_insert(0);
+        for &c in topo.out_links(link.dst) {
+            if topo.link(c).dst != link.src {
+                continue;
+            }
+            let slot = used.slot(step, c.index());
             if *slot < topo.link(c).capacity {
                 *slot += 1;
                 chosen = Some(c);
@@ -439,6 +821,7 @@ pub(crate) fn reverse_path(
 mod tests {
     use super::*;
     use crate::verify::verify_schedule;
+    use std::collections::HashMap;
 
     #[test]
     fn forest_spans_all_nodes() {

@@ -10,13 +10,90 @@
 //! links. All links of the successful path are consumed from the current
 //! time step's capacity pool.
 
-use crate::algorithms::multitree::{Forest, MultiTree, TreeBuild};
+use crate::algorithms::multitree::{Cursor, Forest, ForestScratch, MultiTree, TreeBuild};
 use crate::error::AlgorithmError;
 use mt_topology::{LinkId, NodeId, SwitchId, Topology};
 use std::collections::VecDeque;
 
 impl MultiTree {
+    /// The switch-traversal construction with the same frontier-cursor
+    /// and maintained-worklist treatment as the direct fast path; must
+    /// stay bit-identical to
+    /// [`MultiTree::construct_forest_indirect_reference`].
     pub(crate) fn construct_forest_indirect(
+        &self,
+        topo: &Topology,
+        s: &mut ForestScratch,
+    ) -> Result<Forest, AlgorithmError> {
+        let n = topo.num_nodes();
+        let mut trees: Vec<TreeBuild> =
+            (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
+        s.reset(topo, n);
+        if n > 1 {
+            s.active.extend(0..n);
+        }
+
+        // Indirect networks in the paper's evaluation (Fat-Tree, BiGraph)
+        // are symmetric, so trees always alternate in ascending root order
+        // here regardless of `self.order`.
+        let mut t: u32 = 0;
+        while !s.active.is_empty() {
+            t += 1;
+            s.reset_pool();
+            let mut added_this_step = false;
+            let mut progress = true;
+            while progress {
+                progress = false;
+                let mut completed = false;
+                for idx in 0..s.active.len() {
+                    let ti = s.active[idx];
+                    if trees[ti].complete(n) {
+                        continue;
+                    }
+                    if try_add_indirect_fast(
+                        topo,
+                        &mut trees[ti],
+                        t,
+                        &mut s.pool,
+                        &mut s.cursor[ti],
+                        &mut s.switch_bfs,
+                    ) {
+                        progress = true;
+                        added_this_step = true;
+                        if trees[ti].complete(n) {
+                            completed = true;
+                        }
+                    }
+                }
+                if completed {
+                    s.active.retain(|&i| !trees[i].complete(n));
+                }
+            }
+            if !added_this_step {
+                return Err(AlgorithmError::ConstructionFailed {
+                    algorithm: "multitree",
+                    reason:
+                        "no tree could grow in a fresh time step; indirect topology is disconnected"
+                            .into(),
+                });
+            }
+        }
+
+        Ok(Forest {
+            trees: trees
+                .into_iter()
+                .map(|tb| crate::algorithms::multitree::Tree {
+                    root: tb.root,
+                    edges: tb.edges,
+                })
+                .collect(),
+            total_steps: t,
+        })
+    }
+
+    /// The pre-optimization indirect builder, kept verbatim as the
+    /// differential oracle.
+    pub(crate) fn construct_forest_indirect_reference(
         &self,
         topo: &Topology,
     ) -> Result<Forest, AlgorithmError> {
@@ -24,9 +101,6 @@ impl MultiTree {
         let mut trees: Vec<TreeBuild> =
             (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
 
-        // Indirect networks in the paper's evaluation (Fat-Tree, BiGraph)
-        // are symmetric, so trees always alternate in ascending root order
-        // here regardless of `self.order`.
         let mut t: u32 = 0;
         while trees.iter().any(|tr| !tr.complete(n)) {
             t += 1;
@@ -63,6 +137,122 @@ impl MultiTree {
             total_steps: t,
         })
     }
+}
+
+/// Reusable switch-BFS buffers for the fast indirect walker.
+#[derive(Default)]
+pub(crate) struct SwitchBfs {
+    prev: Vec<Option<(SwitchId, LinkId)>>,
+    seen: Vec<bool>,
+    queue: VecDeque<SwitchId>,
+}
+
+impl SwitchBfs {
+    fn reset(&mut self, num_switches: usize) {
+        self.prev.clear();
+        self.prev.resize(num_switches, None);
+        self.seen.clear();
+        self.seen.resize(num_switches, false);
+        self.queue.clear();
+    }
+
+    pub(crate) fn capacity_elements(&self) -> usize {
+        self.prev.capacity() + self.seen.capacity() + self.queue.capacity()
+    }
+}
+
+/// Cursor-driven variant of [`try_add_indirect`]: picks the exact same
+/// `(parent, child, path)` the reference would, skipping members that
+/// already failed this step (the pool only drains and the membership
+/// only grows, so a failed switch BFS stays failed until the next step).
+fn try_add_indirect_fast(
+    topo: &Topology,
+    tree: &mut TreeBuild,
+    t: u32,
+    pool: &mut [u32],
+    cur: &mut Cursor,
+    bfs: &mut SwitchBfs,
+) -> bool {
+    if cur.step != t {
+        cur.step = t;
+        cur.scan_from = 0;
+    }
+    let mut mi = cur.scan_from;
+    while mi < tree.members.len() {
+        let (p, joined) = tree.members[mi];
+        if joined >= t {
+            // join order: everything from here on joined this step
+            break;
+        }
+        if let Some((child, path)) = find_child_via_switches_with(topo, tree, p, pool, bfs) {
+            for &l in &path {
+                debug_assert!(pool[l.index()] > 0);
+                pool[l.index()] -= 1;
+            }
+            tree.add(p, child, t, path);
+            cur.scan_from = mi;
+            return true;
+        }
+        mi += 1;
+    }
+    cur.scan_from = mi;
+    false
+}
+
+/// Buffer-reusing twin of [`find_child_via_switches`] used by the fast
+/// path; the allocating original stays behind as the oracle's walker.
+fn find_child_via_switches_with(
+    topo: &Topology,
+    tree: &TreeBuild,
+    p: NodeId,
+    pool: &[u32],
+    bfs: &mut SwitchBfs,
+) -> Option<(NodeId, Vec<LinkId>)> {
+    // (1) p's node-to-switch uplink must be free.
+    let (sw0, uplink) = topo.neighbors(p.into()).find_map(|(v, l)| {
+        v.as_switch()
+            .filter(|_| pool[l.index()] > 0)
+            .map(|s| (s, l))
+    })?;
+
+    bfs.reset(topo.num_switches());
+    bfs.seen[sw0.index()] = true;
+    bfs.queue.push_back(sw0);
+
+    while let Some(sw) = bfs.queue.pop_front() {
+        // (2) a free down-link to an unadded node?
+        for (v, l) in topo.neighbors(sw.into()) {
+            if let Some(c) = v.as_node() {
+                if pool[l.index()] > 0 && !tree.in_tree[c.index()] {
+                    // reconstruct path: uplink + switch chain + downlink
+                    let mut chain = Vec::new();
+                    let mut cur = sw;
+                    while cur != sw0 {
+                        let (prev_sw, link) = bfs.prev[cur.index()].expect("bfs chain");
+                        chain.push(link);
+                        cur = prev_sw;
+                    }
+                    chain.reverse();
+                    let mut path = Vec::with_capacity(chain.len() + 2);
+                    path.push(uplink);
+                    path.extend(chain);
+                    path.push(l);
+                    return Some((c, path));
+                }
+            }
+        }
+        // (3) expand to neighbor switches through free links
+        for (v, l) in topo.neighbors(sw.into()) {
+            if let Some(next) = v.as_switch() {
+                if pool[l.index()] > 0 && !bfs.seen[next.index()] {
+                    bfs.seen[next.index()] = true;
+                    bfs.prev[next.index()] = Some((sw, l));
+                    bfs.queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
 }
 
 /// Tries to connect one new node to `tree` at time step `t`, consuming

@@ -9,7 +9,9 @@
 //! time step — non-participant nodes and switches act as relays, and the
 //! whole relay path is allocated, preserving per-step contention freedom.
 
-use crate::algorithms::multitree::{lower_forest, Forest, MultiTree, Tree, TreeBuild};
+use crate::algorithms::multitree::{
+    lower_forest, Cursor, Forest, ForestScratch, MultiTree, Tree, TreeBuild,
+};
 use crate::error::AlgorithmError;
 use crate::schedule::CommSchedule;
 use mt_topology::{LinkId, NodeId, Topology, Vertex};
@@ -100,6 +102,85 @@ impl MultiTree {
         // non-participants can never "join", so completion = k members
         let k = participants.len();
 
+        let mut s = ForestScratch::new();
+        s.reset(topo, k);
+        if k > 1 {
+            s.active.extend(0..k);
+        }
+
+        let mut t: u32 = 0;
+        while !s.active.is_empty() {
+            t += 1;
+            s.reset_pool();
+            let mut added_this_step = false;
+            let mut progress = true;
+            while progress {
+                progress = false;
+                let mut completed = false;
+                for idx in 0..s.active.len() {
+                    let ti = s.active[idx];
+                    if trees[ti].members.len() >= k {
+                        continue;
+                    }
+                    if try_add_relayed_fast(
+                        topo,
+                        &mut trees[ti],
+                        &is_participant,
+                        t,
+                        &mut s.pool,
+                        &mut s.cursor[ti],
+                        &mut s.relay_bfs,
+                    ) {
+                        progress = true;
+                        added_this_step = true;
+                        if trees[ti].members.len() >= k {
+                            completed = true;
+                        }
+                    }
+                }
+                if completed {
+                    s.active.retain(|&i| trees[i].members.len() < k);
+                }
+            }
+            if !added_this_step {
+                return Err(AlgorithmError::ConstructionFailed {
+                    algorithm: "multitree",
+                    reason: "participants are not mutually reachable".into(),
+                });
+            }
+        }
+
+        Ok(Forest {
+            trees: trees
+                .into_iter()
+                .map(|tb| Tree {
+                    root: tb.root,
+                    edges: tb.edges,
+                })
+                .collect(),
+            total_steps: t,
+        })
+    }
+
+    /// The pre-optimization subset builder, kept verbatim as the
+    /// differential oracle for the fast path above. Not public API.
+    #[doc(hidden)]
+    pub fn construct_forest_among_reference(
+        &self,
+        topo: &Topology,
+        participants: &[NodeId],
+    ) -> Result<Forest, AlgorithmError> {
+        let n = topo.num_nodes();
+        let mut is_participant = vec![false; n];
+        for p in participants {
+            is_participant[p.index()] = true;
+        }
+        let mut trees: Vec<TreeBuild> = participants
+            .iter()
+            .map(|&r| TreeBuild::new(r, n))
+            .collect();
+        let k = participants.len();
+
         let mut t: u32 = 0;
         while trees.iter().any(|tr| tr.members.len() < k) {
             t += 1;
@@ -159,6 +240,114 @@ fn try_add_relayed(
         }
     }
     false
+}
+
+/// Reusable relay-BFS buffers for the fast subset walker.
+#[derive(Default)]
+pub(crate) struct RelayBfs {
+    prev: Vec<Option<LinkId>>,
+    seen: Vec<bool>,
+    queue: VecDeque<Vertex>,
+}
+
+impl RelayBfs {
+    fn reset(&mut self, num_vertices: usize) {
+        self.prev.clear();
+        self.prev.resize(num_vertices, None);
+        self.seen.clear();
+        self.seen.resize(num_vertices, false);
+        self.queue.clear();
+    }
+
+    pub(crate) fn capacity_elements(&self) -> usize {
+        self.prev.capacity() + self.seen.capacity() + self.queue.capacity()
+    }
+}
+
+/// Cursor-driven variant of [`try_add_relayed`]: the same child and
+/// relay path the reference picks, skipping members that already failed
+/// this step (free links only drain and the membership only grows, so a
+/// failed relay search stays failed until the next step).
+#[allow(clippy::too_many_arguments)]
+fn try_add_relayed_fast(
+    topo: &Topology,
+    tree: &mut TreeBuild,
+    is_participant: &[bool],
+    t: u32,
+    pool: &mut [u32],
+    cur: &mut Cursor,
+    bfs: &mut RelayBfs,
+) -> bool {
+    if cur.step != t {
+        cur.step = t;
+        cur.scan_from = 0;
+    }
+    let mut mi = cur.scan_from;
+    while mi < tree.members.len() {
+        let (p, joined) = tree.members[mi];
+        if joined >= t {
+            // join order: everything from here on joined this step
+            break;
+        }
+        if let Some((child, path)) = bfs_to_participant_with(topo, tree, is_participant, p, pool, bfs)
+        {
+            for &l in &path {
+                pool[l.index()] -= 1;
+            }
+            tree.add(p, child, t, path);
+            cur.scan_from = mi;
+            return true;
+        }
+        mi += 1;
+    }
+    cur.scan_from = mi;
+    false
+}
+
+/// Buffer-reusing twin of [`bfs_to_participant`] used by the fast path;
+/// the allocating original stays behind as the oracle's walker (and for
+/// the Blink baseline).
+fn bfs_to_participant_with(
+    topo: &Topology,
+    tree: &TreeBuild,
+    is_participant: &[bool],
+    p: NodeId,
+    pool: &[u32],
+    bfs: &mut RelayBfs,
+) -> Option<(NodeId, Vec<LinkId>)> {
+    let start = topo.vertex_index(p.into());
+    bfs.reset(topo.num_vertices());
+    bfs.seen[start] = true;
+    bfs.queue.push_back(Vertex::from(p));
+    while let Some(v) = bfs.queue.pop_front() {
+        for (next, link) in topo.neighbors(v) {
+            if pool[link.index()] == 0 {
+                continue;
+            }
+            let ni = topo.vertex_index(next);
+            if bfs.seen[ni] {
+                continue;
+            }
+            bfs.seen[ni] = true;
+            bfs.prev[ni] = Some(link);
+            if let Some(c) = next.as_node() {
+                if is_participant[c.index()] && !tree.in_tree[c.index()] {
+                    // reconstruct p -> c path
+                    let mut path = Vec::new();
+                    let mut cur = ni;
+                    while cur != start {
+                        let l = bfs.prev[cur].expect("bfs chain");
+                        path.push(l);
+                        cur = topo.vertex_index(topo.link(l).src);
+                    }
+                    path.reverse();
+                    return Some((c, path));
+                }
+            }
+            bfs.queue.push_back(next);
+        }
+    }
+    None
 }
 
 /// BFS from `p` over all vertices through free links; the first

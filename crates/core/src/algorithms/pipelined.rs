@@ -2,7 +2,7 @@
 //! one data block streamed as sub-chunks (used by the Blink baseline and
 //! the reduced-tree-count MultiTree of §VII-C).
 
-use crate::algorithms::multitree::{reverse_path, TreeBuild};
+use crate::algorithms::multitree::{reverse_path, ReverseSlots, TreeBuild};
 use crate::chunk::ChunkRange;
 use crate::error::AlgorithmError;
 use crate::event::{CollectiveOp, EventId, FlowId};
@@ -22,7 +22,6 @@ pub(crate) fn lower_pipelined(
     pc: u32,
     s: &mut CommSchedule,
 ) -> Result<(), AlgorithmError> {
-    let mut reverse_used: HashMap<(u32, usize), u32> = HashMap::new();
     let tot_rounds = {
         let max_h = trees
             .iter()
@@ -31,6 +30,8 @@ pub(crate) fn lower_pipelined(
             .unwrap_or(1);
         pc + max_h - 1
     };
+    // reduce rounds are 1..=tot_rounds (c + ecc(child) ≤ pc + max_h - 1)
+    let mut reverse_used = ReverseSlots::new(tot_rounds, topo.num_links());
     for (ti, tree) in trees.iter().enumerate() {
         let flow = FlowId(ti);
         let root = tree.root;

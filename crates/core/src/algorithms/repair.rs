@@ -19,7 +19,9 @@
 //! [`AlgorithmError::ConstructionFailed`] a from-scratch build would
 //! produce.
 
-use crate::algorithms::multitree::{lower_forest, Forest, MultiTree, TreeBuild};
+use crate::algorithms::multitree::{
+    lower_forest, try_add_direct_fast, Forest, ForestScratch, MultiTree, TreeBuild,
+};
 use crate::algorithms::AllReduce;
 use crate::error::AlgorithmError;
 use crate::schedule::CommSchedule;
@@ -254,6 +256,112 @@ fn regrow_affected(
         trees.push(b);
     }
 
+    // The frozen trees' per-step link charges, indexed once up front
+    // instead of rescanning every frozen edge at every step.
+    let mut charges: Vec<Vec<LinkId>> = vec![Vec::new(); forest.total_steps as usize + 1];
+    for (tree, &hit) in trees.iter().zip(affected) {
+        if hit {
+            continue;
+        }
+        for e in &tree.edges {
+            charges[e.step as usize].extend(e.path.iter().copied());
+        }
+    }
+
+    let mut s = ForestScratch::new();
+    s.reset(degraded, n);
+    s.reset_sat(n);
+    for (ti, &hit) in affected.iter().enumerate() {
+        if hit {
+            s.sat[ti].init_root(degraded, &trees[ti]);
+            if !trees[ti].complete(n) {
+                s.active.push(ti);
+            }
+        }
+    }
+
+    let max_steps = (forest.total_steps.max(1)) * REGROW_STEP_FACTOR + 1;
+    let mut t: u32 = 0;
+    while !s.active.is_empty() {
+        t += 1;
+        if t > max_steps {
+            return None;
+        }
+        // fresh per-step capacities, less what the frozen trees already
+        // committed at this step
+        s.reset_pool();
+        if let Some(step_charges) = charges.get(t as usize) {
+            for &l in step_charges {
+                s.pool[l.index()] = s.pool[l.index()].saturating_sub(1);
+            }
+        }
+        let mut added_this_step = false;
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let mut completed = false;
+            for idx in 0..s.active.len() {
+                let ti = s.active[idx];
+                if trees[ti].complete(n) {
+                    continue;
+                }
+                if try_add_direct_fast(
+                    degraded,
+                    &mut trees[ti],
+                    t,
+                    &mut s.pool,
+                    &mut s.cursor[ti],
+                    &mut s.sat[ti],
+                ) {
+                    progress = true;
+                    added_this_step = true;
+                    if trees[ti].complete(n) {
+                        completed = true;
+                    }
+                }
+            }
+            if completed {
+                s.active.retain(|&i| !trees[i].complete(n));
+            }
+        }
+        if !added_this_step {
+            return None;
+        }
+    }
+
+    let total_steps = trees
+        .iter()
+        .flat_map(|tr| tr.edges.iter().map(|e| e.step))
+        .max()
+        .unwrap_or(0)
+        .max(forest.total_steps);
+    Some(Forest {
+        trees: trees.into_iter().map(TreeBuild::finish).collect(),
+        total_steps,
+    })
+}
+
+/// The pre-optimization regrowth, kept verbatim so tests can assert the
+/// fast walker reproduces the incremental repair bit for bit.
+#[cfg(test)]
+fn regrow_affected_reference(
+    topo: &Topology,
+    degraded: &Topology,
+    forest: &Forest,
+    affected: &[bool],
+) -> Option<Forest> {
+    let n = topo.num_nodes();
+    let mut trees: Vec<TreeBuild> = Vec::with_capacity(forest.trees.len());
+    for (tree, &hit) in forest.trees.iter().zip(affected) {
+        let mut b = TreeBuild::new(tree.root, n);
+        if !hit {
+            for e in &tree.edges {
+                b.add(e.parent, e.child, e.step, e.path.clone());
+            }
+        }
+        trees.push(b);
+    }
+
     let max_steps = (forest.total_steps.max(1)) * REGROW_STEP_FACTOR + 1;
     let mut t: u32 = 0;
     while trees.iter().any(|tr| !tr.complete(n)) {
@@ -261,8 +369,6 @@ fn regrow_affected(
         if t > max_steps {
             return None;
         }
-        // fresh per-step capacities, less what the frozen trees already
-        // committed at this step
         let mut pool: Vec<u32> = degraded.links().iter().map(|l| l.capacity).collect();
         for (tree, &hit) in trees.iter().zip(affected) {
             if hit {
@@ -425,6 +531,66 @@ mod tests {
                 .filter(|&r| topo.link(r).dst == link.src),
         );
         dead
+    }
+
+    fn cable_at(topo: &Topology, li: usize) -> Vec<LinkId> {
+        let l = LinkId::new(li);
+        let link = topo.link(l);
+        let mut dead = vec![l];
+        dead.extend(
+            topo.out_links(link.dst)
+                .iter()
+                .copied()
+                .filter(|&r| topo.link(r).dst == link.src),
+        );
+        dead
+    }
+
+    #[test]
+    fn fast_regrow_matches_reference_regrow() {
+        let cases: Vec<(Topology, MultiTree)> = vec![
+            (Topology::torus(4, 4), MultiTree::default()),
+            (Topology::torus(4, 4), MultiTree::with_remaining_height()),
+            (Topology::mesh(4, 4), MultiTree::default()),
+            (Topology::torus3d(4, 4, 4), MultiTree::default()),
+            (Topology::hypercube(5), MultiTree::default()),
+            (Topology::random_connected(14, 10, 3), MultiTree::default()),
+        ];
+        for (topo, mt) in cases {
+            let forest = mt.construct_forest(&topo).unwrap();
+            for li in [0, topo.num_links() / 2] {
+                let dead_links = cable_at(&topo, li);
+                let degraded = topo.without_links(&dead_links);
+                let mut dead = vec![false; topo.num_links()];
+                for &l in &dead_links {
+                    dead[l.index()] = true;
+                }
+                let edge_affected = |path: &[LinkId]| {
+                    path.iter().any(|&l| {
+                        if dead[l.index()] {
+                            return true;
+                        }
+                        let link = topo.link(l);
+                        topo.out_links(link.dst)
+                            .iter()
+                            .any(|&r| topo.link(r).dst == link.src && dead[r.index()])
+                    })
+                };
+                let affected: Vec<bool> = forest
+                    .trees
+                    .iter()
+                    .map(|t| t.edges.iter().any(|e| edge_affected(&e.path)))
+                    .collect();
+                let fast = regrow_affected(&topo, &degraded, &forest, &affected);
+                let reference = regrow_affected_reference(&topo, &degraded, &forest, &affected);
+                assert_eq!(
+                    fast,
+                    reference,
+                    "regrow diverged on {:?}, cut cable at link {li}",
+                    topo.kind()
+                );
+            }
+        }
     }
 
     #[test]

@@ -377,6 +377,70 @@ impl Topology {
         None
     }
 
+    /// Hop distances from `src` to **every** vertex with a single BFS,
+    /// indexed by [`Topology::vertex_index`]; unreachable vertices hold
+    /// `usize::MAX`. Prefer this over repeated [`Topology::distance`]
+    /// calls when many destinations share a source (eccentricities,
+    /// diameters, route-length audits).
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let mesh = Topology::mesh(3, 3);
+    /// let d = mesh.distances_from(0.into());
+    /// assert_eq!(d[8], 4);
+    /// ```
+    pub fn distances_from(&self, src: Vertex) -> Vec<usize> {
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        self.distances_from_into(src, &mut dist, &mut queue);
+        dist
+    }
+
+    /// Buffer-reusing form of [`Topology::distances_from`]: fills `dist`
+    /// (resized to [`Topology::num_vertices`]) and uses `queue` as the
+    /// BFS worklist. Allocation-free once both buffers have warmed up.
+    pub fn distances_from_into(&self, src: Vertex, dist: &mut Vec<usize>, queue: &mut Vec<usize>) {
+        dist.clear();
+        dist.resize(self.num_vertices(), usize::MAX);
+        queue.clear();
+        let start = self.vertex_index(src);
+        dist[start] = 0;
+        queue.push(start);
+        let mut head = 0;
+        while head < queue.len() {
+            let vi = queue[head];
+            head += 1;
+            let d = dist[vi] + 1;
+            for &l in &self.adj[vi] {
+                let ni = self.vertex_index(self.links[l.index()].dst);
+                if dist[ni] == usize::MAX {
+                    dist[ni] = d;
+                    queue.push(ni);
+                }
+            }
+        }
+    }
+
+    /// Per-node eccentricity over compute nodes: entry `i` is the largest
+    /// finite hop distance from node `i` to any other node (unreachable
+    /// pairs contribute nothing). One BFS per node via
+    /// [`Topology::distances_from_into`] — O(V·E) total, where the naive
+    /// per-pair formulation costs O(V²) BFS runs.
+    pub fn node_eccentricities(&self) -> Vec<usize> {
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
+        (0..self.num_nodes)
+            .map(|r| {
+                self.distances_from_into(Vertex::Node(NodeId::new(r)), &mut dist, &mut queue);
+                (0..self.num_nodes)
+                    .map(|o| dist[self.vertex_index(Vertex::Node(NodeId::new(o)))])
+                    .filter(|&d| d != usize::MAX)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
     /// True if every vertex can reach every other vertex.
     pub fn is_connected(&self) -> bool {
         if self.num_vertices() == 0 {
@@ -408,14 +472,16 @@ impl Topology {
     /// Panics if some node pair is unreachable.
     pub fn node_diameter(&self) -> usize {
         let mut max = 0;
+        let mut dist = Vec::new();
+        let mut queue = Vec::new();
         for a in 0..self.num_nodes {
+            self.distances_from_into(Vertex::Node(NodeId::new(a)), &mut dist, &mut queue);
             for b in 0..self.num_nodes {
                 if a == b {
                     continue;
                 }
-                let d = self
-                    .distance(Vertex::Node(NodeId::new(a)), Vertex::Node(NodeId::new(b)))
-                    .expect("disconnected node pair");
+                let d = dist[self.vertex_index(Vertex::Node(NodeId::new(b)))];
+                assert_ne!(d, usize::MAX, "disconnected node pair");
                 max = max.max(d);
             }
         }
@@ -686,6 +752,48 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Topology = serde_json::from_str(&json).unwrap();
         assert!(!back.has_disabled_links());
+    }
+
+    #[test]
+    fn distances_from_matches_pairwise_distance() {
+        for t in [
+            Topology::torus(4, 4),
+            Topology::mesh(3, 5),
+            Topology::dgx2_like_16(),
+            Topology::random_connected(14, 9, 7),
+        ] {
+            for src in 0..t.num_vertices() {
+                let v = t.vertex_at(src);
+                let dist = t.distances_from(v);
+                assert_eq!(dist.len(), t.num_vertices());
+                for (di, &got) in dist.iter().enumerate() {
+                    let expect = t
+                        .distance(v, t.vertex_at(di))
+                        .unwrap_or(usize::MAX);
+                    assert_eq!(got, expect, "{v:?} -> vertex {di}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_from_marks_unreachable() {
+        let mut b = TopologyBuilder::new();
+        b.add_nodes(3);
+        b.add_bidi(NodeId::new(0).into(), NodeId::new(1).into());
+        let t = b.build().unwrap();
+        let d = t.distances_from(0.into());
+        assert_eq!(d, vec![0, 1, usize::MAX]);
+    }
+
+    #[test]
+    fn node_eccentricities_match_max_distance() {
+        let t = Topology::mesh(3, 3);
+        let ecc = t.node_eccentricities();
+        assert_eq!(ecc.len(), 9);
+        assert_eq!(ecc[0], 4); // corner
+        assert_eq!(ecc[4], 2); // center
+        assert_eq!(*ecc.iter().max().unwrap(), t.node_diameter());
     }
 
     #[test]

@@ -11,57 +11,65 @@
 use multitree::algorithms::MultiTree;
 use multitree::collective::{verify_all_to_all, verify_reduce_scatter};
 use multitree::verify::verify_allreduce_among;
-use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use multitree::PreparedSchedule;
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::{NodeId, Topology};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let topo = Topology::torus(4, 4);
     let engine = FlowEngine::new(NetworkConfig::paper_default());
     let mt = MultiTree::default();
+    // one scratch serves every run below; buffers warm up once
+    let mut scratch = SimScratch::new();
 
     // --- Hybrid parallelism: only half the pod runs data-parallel
     // all-reduce (say, the other half holds a model-parallel shard).
     let data_parallel: Vec<NodeId> = (0..16).step_by(2).map(NodeId::new).collect();
     let subset = mt.build_among(&topo, &data_parallel)?;
     verify_allreduce_among(&subset, &data_parallel)?;
-    let r = engine.run(&topo, &subset, 8 << 20)?;
+    let prep = PreparedSchedule::new(&subset, &topo)?;
+    let r = engine.run_prepared_with(&prep, 8 << 20, &mut scratch, &mut NoopObserver)?;
     println!(
         "subset all-reduce ({} of 16 nodes, relays through the rest): \
          {} messages, {:.1} us for 8 MiB",
         data_parallel.len(),
         subset.events().len(),
-        r.completion_ns / 1e3
+        r.sim.completion_ns / 1e3
     );
 
     // --- Standalone collectives from the same forest machinery.
     let rs = mt.build_reduce_scatter(&topo)?;
     verify_reduce_scatter(&rs)?;
-    let r = engine.run(&topo, &rs, 8 << 20)?;
+    let prep = PreparedSchedule::new(&rs, &topo)?;
+    let r = engine.run_prepared_with(&prep, 8 << 20, &mut scratch, &mut NoopObserver)?;
     println!(
         "reduce-scatter: {} steps, {:.1} us (half of all-reduce, as expected)",
         rs.num_steps(),
-        r.completion_ns / 1e3
+        r.sim.completion_ns / 1e3
     );
 
     let ag = mt.build_all_gather(&topo)?;
-    let r = engine.run(&topo, &ag, 8 << 20)?;
-    println!("all-gather:     {} steps, {:.1} us", ag.num_steps(), r.completion_ns / 1e3);
+    let prep = PreparedSchedule::new(&ag, &topo)?;
+    let r = engine.run_prepared_with(&prep, 8 << 20, &mut scratch, &mut NoopObserver)?;
+    println!("all-gather:     {} steps, {:.1} us", ag.num_steps(), r.sim.completion_ns / 1e3);
 
     let bc = mt.build_broadcast(&topo, NodeId::new(0))?;
-    let r = engine.run(&topo, &bc, 8 << 20)?;
-    println!("broadcast:      {} steps, {:.1} us", bc.num_steps(), r.completion_ns / 1e3);
+    let prep = PreparedSchedule::new(&bc, &topo)?;
+    let r = engine.run_prepared_with(&prep, 8 << 20, &mut scratch, &mut NoopObserver)?;
+    println!("broadcast:      {} steps, {:.1} us", bc.num_steps(), r.sim.completion_ns / 1e3);
 
     // --- All-to-all for DLRM-style embedding exchange: node i holds a
     // distinct chunk for every peer; tree i routes them with per-subtree
     // chunks shrinking toward the leaves.
     let plan = mt.build_all_to_all(&topo)?;
     verify_all_to_all(&plan)?;
-    let r = engine.run(&topo, &plan.schedule, 8 << 20)?;
+    let prep = PreparedSchedule::new(&plan.schedule, &topo)?;
+    let r = engine.run_prepared_with(&prep, 8 << 20, &mut scratch, &mut NoopObserver)?;
     println!(
         "all-to-all:     {} messages over {} segments, {:.1} us",
         plan.schedule.events().len(),
         plan.schedule.total_segments(),
-        r.completion_ns / 1e3
+        r.sim.completion_ns / 1e3
     );
     Ok(())
 }

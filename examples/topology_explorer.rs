@@ -10,7 +10,8 @@
 use multitree::algorithms::{Algorithm, AllReduce};
 use multitree::cost::analyze;
 use multitree::verify::verify_schedule;
-use mt_netsim::{flow::FlowEngine, Engine, NetworkConfig};
+use multitree::PreparedSchedule;
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -29,6 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     let engine = FlowEngine::new(NetworkConfig::paper_default());
+    // one scratch reused across every (network, algorithm) run
+    let mut scratch = SimScratch::new();
     for (name, topo) in networks {
         println!(
             "=== {name}: {} nodes, {} links ===",
@@ -43,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let schedule = algo.build(&topo)?;
             verify_schedule(&schedule)?; // every schedule is proven correct
             let stats = analyze(&schedule, &topo, bytes);
-            let sim = engine.run(&topo, &schedule, bytes)?;
+            let prep = PreparedSchedule::new(&schedule, &topo)?;
+            let sim = engine
+                .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)?
+                .sim;
             println!(
                 "{:<18}{:>7}{:>10.2}{:>12}{:>12.1}{:>12.2}",
                 algo.name(),

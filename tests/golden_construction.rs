@@ -3,8 +3,9 @@
 //! construction changed behaviour — update deliberately, never casually
 //! (schedules are cached across epochs in deployment, §III-C1).
 
-use multitree::algorithms::{AllReduce, DbTree, MultiTree};
-use mt_topology::Topology;
+use multitree::algorithms::{AllReduce, DbTree, ForestScratch, MultiTree};
+use mt_topology::{NodeId, Topology};
+use proptest::prelude::*;
 
 /// `(root, [(parent, child, step), ...])` per tree.
 type TreeEdges = (usize, Vec<(usize, usize, u32)>);
@@ -88,5 +89,122 @@ fn schedules_are_bitwise_reproducible() {
         let ja = serde_json::to_string(&a).unwrap();
         let jb = serde_json::to_string(&b).unwrap();
         assert_eq!(ja, jb);
+    }
+}
+
+// ---- fast path vs reference oracle ----------------------------------
+//
+// PR 5 rebuilt the construction hot path (frontier cursors, maintained
+// turn order, reusable scratch, batched eccentricity). The old builder
+// is kept verbatim as `construct_forest_reference`; the fast path must
+// reproduce its forests bit for bit — same edges, same steps, same
+// paths — across every topology family and both tree orders.
+
+fn differential_topologies() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("4x4 torus", Topology::torus(4, 4)),
+        ("4x8 torus", Topology::torus(4, 8)),
+        ("4x4 mesh", Topology::mesh(4, 4)),
+        ("3x5 mesh", Topology::mesh(3, 5)),
+        ("4x4x4 torus3d", Topology::torus3d(4, 4, 4)),
+        ("6-cube", Topology::hypercube(6)),
+        ("16-node fat-tree", Topology::dgx2_like_16()),
+        ("64-node fat-tree", Topology::fat_tree_64()),
+        ("bigraph-32", Topology::bigraph_32()),
+        ("dragonfly(4,4)", Topology::dragonfly(4, 4)),
+        ("seeded random 14+10 #3", Topology::random_connected(14, 10, 3)),
+        ("seeded random 18+6 #41", Topology::random_connected(18, 6, 41)),
+    ]
+}
+
+#[test]
+fn fast_construction_matches_reference_forests() {
+    let mut scratch = ForestScratch::new();
+    for (name, topo) in differential_topologies() {
+        for (order, mt) in [
+            ("ascending", MultiTree::default()),
+            ("remaining-height", MultiTree::with_remaining_height()),
+        ] {
+            let reference = mt.construct_forest_reference(&topo).unwrap();
+            let fresh = mt.construct_forest(&topo).unwrap();
+            assert_eq!(
+                fresh, reference,
+                "fast path diverged from reference: {name}, {order} order"
+            );
+            // the scratch-reusing entry point is the same construction,
+            // even when the scratch is shared across topologies/orders
+            let reused = mt.construct_forest_with(&topo, &mut scratch).unwrap();
+            assert_eq!(
+                reused, reference,
+                "scratch reuse diverged: {name}, {order} order"
+            );
+        }
+    }
+}
+
+#[test]
+fn fast_subset_construction_matches_reference() {
+    let topo = Topology::torus(4, 4);
+    let subsets: Vec<Vec<NodeId>> = vec![
+        (0..16).step_by(2).map(NodeId::new).collect(),
+        vec![0, 3, 12, 15].into_iter().map(NodeId::new).collect(),
+        (0..16).map(NodeId::new).collect(),
+    ];
+    for subset in subsets {
+        let mt = MultiTree::default();
+        let reference = mt.construct_forest_among_reference(&topo, &subset).unwrap();
+        let fast = mt.construct_forest_among(&topo, &subset).unwrap();
+        assert_eq!(fast, reference, "subset fast path diverged for {subset:?}");
+    }
+    let ft = Topology::fat_tree_64();
+    let subset: Vec<NodeId> = (0..64).step_by(3).map(NodeId::new).collect();
+    let mt = MultiTree::default();
+    let reference = mt.construct_forest_among_reference(&ft, &subset).unwrap();
+    let fast = mt.construct_forest_among(&ft, &subset).unwrap();
+    assert_eq!(fast, reference, "subset fast path diverged on fat-tree");
+}
+
+#[test]
+fn construction_scratch_reaches_allocation_free_steady_state() {
+    // like the engines' SimScratch: after a warm-up construction, more
+    // constructions on the same topology must not grow any buffer
+    for (name, topo) in [
+        ("8x8 torus", Topology::torus(8, 8)),
+        ("64-node fat-tree", Topology::fat_tree_64()),
+    ] {
+        for mt in [MultiTree::default(), MultiTree::with_remaining_height()] {
+            let mut scratch = ForestScratch::new();
+            let first = mt.construct_forest_with(&topo, &mut scratch).unwrap();
+            let warm = scratch.capacity_elements();
+            let second = mt.construct_forest_with(&topo, &mut scratch).unwrap();
+            assert_eq!(first, second, "repeat construction diverged on {name}");
+            assert_eq!(
+                scratch.capacity_elements(),
+                warm,
+                "construction steady state allocated on {name}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fast_construction_never_diverges_on_random_graphs(
+        n in 2usize..24,
+        extra in 0usize..16,
+        seed in 0u64..500,
+        remaining_height: bool,
+    ) {
+        let topo = Topology::random_connected(n, extra, seed);
+        let mt = if remaining_height {
+            MultiTree::with_remaining_height()
+        } else {
+            MultiTree::default()
+        };
+        let reference = mt.construct_forest_reference(&topo).unwrap();
+        let fast = mt.construct_forest(&topo).unwrap();
+        prop_assert_eq!(fast, reference, "n={} extra={} seed={}", n, extra, seed);
     }
 }
