@@ -12,18 +12,29 @@
 //!
 //! `--max-nodes` (default 256, the paper's ceiling) extends the torus
 //! ladder past the figure: 512 adds a 16×32 torus and 1024 a 32×32 one,
-//! exercising the kilonode construction fast path. `--threads`
-//! parallelizes over (torus size, algorithm) units; the output is
-//! byte-identical to a single-threaded run.
+//! exercising the kilonode construction fast path. Past 1024 the ladder
+//! enters the hierarchical composition's territory: 4096 (64×64) and
+//! 16384 (128×128) add a MULTITREE-HIER column — the pod-hierarchical
+//! MultiTree executed by the sharded flow engine on its own pod
+//! partition — and the flat algorithms stop at 1024 (a flat RING at 16k
+//! is half a billion events; the hierarchical schedule is ~65 k).
+//! `--threads` parallelizes over (torus size, algorithm) units; the
+//! output is byte-identical to a single-threaded run and to any shard
+//! count.
 
-use multitree::algorithms::{Algorithm, AllReduce, MultiTree, Ring, Ring2D};
+use multitree::algorithms::{
+    Algorithm, AllReduce, HierarchicalMultiTree, MultiTree, Ring, Ring2D,
+};
 use multitree::PreparedSchedule;
 use mt_bench::args::Args;
 use mt_bench::dump_json;
 use mt_bench::parallel::run_indexed;
 use mt_bench::suites::{run_engine_prepared, scalability_tori_to, EngineKind};
-use mt_netsim::{NetworkConfig, SimScratch};
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, ShardPlan, SimScratch};
 use serde::Serialize;
+
+/// Flat algorithms stop here; larger rungs run only MULTITREE-HIER.
+const FLAT_CEILING: usize = 1024;
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -44,15 +55,21 @@ fn main() {
     let pkt = NetworkConfig::paper_default();
     let msg = NetworkConfig::paper_message_based();
 
-    let algos: Vec<(&str, Algorithm, NetworkConfig)> = vec![
-        ("RING", Algorithm::Ring(Ring), pkt),
-        ("2D-RING", Algorithm::Ring2D(Ring2D), pkt),
+    // `None` = the hierarchical MultiTree (not in the `Algorithm` enum:
+    // it runs through the sharded flow engine on its own pod partition)
+    let mut algos: Vec<(&str, Option<Algorithm>, NetworkConfig)> = vec![
+        ("RING", Some(Algorithm::Ring(Ring)), pkt),
+        ("2D-RING", Some(Algorithm::Ring2D(Ring2D)), pkt),
         (
             "MULTITREEMSG",
-            Algorithm::MultiTree(MultiTree::default()),
+            Some(Algorithm::MultiTree(MultiTree::default())),
             msg,
         ),
     ];
+    if max_nodes > FLAT_CEILING {
+        algos.push(("MULTITREE-HIER", None, msg));
+    }
+    let labels: Vec<&str> = algos.iter().map(|(l, _, _)| *l).collect();
 
     let units: Vec<_> = ladder
         .clone()
@@ -65,19 +82,41 @@ fn main() {
             };
             algos
                 .iter()
+                .filter(|(_, algo, _)| algo.is_none() || n <= FLAT_CEILING)
                 .map(|(label, algo, net)| (n, topo.clone(), bytes, *label, algo.clone(), *net))
                 .collect::<Vec<_>>()
         })
         .collect();
     let mut rows: Vec<Row> = run_indexed(units, args.threads(), |(n, topo, bytes, label, algo, net)| {
-        let schedule = algo.build(topo).expect("torus supported");
-        let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
-        let report = run_engine_prepared(engine, *net, &prep, *bytes, &mut SimScratch::new());
+        let completion_ns = match algo {
+            Some(algo) => {
+                let schedule = algo.build(topo).expect("torus supported");
+                let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+                run_engine_prepared(engine, *net, &prep, *bytes, &mut SimScratch::new()).completion_ns
+            }
+            None => {
+                let hier = HierarchicalMultiTree::default();
+                let plan = ShardPlan::from_partition(topo, &hier.partition(topo));
+                let schedule = hier.build(topo).expect("torus supported");
+                let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+                FlowEngine::new(*net)
+                    .run_prepared_sharded_with(
+                        &prep,
+                        *bytes,
+                        &mut SimScratch::new(),
+                        &plan,
+                        &mut NoopObserver,
+                    )
+                    .expect("sharded flow run completes")
+                    .sim
+                    .completion_ns
+            }
+        };
         Row {
             nodes: *n,
             algorithm: label.to_string(),
             bytes: *bytes,
-            completion_ns: report.completion_ns,
+            completion_ns,
             normalized_to_ring16: f64::NAN, // filled below
         }
     });
@@ -95,19 +134,20 @@ fn main() {
         println!("=== Fig. 10 — weak scalability, 375*N KiB all-reduce on Torus ===");
     }
     println!("(communication time normalized to 16-node RING; lower is better)");
-    println!(
-        "{:<8}{:>14}{:>14}{:>16}",
-        "nodes", "RING", "2D-RING", "MULTITREEMSG"
-    );
+    let col = |label: &str| if label.len() > 10 { 16 } else { 14 };
+    print!("{:<8}", "nodes");
+    for label in &labels {
+        print!("{:>width$}", label, width = col(label));
+    }
+    println!();
     for &(n, _) in &ladder {
         print!("{n:<8}");
-        for label in ["RING", "2D-RING", "MULTITREEMSG"] {
-            let r = rows
-                .iter()
-                .find(|r| r.nodes == n && r.algorithm == label)
-                .expect("row exists");
-            let width = if label == "MULTITREEMSG" { 16 } else { 14 };
-            print!("{:>width$.3}", r.normalized_to_ring16, width = width);
+        for label in &labels {
+            let width = col(label);
+            match rows.iter().find(|r| r.nodes == n && r.algorithm == *label) {
+                Some(r) => print!("{:>width$.3}", r.normalized_to_ring16, width = width),
+                None => print!("{:>width$}", "-", width = width),
+            }
         }
         println!();
     }
@@ -115,14 +155,25 @@ fn main() {
     let at = |label: &str| {
         rows.iter()
             .find(|r| r.nodes == top && r.algorithm == label)
-            .unwrap()
-            .completion_ns
+            .map(|r| r.completion_ns)
     };
-    println!(
-        "\nAt {top} nodes: MULTITREEMSG is {:.2}x faster than RING, {:.2}x faster than 2D-RING",
-        at("RING") / at("MULTITREEMSG"),
-        at("2D-RING") / at("MULTITREEMSG"),
-    );
+    match (at("RING"), at("2D-RING"), at("MULTITREEMSG")) {
+        (Some(ring), Some(ring2d), Some(mt)) => println!(
+            "\nAt {top} nodes: MULTITREEMSG is {:.2}x faster than RING, {:.2}x faster than 2D-RING",
+            ring / mt,
+            ring2d / mt,
+        ),
+        _ => {
+            // the flat algorithms stopped at FLAT_CEILING; report the
+            // hierarchical schedule on its own
+            if let Some(h) = at("MULTITREE-HIER") {
+                println!(
+                    "\nAt {top} nodes: MULTITREE-HIER completes in {:.3} ms (flat baselines capped at {FLAT_CEILING} nodes)",
+                    h / 1e6
+                );
+            }
+        }
+    }
 
     if let Some(path) = args.json_path() {
         dump_json(&path, &rows);

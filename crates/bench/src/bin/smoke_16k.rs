@@ -1,0 +1,113 @@
+//! 16k-node smoke check: hierarchically constructs the MultiTree
+//! all-reduce on a 128×128 torus (16384 nodes, auto pod partition) and
+//! executes it with the sharded flow engine, failing if the whole thing
+//! blows a wall-clock budget. The flat construction path is quadratic
+//! territory at this scale (a flat RING schedule would be half a
+//! billion events; the hierarchical one is ~65 k), so this binary is
+//! the CI tripwire for the hierarchical composition and the sharded
+//! scheduler both: a regression in either shows up as an
+//! order-of-magnitude wall-clock jump.
+//!
+//! The run is repeated at a second shard count and the two reports are
+//! compared field-for-field — the sharded engine's determinism
+//! guarantee (byte-identical results for any shard count) is asserted
+//! on every CI run, at full scale.
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin smoke_16k [-- --side 128] [--budget-s 120] [--bytes-mib 6000]
+//! ```
+//!
+//! Exits non-zero (with a diagnostic) when the budget is exceeded, the
+//! shard counts disagree, or the run produces an implausible result.
+
+use multitree::algorithms::{AllReduce, HierarchicalMultiTree};
+use multitree::PreparedSchedule;
+use mt_bench::args::Args;
+use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, ShardPlan, SimScratch};
+use mt_topology::{Partition, Topology};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let side: usize = args.get_or("side", 128);
+    let budget_s: f64 = args.get_or("budget-s", 120.0);
+    // 375 KiB x 16384 nodes rounded up, the weak-scaling payload
+    let bytes_mib: u64 = args.get_or("bytes-mib", 6000);
+    let topo = Topology::torus(side, side);
+    let n = topo.num_nodes();
+
+    let wall = Instant::now();
+    let t0 = Instant::now();
+    let hier = HierarchicalMultiTree::default();
+    let part = hier.partition(&topo);
+    let schedule = hier.build(&topo).expect("torus construction succeeds");
+    let construct = t0.elapsed();
+
+    let t0 = Instant::now();
+    let prep = PreparedSchedule::new(&schedule, &topo).expect("schedule validates");
+    let prepare = t0.elapsed();
+
+    let engine = FlowEngine::new(NetworkConfig::paper_message_based());
+    let mut scratch = SimScratch::new();
+    let pod_plan = ShardPlan::from_partition(&topo, &part);
+    let t0 = Instant::now();
+    let report = engine
+        .run_prepared_sharded_with(
+            &prep,
+            bytes_mib << 20,
+            &mut scratch,
+            &pod_plan,
+            &mut NoopObserver,
+        )
+        .expect("sharded flow run completes");
+    let flow = t0.elapsed();
+
+    // determinism across shard counts, asserted at full scale
+    let other_plan = ShardPlan::from_partition(&topo, &Partition::balanced(&topo, 7));
+    let t0 = Instant::now();
+    let report7 = engine
+        .run_prepared_sharded_with(
+            &prep,
+            bytes_mib << 20,
+            &mut scratch,
+            &other_plan,
+            &mut NoopObserver,
+        )
+        .expect("sharded flow run completes");
+    let flow7 = t0.elapsed();
+    let total = wall.elapsed();
+
+    println!(
+        "16k smoke: {n} nodes ({side}x{side} torus), {} pods, {} events, {} steps",
+        part.num_pods(),
+        schedule.events().len(),
+        schedule.num_steps()
+    );
+    println!("  hierarchical construct: {construct:?}");
+    println!("  prepare:                {prepare:?}");
+    println!(
+        "  sharded flow run ({} shards): {flow:?} (completion {:.3} ms)",
+        pod_plan.num_shards(),
+        report.sim.completion_ns / 1e6
+    );
+    println!("  sharded flow run (7 shards): {flow7:?}");
+    println!("  total:                  {total:?} (budget {budget_s}s)");
+
+    assert_eq!(
+        report, report7,
+        "sharded engine diverged across shard counts"
+    );
+    assert!(report.sim.messages > 0, "no messages simulated");
+    assert!(
+        report.sim.completion_ns > 0.0,
+        "implausible zero completion time"
+    );
+    if total.as_secs_f64() > budget_s {
+        eprintln!(
+            "FAIL: 16k smoke took {:.1}s, budget {budget_s}s",
+            total.as_secs_f64()
+        );
+        std::process::exit(1);
+    }
+    println!("OK: within budget, byte-identical across shard counts");
+}

@@ -270,7 +270,9 @@ pub fn scalability_tori() -> Vec<(usize, Topology)> {
 
 /// The Fig. 10 torus ladder extended past the paper's 256-node ceiling:
 /// rungs double up to `max_nodes` (512 and 1024 use 16×32 and 32×32
-/// tori). `max_nodes = 256` reproduces the paper ladder exactly.
+/// tori; 4096 and 16384 use 64×64 and 128×128, the hierarchical
+/// composition's territory). `max_nodes = 256` reproduces the paper
+/// ladder exactly.
 pub fn scalability_tori_to(max_nodes: usize) -> Vec<(usize, Topology)> {
     let ladder = [
         (16, (4, 4)),
@@ -280,6 +282,8 @@ pub fn scalability_tori_to(max_nodes: usize) -> Vec<(usize, Topology)> {
         (256, (16, 16)),
         (512, (16, 32)),
         (1024, (32, 32)),
+        (4096, (64, 64)),
+        (16384, (128, 128)),
     ];
     ladder
         .iter()
@@ -337,6 +341,13 @@ mod tests {
         assert_eq!(kilo[5].0, 512);
         assert_eq!(kilo[6].0, 1024);
         for (n, t) in kilo {
+            assert_eq!(t.num_nodes(), n);
+        }
+        let hier = scalability_tori_to(16384);
+        assert_eq!(hier.len(), 9);
+        assert_eq!(hier[7].0, 4096);
+        assert_eq!(hier[8].0, 16384);
+        for (n, t) in hier {
             assert_eq!(t.num_nodes(), n);
         }
         // the default ladder is the 256-capped ladder, rung for rung

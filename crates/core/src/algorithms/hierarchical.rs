@@ -1,0 +1,468 @@
+//! Hierarchical MultiTree composition for datacenter-scale machines.
+//!
+//! Flat MultiTree builds |V| spanning trees and lowers them to
+//! O(|V|²) events — tractable to ~1k nodes, hopeless at 16k (half a
+//! billion events). This module composes MultiTree per tier instead, the
+//! way 2D-RING composes row and column rings (paper §II-C) and the way
+//! ForestColl argues multi-level fabrics want per-tier collectives:
+//!
+//! 1. the topology is split into *pods* by [`Partition`] (fat-tree
+//!    leaves, dragonfly groups, or balanced BFS regions for grids);
+//! 2. each pod reduces onto its *representative* along one pod-local
+//!    tree built with the restricted fast walker — pods are
+//!    vertex-disjoint, so all pods share each time step's link capacity
+//!    pool trivially;
+//! 3. the representatives run a full MultiTree all-reduce among
+//!    themselves (the subset walker, relays allowed anywhere), with the
+//!    payload split into one segment per pod;
+//! 4. each pod broadcasts the finished sum back down its tree.
+//!
+//! The three phases occupy disjoint step ranges, so the spliced schedule
+//! stays per-step contention-free and passes the full set-dataflow and
+//! numeric verifier. Event count drops from O(|V|²) to
+//! O(|V| + P²) for P pods — about 40k events at 16384 nodes with
+//! P = 128 instead of 536 million.
+//!
+//! The bandwidth trade-off is explicit: consolidating a pod onto one
+//! representative serializes the pod's whole vector through the
+//! representative's links, so the schedule is constructible and verified
+//! at scales flat MultiTree cannot reach, but it is not
+//! bandwidth-optimal the way the flat forest is. EXPERIMENTS.md
+//! quantifies both sides.
+
+use crate::algorithms::multitree::{
+    reverse_path, Forest, ForestEdge, ForestScratch, MultiTree, Tree, TreeBuild,
+};
+use crate::algorithms::multitree_subset::try_add_restricted;
+use crate::algorithms::AllReduce;
+use crate::chunk::ChunkRange;
+use crate::error::AlgorithmError;
+use crate::event::{CollectiveOp, EventId, FlowId};
+use crate::schedule::CommSchedule;
+use mt_topology::{Partition, Topology};
+
+/// Hierarchical (pod-composed) MultiTree all-reduce.
+///
+/// ```
+/// use mt_topology::Topology;
+/// use multitree::algorithms::{AllReduce, HierarchicalMultiTree};
+/// use multitree::verify::verify_schedule;
+///
+/// let topo = Topology::torus(8, 8);
+/// let s = HierarchicalMultiTree::default().build(&topo)?;
+/// verify_schedule(&s)?;
+/// # Ok::<(), multitree::AlgorithmError>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierarchicalMultiTree {
+    /// Requested pod count; `None` means [`Partition::auto`] (the
+    /// family's natural grouping, or ~√|V| balanced BFS regions).
+    pub pods: Option<usize>,
+}
+
+impl HierarchicalMultiTree {
+    /// Hierarchical MultiTree over a fixed number of balanced pods.
+    pub fn with_pods(pods: usize) -> Self {
+        HierarchicalMultiTree { pods: Some(pods) }
+    }
+
+    /// The partition this instance would compose over on `topo`.
+    pub fn partition(&self, topo: &Topology) -> Partition {
+        match self.pods {
+            Some(k) => Partition::balanced(topo, k),
+            None => Partition::auto(topo),
+        }
+    }
+
+    /// Scratch-reusing form of [`AllReduce::build`]: every pod tree and
+    /// the inter-pod forest are constructed through the same
+    /// [`ForestScratch`], so repeated builds only allocate the schedule
+    /// they return.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::ConstructionFailed`] if a pod is not
+    /// internally connected or the representatives are not mutually
+    /// reachable.
+    pub fn build_with(
+        &self,
+        topo: &Topology,
+        scratch: &mut ForestScratch,
+    ) -> Result<CommSchedule, AlgorithmError> {
+        let part = self.partition(topo);
+        self.build_partitioned(topo, &part, scratch)
+    }
+
+    /// [`HierarchicalMultiTree::build_with`] over a caller-supplied
+    /// partition (the same one a sharded simulation run would use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::ConstructionFailed`] if a pod is not
+    /// internally connected or the representatives are not mutually
+    /// reachable.
+    pub fn build_partitioned(
+        &self,
+        topo: &Topology,
+        part: &Partition,
+        scratch: &mut ForestScratch,
+    ) -> Result<CommSchedule, AlgorithmError> {
+        let n = topo.num_nodes();
+        let p_count = part.num_pods();
+        let mut s = CommSchedule::new("multitree-hier", n, p_count.max(1) as u32);
+        if n < 2 {
+            return Ok(s);
+        }
+
+        // ---- pod trees: one representative-rooted tree per pod, built
+        // with the relay walker restricted to the pod's own vertices.
+        let (pod_trees, t1) = build_pod_trees(topo, part, scratch)?;
+
+        // ---- inter-pod forest: a full MultiTree among representatives.
+        let inter = if p_count > 1 {
+            Some(MultiTree::default().construct_forest_among_with(
+                topo,
+                part.representatives(),
+                scratch,
+            )?)
+        } else {
+            None
+        };
+        let t2 = inter.as_ref().map(|f| f.total_steps).unwrap_or(0);
+
+        splice(topo, part, &pod_trees, inter.as_ref(), t1, t2, &mut s)?;
+        Ok(s)
+    }
+}
+
+impl AllReduce for HierarchicalMultiTree {
+    fn name(&self) -> &'static str {
+        "multitree-hier"
+    }
+
+    fn build(&self, topo: &Topology) -> Result<CommSchedule, AlgorithmError> {
+        self.build_with(topo, &mut ForestScratch::new())
+    }
+}
+
+/// Builds one representative-rooted tree per pod; returns the trees and
+/// the maximum construction height T1 across pods. All pods share the
+/// same global step axis: an edge added at pod-local step `t` is
+/// scheduled at global reduce step `T1 - t + 1` and gather step
+/// `T1 + 2·T2 + t`, and because pods are vertex-disjoint their per-step
+/// link allocations never collide.
+fn build_pod_trees(
+    topo: &Topology,
+    part: &Partition,
+    scratch: &mut ForestScratch,
+) -> Result<(Vec<Tree>, u32), AlgorithmError> {
+    let n = topo.num_nodes();
+    let nv = topo.num_vertices();
+    let mut is_member = vec![false; n];
+    let mut allowed = vec![false; nv];
+    let mut trees = Vec::with_capacity(part.num_pods());
+    let mut t1 = 0u32;
+    for p in 0..part.num_pods() {
+        let members = part.pod_nodes(p);
+        let mut tree = TreeBuild::new(part.representative(p), n);
+        let m = members.len();
+        if m > 1 {
+            for &mb in members {
+                is_member[mb.index()] = true;
+            }
+            for (vi, a) in allowed.iter_mut().enumerate() {
+                *a = part.pod_of_vertex(topo.vertex_at(vi)) == p;
+            }
+            scratch.reset(topo, 1);
+            let mut t = 0u32;
+            while tree.members.len() < m {
+                t += 1;
+                scratch.reset_pool();
+                let mut added = false;
+                while tree.members.len() < m
+                    && try_add_restricted(
+                        topo,
+                        &mut tree,
+                        &is_member,
+                        &allowed,
+                        t,
+                        &mut scratch.pool,
+                        &mut scratch.cursor[0],
+                        &mut scratch.relay_bfs,
+                    )
+                {
+                    added = true;
+                }
+                if !added {
+                    return Err(AlgorithmError::ConstructionFailed {
+                        algorithm: "multitree-hier",
+                        reason: format!("pod {p} is not internally connected"),
+                    });
+                }
+            }
+            t1 = t1.max(t);
+            for &mb in members {
+                is_member[mb.index()] = false;
+            }
+        }
+        trees.push(tree.finish());
+    }
+    Ok((trees, t1))
+}
+
+/// Splices the pod trees and the inter-pod forest into one verified
+/// schedule. Steps: pod reduce `1..=T1`, inter-pod reduce
+/// `T1+1..=T1+T2`, inter-pod gather `T1+T2+1..=T1+2·T2`, pod broadcast
+/// `T1+2·T2+1..=T1+2·T2+T1`. Dependency edges are chosen so the
+/// set-dataflow verifier sees every contribution travel along declared
+/// deps: inter-pod events sent by a representative additionally depend
+/// on the pod reduces delivered into it, which is what carries the pod
+/// members' contributions across the representative boundary.
+fn splice(
+    topo: &Topology,
+    part: &Partition,
+    pod_trees: &[Tree],
+    inter: Option<&Forest>,
+    t1: u32,
+    t2: u32,
+    s: &mut CommSchedule,
+) -> Result<(), AlgorithmError> {
+    let n = s.num_nodes();
+    let p_count = part.num_pods();
+    let full = ChunkRange::new(0, p_count as u32);
+    let mut order: Vec<&ForestEdge> = Vec::new();
+
+    // ---- phase 1: intra-pod reduce, leaves first (chunk = whole vector)
+    let mut reduces_into: Vec<Vec<EventId>> = vec![Vec::new(); n];
+    if t1 > 0 {
+        let mut slots = crate::algorithms::multitree::ReverseSlots::new(t1, topo.num_links());
+        for (p, tree) in pod_trees.iter().enumerate() {
+            let flow = FlowId(p);
+            order.clear();
+            order.extend(tree.edges.iter());
+            order.sort_by_key(|e| std::cmp::Reverse(e.step));
+            for e in &order {
+                let step = t1 - e.step + 1;
+                let path = reverse_path(topo, e, step, &mut slots)?;
+                let deps = reduces_into[e.child.index()].clone();
+                let id = s.push_event(
+                    e.child,
+                    e.parent,
+                    flow,
+                    CollectiveOp::Reduce,
+                    full,
+                    step,
+                    deps,
+                    Some(path),
+                );
+                reduces_into[e.parent.index()].push(id);
+            }
+        }
+    }
+    // pod reduces delivered into each representative
+    let rep_in: Vec<Vec<EventId>> = (0..p_count)
+        .map(|p| reduces_into[part.representative(p).index()].clone())
+        .collect();
+
+    // ---- phase 2: inter-pod all-reduce among representatives,
+    // segment k travels tree k (rooted at pod k's representative)
+    let mut rep2_in: Vec<Vec<EventId>> = vec![Vec::new(); p_count];
+    if let Some(forest) = inter {
+        let mut slots = crate::algorithms::multitree::ReverseSlots::new(t2, topo.num_links());
+        let mut reduces2: Vec<Vec<EventId>> = vec![Vec::new(); n];
+        let mut gather2: Vec<Option<EventId>> = vec![None; n];
+        for (k, tree) in forest.trees.iter().enumerate() {
+            let flow = FlowId(k);
+            let chunk = ChunkRange::single(k as u32);
+            for v in reduces2.iter_mut() {
+                v.clear();
+            }
+            gather2.fill(None);
+
+            order.clear();
+            order.extend(tree.edges.iter());
+            order.sort_by_key(|e| std::cmp::Reverse(e.step));
+            for e in &order {
+                let rel = t2 - e.step + 1;
+                let path = reverse_path(topo, e, rel, &mut slots)?;
+                let mut deps = reduces2[e.child.index()].clone();
+                deps.extend_from_slice(&rep_in[part.pod_of_node(e.child)]);
+                let id = s.push_event(
+                    e.child,
+                    e.parent,
+                    flow,
+                    CollectiveOp::Reduce,
+                    chunk,
+                    t1 + rel,
+                    deps,
+                    Some(path),
+                );
+                reduces2[e.parent.index()].push(id);
+                rep2_in[part.pod_of_node(e.parent)].push(id);
+            }
+
+            order.clear();
+            order.extend(tree.edges.iter());
+            order.sort_by_key(|e| e.step);
+            for e in &order {
+                let deps = if e.parent == tree.root {
+                    let mut d = reduces2[tree.root.index()].clone();
+                    d.extend_from_slice(&rep_in[k]);
+                    d
+                } else {
+                    vec![gather2[e.parent.index()]
+                        .expect("parent must have received its gather first")]
+                };
+                let id = s.push_event(
+                    e.parent,
+                    e.child,
+                    flow,
+                    CollectiveOp::Gather,
+                    chunk,
+                    t1 + t2 + e.step,
+                    deps,
+                    Some(e.path.clone()),
+                );
+                gather2[e.child.index()] = Some(id);
+                rep2_in[part.pod_of_node(e.child)].push(id);
+            }
+        }
+    }
+
+    // ---- phase 3: intra-pod broadcast down the pod trees
+    if t1 > 0 {
+        let base = t1 + 2 * t2;
+        let mut gather3: Vec<Option<EventId>> = vec![None; n];
+        for (p, tree) in pod_trees.iter().enumerate() {
+            let flow = FlowId(p);
+            order.clear();
+            order.extend(tree.edges.iter());
+            order.sort_by_key(|e| e.step);
+            for e in &order {
+                let deps = if e.parent == tree.root {
+                    // everything the representative received: inter-pod
+                    // gathers cover foreign segments, inter-pod reduces +
+                    // pod reduces cover the pod's own segment
+                    let mut d = rep2_in[p].clone();
+                    d.extend_from_slice(&rep_in[p]);
+                    d
+                } else {
+                    vec![gather3[e.parent.index()]
+                        .expect("parent must have received its broadcast first")]
+                };
+                let id = s.push_event(
+                    e.parent,
+                    e.child,
+                    flow,
+                    CollectiveOp::Gather,
+                    full,
+                    base + e.step,
+                    deps,
+                    Some(e.path.clone()),
+                );
+                gather3[e.child.index()] = Some(id);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::analyze;
+    use crate::verify::verify_schedule;
+
+    fn check(topo: &Topology, algo: HierarchicalMultiTree) -> CommSchedule {
+        let s = algo.build(topo).unwrap();
+        verify_schedule(&s).unwrap();
+        let stats = analyze(&s, topo, 1 << 20);
+        assert!(
+            stats.is_contention_free(),
+            "hierarchical schedule must stay per-step contention-free on {topo}"
+        );
+        s
+    }
+
+    #[test]
+    fn verifies_on_torus_with_balanced_pods() {
+        for pods in [2, 3, 4, 8] {
+            let topo = Topology::torus(8, 8);
+            let s = check(&topo, HierarchicalMultiTree::with_pods(pods));
+            assert_eq!(s.total_segments(), pods as u32);
+        }
+    }
+
+    #[test]
+    fn verifies_on_all_families_with_auto_partition() {
+        for topo in [
+            Topology::torus(4, 8),
+            Topology::mesh(6, 6),
+            Topology::dgx2_like_16(),
+            Topology::fat_tree_64(),
+            Topology::bigraph_32(),
+            Topology::torus3d(3, 3, 3),
+            Topology::hypercube(5),
+            Topology::dragonfly(3, 2),
+        ] {
+            check(&topo, HierarchicalMultiTree::default());
+        }
+    }
+
+    #[test]
+    fn single_pod_degenerates_to_reduce_broadcast() {
+        let topo = Topology::torus(4, 4);
+        let s = check(&topo, HierarchicalMultiTree::with_pods(1));
+        assert_eq!(s.total_segments(), 1);
+        // reduce up + broadcast down: 2 * (n - 1) events
+        assert_eq!(s.events().len(), 2 * 15);
+    }
+
+    #[test]
+    fn one_pod_per_node_degenerates_to_flat_subset_multitree() {
+        let topo = Topology::torus(4, 4);
+        let s = check(&topo, HierarchicalMultiTree::with_pods(16));
+        // no intra-pod events at all: 16 trees x 15 edges x 2 halves
+        assert_eq!(s.events().len(), 2 * 16 * 15);
+    }
+
+    #[test]
+    fn event_count_is_near_linear() {
+        let topo = Topology::torus(16, 16);
+        let s = check(&topo, HierarchicalMultiTree::default());
+        let n = 256;
+        let p = HierarchicalMultiTree::default().partition(&topo).num_pods();
+        // 2(n - p) intra-pod events + 2p(p-1) inter-pod events
+        assert_eq!(s.events().len(), 2 * (n - p) + 2 * p * (p - 1));
+        // versus ~2n^2 = 131k for flat multitree
+        assert!(s.events().len() < 4_000);
+    }
+
+    #[test]
+    fn scratch_reuse_is_allocation_free_and_deterministic() {
+        let topo = Topology::torus(8, 8);
+        let algo = HierarchicalMultiTree::default();
+        let mut scratch = ForestScratch::new();
+        let first = algo.build_with(&topo, &mut scratch).unwrap();
+        let warm = scratch.capacity_elements();
+        let second = algo.build_with(&topo, &mut scratch).unwrap();
+        assert_eq!(first, second, "rebuilds must be deterministic");
+        assert_eq!(
+            scratch.capacity_elements(),
+            warm,
+            "warm rebuild must not grow the scratch"
+        );
+    }
+
+    #[test]
+    fn respects_caller_partition() {
+        let topo = Topology::torus(8, 8);
+        let part = Partition::balanced(&topo, 4);
+        let mut scratch = ForestScratch::new();
+        let s = HierarchicalMultiTree::default()
+            .build_partitioned(&topo, &part, &mut scratch)
+            .unwrap();
+        verify_schedule(&s).unwrap();
+        assert_eq!(s.total_segments(), 4);
+    }
+}

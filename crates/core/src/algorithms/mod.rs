@@ -11,6 +11,7 @@ mod dbtree;
 mod fewtrees;
 mod halving_doubling;
 mod hdrm;
+mod hierarchical;
 mod multitree;
 mod multitree_indirect;
 mod multitree_subset;
@@ -24,6 +25,7 @@ pub use blink::Blink;
 pub use dbtree::DbTree;
 pub use halving_doubling::HalvingDoubling;
 pub use hdrm::Hdrm;
+pub use hierarchical::HierarchicalMultiTree;
 pub use multitree::{Forest, ForestEdge, ForestScratch, MultiTree, Tree, TreeOrder};
 pub use repair::{repair_multitree, RepairReport, RepairStrategy, RepairedSchedule};
 pub use ring::Ring;

@@ -90,6 +90,24 @@ impl MultiTree {
         topo: &Topology,
         participants: &[NodeId],
     ) -> Result<Forest, AlgorithmError> {
+        self.construct_forest_among_with(topo, participants, &mut ForestScratch::new())
+    }
+
+    /// Scratch-reusing form of [`MultiTree::construct_forest_among`]:
+    /// repeated subset constructions through the same [`ForestScratch`]
+    /// (hierarchical composition, sweeps) reuse the link pool, cursors
+    /// and relay-BFS buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::ConstructionFailed`] if participants
+    /// cannot all be connected.
+    pub fn construct_forest_among_with(
+        &self,
+        topo: &Topology,
+        participants: &[NodeId],
+        s: &mut ForestScratch,
+    ) -> Result<Forest, AlgorithmError> {
         let n = topo.num_nodes();
         let mut is_participant = vec![false; n];
         for p in participants {
@@ -102,7 +120,6 @@ impl MultiTree {
         // non-participants can never "join", so completion = k members
         let k = participants.len();
 
-        let mut s = ForestScratch::new();
         s.reset(topo, k);
         if k > 1 {
             s.active.extend(0..k);
@@ -289,7 +306,50 @@ fn try_add_relayed_fast(
             // join order: everything from here on joined this step
             break;
         }
-        if let Some((child, path)) = bfs_to_participant_with(topo, tree, is_participant, p, pool, bfs)
+        if let Some((child, path)) =
+            bfs_to_participant_with(topo, tree, is_participant, p, pool, bfs, None)
+        {
+            for &l in &path {
+                pool[l.index()] -= 1;
+            }
+            tree.add(p, child, t, path);
+            cur.scan_from = mi;
+            return true;
+        }
+        mi += 1;
+    }
+    cur.scan_from = mi;
+    false
+}
+
+/// [`try_add_relayed_fast`] with the relay search confined to a vertex
+/// subset: only vertices with `allowed[vertex_index]` may relay or join.
+/// The hierarchical composition uses this to keep every pod's tree (and
+/// all of its relay paths) inside the pod's own links, which is what
+/// makes the per-step capacity pools of different pods independent.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_add_restricted(
+    topo: &Topology,
+    tree: &mut TreeBuild,
+    is_participant: &[bool],
+    allowed: &[bool],
+    t: u32,
+    pool: &mut [u32],
+    cur: &mut Cursor,
+    bfs: &mut RelayBfs,
+) -> bool {
+    if cur.step != t {
+        cur.step = t;
+        cur.scan_from = 0;
+    }
+    let mut mi = cur.scan_from;
+    while mi < tree.members.len() {
+        let (p, joined) = tree.members[mi];
+        if joined >= t {
+            break;
+        }
+        if let Some((child, path)) =
+            bfs_to_participant_with(topo, tree, is_participant, p, pool, bfs, Some(allowed))
         {
             for &l in &path {
                 pool[l.index()] -= 1;
@@ -306,7 +366,8 @@ fn try_add_relayed_fast(
 
 /// Buffer-reusing twin of [`bfs_to_participant`] used by the fast path;
 /// the allocating original stays behind as the oracle's walker (and for
-/// the Blink baseline).
+/// the Blink baseline). With `allowed` set, the search never leaves the
+/// given vertex subset.
 fn bfs_to_participant_with(
     topo: &Topology,
     tree: &TreeBuild,
@@ -314,6 +375,7 @@ fn bfs_to_participant_with(
     p: NodeId,
     pool: &[u32],
     bfs: &mut RelayBfs,
+    allowed: Option<&[bool]>,
 ) -> Option<(NodeId, Vec<LinkId>)> {
     let start = topo.vertex_index(p.into());
     bfs.reset(topo.num_vertices());
@@ -327,6 +389,11 @@ fn bfs_to_participant_with(
             let ni = topo.vertex_index(next);
             if bfs.seen[ni] {
                 continue;
+            }
+            if let Some(a) = allowed {
+                if !a[ni] {
+                    continue;
+                }
             }
             bfs.seen[ni] = true;
             bfs.prev[ni] = Some(link);

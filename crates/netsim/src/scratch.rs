@@ -30,6 +30,15 @@ pub(crate) struct MinQueue {
     data: std::collections::BinaryHeap<std::cmp::Reverse<u128>>,
 }
 
+/// Packs a key the way [`MinQueue`] orders it: packed order equals
+/// `(time, id)` order for the non-negative finite times a simulation
+/// produces, and keys with distinct ids never compare equal.
+#[inline]
+pub(crate) fn pack_key(k: Key) -> u128 {
+    // `+ 0.0` folds -0.0 into +0.0 (bit patterns differ, values don't)
+    (u128::from((k.0 + 0.0).to_bits()) << 64) | k.1 as u128
+}
+
 impl MinQueue {
     pub(crate) fn clear(&mut self) {
         self.data.clear();
@@ -37,9 +46,7 @@ impl MinQueue {
 
     pub(crate) fn push(&mut self, k: Key) {
         debug_assert!(k.0 >= 0.0, "simulation times are non-negative");
-        // `+ 0.0` folds -0.0 into +0.0 (bit patterns differ, values don't)
-        let packed = (u128::from((k.0 + 0.0).to_bits()) << 64) | k.1 as u128;
-        self.data.push(std::cmp::Reverse(packed));
+        self.data.push(std::cmp::Reverse(pack_key(k)));
     }
 
     pub(crate) fn pop(&mut self) -> Option<Key> {
@@ -52,6 +59,12 @@ impl MinQueue {
         self.data.peek().map(|&std::cmp::Reverse(p)| {
             Key(f64::from_bits((p >> 64) as u64), (p & u128::from(u64::MAX)) as usize)
         })
+    }
+
+    /// The minimum key in packed form — what the sharded scheduler's
+    /// burst-bound comparisons run on.
+    pub(crate) fn peek_packed(&self) -> Option<u128> {
+        self.data.peek().map(|&std::cmp::Reverse(p)| p)
     }
 
     pub(crate) fn capacity(&self) -> usize {
@@ -86,6 +99,11 @@ pub struct SimScratch {
     pub(crate) framings: Vec<crate::flowctrl::Framing>,
     /// Ready-event queue ordered by (time, id) (flow engine).
     pub(crate) heap: MinQueue,
+    /// Per-shard ready queues for the sharded flow variant.
+    pub(crate) shard_heaps: Vec<MinQueue>,
+    /// Per-event home shard for the sharded flow variant (shard of the
+    /// event's source node), recomputed per run from the `ShardPlan`.
+    pub(crate) shard_home: Vec<u32>,
     /// The cycle engine's buffers, calendars, worklists and NI tables.
     pub(crate) cycle: crate::cycle::CycleScratch,
     /// The fair-share flow variant's queues and per-flow/per-link state.
@@ -111,6 +129,9 @@ impl SimScratch {
             + self.gates.capacity()
             + self.framings.capacity()
             + self.heap.capacity()
+            + self.shard_heaps.capacity()
+            + self.shard_heaps.iter().map(MinQueue::capacity).sum::<usize>()
+            + self.shard_home.capacity()
             + self.cycle.capacity_elements()
             + self.fair.capacity_elements()
     }

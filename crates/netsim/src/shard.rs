@@ -1,0 +1,136 @@
+//! Link/event sharding for the sharded flow engine
+//! ([`crate::flow::FlowEngine::run_prepared_sharded_with`]).
+//!
+//! A [`ShardPlan`] maps a topology's nodes and links onto shards via a
+//! [`Partition`] (the same pod structure the hierarchical MultiTree
+//! composes over). Each event's *home* shard is the shard of its source
+//! node; each link is owned by the shard of its source vertex, so one
+//! physical cable's two unidirectional links belong to the two endpoint
+//! shards and nothing is owned twice. The plan is immutable and reusable
+//! across runs and payload sizes.
+
+use mt_topology::{LinkId, NodeId, Partition, Topology};
+
+/// A precomputed shard assignment for one topology.
+///
+/// ```
+/// use mt_netsim::ShardPlan;
+/// use mt_topology::Topology;
+///
+/// let topo = Topology::torus(4, 4);
+/// let plan = ShardPlan::new(&topo, 4);
+/// assert_eq!(plan.num_shards(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    num_shards: usize,
+    num_nodes: usize,
+    /// Shard of each node, indexed by node id.
+    node_shard: Vec<u32>,
+    /// Shard owning each link, indexed by link id.
+    link_shard: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// A plan with `shards` balanced BFS-grown shards
+    /// ([`Partition::balanced`]); `shards` is clamped to
+    /// `1..=num_nodes`. `ShardPlan::new(topo, 1)` makes the sharded
+    /// engine degenerate to a single global event loop.
+    pub fn new(topo: &Topology, shards: usize) -> Self {
+        Self::from_partition(topo, &Partition::balanced(topo, shards))
+    }
+
+    /// A plan following an existing [`Partition`] — typically the one a
+    /// [`multitree::algorithms::HierarchicalMultiTree`] composed over,
+    /// so simulation shards line up with schedule pods.
+    pub fn from_partition(topo: &Topology, part: &Partition) -> Self {
+        let node_shard = (0..topo.num_nodes())
+            .map(|i| part.pod_of_node(NodeId::new(i)) as u32)
+            .collect();
+        let link_shard = (0..topo.num_links())
+            .map(|i| part.pod_of_link(topo, LinkId::new(i)) as u32)
+            .collect();
+        ShardPlan {
+            num_shards: part.num_pods(),
+            num_nodes: topo.num_nodes(),
+            node_shard,
+            link_shard,
+        }
+    }
+
+    /// Number of shards. Always at least 1.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of nodes the plan was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The shard of a node (an event's home shard is its source node's).
+    pub fn shard_of_node(&self, n: NodeId) -> usize {
+        self.node_shard[n.index()] as usize
+    }
+
+    /// The shard owning a link (the shard of its source vertex).
+    pub fn shard_of_link(&self, l: LinkId) -> usize {
+        self.link_shard[l.index()] as usize
+    }
+
+    /// How many of `prep_paths` cross shard boundaries: an event is
+    /// *cross-shard* if any link on its path is owned by a shard other
+    /// than the event's home. These are the synchronization points the
+    /// sharded scheduler's burst bound accounts for.
+    pub fn count_cross_shard<'a>(
+        &self,
+        events: impl Iterator<Item = (NodeId, &'a [LinkId])>,
+    ) -> usize {
+        events
+            .filter(|(src, path)| {
+                let home = self.shard_of_node(*src) as u32;
+                path.iter().any(|l| self.link_shard[l.index()] != home)
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_topology::Topology;
+
+    #[test]
+    fn every_link_owned_exactly_once() {
+        for topo in [Topology::torus(4, 4), Topology::dgx2_like_16()] {
+            let plan = ShardPlan::new(&topo, 3);
+            let mut per_shard = vec![0usize; plan.num_shards()];
+            for i in 0..topo.num_links() {
+                per_shard[plan.shard_of_link(LinkId::new(i))] += 1;
+            }
+            assert_eq!(per_shard.iter().sum::<usize>(), topo.num_links());
+        }
+    }
+
+    #[test]
+    fn single_shard_plan_is_trivial() {
+        let topo = Topology::torus(4, 4);
+        let plan = ShardPlan::new(&topo, 1);
+        assert_eq!(plan.num_shards(), 1);
+        assert!((0..16).all(|i| plan.shard_of_node(NodeId::new(i)) == 0));
+    }
+
+    #[test]
+    fn follows_partition() {
+        let topo = Topology::dgx2_like_16();
+        let part = Partition::natural(&topo).unwrap();
+        let plan = ShardPlan::from_partition(&topo, &part);
+        assert_eq!(plan.num_shards(), 4);
+        for i in 0..16 {
+            assert_eq!(
+                plan.shard_of_node(NodeId::new(i)),
+                part.pod_of_node(NodeId::new(i))
+            );
+        }
+    }
+}

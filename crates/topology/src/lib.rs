@@ -47,6 +47,7 @@ mod hypercube;
 mod ids;
 mod link;
 mod mesh;
+mod partition;
 mod random;
 mod rings;
 mod routing;
@@ -57,4 +58,5 @@ pub use error::TopologyError;
 pub use graph::{Topology, TopologyBuilder, TopologyKind};
 pub use ids::{LinkId, NodeId, SwitchId, Vertex};
 pub use link::Link;
+pub use partition::Partition;
 pub use rings::{DimRing, RingEmbedding};

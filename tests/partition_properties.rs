@@ -1,0 +1,146 @@
+//! Property tests for the pod partitioner (`mt_topology::Partition`),
+//! the foundation under both the hierarchical MultiTree composition and
+//! the sharded flow engine. Over every topology family plus seeded
+//! random connected graphs:
+//!
+//! * partitioning is deterministic (same inputs, identical partition);
+//! * the pods cover every node exactly once, and `pod_of_node` agrees
+//!   with pod membership;
+//! * every directed link has exactly one owning pod (the pod of its
+//!   source vertex), so the per-pod link sets are disjoint and their
+//!   union is the whole link set — a physical cable's two directions
+//!   land with their respective endpoint pods, never double-counted;
+//! * the requested pod count is honored after clamping to `1..=n`, and
+//!   each pod's representative is its lowest node id.
+
+use mt_topology::{LinkId, NodeId, Partition, Topology, TopologyBuilder, Vertex};
+use proptest::prelude::*;
+
+/// Seeded random connected graph: a ring backbone over `n` nodes (so it
+/// is connected by construction) plus `extra` chords from a tiny LCG.
+fn random_connected(n: usize, extra: usize, seed: u64) -> Topology {
+    let mut b = TopologyBuilder::default();
+    let nodes = b.add_nodes(n);
+    for i in 0..n {
+        b.add_bidi(Vertex::from(nodes[i]), Vertex::from(nodes[(i + 1) % n]));
+    }
+    let mut state = seed | 1;
+    let mut next = || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    for _ in 0..extra {
+        let a = next() % n;
+        let c = next() % n;
+        if a != c {
+            b.add_bidi(Vertex::from(nodes[a]), Vertex::from(nodes[c]));
+        }
+    }
+    b.build().unwrap()
+}
+
+/// One topology from each family, driven by the proptest parameters.
+fn family(idx: usize, a: usize, b: usize, seed: u64) -> Topology {
+    match idx {
+        0 => Topology::torus(a.max(2), b.max(2)),
+        1 => Topology::mesh(a.max(2), b.max(2)),
+        2 => Topology::fat_tree_two_level(a.max(2), b.clamp(1, 4), 2),
+        3 => Topology::bigraph(a.clamp(1, 4), b.max(2), 2),
+        4 => Topology::hypercube((a % 6 + 1) as u32),
+        5 => Topology::dragonfly(a.clamp(2, 4), b.clamp(1, 3)),
+        6 => Topology::torus3d(a.clamp(2, 4), b.clamp(2, 4), 2),
+        _ => random_connected(a.max(3) * b.max(2), seed as usize % 16, seed),
+    }
+}
+
+fn assert_partition_sound(topo: &Topology, part: &Partition, label: &str) {
+    let n = topo.num_nodes();
+    // every node in exactly one pod, consistent with pod_of_node
+    let mut seen = vec![0u32; n];
+    for p in 0..part.num_pods() {
+        assert!(!part.pod_nodes(p).is_empty(), "{label}: empty pod {p}");
+        for &node in part.pod_nodes(p) {
+            seen[node.index()] += 1;
+            assert_eq!(part.pod_of_node(node), p, "{label}: membership mismatch");
+        }
+        // representative = lowest node id of the pod
+        let min = part.pod_nodes(p).iter().copied().min().unwrap();
+        assert_eq!(part.representative(p), min, "{label}: rep not min of pod {p}");
+    }
+    assert!(
+        seen.iter().all(|&c| c == 1),
+        "{label}: nodes not covered exactly once"
+    );
+    // every directed link owned by exactly one in-range pod, owner =
+    // pod of the link's source vertex
+    let mut per_pod = vec![0usize; part.num_pods()];
+    for l in 0..topo.num_links() {
+        let owner = part.pod_of_link(topo, LinkId::new(l));
+        assert!(owner < part.num_pods(), "{label}: owner out of range");
+        assert_eq!(
+            owner,
+            part.pod_of_vertex(topo.link(LinkId::new(l)).src),
+            "{label}: link owner is not its source vertex's pod"
+        );
+        per_pod[owner] += 1;
+    }
+    assert_eq!(
+        per_pod.iter().sum::<usize>(),
+        topo.num_links(),
+        "{label}: pod link sets do not partition the link set"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn partitions_are_deterministic_and_sound(
+        idx in 0usize..8,
+        a in 2usize..8,
+        b in 2usize..6,
+        pods in 1usize..12,
+        seed: u64,
+    ) {
+        let topo = family(idx, a, b, seed);
+        let label = format!("family {idx} a={a} b={b} pods={pods} seed={seed}");
+
+        let bal = Partition::balanced(&topo, pods);
+        prop_assert_eq!(
+            bal.num_pods(),
+            pods.clamp(1, topo.num_nodes()),
+            "{}: clamped pod count", &label
+        );
+        assert_partition_sound(&topo, &bal, &label);
+        // determinism: same inputs, identical partition
+        prop_assert_eq!(&bal, &Partition::balanced(&topo, pods), "{}: balanced", &label);
+
+        let auto = Partition::auto(&topo);
+        assert_partition_sound(&topo, &auto, &label);
+        prop_assert_eq!(&auto, &Partition::auto(&topo), "{}: auto", &label);
+
+        if let Some(nat) = Partition::natural(&topo) {
+            assert_partition_sound(&topo, &nat, &label);
+            prop_assert_eq!(&nat, &Partition::natural(&topo).unwrap(), "{}: natural", &label);
+        }
+    }
+
+    #[test]
+    fn one_pod_per_node_and_single_pod_extremes(
+        idx in 0usize..8,
+        a in 2usize..6,
+        b in 2usize..5,
+        seed: u64,
+    ) {
+        let topo = family(idx, a, b, seed);
+        let n = topo.num_nodes();
+        let single = Partition::balanced(&topo, 1);
+        prop_assert_eq!(single.num_pods(), 1);
+        prop_assert_eq!(single.pod_nodes(0).len(), n);
+        let shattered = Partition::balanced(&topo, n);
+        prop_assert_eq!(shattered.num_pods(), n);
+        for p in 0..n {
+            prop_assert_eq!(shattered.pod_nodes(p), &[NodeId::new(p)][..]);
+        }
+    }
+}

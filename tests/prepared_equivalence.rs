@@ -1,27 +1,26 @@
 //! The prepare/execute split must not change a single bit of any
-//! result: `Engine::run` (prepare + fresh scratch each call), the
-//! deprecated `run_prepared` wrappers, and the unified observer entry
-//! point `run_prepared_with` (one `PreparedSchedule`, one `SimScratch`
-//! reused across payload sizes) are the same simulation. The wrappers
-//! are exercised deliberately — this suite is their regression coverage
-//! until they are removed — so the wrapper tests carry narrow
-//! `#[allow(deprecated)]` attributes; everything else runs on the
-//! unified entry point.
+//! result: `Engine::run` (prepare + fresh scratch each call) and the
+//! unified observer entry point `run_prepared_with` (one
+//! `PreparedSchedule`, one `SimScratch` reused across payload sizes)
+//! are the same simulation. Everything here runs on the unified entry
+//! point; the only deprecated API still exercised is the dense
+//! reference implementation `run_reference_detailed`, kept as the
+//! differential oracle (deprecated for users, not for its tests) under
+//! statement-level `#[allow(deprecated)]`.
 //!
 //! The second half of this suite is the cycle engine's differential
-//! harness: the event-driven engine (through both the deprecated
-//! `run_prepared_detailed` and `run_prepared_with` + `NoopObserver`)
-//! against the dense reference implementation
-//! (`run_reference_detailed`), which must agree on every field of both
-//! the `SimReport` and the `CycleStats` — idle-cycle skipping, active
-//! lists, calendar queues and compiled-out observer hooks are pure
-//! reorganizations, not approximations. The NoopObserver path must also
-//! stay allocation-free in steady state.
+//! harness: the event-driven engine (`run_prepared_with` +
+//! `NoopObserver`) against the dense reference, which must agree on
+//! the full `SimReport` plus the cycle/buffer detail scalars —
+//! idle-cycle skipping, active lists, calendar queues and compiled-out
+//! observer hooks are pure reorganizations, not approximations. The
+//! NoopObserver path must also stay allocation-free in steady state.
 
 use multitree::algorithms::{AllReduce, DbTree, MultiTree, Ring};
 use multitree::PreparedSchedule;
 use mt_netsim::{
-    cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, NoopObserver, SimScratch,
+    cycle::CycleEngine, flow::FlowEngine, Engine, NetworkConfig, NoopObserver, SimObserver,
+    SimScratch,
 };
 use mt_topology::Topology;
 use proptest::prelude::*;
@@ -42,8 +41,7 @@ fn topos() -> Vec<(&'static str, Topology)> {
 }
 
 #[test]
-#[allow(deprecated)] // regression coverage for the deprecated wrapper
-fn flow_prepared_equals_unprepared() {
+fn flow_prepared_equals_one_shot() {
     let engine = FlowEngine::new(NetworkConfig::paper_default());
     for (topo_name, topo) in topos() {
         for (algo_name, algo) in algos() {
@@ -52,32 +50,62 @@ fn flow_prepared_equals_unprepared() {
             let mut scratch = SimScratch::new();
             for bytes in [4 << 10, 1 << 20, 16 << 20u64] {
                 let plain = engine.run(&topo, &s, bytes).unwrap();
-                let prepared = engine.run_prepared(&prep, bytes, &mut scratch).unwrap();
-                assert_eq!(plain, prepared, "{algo_name} on {topo_name} at {bytes}B");
+                let prepared = engine
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+                    .unwrap();
+                assert_eq!(plain, prepared.sim, "{algo_name} on {topo_name} at {bytes}B");
             }
         }
     }
 }
 
+/// Collects the flow engine's per-event start/finish hooks.
+#[derive(Default)]
+struct Timeline {
+    starts: Vec<(u32, f64)>,
+    finishes: Vec<(u32, f64)>,
+}
+
+impl SimObserver for Timeline {
+    fn on_flow_event_start(&mut self, start_ns: f64, event: u32, _step: u32) {
+        self.starts.push((event, start_ns));
+    }
+    fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, _step: u32) {
+        self.finishes.push((event, delivery_ns));
+    }
+}
+
 #[test]
-#[allow(deprecated)] // regression coverage for the deprecated wrapper
-fn flow_prepared_traces_equal_unprepared() {
+fn flow_observer_timeline_is_consistent_with_report() {
+    // the observer hooks carry the whole per-message timeline: one
+    // start/finish pair per scheduled event, finishes bounded by the
+    // reported completion and attaining it
     let engine = FlowEngine::new(NetworkConfig::paper_default());
     let topo = Topology::torus(4, 4);
     let s = MultiTree::default().build(&topo).unwrap();
     let prep = PreparedSchedule::new(&s, &topo).unwrap();
     let mut scratch = SimScratch::new();
-    let (plain_report, plain_traces) = engine.run_traced(&topo, &s, 1 << 20).unwrap();
-    let (prep_report, prep_traces) = engine
-        .run_prepared_traced(&prep, 1 << 20, &mut scratch)
+    let mut tl = Timeline::default();
+    let report = engine
+        .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut tl)
         .unwrap();
-    assert_eq!(plain_report, prep_report);
-    assert_eq!(plain_traces, prep_traces);
+    assert_eq!(tl.starts.len(), report.sim.messages);
+    assert_eq!(tl.finishes.len(), report.sim.messages);
+    let max_finish = tl.finishes.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
+    assert_eq!(max_finish, report.sim.completion_ns);
+    for (&(e_s, start), &(e_f, finish)) in tl.starts.iter().zip(&tl.finishes) {
+        assert_eq!(e_s, e_f, "start/finish hooks pair up per event");
+        assert!(start <= finish);
+    }
+    // telemetry must not perturb the simulation
+    let noop = engine
+        .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    assert_eq!(noop, report);
 }
 
 #[test]
-#[allow(deprecated)] // regression coverage for the deprecated wrapper
-fn cycle_prepared_equals_unprepared() {
+fn cycle_prepared_equals_one_shot() {
     let engine = CycleEngine::new(NetworkConfig::paper_default());
     for (topo_name, topo) in topos() {
         for (algo_name, algo) in algos() {
@@ -86,27 +114,34 @@ fn cycle_prepared_equals_unprepared() {
             let mut scratch = SimScratch::new();
             for bytes in [4 << 10, 64 << 10u64] {
                 let plain = engine.run(&topo, &s, bytes).unwrap();
-                let prepared = engine.run_prepared(&prep, bytes, &mut scratch).unwrap();
-                assert_eq!(plain, prepared, "{algo_name} on {topo_name} at {bytes}B");
+                let prepared = engine
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+                    .unwrap();
+                assert_eq!(plain, prepared.sim, "{algo_name} on {topo_name} at {bytes}B");
             }
         }
     }
 }
 
 #[test]
-#[allow(deprecated)] // regression coverage for the deprecated wrapper
-fn cycle_prepared_detailed_stats_equal() {
+fn cycle_prepared_detail_scalars_match_reference() {
     let engine = CycleEngine::new(NetworkConfig::paper_default());
     let topo = Topology::torus(4, 4);
     let s = MultiTree::default().build(&topo).unwrap();
+    // the reference oracle is deprecated for users, not for its tests
+    #[allow(deprecated)]
+    let (ref_report, ref_stats) = engine.run_reference_detailed(&topo, &s, 64 << 10).unwrap();
     let prep = PreparedSchedule::new(&s, &topo).unwrap();
     let mut scratch = SimScratch::new();
-    let (plain_report, plain_stats) = engine.run_detailed(&topo, &s, 64 << 10).unwrap();
-    let (prep_report, prep_stats) = engine
-        .run_prepared_detailed(&prep, 64 << 10, &mut scratch)
+    let prepared = engine
+        .run_prepared_with(&prep, 64 << 10, &mut scratch, &mut NoopObserver)
         .unwrap();
-    assert_eq!(plain_report, prep_report);
-    assert_eq!(plain_stats, prep_stats);
+    assert_eq!(prepared.sim, ref_report);
+    assert_eq!(prepared.cycles(), Some(ref_stats.cycles));
+    assert_eq!(
+        prepared.max_buffer_occupancy(),
+        Some(ref_stats.max_buffer_occupancy)
+    );
 }
 
 #[test]
@@ -165,8 +200,7 @@ fn equivalence_topos() -> Vec<(&'static str, Topology)> {
 }
 
 /// Asserts the event-driven engine and the dense reference produce
-/// bit-identical reports AND statistics for one configuration.
-#[allow(deprecated)] // the deprecated detailed wrapper stays under differential test
+/// bit-identical reports AND detail scalars for one configuration.
 fn assert_engines_identical(
     cfg: NetworkConfig,
     topo: &Topology,
@@ -176,14 +210,10 @@ fn assert_engines_identical(
 ) {
     let engine = CycleEngine::new(cfg);
     let s = algo.build(topo).unwrap();
+    // the reference oracle is deprecated for users, not for its tests
+    #[allow(deprecated)]
     let (ref_report, ref_stats) = engine.run_reference_detailed(topo, &s, bytes).unwrap();
     let prep = PreparedSchedule::new(&s, topo).unwrap();
-    let mut scratch = SimScratch::new();
-    let (new_report, new_stats) = engine
-        .run_prepared_detailed(&prep, bytes, &mut scratch)
-        .unwrap();
-    assert_eq!(ref_report, new_report, "report diverged: {label}");
-    assert_eq!(ref_stats, new_stats, "stats diverged: {label}");
     // the unified observer entry point is the same simulation: with a
     // NoopObserver it must match the oracle bit for bit, and its steady
     // state must not allocate (disabled hooks compile out entirely)
@@ -275,12 +305,19 @@ proptest! {
             engine.run_reference_detailed(&topo, &s, bytes).unwrap();
         let prep = PreparedSchedule::new(&s, &topo).unwrap();
         let mut scratch = SimScratch::new();
-        // the deprecated detailed wrapper stays under differential test
-        #[allow(deprecated)]
-        let (new_report, new_stats) = engine
-            .run_prepared_detailed(&prep, bytes, &mut scratch)
+        let prepared = engine
+            .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
             .unwrap();
-        prop_assert_eq!(&ref_report, &new_report, "report diverged: {} at {}B", name, bytes);
-        prop_assert_eq!(&ref_stats, &new_stats, "stats diverged: {} at {}B", name, bytes);
+        prop_assert_eq!(&ref_report, &prepared.sim, "report diverged: {} at {}B", name, bytes);
+        prop_assert_eq!(
+            prepared.cycles(),
+            Some(ref_stats.cycles),
+            "cycles diverged: {} at {}B", name, bytes
+        );
+        prop_assert_eq!(
+            prepared.max_buffer_occupancy(),
+            Some(ref_stats.max_buffer_occupancy),
+            "buffer high-water diverged: {} at {}B", name, bytes
+        );
     }
 }

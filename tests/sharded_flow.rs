@@ -1,0 +1,168 @@
+//! Differential harness for the sharded flow engine: for every shard
+//! count, `FlowEngine::run_prepared_sharded_with` must be **the same
+//! simulation** as `run_prepared_with` — the same `EngineReport` bit
+//! for bit, the same observer callback sequence, and an allocation-free
+//! steady state. Sharding reorganizes the ready queue; it is not
+//! allowed to reorder, approximate or drop anything.
+
+use multitree::algorithms::{AllReduce, DbTree, HierarchicalMultiTree, MultiTree, Ring};
+use multitree::PreparedSchedule;
+use mt_netsim::{
+    flow::FlowEngine, NetworkConfig, NoopObserver, ShardPlan, SimObserver, SimScratch,
+};
+use mt_topology::{Partition, Topology};
+
+fn algos() -> Vec<(&'static str, Box<dyn AllReduce>)> {
+    vec![
+        ("ring", Box::new(Ring)),
+        ("dbtree", Box::new(DbTree::default())),
+        ("multitree", Box::new(MultiTree::default())),
+    ]
+}
+
+fn topos() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("4x4 torus", Topology::torus(4, 4)),
+        ("16-node fat-tree", Topology::dgx2_like_16()),
+        ("16x16 torus", Topology::torus(16, 16)),
+    ]
+}
+
+/// Records every observer hook invocation verbatim.
+#[derive(Default, PartialEq, Debug)]
+struct HookLog {
+    calls: Vec<(u8, u64, u32, u32)>, // (hook, time bits, a, b)
+}
+
+impl SimObserver for HookLog {
+    fn on_run_end(&mut self, completion_ns: f64) {
+        self.calls.push((0, completion_ns.to_bits(), 0, 0));
+    }
+    fn on_flow_event_start(&mut self, start_ns: f64, event: u32, step: u32) {
+        self.calls.push((1, start_ns.to_bits(), event, step));
+    }
+    fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, step: u32) {
+        self.calls.push((2, delivery_ns.to_bits(), event, step));
+    }
+    fn on_flow_link_busy(&mut self, link: u32, start_ns: f64, busy_ns: f64) {
+        self.calls.push((3, start_ns.to_bits(), link, busy_ns.to_bits() as u32));
+    }
+}
+
+#[test]
+fn sharded_flow_is_bit_identical_for_every_shard_count() {
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    for (topo_name, topo) in topos() {
+        for (algo_name, algo) in algos() {
+            let s = algo.build(&topo).unwrap();
+            let prep = PreparedSchedule::new(&s, &topo).unwrap();
+            let mut scratch = SimScratch::new();
+            for bytes in [4 << 10, 1 << 20u64] {
+                let flat = engine
+                    .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+                    .unwrap();
+                for shards in 1..=4 {
+                    let plan = ShardPlan::new(&topo, shards);
+                    let sharded = engine
+                        .run_prepared_sharded_with(&prep, bytes, &mut scratch, &plan, &mut NoopObserver)
+                        .unwrap();
+                    assert_eq!(
+                        flat, sharded,
+                        "{algo_name} on {topo_name} at {bytes}B with {shards} shards"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_flow_preserves_observer_order() {
+    // Byte-identity must extend to the *sequence* of observer
+    // callbacks, i.e. the execution order itself, not just the report.
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let topo = Topology::torus(8, 8);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let mut flat_log = HookLog::default();
+    engine
+        .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut flat_log)
+        .unwrap();
+    for shards in [2, 3, 7] {
+        let plan = ShardPlan::new(&topo, shards);
+        let mut log = HookLog::default();
+        engine
+            .run_prepared_sharded_with(&prep, 1 << 20, &mut scratch, &plan, &mut log)
+            .unwrap();
+        assert_eq!(flat_log, log, "callback order diverged at {shards} shards");
+    }
+}
+
+#[test]
+fn hierarchical_schedule_runs_sharded_on_its_own_pods() {
+    // The intended pairing: shards follow the pods the hierarchical
+    // schedule was composed over, and a pod-misaligned plan agrees too.
+    let topo = Topology::torus(8, 8);
+    let hier = HierarchicalMultiTree::with_pods(4);
+    let part = hier.partition(&topo);
+    let s = hier.build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let mut scratch = SimScratch::new();
+    let flat = engine
+        .run_prepared_with(&prep, 4 << 20, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let aligned = ShardPlan::from_partition(&topo, &part);
+    let misaligned = ShardPlan::from_partition(&topo, &Partition::balanced(&topo, 5));
+    for (name, plan) in [("pod-aligned", aligned), ("misaligned", misaligned)] {
+        let sharded = engine
+            .run_prepared_sharded_with(&prep, 4 << 20, &mut scratch, &plan, &mut NoopObserver)
+            .unwrap();
+        assert_eq!(flat, sharded, "{name} plan diverged");
+    }
+}
+
+#[test]
+fn sharded_steady_state_is_allocation_free() {
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let topo = Topology::torus(16, 16);
+    let s = MultiTree::default().build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let plan = ShardPlan::new(&topo, 4);
+    let mut scratch = SimScratch::new();
+    let first = engine
+        .run_prepared_sharded_with(&prep, 1 << 20, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    let warm = scratch.capacity_elements();
+    for _ in 0..3 {
+        let again = engine
+            .run_prepared_sharded_with(&prep, 1 << 20, &mut scratch, &plan, &mut NoopObserver)
+            .unwrap();
+        assert_eq!(again, first, "repeat sharded run diverged");
+    }
+    assert_eq!(
+        scratch.capacity_elements(),
+        warm,
+        "sharded steady state allocated"
+    );
+}
+
+#[test]
+fn one_shard_per_node_still_agrees() {
+    // Extreme sharding: every node its own shard (maximal cross-shard
+    // traffic, the scheduler rescans constantly) must still be exact.
+    let engine = FlowEngine::new(NetworkConfig::paper_default());
+    let topo = Topology::torus(4, 4);
+    let s = Ring.build(&topo).unwrap();
+    let prep = PreparedSchedule::new(&s, &topo).unwrap();
+    let mut scratch = SimScratch::new();
+    let flat = engine
+        .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let plan = ShardPlan::new(&topo, 16);
+    let sharded = engine
+        .run_prepared_sharded_with(&prep, 1 << 20, &mut scratch, &plan, &mut NoopObserver)
+        .unwrap();
+    assert_eq!(flat, sharded);
+}
