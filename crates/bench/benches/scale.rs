@@ -8,7 +8,9 @@
 //! those groups run with small sample counts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use multitree::algorithms::{AllReduce, ForestScratch, MultiTree};
+use multitree::algorithms::{
+    AllReduce, ForestScratch, HierarchicalMultiTree, InterPodMode, MultiTree,
+};
 use multitree::PreparedSchedule;
 use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, SimScratch};
 use mt_topology::Topology;
@@ -51,6 +53,47 @@ fn construction_1024(c: &mut Criterion) {
     g.finish();
 }
 
+fn hierarchical_4096(c: &mut Criterion) {
+    let topo = Topology::torus(64, 64);
+    let hier = HierarchicalMultiTree::default();
+    let part = hier.partition(&topo);
+    let mut scratch = ForestScratch::new();
+    let mut g = c.benchmark_group("scale_hier_construct_4096");
+    // the reference inter-pod walker floods the full graph per edge —
+    // seconds per build, so keep the sample count small
+    g.sample_size(3);
+    g.bench_function("quotient", |b| {
+        b.iter(|| hier.build_partitioned(&topo, &part, &mut scratch).unwrap())
+    });
+    g.bench_function("fullgraph", |b| {
+        b.iter(|| {
+            hier.inter_pod(InterPodMode::FullGraph)
+                .build_partitioned(&topo, &part, &mut scratch)
+                .unwrap()
+        })
+    });
+    g.bench_function("reference", |b| {
+        b.iter(|| {
+            hier.build_partitioned_reference(&topo, &part, &mut scratch)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn hierarchical_16384(c: &mut Criterion) {
+    let topo = Topology::torus(128, 128);
+    let hier = HierarchicalMultiTree::default();
+    let part = hier.partition(&topo);
+    let mut scratch = ForestScratch::new();
+    let mut g = c.benchmark_group("scale_hier_construct_16384");
+    g.sample_size(3);
+    g.bench_function("quotient", |b| {
+        b.iter(|| hier.build_partitioned(&topo, &part, &mut scratch).unwrap())
+    });
+    g.finish();
+}
+
 fn flow_run_1024(c: &mut Criterion) {
     let topo = Topology::torus(32, 32);
     let schedule = MultiTree::default().build(&topo).unwrap();
@@ -80,6 +123,6 @@ fn flow_run_1024(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = construction_256, construction_1024, flow_run_1024
+    targets = construction_256, construction_1024, hierarchical_4096, hierarchical_16384, flow_run_1024
 }
 criterion_main!(benches);

@@ -21,6 +21,14 @@
 //! `--threads` parallelizes over (torus size, algorithm) units; the
 //! output is byte-identical to a single-threaded run and to any shard
 //! count.
+//!
+//! Hierarchical construction is tunable: `--pods N` overrides the pod
+//! count (0 = `Partition::auto`) and `--build-threads N` fans the
+//! per-pod tree builds across workers (byte-identical output for any
+//! value). `--ndjson out.ndjson` writes one JSON object per row
+//! *including wall-clock construct/prepare columns*; those timings are
+//! intentionally kept out of the default `--json` output so CI can
+//! byte-diff it across thread counts.
 
 use multitree::algorithms::{
     Algorithm, AllReduce, HierarchicalMultiTree, MultiTree, Ring, Ring2D,
@@ -45,11 +53,27 @@ struct Row {
     normalized_to_ring16: f64,
 }
 
+/// The NDJSON row shape: everything in [`Row`] plus the wall-clock
+/// construct/prepare columns (excluded from `--json` so that output
+/// stays byte-diffable across runs and thread counts).
+#[derive(Debug, Serialize)]
+struct NdRow {
+    nodes: usize,
+    algorithm: String,
+    bytes: u64,
+    completion_ns: f64,
+    construct_ms: f64,
+    prepare_ms: f64,
+}
+
 fn main() {
     let args = Args::parse();
     let engine: EngineKind = args.get_or("engine", EngineKind::Flow);
     let strong = args.flag("strong");
     let max_nodes: usize = args.get_or("max-nodes", 256);
+    // 0 = Partition::auto, the historical default
+    let pods: usize = args.get_or("pods", 0);
+    let build_threads: usize = args.get_or("build-threads", 1);
     let ladder = scalability_tori_to(max_nodes);
     let top = ladder.last().expect("ladder is never empty").0;
     let pkt = NetworkConfig::paper_default();
@@ -87,39 +111,78 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let mut rows: Vec<Row> = run_indexed(units, args.threads(), |(n, topo, bytes, label, algo, net)| {
-        let completion_ns = match algo {
-            Some(algo) => {
-                let schedule = algo.build(topo).expect("torus supported");
-                let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
-                run_engine_prepared(engine, *net, &prep, *bytes, &mut SimScratch::new()).completion_ns
-            }
-            None => {
-                let hier = HierarchicalMultiTree::default();
-                let plan = ShardPlan::from_partition(topo, &hier.partition(topo));
-                let schedule = hier.build(topo).expect("torus supported");
-                let prep = PreparedSchedule::new(&schedule, topo).expect("schedules validate");
-                FlowEngine::new(*net)
-                    .run_prepared_sharded_with(
-                        &prep,
-                        *bytes,
-                        &mut SimScratch::new(),
-                        &plan,
-                        &mut NoopObserver,
-                    )
-                    .expect("sharded flow run completes")
-                    .sim
-                    .completion_ns
-            }
-        };
-        Row {
-            nodes: *n,
-            algorithm: label.to_string(),
-            bytes: *bytes,
-            completion_ns,
-            normalized_to_ring16: f64::NAN, // filled below
+    let timed: Vec<(Row, f64, f64)> =
+        run_indexed(units, args.threads(), |(n, topo, bytes, label, algo, net)| {
+            let (completion_ns, construct_ms, prepare_ms) = match algo {
+                Some(algo) => {
+                    let t0 = std::time::Instant::now();
+                    let schedule = algo.build(topo).expect("torus supported");
+                    let construct = t0.elapsed().as_secs_f64() * 1e3;
+                    let t0 = std::time::Instant::now();
+                    let prep =
+                        PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+                    let prepare = t0.elapsed().as_secs_f64() * 1e3;
+                    let c = run_engine_prepared(engine, *net, &prep, *bytes, &mut SimScratch::new())
+                        .completion_ns;
+                    (c, construct, prepare)
+                }
+                None => {
+                    let mut hier = HierarchicalMultiTree::default().build_threads(build_threads);
+                    if pods > 0 {
+                        hier.pods = Some(pods);
+                    }
+                    let plan = ShardPlan::from_partition(topo, &hier.partition(topo));
+                    let t0 = std::time::Instant::now();
+                    let schedule = hier.build(topo).expect("torus supported");
+                    let construct = t0.elapsed().as_secs_f64() * 1e3;
+                    let t0 = std::time::Instant::now();
+                    let prep =
+                        PreparedSchedule::new(&schedule, topo).expect("schedules validate");
+                    let prepare = t0.elapsed().as_secs_f64() * 1e3;
+                    let c = FlowEngine::new(*net)
+                        .run_prepared_sharded_with(
+                            &prep,
+                            *bytes,
+                            &mut SimScratch::new(),
+                            &plan,
+                            &mut NoopObserver,
+                        )
+                        .expect("sharded flow run completes")
+                        .sim
+                        .completion_ns;
+                    (c, construct, prepare)
+                }
+            };
+            (
+                Row {
+                    nodes: *n,
+                    algorithm: label.to_string(),
+                    bytes: *bytes,
+                    completion_ns,
+                    normalized_to_ring16: f64::NAN, // filled below
+                },
+                construct_ms,
+                prepare_ms,
+            )
+        });
+    if let Some(path) = args.get("ndjson") {
+        let mut out = String::new();
+        for (r, construct_ms, prepare_ms) in &timed {
+            let nd = NdRow {
+                nodes: r.nodes,
+                algorithm: r.algorithm.clone(),
+                bytes: r.bytes,
+                completion_ns: r.completion_ns,
+                construct_ms: *construct_ms,
+                prepare_ms: *prepare_ms,
+            };
+            out.push_str(&serde_json::to_string(&nd).expect("rows are serializable"));
+            out.push('\n');
         }
-    });
+        std::fs::write(path, out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+    let mut rows: Vec<Row> = timed.into_iter().map(|(r, _, _)| r).collect();
     let ring16 = rows
         .iter()
         .find(|r| r.nodes == 16 && r.algorithm == "RING")

@@ -8,10 +8,18 @@
 //! scheduler both: a regression in either shows up as an
 //! order-of-magnitude wall-clock jump.
 //!
-//! The run is repeated at a second shard count and the two reports are
-//! compared field-for-field — the sharded engine's determinism
-//! guarantee (byte-identical results for any shard count) is asserted
-//! on every CI run, at full scale.
+//! Two full-scale determinism guarantees are asserted on every CI run:
+//!
+//! * **shard counts** — the schedule is executed at two shard counts
+//!   and the reports compared field-for-field (the sharded engine's
+//!   byte-identical-for-any-shard-count promise);
+//! * **build threads** — the schedule is rebuilt with the per-pod tree
+//!   builds fanned across 2 workers and compared byte-for-byte against
+//!   the serial build (the parallel pod-build promise).
+//!
+//! The partition, schedule and prepared schedule are constructed
+//! **once** and reused by every engine run, so the timed engine section
+//! measures the engine, not redundant construction.
 //!
 //! ```text
 //! cargo run --release -p mt-bench --bin smoke_16k [-- --side 128] [--budget-s 120] [--bytes-mib 6000]
@@ -37,19 +45,38 @@ fn main() {
     let n = topo.num_nodes();
 
     let wall = Instant::now();
+
+    // ---- construction: partition once, build once, prepare once; the
+    // engine runs below all reuse these.
     let t0 = Instant::now();
     let hier = HierarchicalMultiTree::default();
     let part = hier.partition(&topo);
     let schedule = hier.build(&topo).expect("torus construction succeeds");
     let construct = t0.elapsed();
 
+    // build-thread determinism, asserted at full scale
+    let t0 = Instant::now();
+    let parallel = hier
+        .build_threads(2)
+        .build(&topo)
+        .expect("torus construction succeeds");
+    let construct_mt = t0.elapsed();
+    assert_eq!(
+        schedule, parallel,
+        "parallel pod builds diverged from the serial build"
+    );
+    drop(parallel);
+
     let t0 = Instant::now();
     let prep = PreparedSchedule::new(&schedule, &topo).expect("schedule validates");
     let prepare = t0.elapsed();
 
+    let pod_plan = ShardPlan::from_partition(&topo, &part);
+    let other_plan = ShardPlan::from_partition(&topo, &Partition::balanced(&topo, 7));
+
+    // ---- engine: the timed section measures only the sharded runs.
     let engine = FlowEngine::new(NetworkConfig::paper_message_based());
     let mut scratch = SimScratch::new();
-    let pod_plan = ShardPlan::from_partition(&topo, &part);
     let t0 = Instant::now();
     let report = engine
         .run_prepared_sharded_with(
@@ -63,7 +90,6 @@ fn main() {
     let flow = t0.elapsed();
 
     // determinism across shard counts, asserted at full scale
-    let other_plan = ShardPlan::from_partition(&topo, &Partition::balanced(&topo, 7));
     let t0 = Instant::now();
     let report7 = engine
         .run_prepared_sharded_with(
@@ -83,7 +109,7 @@ fn main() {
         schedule.events().len(),
         schedule.num_steps()
     );
-    println!("  hierarchical construct: {construct:?}");
+    println!("  hierarchical construct: {construct:?} (2 build threads: {construct_mt:?})");
     println!("  prepare:                {prepare:?}");
     println!(
         "  sharded flow run ({} shards): {flow:?} (completion {:.3} ms)",
@@ -109,5 +135,5 @@ fn main() {
         );
         std::process::exit(1);
     }
-    println!("OK: within budget, byte-identical across shard counts");
+    println!("OK: within budget, byte-identical across shard counts and build threads");
 }

@@ -31,15 +31,15 @@
 //! quantifies both sides.
 
 use crate::algorithms::multitree::{
-    reverse_path, Forest, ForestEdge, ForestScratch, MultiTree, Tree, TreeBuild,
+    reverse_path, Cursor, Forest, ForestEdge, ForestScratch, MultiTree, Tree, TreeBuild,
 };
-use crate::algorithms::multitree_subset::try_add_restricted;
+use crate::algorithms::multitree_subset::{try_add_restricted, RelayBfs};
 use crate::algorithms::AllReduce;
 use crate::chunk::ChunkRange;
 use crate::error::AlgorithmError;
 use crate::event::{CollectiveOp, EventId, FlowId};
 use crate::schedule::CommSchedule;
-use mt_topology::{Partition, Topology};
+use mt_topology::{Partition, PodQuotient, Topology};
 
 /// Hierarchical (pod-composed) MultiTree all-reduce.
 ///
@@ -53,17 +53,67 @@ use mt_topology::{Partition, Topology};
 /// verify_schedule(&s)?;
 /// # Ok::<(), multitree::AlgorithmError>(())
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HierarchicalMultiTree {
     /// Requested pod count; `None` means [`Partition::auto`] (the
     /// family's natural grouping, or ~√|V| balanced BFS regions).
     pub pods: Option<usize>,
+    /// Worker threads for the per-pod tree builds. Pods are dealt to
+    /// workers in fixed order and merged back by pod id, so the result
+    /// is byte-identical for any thread count; `0` and `1` both mean
+    /// serial (inline, reusing the caller's scratch).
+    pub build_threads: usize,
+    /// How the inter-pod representative forest is constructed.
+    pub inter_pod: InterPodMode,
+}
+
+/// Inter-pod forest construction strategy for [`HierarchicalMultiTree`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum InterPodMode {
+    /// Walk the MultiTree on the p-vertex [`Partition::quotient`] graph
+    /// and realize each quotient edge on concrete links
+    /// (representative → pod border → cable → border → representative),
+    /// charging the concrete per-step capacity pool during the walk so
+    /// the expanded schedule stays contention-free by construction.
+    /// This removes the O(n)-per-BFS floods that dominated 16k builds.
+    #[default]
+    Quotient,
+    /// The PR-6 strategy: a full-graph subset MultiTree among
+    /// representatives, with relays allowed anywhere. Kept as the
+    /// differential baseline; inter-pod BFS floods cost O(n) each.
+    FullGraph,
+}
+
+impl Default for HierarchicalMultiTree {
+    fn default() -> Self {
+        HierarchicalMultiTree {
+            pods: None,
+            build_threads: 1,
+            inter_pod: InterPodMode::Quotient,
+        }
+    }
 }
 
 impl HierarchicalMultiTree {
     /// Hierarchical MultiTree over a fixed number of balanced pods.
     pub fn with_pods(pods: usize) -> Self {
-        HierarchicalMultiTree { pods: Some(pods) }
+        HierarchicalMultiTree {
+            pods: Some(pods),
+            ..Self::default()
+        }
+    }
+
+    /// Returns `self` with the per-pod builds fanned across `threads`
+    /// workers (byte-identical output for any value).
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
+
+    /// Returns `self` with the given inter-pod construction strategy.
+    pub fn inter_pod(mut self, mode: InterPodMode) -> Self {
+        self.inter_pod = mode;
+        self
     }
 
     /// The partition this instance would compose over on `topo`.
@@ -116,9 +166,49 @@ impl HierarchicalMultiTree {
 
         // ---- pod trees: one representative-rooted tree per pod, built
         // with the relay walker restricted to the pod's own vertices.
-        let (pod_trees, t1) = build_pod_trees(topo, part, scratch)?;
+        let (pod_trees, t1) = build_pod_trees(topo, part, self.build_threads, scratch)?;
 
-        // ---- inter-pod forest: a full MultiTree among representatives.
+        // ---- inter-pod forest: a MultiTree among representatives,
+        // walked on the pod-quotient graph (default) or the full graph.
+        let inter = if p_count > 1 {
+            Some(match self.inter_pod {
+                InterPodMode::Quotient => construct_interpod_quotient(topo, part, scratch)?,
+                InterPodMode::FullGraph => MultiTree::default().construct_forest_among_with(
+                    topo,
+                    part.representatives(),
+                    scratch,
+                )?,
+            })
+        } else {
+            None
+        };
+        let t2 = inter.as_ref().map(|f| f.total_steps).unwrap_or(0);
+
+        splice(topo, part, &pod_trees, inter.as_ref(), t1, t2, &mut s)?;
+        Ok(s)
+    }
+
+    /// The PR-6 builder — serial pod builds plus a full-graph subset
+    /// MultiTree among representatives — kept verbatim as the
+    /// differential oracle for the quotient/parallel fast path above.
+    /// Ignores [`HierarchicalMultiTree::build_threads`] and
+    /// [`HierarchicalMultiTree::inter_pod`]. Not public API.
+    #[doc(hidden)]
+    pub fn build_partitioned_reference(
+        &self,
+        topo: &Topology,
+        part: &Partition,
+        scratch: &mut ForestScratch,
+    ) -> Result<CommSchedule, AlgorithmError> {
+        let n = topo.num_nodes();
+        let p_count = part.num_pods();
+        let mut s = CommSchedule::new("multitree-hier", n, p_count.max(1) as u32);
+        if n < 2 {
+            return Ok(s);
+        }
+
+        let (pod_trees, t1) = build_pod_trees_reference(topo, part, scratch)?;
+
         let inter = if p_count > 1 {
             Some(MultiTree::default().construct_forest_among_with(
                 topo,
@@ -135,23 +225,9 @@ impl HierarchicalMultiTree {
     }
 }
 
-impl AllReduce for HierarchicalMultiTree {
-    fn name(&self) -> &'static str {
-        "multitree-hier"
-    }
-
-    fn build(&self, topo: &Topology) -> Result<CommSchedule, AlgorithmError> {
-        self.build_with(topo, &mut ForestScratch::new())
-    }
-}
-
-/// Builds one representative-rooted tree per pod; returns the trees and
-/// the maximum construction height T1 across pods. All pods share the
-/// same global step axis: an edge added at pod-local step `t` is
-/// scheduled at global reduce step `T1 - t + 1` and gather step
-/// `T1 + 2·T2 + t`, and because pods are vertex-disjoint their per-step
-/// link allocations never collide.
-fn build_pod_trees(
+/// The PR-6 serial pod-tree loop, retained verbatim for
+/// [`HierarchicalMultiTree::build_partitioned_reference`].
+fn build_pod_trees_reference(
     topo: &Topology,
     part: &Partition,
     scratch: &mut ForestScratch,
@@ -208,6 +284,305 @@ fn build_pod_trees(
         trees.push(tree.finish());
     }
     Ok((trees, t1))
+}
+
+impl AllReduce for HierarchicalMultiTree {
+    fn name(&self) -> &'static str {
+        "multitree-hier"
+    }
+
+    fn build(&self, topo: &Topology) -> Result<CommSchedule, AlgorithmError> {
+        self.build_with(topo, &mut ForestScratch::new())
+    }
+}
+
+/// Builds the tree of one pod with the restricted relay walker; returns
+/// the tree and its construction height. Pods are vertex-disjoint and
+/// the walker is deterministic, so per-pod results are independent of
+/// build order — the foundation of the parallel fan-out below.
+fn build_one_pod_tree(
+    topo: &Topology,
+    part: &Partition,
+    p: usize,
+    is_member: &mut [bool],
+    allowed: &mut [bool],
+    scratch: &mut ForestScratch,
+) -> Result<(Tree, u32), AlgorithmError> {
+    let members = part.pod_nodes(p);
+    let mut tree = TreeBuild::new(part.representative(p), topo.num_nodes());
+    let m = members.len();
+    let mut t = 0u32;
+    if m > 1 {
+        for &mb in members {
+            is_member[mb.index()] = true;
+        }
+        for (vi, a) in allowed.iter_mut().enumerate() {
+            *a = part.pod_of_vertex(topo.vertex_at(vi)) == p;
+        }
+        scratch.reset(topo, 1);
+        while tree.members.len() < m {
+            t += 1;
+            scratch.reset_pool();
+            let mut added = false;
+            while tree.members.len() < m
+                && try_add_restricted(
+                    topo,
+                    &mut tree,
+                    is_member,
+                    allowed,
+                    t,
+                    &mut scratch.pool,
+                    &mut scratch.cursor[0],
+                    &mut scratch.relay_bfs,
+                )
+            {
+                added = true;
+            }
+            if !added {
+                return Err(AlgorithmError::ConstructionFailed {
+                    algorithm: "multitree-hier",
+                    reason: format!("pod {p} is not internally connected"),
+                });
+            }
+        }
+        for &mb in members {
+            is_member[mb.index()] = false;
+        }
+    }
+    Ok((tree.finish(), t))
+}
+
+/// Builds one representative-rooted tree per pod; returns the trees and
+/// the maximum construction height T1 across pods. All pods share the
+/// same global step axis: an edge added at pod-local step `t` is
+/// scheduled at global reduce step `T1 - t + 1` and gather step
+/// `T1 + 2·T2 + t`, and because pods are vertex-disjoint their per-step
+/// link allocations never collide.
+///
+/// With `threads > 1` the pods are self-scheduled across a scoped
+/// worker pool (one [`ForestScratch`] per worker) and merged back into
+/// pod-id order, so the result is byte-identical to the serial build
+/// for any thread count. Errors are reported for the lowest failing
+/// pod id, also independent of scheduling.
+fn build_pod_trees(
+    topo: &Topology,
+    part: &Partition,
+    threads: usize,
+    scratch: &mut ForestScratch,
+) -> Result<(Vec<Tree>, u32), AlgorithmError> {
+    let n = topo.num_nodes();
+    let nv = topo.num_vertices();
+    let p_count = part.num_pods();
+    if threads <= 1 || p_count < 2 {
+        let mut is_member = vec![false; n];
+        let mut allowed = vec![false; nv];
+        let mut trees = Vec::with_capacity(p_count);
+        let mut t1 = 0u32;
+        for p in 0..p_count {
+            let (tree, t) =
+                build_one_pod_tree(topo, part, p, &mut is_member, &mut allowed, scratch)?;
+            t1 = t1.max(t);
+            trees.push(tree);
+        }
+        return Ok((trees, t1));
+    }
+
+    let workers = threads.min(p_count);
+    let mut slots: Vec<Option<Result<(Tree, u32), AlgorithmError>>> = Vec::new();
+    slots.resize_with(p_count, || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::scope(|sc| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            sc.spawn(move || {
+                let mut scratch = ForestScratch::new();
+                let mut is_member = vec![false; n];
+                let mut allowed = vec![false; nv];
+                loop {
+                    let p = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if p >= p_count {
+                        break;
+                    }
+                    let r = build_one_pod_tree(
+                        topo,
+                        part,
+                        p,
+                        &mut is_member,
+                        &mut allowed,
+                        &mut scratch,
+                    );
+                    if tx.send((p, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (p, r) in rx {
+            slots[p] = Some(r);
+        }
+    });
+
+    let mut trees = Vec::with_capacity(p_count);
+    let mut t1 = 0u32;
+    for slot in slots {
+        let (tree, t) = slot.expect("every pod was dealt to a worker")?;
+        t1 = t1.max(t);
+        trees.push(tree);
+    }
+    Ok((trees, t1))
+}
+
+/// Constructs the inter-pod forest on the pod-quotient graph: the
+/// MultiTree turn/step structure runs over the p quotient vertices, and
+/// every quotient edge chosen is immediately *realized* on concrete
+/// links — representative → pod border (flood inside the source pod),
+/// one inter-pod cable, border → representative (targeted BFS inside
+/// the target pod) — charging the concrete per-step pool so the
+/// expanded forest is contention-free by construction. Non-adjacent
+/// pods exchange across tree levels through intermediate pods'
+/// representatives (the rep-funnel caveat, see EXPERIMENTS.md).
+fn construct_interpod_quotient(
+    topo: &Topology,
+    part: &Partition,
+    scratch: &mut ForestScratch,
+) -> Result<Forest, AlgorithmError> {
+    let q = part.quotient(topo);
+    let p_count = part.num_pods();
+    let n = topo.num_nodes();
+    let mut trees: Vec<TreeBuild> = (0..p_count)
+        .map(|p| TreeBuild::new(part.representative(p), n))
+        .collect();
+
+    // the pool is the *concrete* link pool; only cursors are per-tree
+    scratch.reset(topo, p_count);
+    if p_count > 1 {
+        scratch.active.extend(0..p_count);
+    }
+
+    let mut t: u32 = 0;
+    while !scratch.active.is_empty() {
+        t += 1;
+        scratch.reset_pool();
+        let mut added_this_step = false;
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let mut completed = false;
+            for idx in 0..scratch.active.len() {
+                let ti = scratch.active[idx];
+                if trees[ti].members.len() >= p_count {
+                    continue;
+                }
+                if try_add_quotient(
+                    topo,
+                    part,
+                    &q,
+                    &mut trees[ti],
+                    t,
+                    &mut scratch.pool,
+                    &mut scratch.cursor[ti],
+                    &mut scratch.relay_bfs,
+                    &mut scratch.relay_bfs2,
+                ) {
+                    progress = true;
+                    added_this_step = true;
+                    if trees[ti].members.len() >= p_count {
+                        completed = true;
+                    }
+                }
+            }
+            if completed {
+                scratch
+                    .active
+                    .retain(|&i| trees[i].members.len() < p_count);
+            }
+        }
+        if !added_this_step {
+            return Err(AlgorithmError::ConstructionFailed {
+                algorithm: "multitree-hier",
+                reason: "pod representatives are not mutually reachable \
+                         through the pod-quotient graph"
+                    .into(),
+            });
+        }
+    }
+
+    Ok(Forest {
+        trees: trees.into_iter().map(TreeBuild::finish).collect(),
+        total_steps: t,
+    })
+}
+
+/// One growth attempt of a quotient-walked inter-pod tree at step `t`:
+/// scans joined representatives in join order (cursor-skipping members
+/// that already failed this step — the pool only drains and membership
+/// only grows, so a failed member stays failed until the next step),
+/// and for the first member whose pod has a realizable quotient edge to
+/// an unjoined pod, allocates the concrete relay path and adds the
+/// target pod's representative as a child.
+#[allow(clippy::too_many_arguments)]
+fn try_add_quotient(
+    topo: &Topology,
+    part: &Partition,
+    q: &PodQuotient,
+    tree: &mut TreeBuild,
+    t: u32,
+    pool: &mut [u32],
+    cur: &mut Cursor,
+    flood: &mut RelayBfs,
+    route: &mut RelayBfs,
+) -> bool {
+    if cur.step != t {
+        cur.step = t;
+        cur.scan_from = 0;
+    }
+    let qt = q.topology();
+    let mut mi = cur.scan_from;
+    while mi < tree.members.len() {
+        let (rep_a, joined) = tree.members[mi];
+        if joined >= t {
+            // join order: everything from here on joined this step
+            break;
+        }
+        let a = part.pod_of_node(rep_a);
+        flood.pod_flood(topo, part, a, rep_a.into(), pool);
+        for &ql in qt.out_links(qt.vertex_at(a)) {
+            let b = qt.vertex_index(qt.link(ql).dst);
+            let rep_b = part.representative(b);
+            if tree.in_tree[rep_b.index()] {
+                continue;
+            }
+            for &cable in q.cables(ql) {
+                if pool[cable.index()] == 0 {
+                    continue;
+                }
+                let clink = topo.link(cable);
+                if !flood.reached(topo, clink.src) {
+                    continue;
+                }
+                let Some(route2) =
+                    route.pod_route(topo, part, b, clink.dst, rep_b.into(), pool)
+                else {
+                    continue;
+                };
+                let mut path = flood.path_to(topo, rep_a.into(), clink.src);
+                path.push(cable);
+                path.extend_from_slice(&route2);
+                for &l in &path {
+                    pool[l.index()] -= 1;
+                }
+                tree.add(rep_a, rep_b, t, path);
+                cur.scan_from = mi;
+                return true;
+            }
+        }
+        mi += 1;
+    }
+    cur.scan_from = mi;
+    false
 }
 
 /// Splices the pod trees and the inter-pod forest into one verified

@@ -25,7 +25,7 @@ pub use blink::Blink;
 pub use dbtree::DbTree;
 pub use halving_doubling::HalvingDoubling;
 pub use hdrm::Hdrm;
-pub use hierarchical::HierarchicalMultiTree;
+pub use hierarchical::{HierarchicalMultiTree, InterPodMode};
 pub use multitree::{Forest, ForestEdge, ForestScratch, MultiTree, Tree, TreeOrder};
 pub use repair::{repair_multitree, RepairReport, RepairStrategy, RepairedSchedule};
 pub use ring::Ring;

@@ -531,6 +531,9 @@ pub struct ForestScratch {
     pub(crate) switch_bfs: crate::algorithms::multitree_indirect::SwitchBfs,
     /// Relay-BFS state for the subset walker.
     pub(crate) relay_bfs: crate::algorithms::multitree_subset::RelayBfs,
+    /// Second relay-BFS state for the quotient inter-pod walker, which
+    /// holds a source-pod flood while routing inside the target pod.
+    pub(crate) relay_bfs2: crate::algorithms::multitree_subset::RelayBfs,
 }
 
 impl ForestScratch {
@@ -606,6 +609,7 @@ impl ForestScratch {
             + self.queue.capacity()
             + self.switch_bfs.capacity_elements()
             + self.relay_bfs.capacity_elements()
+            + self.relay_bfs2.capacity_elements()
     }
 }
 

@@ -260,24 +260,137 @@ fn try_add_relayed(
 }
 
 /// Reusable relay-BFS buffers for the fast subset walker.
+///
+/// Visited flags are epoch-stamped (`mark[v] == epoch`), so starting a
+/// new search is O(1) instead of the O(|V|) clear the old `Vec<bool>`
+/// needed — at 16k vertices that clear dominated hierarchical
+/// construction, which runs hundreds of thousands of these searches.
 #[derive(Default)]
 pub(crate) struct RelayBfs {
     prev: Vec<Option<LinkId>>,
-    seen: Vec<bool>,
+    mark: Vec<u32>,
+    epoch: u32,
     queue: VecDeque<Vertex>,
 }
 
 impl RelayBfs {
     fn reset(&mut self, num_vertices: usize) {
-        self.prev.clear();
-        self.prev.resize(num_vertices, None);
-        self.seen.clear();
-        self.seen.resize(num_vertices, false);
+        if self.mark.len() != num_vertices {
+            self.mark.clear();
+            self.mark.resize(num_vertices, 0);
+            self.prev.clear();
+            self.prev.resize(num_vertices, None);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        if self.epoch == u32::MAX {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
         self.queue.clear();
     }
 
+    /// Floods pod `pod` from `from` through links with free capacity in
+    /// `pool`, never leaving the pod. Afterwards [`RelayBfs::reached`]
+    /// answers reachability and [`RelayBfs::path_to`] reconstructs the
+    /// shortest free relay path from `from`. Used by the quotient
+    /// inter-pod walker to realize quotient edges on concrete links.
+    pub(crate) fn pod_flood(
+        &mut self,
+        topo: &Topology,
+        part: &mt_topology::Partition,
+        pod: usize,
+        from: Vertex,
+        pool: &[u32],
+    ) {
+        self.reset(topo.num_vertices());
+        self.mark[topo.vertex_index(from)] = self.epoch;
+        self.queue.push_back(from);
+        while let Some(v) = self.queue.pop_front() {
+            for (next, link) in topo.neighbors(v) {
+                if pool[link.index()] == 0 {
+                    continue;
+                }
+                let ni = topo.vertex_index(next);
+                if self.mark[ni] == self.epoch || part.pod_of_vertex(next) != pod {
+                    continue;
+                }
+                self.mark[ni] = self.epoch;
+                self.prev[ni] = Some(link);
+                self.queue.push_back(next);
+            }
+        }
+    }
+
+    /// True if the last [`RelayBfs::pod_flood`] reached `v`.
+    pub(crate) fn reached(&self, topo: &Topology, v: Vertex) -> bool {
+        self.mark[topo.vertex_index(v)] == self.epoch
+    }
+
+    /// The flood path `from -> to` recorded by the last
+    /// [`RelayBfs::pod_flood`]; `to` must have been reached.
+    pub(crate) fn path_to(&self, topo: &Topology, from: Vertex, to: Vertex) -> Vec<LinkId> {
+        let start = topo.vertex_index(from);
+        let mut path = Vec::new();
+        let mut cur = topo.vertex_index(to);
+        while cur != start {
+            let l = self.prev[cur].expect("flood chain");
+            path.push(l);
+            cur = topo.vertex_index(topo.link(l).src);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Targeted BFS `from -> to` inside pod `pod` over links free in
+    /// `pool`; returns the relay path (empty when `from == to`) or
+    /// `None` if `to` is unreachable through free same-pod links.
+    pub(crate) fn pod_route(
+        &mut self,
+        topo: &Topology,
+        part: &mt_topology::Partition,
+        pod: usize,
+        from: Vertex,
+        to: Vertex,
+        pool: &[u32],
+    ) -> Option<Vec<LinkId>> {
+        if from == to {
+            return Some(Vec::new());
+        }
+        self.reset(topo.num_vertices());
+        let start = topo.vertex_index(from);
+        self.mark[start] = self.epoch;
+        self.queue.push_back(from);
+        while let Some(v) = self.queue.pop_front() {
+            for (next, link) in topo.neighbors(v) {
+                if pool[link.index()] == 0 {
+                    continue;
+                }
+                let ni = topo.vertex_index(next);
+                if self.mark[ni] == self.epoch || part.pod_of_vertex(next) != pod {
+                    continue;
+                }
+                self.mark[ni] = self.epoch;
+                self.prev[ni] = Some(link);
+                if next == to {
+                    let mut path = Vec::new();
+                    let mut cur = ni;
+                    while cur != start {
+                        let l = self.prev[cur].expect("bfs chain");
+                        path.push(l);
+                        cur = topo.vertex_index(topo.link(l).src);
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                self.queue.push_back(next);
+            }
+        }
+        None
+    }
+
     pub(crate) fn capacity_elements(&self) -> usize {
-        self.prev.capacity() + self.seen.capacity() + self.queue.capacity()
+        self.prev.capacity() + self.mark.capacity() + self.queue.capacity()
     }
 }
 
@@ -379,7 +492,7 @@ fn bfs_to_participant_with(
 ) -> Option<(NodeId, Vec<LinkId>)> {
     let start = topo.vertex_index(p.into());
     bfs.reset(topo.num_vertices());
-    bfs.seen[start] = true;
+    bfs.mark[start] = bfs.epoch;
     bfs.queue.push_back(Vertex::from(p));
     while let Some(v) = bfs.queue.pop_front() {
         for (next, link) in topo.neighbors(v) {
@@ -387,7 +500,7 @@ fn bfs_to_participant_with(
                 continue;
             }
             let ni = topo.vertex_index(next);
-            if bfs.seen[ni] {
+            if bfs.mark[ni] == bfs.epoch {
                 continue;
             }
             if let Some(a) = allowed {
@@ -395,7 +508,7 @@ fn bfs_to_participant_with(
                     continue;
                 }
             }
-            bfs.seen[ni] = true;
+            bfs.mark[ni] = bfs.epoch;
             bfs.prev[ni] = Some(link);
             if let Some(c) = next.as_node() {
                 if is_participant[c.index()] && !tree.in_tree[c.index()] {

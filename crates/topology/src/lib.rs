@@ -58,5 +58,5 @@ pub use error::TopologyError;
 pub use graph::{Topology, TopologyBuilder, TopologyKind};
 pub use ids::{LinkId, NodeId, SwitchId, Vertex};
 pub use link::Link;
-pub use partition::Partition;
+pub use partition::{Partition, PodQuotient};
 pub use rings::{DimRing, RingEmbedding};

@@ -23,6 +23,8 @@
 
 use crate::graph::{Topology, TopologyKind};
 use crate::ids::{LinkId, NodeId, Vertex};
+use crate::link::Link;
+use std::collections::BTreeMap;
 
 /// A disjoint cover of a topology's vertices by pods.
 ///
@@ -216,6 +218,94 @@ impl Partition {
     /// pods, so every link has exactly one owner.
     pub fn pod_of_link(&self, topo: &Topology, l: LinkId) -> usize {
         self.pod_of_vertex(topo.link(l).src)
+    }
+
+    /// Contracts each pod of `topo` to a single vertex and returns the
+    /// resulting *pod-quotient graph*: one compute node per pod, one
+    /// unidirectional quotient link per ordered pod pair that has at
+    /// least one enabled inter-pod cable, with capacity equal to the
+    /// summed capacity of those cables and a back-mapping from every
+    /// quotient link to its concrete cables.
+    ///
+    /// The quotient is fully deterministic (quotient links sorted by
+    /// `(src_pod, dst_pod)`, cables ascending by [`LinkId`]) and skips
+    /// disabled links of degraded views, so it tracks fault state.
+    /// Hierarchical construction walks the inter-pod forest on this
+    /// p-vertex graph instead of the n-vertex topology — the scale win
+    /// behind 16k-in-seconds builds.
+    pub fn quotient(&self, topo: &Topology) -> PodQuotient {
+        let mut cables: BTreeMap<(u32, u32), Vec<LinkId>> = BTreeMap::new();
+        for (i, l) in topo.links().iter().enumerate() {
+            let id = LinkId::new(i);
+            if topo.is_link_disabled(id) {
+                continue;
+            }
+            let sp = self.pod_of_vertex(l.src) as u32;
+            let dp = self.pod_of_vertex(l.dst) as u32;
+            if sp != dp {
+                // links() iterates ascending ids, so each cable list
+                // comes out sorted without an extra pass
+                cables.entry((sp, dp)).or_default().push(id);
+            }
+        }
+        let mut links = Vec::with_capacity(cables.len());
+        let mut back = Vec::with_capacity(cables.len());
+        for ((sp, dp), concrete) in cables {
+            let capacity: u32 = concrete
+                .iter()
+                .map(|&c| topo.link(c).capacity)
+                .sum::<u32>()
+                .max(1);
+            links.push(Link::with_capacity(
+                Vertex::Node(NodeId::new(sp as usize)),
+                Vertex::Node(NodeId::new(dp as usize)),
+                capacity,
+            ));
+            back.push(concrete);
+        }
+        PodQuotient {
+            topo: Topology::from_parts(TopologyKind::Custom, self.num_pods(), 0, links),
+            cables: back,
+        }
+    }
+}
+
+/// The contraction of a topology by a [`Partition`]: pod `p` becomes
+/// compute node `p`, and every ordered pod pair with at least one
+/// enabled inter-pod cable becomes one quotient link. Built by
+/// [`Partition::quotient`].
+#[derive(Debug, Clone)]
+pub struct PodQuotient {
+    topo: Topology,
+    /// Concrete cables behind each quotient link, ascending by id,
+    /// indexed by quotient [`LinkId`].
+    cables: Vec<Vec<LinkId>>,
+}
+
+impl PodQuotient {
+    /// The p-vertex quotient graph (a [`TopologyKind::Custom`] topology
+    /// whose node `p` stands for pod `p`).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of pods (= nodes of the quotient graph).
+    pub fn num_pods(&self) -> usize {
+        self.topo.num_nodes()
+    }
+
+    /// The concrete inter-pod cables a quotient link stands for,
+    /// ascending by [`LinkId`]. Never empty.
+    pub fn cables(&self, q: LinkId) -> &[LinkId] {
+        &self.cables[q.index()]
+    }
+}
+
+impl PartialEq for PodQuotient {
+    fn eq(&self, other: &Self) -> bool {
+        self.topo.num_nodes() == other.topo.num_nodes()
+            && self.topo.links() == other.topo.links()
+            && self.cables == other.cables
     }
 }
 

@@ -1,0 +1,158 @@
+//! Differential pinning for the PR-7 hierarchical construction rebuild
+//! (pod-quotient inter-pod forest + deterministic parallel pod builds)
+//! against the retained PR-6 builder
+//! (`HierarchicalMultiTree::build_partitioned_reference`).
+//!
+//! Guarantees established, across every topology family × build
+//! threads 1/2/4:
+//!
+//! * **FullGraph mode is bit-for-bit the PR-6 builder** for any thread
+//!   count — pod builds are per-pod independent and deterministic, so
+//!   fanning them across workers must not change a byte.
+//! * **Quotient mode is byte-identical across thread counts**, passes
+//!   the full symbolic + numeric verifier, stays per-step
+//!   contention-free, and emits exactly the same `2(n−p) + 2p(p−1)`
+//!   events as the PR-6 builder. (Its inter-pod *steps* legitimately
+//!   differ: the quotient walker realizes rep-to-rep edges through pod
+//!   borders instead of free-roaming full-graph relays, so tree shapes
+//!   are not comparable link-for-link — that is the point of the
+//!   optimization. Correctness is pinned by the verifier, not by
+//!   schedule equality.)
+//! * The new memory-scalable numeric verifier
+//!   (`verify_allreduce_numeric`) accepts everything the full symbolic
+//!   verifier accepts on these schedules.
+//! * Degenerate single-pod partitions produce identical schedules in
+//!   every mode (no inter-pod forest exists to differ).
+
+use multitree::algorithms::{ForestScratch, HierarchicalMultiTree, InterPodMode};
+use multitree::cost::analyze;
+use multitree::CommSchedule;
+use multitree::verify::{verify_allreduce_numeric, verify_schedule};
+use mt_topology::{Partition, Topology};
+
+fn families() -> Vec<(&'static str, Topology)> {
+    vec![
+        ("torus 6x6", Topology::torus(6, 6)),
+        ("mesh 5x5", Topology::mesh(5, 5)),
+        ("fat-tree 64", Topology::fat_tree_64()),
+        ("bigraph 32", Topology::bigraph_32()),
+        ("torus3d 3x3x3", Topology::torus3d(3, 3, 3)),
+        ("hypercube 5", Topology::hypercube(5)),
+        ("dragonfly 3,2", Topology::dragonfly(3, 2)),
+    ]
+}
+
+fn build(
+    topo: &Topology,
+    part: &Partition,
+    mode: InterPodMode,
+    threads: usize,
+) -> CommSchedule {
+    let algo = HierarchicalMultiTree::default()
+        .inter_pod(mode)
+        .build_threads(threads);
+    let mut scratch = ForestScratch::new();
+    algo.build_partitioned(topo, part, &mut scratch)
+        .expect("hierarchical build succeeds")
+}
+
+#[test]
+fn fullgraph_mode_is_bit_identical_to_pr6_builder_for_any_thread_count() {
+    for (name, topo) in families() {
+        let part = Partition::auto(&topo);
+        let mut scratch = ForestScratch::new();
+        let oracle = HierarchicalMultiTree::default()
+            .build_partitioned_reference(&topo, &part, &mut scratch)
+            .expect("reference build succeeds");
+        for threads in [1, 2, 4] {
+            let got = build(&topo, &part, InterPodMode::FullGraph, threads);
+            assert_eq!(
+                got, oracle,
+                "{name}: FullGraph x {threads} threads diverged from the PR-6 builder"
+            );
+        }
+    }
+}
+
+#[test]
+fn quotient_mode_is_byte_identical_across_thread_counts_and_verified() {
+    for (name, topo) in families() {
+        let part = Partition::auto(&topo);
+        let serial = build(&topo, &part, InterPodMode::Quotient, 1);
+        for threads in [2, 4] {
+            let parallel = build(&topo, &part, InterPodMode::Quotient, threads);
+            assert_eq!(
+                serial, parallel,
+                "{name}: quotient build diverged at {threads} threads"
+            );
+        }
+
+        verify_schedule(&serial).expect(name);
+        verify_allreduce_numeric(&serial).expect(name);
+        let stats = analyze(&serial, &topo, 1 << 20);
+        assert!(
+            stats.is_contention_free(),
+            "{name}: quotient schedule must stay per-step contention-free"
+        );
+
+        // same event count as the PR-6 shape: 2(n-p) + 2p(p-1)
+        let n = topo.num_nodes();
+        let p = part.num_pods();
+        assert_eq!(
+            serial.events().len(),
+            2 * (n - p) + 2 * p * (p - 1),
+            "{name}: quotient event count"
+        );
+    }
+}
+
+#[test]
+fn quotient_matches_reference_on_balanced_pods_too() {
+    // balanced (non-natural) partitions exercise the border-routing of
+    // grid pods; same guarantees as the auto-partition test
+    let topo = Topology::torus(8, 8);
+    for pods in [2, 4, 8, 16] {
+        let part = Partition::balanced(&topo, pods);
+        let serial = build(&topo, &part, InterPodMode::Quotient, 1);
+        for threads in [2, 4] {
+            assert_eq!(
+                serial,
+                build(&topo, &part, InterPodMode::Quotient, threads),
+                "torus 8x8 pods={pods}: thread divergence"
+            );
+        }
+        verify_schedule(&serial).unwrap();
+        verify_allreduce_numeric(&serial).unwrap();
+        assert!(analyze(&serial, &topo, 1 << 20).is_contention_free());
+    }
+}
+
+#[test]
+fn single_pod_partitions_are_identical_in_every_mode() {
+    for (name, topo) in families() {
+        let part = Partition::balanced(&topo, 1);
+        let mut scratch = ForestScratch::new();
+        let oracle = HierarchicalMultiTree::default()
+            .build_partitioned_reference(&topo, &part, &mut scratch)
+            .expect("reference build succeeds");
+        for mode in [InterPodMode::Quotient, InterPodMode::FullGraph] {
+            for threads in [1, 4] {
+                assert_eq!(
+                    build(&topo, &part, mode, threads),
+                    oracle,
+                    "{name}: single-pod {mode:?} x {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn numeric_verifier_agrees_with_symbolic_verifier_on_reports() {
+    let topo = Topology::torus(6, 6);
+    let part = Partition::auto(&topo);
+    let s = build(&topo, &part, InterPodMode::Quotient, 1);
+    let sym = verify_schedule(&s).unwrap();
+    let num = verify_allreduce_numeric(&s).unwrap();
+    assert_eq!(sym, num, "both verifiers must report the same event census");
+}

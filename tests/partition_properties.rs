@@ -91,6 +91,89 @@ fn assert_partition_sound(topo: &Topology, part: &Partition, label: &str) {
     );
 }
 
+/// Soundness of [`Partition::quotient`] against its contract:
+///
+/// * the quotient has one compute node per pod and no switches;
+/// * the back-mapping is **exact-once**: every enabled inter-pod link
+///   appears behind exactly one quotient link, intra-pod and disabled
+///   links never appear, cable lists are ascending and non-empty, and
+///   the concrete endpoints' pods match the quotient link's endpoints;
+/// * quotient link capacity is the summed capacity of its cables;
+/// * the quotient is connected iff the inter-pod cabling connects the
+///   pods (checked against an independent union-find).
+fn assert_quotient_sound(topo: &Topology, part: &Partition, label: &str) {
+    let q = part.quotient(topo);
+    let qt = q.topology();
+    let p_count = part.num_pods();
+    assert_eq!(q.num_pods(), p_count, "{label}: quotient pod count");
+    assert_eq!(qt.num_nodes(), p_count, "{label}: one quotient node per pod");
+    assert_eq!(qt.num_switches(), 0, "{label}: quotient has no switches");
+
+    let mut times_mapped = vec![0u32; topo.num_links()];
+    for qi in 0..qt.num_links() {
+        let ql = LinkId::new(qi);
+        let qlink = qt.link(ql);
+        let (sp, dp) = (qt.vertex_index(qlink.src), qt.vertex_index(qlink.dst));
+        assert_ne!(sp, dp, "{label}: quotient self-loop");
+        let cables = q.cables(ql);
+        assert!(!cables.is_empty(), "{label}: quotient link without cables");
+        for w in cables.windows(2) {
+            assert!(w[0].index() < w[1].index(), "{label}: cables not ascending");
+        }
+        let mut cap = 0u32;
+        for &c in cables {
+            times_mapped[c.index()] += 1;
+            let l = topo.link(c);
+            assert!(!topo.is_link_disabled(c), "{label}: disabled cable mapped");
+            assert_eq!(part.pod_of_vertex(l.src), sp, "{label}: cable src pod");
+            assert_eq!(part.pod_of_vertex(l.dst), dp, "{label}: cable dst pod");
+            cap += l.capacity;
+        }
+        assert_eq!(qlink.capacity, cap, "{label}: quotient capacity != cable sum");
+    }
+    for (i, &mapped) in times_mapped.iter().enumerate() {
+        let id = LinkId::new(i);
+        let l = topo.link(id);
+        let inter = !topo.is_link_disabled(id)
+            && part.pod_of_vertex(l.src) != part.pod_of_vertex(l.dst);
+        assert_eq!(
+            mapped,
+            u32::from(inter),
+            "{label}: link {i} mapped {mapped} times (inter-pod: {inter})"
+        );
+    }
+
+    // connected iff the inter-pod cabling connects the pods
+    let mut parent: Vec<usize> = (0..p_count).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut r = x;
+        while parent[r] != r {
+            parent[r] = parent[parent[r]];
+            r = parent[r];
+        }
+        r
+    }
+    for i in 0..topo.num_links() {
+        let id = LinkId::new(i);
+        if topo.is_link_disabled(id) {
+            continue;
+        }
+        let l = topo.link(id);
+        let (a, b) = (part.pod_of_vertex(l.src), part.pod_of_vertex(l.dst));
+        if a != b {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            parent[ra] = rb;
+        }
+    }
+    let root = find(&mut parent, 0);
+    let pods_connected = (1..p_count).all(|p| find(&mut parent, p) == root);
+    assert_eq!(
+        qt.is_connected(),
+        pods_connected,
+        "{label}: quotient connectivity disagrees with inter-pod cabling"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -142,5 +225,60 @@ proptest! {
         for p in 0..n {
             prop_assert_eq!(shattered.pod_nodes(p), &[NodeId::new(p)][..]);
         }
+    }
+
+    #[test]
+    fn quotients_are_deterministic_and_sound(
+        idx in 0usize..8,
+        a in 2usize..8,
+        b in 2usize..6,
+        pods in 1usize..12,
+        seed: u64,
+    ) {
+        let topo = family(idx, a, b, seed);
+        let label = format!("family {idx} a={a} b={b} pods={pods} seed={seed}");
+
+        let part = Partition::balanced(&topo, pods);
+        assert_quotient_sound(&topo, &part, &label);
+        // determinism: same inputs, identical quotient
+        prop_assert_eq!(
+            part.quotient(&topo) == part.quotient(&topo),
+            true,
+            "{}: quotient not deterministic", &label
+        );
+        assert_quotient_sound(&topo, &Partition::auto(&topo), &label);
+
+        // degenerate extremes: one pod (no inter-pod links at all) and
+        // one pod per node (every enabled inter-pod link is a cable)
+        let single = Partition::balanced(&topo, 1);
+        let q1 = single.quotient(&topo);
+        prop_assert_eq!(q1.num_pods(), 1, "{}: 1-pod quotient", &label);
+        prop_assert_eq!(q1.topology().num_links(), 0, "{}: 1-pod links", &label);
+        prop_assert!(q1.topology().is_connected(), "{}: 1-pod connected", &label);
+        assert_quotient_sound(&topo, &single, &label);
+        let shattered = Partition::balanced(&topo, topo.num_nodes());
+        assert_quotient_sound(&topo, &shattered, &label);
+    }
+
+    #[test]
+    fn quotient_tracks_degraded_views(
+        a in 3usize..7,
+        b in 3usize..6,
+        pods in 2usize..6,
+        kill in 0usize..8,
+        seed: u64,
+    ) {
+        // disabled links must vanish from the quotient's back-mapping
+        let topo = Topology::torus(a, b);
+        let part = Partition::balanced(&topo, pods);
+        let mut state = seed | 1;
+        let mut dead = Vec::new();
+        for _ in 0..kill {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            dead.push(LinkId::new((state >> 33) as usize % topo.num_links()));
+        }
+        let degraded = topo.without_links(&dead);
+        let label = format!("degraded torus {a}x{b} pods={pods} dead={}", dead.len());
+        assert_quotient_sound(&degraded, &part, &label);
     }
 }
