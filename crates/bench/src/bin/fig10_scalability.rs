@@ -29,6 +29,13 @@
 //! *including wall-clock construct/prepare columns*; those timings are
 //! intentionally kept out of the default `--json` output so CI can
 //! byte-diff it across thread counts.
+//!
+//! `--oversub R` (R > 1) adds a MULTITREE-BW column: at each rung the
+//! bandwidth-aware MultiTree is built and run on a two-tier fat-tree of
+//! the same node count whose leaf<->spine uplinks run at 1/R of the
+//! edge rate — the heterogeneous-fabric scalability story next to the
+//! uniform-torus baselines. The flag defaults to off, and when unset
+//! the `--json` output is byte-identical to builds without the flag.
 
 use multitree::algorithms::{
     Algorithm, AllReduce, HierarchicalMultiTree, MultiTree, Ring, Ring2D,
@@ -39,10 +46,38 @@ use mt_bench::dump_json;
 use mt_bench::parallel::run_indexed;
 use mt_bench::suites::{run_engine_prepared, scalability_tori_to, EngineKind};
 use mt_netsim::{flow::FlowEngine, NetworkConfig, NoopObserver, ShardPlan, SimScratch};
+use mt_topology::{LinkId, Topology};
 use serde::Serialize;
 
 /// Flat algorithms stop here; larger rungs run only MULTITREE-HIER.
 const FLAT_CEILING: usize = 1024;
+
+/// What a column runs at each rung.
+#[derive(Debug, Clone)]
+enum Col {
+    /// A flat algorithm on the rung's torus.
+    Flat(Algorithm),
+    /// The pod-hierarchical MultiTree through the sharded flow engine.
+    Hier,
+    /// The bandwidth-aware MultiTree on an oversubscribed two-tier
+    /// fat-tree of the same node count (`--oversub` ratio).
+    OversubBw(u32),
+}
+
+/// A two-tier fat-tree with `n` nodes (8 per leaf, square spine block)
+/// whose leaf<->spine uplinks run at `1/ratio` of the edge rate.
+fn oversub_fattree(n: usize, ratio: u32) -> Topology {
+    let per_leaf = n.min(8);
+    let leaves = n / per_leaf;
+    let uniform = Topology::fat_tree_two_level(leaves, leaves, per_leaf);
+    // uplinks follow the node<->leaf block (2 links per node)
+    let slow: Vec<(LinkId, u32, u32)> = (2 * n..uniform.num_links())
+        .map(|i| (LinkId::new(i), 1, ratio))
+        .collect();
+    uniform
+        .with_link_rates(&slow)
+        .expect("uplink ids are in range and the ratio is positive")
+}
 
 #[derive(Debug, Serialize)]
 struct Row {
@@ -79,19 +114,21 @@ fn main() {
     let pkt = NetworkConfig::paper_default();
     let msg = NetworkConfig::paper_message_based();
 
-    // `None` = the hierarchical MultiTree (not in the `Algorithm` enum:
-    // it runs through the sharded flow engine on its own pod partition)
-    let mut algos: Vec<(&str, Option<Algorithm>, NetworkConfig)> = vec![
-        ("RING", Some(Algorithm::Ring(Ring)), pkt),
-        ("2D-RING", Some(Algorithm::Ring2D(Ring2D)), pkt),
+    let oversub: u32 = args.get_or("oversub", 1);
+    let mut algos: Vec<(&str, Col, NetworkConfig)> = vec![
+        ("RING", Col::Flat(Algorithm::Ring(Ring)), pkt),
+        ("2D-RING", Col::Flat(Algorithm::Ring2D(Ring2D)), pkt),
         (
             "MULTITREEMSG",
-            Some(Algorithm::MultiTree(MultiTree::default())),
+            Col::Flat(Algorithm::MultiTree(MultiTree::default())),
             msg,
         ),
     ];
+    if oversub > 1 {
+        algos.push(("MULTITREE-BW", Col::OversubBw(oversub), msg));
+    }
     if max_nodes > FLAT_CEILING {
-        algos.push(("MULTITREE-HIER", None, msg));
+        algos.push(("MULTITREE-HIER", Col::Hier, msg));
     }
     let labels: Vec<&str> = algos.iter().map(|(l, _, _)| *l).collect();
 
@@ -106,15 +143,15 @@ fn main() {
             };
             algos
                 .iter()
-                .filter(|(_, algo, _)| algo.is_none() || n <= FLAT_CEILING)
-                .map(|(label, algo, net)| (n, topo.clone(), bytes, *label, algo.clone(), *net))
+                .filter(|(_, col, _)| matches!(col, Col::Hier) || n <= FLAT_CEILING)
+                .map(|(label, col, net)| (n, topo.clone(), bytes, *label, col.clone(), *net))
                 .collect::<Vec<_>>()
         })
         .collect();
     let timed: Vec<(Row, f64, f64)> =
-        run_indexed(units, args.threads(), |(n, topo, bytes, label, algo, net)| {
-            let (completion_ns, construct_ms, prepare_ms) = match algo {
-                Some(algo) => {
+        run_indexed(units, args.threads(), |(n, topo, bytes, label, col, net)| {
+            let (completion_ns, construct_ms, prepare_ms) = match col {
+                Col::Flat(algo) => {
                     let t0 = std::time::Instant::now();
                     let schedule = algo.build(topo).expect("torus supported");
                     let construct = t0.elapsed().as_secs_f64() * 1e3;
@@ -126,7 +163,22 @@ fn main() {
                         .completion_ns;
                     (c, construct, prepare)
                 }
-                None => {
+                Col::OversubBw(ratio) => {
+                    let fabric = oversub_fattree(*n, *ratio);
+                    let t0 = std::time::Instant::now();
+                    let schedule = MultiTree::bandwidth_aware()
+                        .build(&fabric)
+                        .expect("fat-tree supported");
+                    let construct = t0.elapsed().as_secs_f64() * 1e3;
+                    let t0 = std::time::Instant::now();
+                    let prep =
+                        PreparedSchedule::new(&schedule, &fabric).expect("schedules validate");
+                    let prepare = t0.elapsed().as_secs_f64() * 1e3;
+                    let c = run_engine_prepared(engine, *net, &prep, *bytes, &mut SimScratch::new())
+                        .completion_ns;
+                    (c, construct, prepare)
+                }
+                Col::Hier => {
                     let mut hier = HierarchicalMultiTree::default().build_threads(build_threads);
                     if pods > 0 {
                         hier.pods = Some(pods);

@@ -65,6 +65,13 @@ pub struct HierarchicalMultiTree {
     pub build_threads: usize,
     /// How the inter-pod representative forest is constructed.
     pub inter_pod: InterPodMode,
+    /// Rate-aware composition for heterogeneous fabrics: pod trees and
+    /// the inter-pod forest allocate per-step slots in proportion to link
+    /// rates, each pod's representative is the member with the fastest
+    /// aggregate out-links (instead of the lowest node id), and the
+    /// quotient walker prefers full-rate inter-pod cables. Byte-identical
+    /// to the default on uniform topologies.
+    pub bandwidth_aware: bool,
 }
 
 /// Inter-pod forest construction strategy for [`HierarchicalMultiTree`].
@@ -90,6 +97,7 @@ impl Default for HierarchicalMultiTree {
             pods: None,
             build_threads: 1,
             inter_pod: InterPodMode::Quotient,
+            bandwidth_aware: false,
         }
     }
 }
@@ -116,11 +124,27 @@ impl HierarchicalMultiTree {
         self
     }
 
-    /// The partition this instance would compose over on `topo`.
+    /// Rate-aware composition (see
+    /// [`HierarchicalMultiTree::bandwidth_aware`]).
+    pub fn bandwidth_aware() -> Self {
+        HierarchicalMultiTree {
+            bandwidth_aware: true,
+            ..Self::default()
+        }
+    }
+
+    /// The partition this instance would compose over on `topo`. In
+    /// bandwidth-aware mode each pod's representative is re-picked as the
+    /// member with the largest aggregate out-link rate (ROADMAP item 4).
     pub fn partition(&self, topo: &Topology) -> Partition {
-        match self.pods {
+        let part = match self.pods {
             Some(k) => Partition::balanced(topo, k),
             None => Partition::auto(topo),
+        };
+        if self.bandwidth_aware && !topo.is_uniform() {
+            part.with_rate_aware_representatives(topo)
+        } else {
+            part
         }
     }
 
@@ -166,18 +190,21 @@ impl HierarchicalMultiTree {
 
         // ---- pod trees: one representative-rooted tree per pod, built
         // with the relay walker restricted to the pod's own vertices.
-        let (pod_trees, t1) = build_pod_trees(topo, part, self.build_threads, scratch)?;
+        let (pod_trees, t1) =
+            build_pod_trees(topo, part, self.build_threads, self.bandwidth_aware, scratch)?;
 
         // ---- inter-pod forest: a MultiTree among representatives,
         // walked on the pod-quotient graph (default) or the full graph.
         let inter = if p_count > 1 {
             Some(match self.inter_pod {
-                InterPodMode::Quotient => construct_interpod_quotient(topo, part, scratch)?,
-                InterPodMode::FullGraph => MultiTree::default().construct_forest_among_with(
-                    topo,
-                    part.representatives(),
-                    scratch,
-                )?,
+                InterPodMode::Quotient => {
+                    construct_interpod_quotient(topo, part, self.bandwidth_aware, scratch)?
+                }
+                InterPodMode::FullGraph => MultiTree {
+                    bandwidth_aware: self.bandwidth_aware,
+                    ..MultiTree::default()
+                }
+                .construct_forest_among_with(topo, part.representatives(), scratch)?,
             })
         } else {
             None
@@ -253,7 +280,7 @@ fn build_pod_trees_reference(
             let mut t = 0u32;
             while tree.members.len() < m {
                 t += 1;
-                scratch.reset_pool();
+                scratch.reset_pool(t);
                 let mut added = false;
                 while tree.members.len() < m
                     && try_add_restricted(
@@ -306,6 +333,7 @@ fn build_one_pod_tree(
     p: usize,
     is_member: &mut [bool],
     allowed: &mut [bool],
+    bandwidth_aware: bool,
     scratch: &mut ForestScratch,
 ) -> Result<(Tree, u32), AlgorithmError> {
     let members = part.pod_nodes(p);
@@ -320,9 +348,14 @@ fn build_one_pod_tree(
             *a = part.pod_of_vertex(topo.vertex_at(vi)) == p;
         }
         scratch.reset(topo, 1);
+        if bandwidth_aware {
+            scratch.enable_rate_accrual(topo);
+        }
+        let stall_limit = scratch.stall_allowance();
+        let mut stalled = 0u32;
         while tree.members.len() < m {
             t += 1;
-            scratch.reset_pool();
+            scratch.reset_pool(t);
             let mut added = false;
             while tree.members.len() < m
                 && try_add_restricted(
@@ -338,11 +371,16 @@ fn build_one_pod_tree(
             {
                 added = true;
             }
-            if !added {
-                return Err(AlgorithmError::ConstructionFailed {
-                    algorithm: "multitree-hier",
-                    reason: format!("pod {p} is not internally connected"),
-                });
+            if added {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= stall_limit {
+                    return Err(AlgorithmError::ConstructionFailed {
+                        algorithm: "multitree-hier",
+                        reason: format!("pod {p} is not internally connected"),
+                    });
+                }
             }
         }
         for &mb in members {
@@ -368,6 +406,7 @@ fn build_pod_trees(
     topo: &Topology,
     part: &Partition,
     threads: usize,
+    bandwidth_aware: bool,
     scratch: &mut ForestScratch,
 ) -> Result<(Vec<Tree>, u32), AlgorithmError> {
     let n = topo.num_nodes();
@@ -379,8 +418,15 @@ fn build_pod_trees(
         let mut trees = Vec::with_capacity(p_count);
         let mut t1 = 0u32;
         for p in 0..p_count {
-            let (tree, t) =
-                build_one_pod_tree(topo, part, p, &mut is_member, &mut allowed, scratch)?;
+            let (tree, t) = build_one_pod_tree(
+                topo,
+                part,
+                p,
+                &mut is_member,
+                &mut allowed,
+                bandwidth_aware,
+                scratch,
+            )?;
             t1 = t1.max(t);
             trees.push(tree);
         }
@@ -411,6 +457,7 @@ fn build_pod_trees(
                         p,
                         &mut is_member,
                         &mut allowed,
+                        bandwidth_aware,
                         &mut scratch,
                     );
                     if tx.send((p, r)).is_err() {
@@ -447,6 +494,7 @@ fn build_pod_trees(
 fn construct_interpod_quotient(
     topo: &Topology,
     part: &Partition,
+    bandwidth_aware: bool,
     scratch: &mut ForestScratch,
 ) -> Result<Forest, AlgorithmError> {
     let q = part.quotient(topo);
@@ -458,14 +506,20 @@ fn construct_interpod_quotient(
 
     // the pool is the *concrete* link pool; only cursors are per-tree
     scratch.reset(topo, p_count);
+    if bandwidth_aware {
+        scratch.enable_rate_accrual(topo);
+    }
+    let prefer_fast_cables = bandwidth_aware && !topo.is_uniform();
     if p_count > 1 {
         scratch.active.extend(0..p_count);
     }
 
+    let stall_limit = scratch.stall_allowance();
+    let mut stalled = 0u32;
     let mut t: u32 = 0;
     while !scratch.active.is_empty() {
         t += 1;
-        scratch.reset_pool();
+        scratch.reset_pool(t);
         let mut added_this_step = false;
         let mut progress = true;
         while progress {
@@ -486,6 +540,7 @@ fn construct_interpod_quotient(
                     &mut scratch.cursor[ti],
                     &mut scratch.relay_bfs,
                     &mut scratch.relay_bfs2,
+                    prefer_fast_cables,
                 ) {
                     progress = true;
                     added_this_step = true;
@@ -500,13 +555,18 @@ fn construct_interpod_quotient(
                     .retain(|&i| trees[i].members.len() < p_count);
             }
         }
-        if !added_this_step {
-            return Err(AlgorithmError::ConstructionFailed {
-                algorithm: "multitree-hier",
-                reason: "pod representatives are not mutually reachable \
-                         through the pod-quotient graph"
-                    .into(),
-            });
+        if added_this_step {
+            stalled = 0;
+        } else {
+            stalled += 1;
+            if stalled >= stall_limit {
+                return Err(AlgorithmError::ConstructionFailed {
+                    algorithm: "multitree-hier",
+                    reason: "pod representatives are not mutually reachable \
+                             through the pod-quotient graph"
+                        .into(),
+                });
+            }
         }
     }
 
@@ -534,6 +594,7 @@ fn try_add_quotient(
     cur: &mut Cursor,
     flood: &mut RelayBfs,
     route: &mut RelayBfs,
+    prefer_fast_cables: bool,
 ) -> bool {
     if cur.step != t {
         cur.step = t;
@@ -555,28 +616,36 @@ fn try_add_quotient(
             if tree.in_tree[rep_b.index()] {
                 continue;
             }
-            for &cable in q.cables(ql) {
-                if pool[cable.index()] == 0 {
-                    continue;
+            // In bandwidth-aware mode try full-rate cables of the bundle
+            // first, then any; otherwise one pass in bundle order.
+            let passes: &[u8] = if prefer_fast_cables { &[0, 1] } else { &[1] };
+            for &pass in passes {
+                for &cable in q.cables(ql) {
+                    if pass == 0 && !topo.link(cable).is_full_rate() {
+                        continue;
+                    }
+                    if pool[cable.index()] == 0 {
+                        continue;
+                    }
+                    let clink = topo.link(cable);
+                    if !flood.reached(topo, clink.src) {
+                        continue;
+                    }
+                    let Some(route2) =
+                        route.pod_route(topo, part, b, clink.dst, rep_b.into(), pool)
+                    else {
+                        continue;
+                    };
+                    let mut path = flood.path_to(topo, rep_a.into(), clink.src);
+                    path.push(cable);
+                    path.extend_from_slice(&route2);
+                    for &l in &path {
+                        pool[l.index()] -= 1;
+                    }
+                    tree.add(rep_a, rep_b, t, path);
+                    cur.scan_from = mi;
+                    return true;
                 }
-                let clink = topo.link(cable);
-                if !flood.reached(topo, clink.src) {
-                    continue;
-                }
-                let Some(route2) =
-                    route.pod_route(topo, part, b, clink.dst, rep_b.into(), pool)
-                else {
-                    continue;
-                };
-                let mut path = flood.path_to(topo, rep_a.into(), clink.src);
-                path.push(cable);
-                path.extend_from_slice(&route2);
-                for &l in &path {
-                    pool[l.index()] -= 1;
-                }
-                tree.add(rep_a, rep_b, t, path);
-                cur.scan_from = mi;
-                return true;
             }
         }
         mi += 1;

@@ -57,6 +57,14 @@ pub enum TreeOrder {
 pub struct MultiTree {
     /// Tree-selection policy.
     pub order: TreeOrder,
+    /// Allocate per-step link slots in proportion to each link's
+    /// effective rate instead of its raw multigraph capacity, and prefer
+    /// fast out-links when scanning for children. On a uniform topology
+    /// (every link at full rate) this mode is byte-identical to the
+    /// default; on heterogeneous fabrics it steers trees away from slow
+    /// links, which is what makes the schedule competitive on
+    /// oversubscribed fat-trees and slow-global dragonflies.
+    pub bandwidth_aware: bool,
 }
 
 impl MultiTree {
@@ -64,6 +72,16 @@ impl MultiTree {
     pub fn with_remaining_height() -> Self {
         MultiTree {
             order: TreeOrder::RemainingHeight,
+            ..Self::default()
+        }
+    }
+
+    /// MultiTree with rate-proportional slot accrual and fast-link
+    /// preference (see [`MultiTree::bandwidth_aware`]).
+    pub fn bandwidth_aware() -> Self {
+        MultiTree {
+            bandwidth_aware: true,
+            ..Self::default()
         }
     }
 }
@@ -195,6 +213,9 @@ impl MultiTree {
         let n = topo.num_nodes();
         let mut trees: Vec<TreeBuild> = (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
         s.reset(topo, n);
+        if self.bandwidth_aware {
+            s.enable_rate_accrual(topo);
+        }
         s.reset_sat(n);
         for tree in &trees {
             s.sat[tree.root.index()].init_root(topo, tree);
@@ -206,11 +227,13 @@ impl MultiTree {
             s.compute_ecc(topo, n);
         }
 
+        let stall_limit = s.stall_allowance();
+        let mut stalled: u32 = 0;
         let mut t: u32 = 0;
         while !s.active.is_empty() {
             t += 1;
             // A new time step starts with a fresh topology graph G'.
-            s.reset_pool();
+            s.reset_pool(t);
             let mut added_this_step = false;
             let mut progress = true;
             while progress {
@@ -242,6 +265,7 @@ impl MultiTree {
                         &mut s.pool,
                         &mut s.cursor[ti],
                         &mut s.sat[ti],
+                        &s.rate_adj,
                     ) {
                         progress = true;
                         added_this_step = true;
@@ -258,12 +282,21 @@ impl MultiTree {
                     s.active.retain(|&i| !trees[i].complete(n));
                 }
             }
-            if !added_this_step {
-                return Err(AlgorithmError::ConstructionFailed {
-                    algorithm: "multitree",
-                    reason: "no tree could grow in a fresh time step; topology is disconnected"
-                        .into(),
-                });
+            if added_this_step {
+                stalled = 0;
+            } else {
+                // Under rate accrual a step may legitimately grant no
+                // slots on the links a tree needs; only give up once a
+                // full accrual cycle passes without progress (every link
+                // grants at least one slot somewhere in that window).
+                stalled += 1;
+                if stalled >= stall_limit {
+                    return Err(AlgorithmError::ConstructionFailed {
+                        algorithm: "multitree",
+                        reason: "no tree could grow in a fresh time step; topology is disconnected"
+                            .into(),
+                    });
+                }
             }
         }
 
@@ -429,7 +462,9 @@ fn count_unjoined(topo: &Topology, tree: &TreeBuild, p: NodeId) -> u32 {
 /// The cursor-driven equivalent of [`MultiTree::try_add_direct`]: picks
 /// the exact same `(parent, child, link)` the reference would, but skips
 /// members already known to fail. Shared with the incremental repair in
-/// [`crate::algorithms::repair`].
+/// [`crate::algorithms::repair`]. `adj` supplies the out-link scan order:
+/// unbuilt it is plain adjacency order (reference-identical); built it
+/// prefers fast links (bandwidth-aware mode).
 pub(crate) fn try_add_direct_fast(
     topo: &Topology,
     tree: &mut TreeBuild,
@@ -437,6 +472,7 @@ pub(crate) fn try_add_direct_fast(
     pool: &mut [u32],
     cur: &mut Cursor,
     sat: &mut SatTrack,
+    adj: &RateAdj,
 ) -> bool {
     if cur.step != t {
         cur.step = t;
@@ -456,7 +492,7 @@ pub(crate) fn try_add_direct_fast(
             break;
         }
         if sat.unjoined[p.index()] > 0 {
-            for &link in topo.out_links(p.into()) {
+            for &link in adj.out_links(topo, p.into()) {
                 let c = match topo.link(link).dst.as_node() {
                     Some(c) => c,
                     None => continue,
@@ -512,6 +548,15 @@ pub struct ForestScratch {
     pub(crate) pool: Vec<u32>,
     /// Capacity template copied into `pool` at every step start.
     pub(crate) capacities: Vec<u32>,
+    /// Per-link rate numerators/denominators for rate-proportional slot
+    /// accrual (bandwidth-aware mode on a non-uniform topology only).
+    rate_num: Vec<u32>,
+    rate_den: Vec<u32>,
+    /// When set, `reset_pool` grants each link `⌊t·cap·num/den⌋ −
+    /// ⌊(t−1)·cap·num/den⌋` slots at step `t` instead of `cap`.
+    rate_aware: bool,
+    /// Out-links per vertex sorted fastest-first (bandwidth-aware mode).
+    pub(crate) rate_adj: RateAdj,
     /// Incomplete-tree indices in turn order.
     pub(crate) active: Vec<usize>,
     /// Root eccentricities (RemainingHeight policy only).
@@ -549,6 +594,8 @@ impl ForestScratch {
         self.capacities.extend(topo.links().iter().map(|l| l.capacity));
         self.pool.clear();
         self.pool.resize(topo.num_links(), 0);
+        self.rate_aware = false;
+        self.rate_adj.clear();
         self.active.clear();
         self.ecc.clear();
         self.depth.clear();
@@ -556,6 +603,47 @@ impl ForestScratch {
         self.order_dirty = true;
         self.cursor.clear();
         self.cursor.resize(n, Cursor::default());
+    }
+
+    /// Switches the per-step pool to rate-proportional accrual and builds
+    /// the fastest-first adjacency. No-op on uniform topologies, where
+    /// accrual degenerates to the plain capacity template — keeping the
+    /// bandwidth-aware builder byte-identical to the default one there.
+    pub(crate) fn enable_rate_accrual(&mut self, topo: &Topology) {
+        if topo.is_uniform() {
+            return;
+        }
+        self.rate_num.clear();
+        self.rate_den.clear();
+        for l in topo.links() {
+            self.rate_num.push(l.rate_num);
+            self.rate_den.push(l.rate_den);
+        }
+        self.rate_aware = true;
+        self.rate_adj.build(topo);
+    }
+
+    /// Steps without progress tolerated before construction declares the
+    /// topology disconnected. 1 under plain capacity pools; under rate
+    /// accrual, one full accrual cycle — the lcm of the per-link grant
+    /// periods (capped), within which every link receives at least one
+    /// slot, so a whole silent cycle proves no tree can ever grow.
+    pub(crate) fn stall_allowance(&self) -> u32 {
+        if !self.rate_aware {
+            return 1;
+        }
+        const CAP: u64 = 1 << 20;
+        let mut l: u64 = 1;
+        for i in 0..self.capacities.len() {
+            let g = u64::from(self.capacities[i]) * u64::from(self.rate_num[i]);
+            let d = u64::from(self.rate_den[i]);
+            let p = d / gcd64(g, d);
+            l = l / gcd64(l, p) * p;
+            if l >= CAP {
+                return CAP as u32;
+            }
+        }
+        l as u32
     }
 
     /// Prepares one saturation track per tree (direct path only).
@@ -568,9 +656,24 @@ impl ForestScratch {
         }
     }
 
-    /// Copies the capacity template into the per-step pool.
-    pub(crate) fn reset_pool(&mut self) {
-        self.pool.copy_from_slice(&self.capacities);
+    /// Loads step `t`'s link slots into the pool: the capacity template
+    /// verbatim in the default mode, or the rate-proportional integer
+    /// accrual `⌊t·cap·num/den⌋ − ⌊(t−1)·cap·num/den⌋` under
+    /// [`ForestScratch::enable_rate_accrual`] — exact over any horizon
+    /// (slots granted through step `t` always total `⌊t·cap·num/den⌋`),
+    /// so a half-rate link gets a slot every other step, never drifting.
+    pub(crate) fn reset_pool(&mut self, t: u32) {
+        if !self.rate_aware {
+            self.pool.copy_from_slice(&self.capacities);
+            return;
+        }
+        let t = u64::from(t);
+        for (i, slot) in self.pool.iter_mut().enumerate() {
+            let g = u64::from(self.capacities[i]) * u64::from(self.rate_num[i]);
+            let d = u64::from(self.rate_den[i]);
+            let granted = t * g / d - (t - 1) * g / d;
+            *slot = granted.min(u64::from(u32::MAX)) as u32;
+        }
     }
 
     /// Batched per-root eccentricity: one BFS per root instead of the
@@ -599,6 +702,9 @@ impl ForestScratch {
     pub fn capacity_elements(&self) -> usize {
         self.pool.capacity()
             + self.capacities.capacity()
+            + self.rate_num.capacity()
+            + self.rate_den.capacity()
+            + self.rate_adj.capacity_elements()
             + self.active.capacity()
             + self.ecc.capacity()
             + self.depth.capacity()
@@ -611,6 +717,66 @@ impl ForestScratch {
             + self.relay_bfs.capacity_elements()
             + self.relay_bfs2.capacity_elements()
     }
+}
+
+/// Fastest-first out-link order for bandwidth-aware construction: a CSR
+/// over all vertices whose per-vertex slice sorts out-links by descending
+/// effective rate (stable, so equal-rate links keep the topology's
+/// preference order). Unbuilt (the default), [`RateAdj::out_links`]
+/// falls through to the topology's own adjacency, making the default
+/// construction paths bit-identical to the reference builders.
+#[derive(Default)]
+pub(crate) struct RateAdj {
+    links: Vec<LinkId>,
+    start: Vec<usize>,
+}
+
+impl RateAdj {
+    pub(crate) fn clear(&mut self) {
+        self.links.clear();
+        self.start.clear();
+    }
+
+    pub(crate) fn build(&mut self, topo: &Topology) {
+        self.clear();
+        for vi in 0..topo.num_vertices() {
+            self.start.push(self.links.len());
+            let from = self.links.len();
+            self.links.extend_from_slice(topo.out_links(topo.vertex_at(vi)));
+            self.links[from..].sort_by(|&a, &b| {
+                topo.link_rate(b)
+                    .partial_cmp(&topo.link_rate(a))
+                    .expect("link rates are finite")
+            });
+        }
+        self.start.push(self.links.len());
+    }
+
+    /// The out-link scan order for `v`: fastest-first when built, the
+    /// topology's adjacency order otherwise.
+    #[inline]
+    pub(crate) fn out_links<'a>(&'a self, topo: &'a Topology, v: Vertex) -> &'a [LinkId] {
+        if self.start.is_empty() {
+            topo.out_links(v)
+        } else {
+            let i = topo.vertex_index(v);
+            &self.links[self.start[i]..self.start[i + 1]]
+        }
+    }
+
+    pub(crate) fn capacity_elements(&self) -> usize {
+        self.links.capacity() + self.start.capacity()
+    }
+}
+
+/// Euclid on u64, for accrual-period arithmetic.
+fn gcd64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a.max(1)
 }
 
 /// Mutable tree state during construction. Shared with the indirect

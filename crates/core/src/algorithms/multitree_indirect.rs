@@ -10,7 +10,7 @@
 //! links. All links of the successful path are consumed from the current
 //! time step's capacity pool.
 
-use crate::algorithms::multitree::{Cursor, Forest, ForestScratch, MultiTree, TreeBuild};
+use crate::algorithms::multitree::{Cursor, Forest, ForestScratch, MultiTree, RateAdj, TreeBuild};
 use crate::error::AlgorithmError;
 use mt_topology::{LinkId, NodeId, SwitchId, Topology};
 use std::collections::VecDeque;
@@ -29,6 +29,9 @@ impl MultiTree {
         let mut trees: Vec<TreeBuild> =
             (0..n).map(|r| TreeBuild::new(NodeId::new(r), n)).collect();
         s.reset(topo, n);
+        if self.bandwidth_aware {
+            s.enable_rate_accrual(topo);
+        }
         if n > 1 {
             s.active.extend(0..n);
         }
@@ -36,10 +39,12 @@ impl MultiTree {
         // Indirect networks in the paper's evaluation (Fat-Tree, BiGraph)
         // are symmetric, so trees always alternate in ascending root order
         // here regardless of `self.order`.
+        let stall_limit = s.stall_allowance();
+        let mut stalled: u32 = 0;
         let mut t: u32 = 0;
         while !s.active.is_empty() {
             t += 1;
-            s.reset_pool();
+            s.reset_pool(t);
             let mut added_this_step = false;
             let mut progress = true;
             while progress {
@@ -57,6 +62,7 @@ impl MultiTree {
                         &mut s.pool,
                         &mut s.cursor[ti],
                         &mut s.switch_bfs,
+                        &s.rate_adj,
                     ) {
                         progress = true;
                         added_this_step = true;
@@ -69,13 +75,18 @@ impl MultiTree {
                     s.active.retain(|&i| !trees[i].complete(n));
                 }
             }
-            if !added_this_step {
-                return Err(AlgorithmError::ConstructionFailed {
-                    algorithm: "multitree",
-                    reason:
-                        "no tree could grow in a fresh time step; indirect topology is disconnected"
-                            .into(),
-                });
+            if added_this_step {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= stall_limit {
+                    return Err(AlgorithmError::ConstructionFailed {
+                        algorithm: "multitree",
+                        reason:
+                            "no tree could grow in a fresh time step; indirect topology is disconnected"
+                                .into(),
+                    });
+                }
             }
         }
 
@@ -172,6 +183,7 @@ fn try_add_indirect_fast(
     pool: &mut [u32],
     cur: &mut Cursor,
     bfs: &mut SwitchBfs,
+    adj: &RateAdj,
 ) -> bool {
     if cur.step != t {
         cur.step = t;
@@ -184,7 +196,7 @@ fn try_add_indirect_fast(
             // join order: everything from here on joined this step
             break;
         }
-        if let Some((child, path)) = find_child_via_switches_with(topo, tree, p, pool, bfs) {
+        if let Some((child, path)) = find_child_via_switches_with(topo, tree, p, pool, bfs, adj) {
             for &l in &path {
                 debug_assert!(pool[l.index()] > 0);
                 pool[l.index()] -= 1;
@@ -207,10 +219,13 @@ fn find_child_via_switches_with(
     p: NodeId,
     pool: &[u32],
     bfs: &mut SwitchBfs,
+    adj: &RateAdj,
 ) -> Option<(NodeId, Vec<LinkId>)> {
     // (1) p's node-to-switch uplink must be free.
-    let (sw0, uplink) = topo.neighbors(p.into()).find_map(|(v, l)| {
-        v.as_switch()
+    let (sw0, uplink) = adj.out_links(topo, p.into()).iter().find_map(|&l| {
+        topo.link(l)
+            .dst
+            .as_switch()
             .filter(|_| pool[l.index()] > 0)
             .map(|s| (s, l))
     })?;
@@ -221,8 +236,8 @@ fn find_child_via_switches_with(
 
     while let Some(sw) = bfs.queue.pop_front() {
         // (2) a free down-link to an unadded node?
-        for (v, l) in topo.neighbors(sw.into()) {
-            if let Some(c) = v.as_node() {
+        for &l in adj.out_links(topo, sw.into()) {
+            if let Some(c) = topo.link(l).dst.as_node() {
                 if pool[l.index()] > 0 && !tree.in_tree[c.index()] {
                     // reconstruct path: uplink + switch chain + downlink
                     let mut chain = Vec::new();
@@ -241,9 +256,10 @@ fn find_child_via_switches_with(
                 }
             }
         }
-        // (3) expand to neighbor switches through free links
-        for (v, l) in topo.neighbors(sw.into()) {
-            if let Some(next) = v.as_switch() {
+        // (3) expand to neighbor switches through free links, fastest
+        // first in bandwidth-aware mode so slow tiers are crossed last
+        for &l in adj.out_links(topo, sw.into()) {
+            if let Some(next) = topo.link(l).dst.as_switch() {
                 if pool[l.index()] > 0 && !bfs.seen[next.index()] {
                     bfs.seen[next.index()] = true;
                     bfs.prev[next.index()] = Some((sw, l));

@@ -121,14 +121,19 @@ impl MultiTree {
         let k = participants.len();
 
         s.reset(topo, k);
+        if self.bandwidth_aware {
+            s.enable_rate_accrual(topo);
+        }
         if k > 1 {
             s.active.extend(0..k);
         }
 
+        let stall_limit = s.stall_allowance();
+        let mut stalled: u32 = 0;
         let mut t: u32 = 0;
         while !s.active.is_empty() {
             t += 1;
-            s.reset_pool();
+            s.reset_pool(t);
             let mut added_this_step = false;
             let mut progress = true;
             while progress {
@@ -159,11 +164,16 @@ impl MultiTree {
                     s.active.retain(|&i| trees[i].members.len() < k);
                 }
             }
-            if !added_this_step {
-                return Err(AlgorithmError::ConstructionFailed {
-                    algorithm: "multitree",
-                    reason: "participants are not mutually reachable".into(),
-                });
+            if added_this_step {
+                stalled = 0;
+            } else {
+                stalled += 1;
+                if stalled >= stall_limit {
+                    return Err(AlgorithmError::ConstructionFailed {
+                        algorithm: "multitree",
+                        reason: "participants are not mutually reachable".into(),
+                    });
+                }
             }
         }
 

@@ -189,7 +189,7 @@ pub fn repair_multitree(
         .collect();
     let affected_trees = affected.iter().filter(|&&a| a).count();
 
-    match regrow_affected(topo, &degraded, forest, &affected) {
+    match regrow_affected(topo, &degraded, forest, &affected, mt.bandwidth_aware) {
         Some(merged) => {
             let mut s = CommSchedule::new("multitree-repair", topo.num_nodes(), topo.num_nodes().max(1) as u32);
             let lowered = lower_forest(&degraded, &merged, &mut s, &|root| root.index() as u32)
@@ -243,6 +243,7 @@ fn regrow_affected(
     degraded: &Topology,
     forest: &Forest,
     affected: &[bool],
+    bandwidth_aware: bool,
 ) -> Option<Forest> {
     let n = topo.num_nodes();
     let mut trees: Vec<TreeBuild> = Vec::with_capacity(forest.trees.len());
@@ -270,6 +271,9 @@ fn regrow_affected(
 
     let mut s = ForestScratch::new();
     s.reset(degraded, n);
+    if bandwidth_aware {
+        s.enable_rate_accrual(degraded);
+    }
     s.reset_sat(n);
     for (ti, &hit) in affected.iter().enumerate() {
         if hit {
@@ -280,7 +284,10 @@ fn regrow_affected(
         }
     }
 
-    let max_steps = (forest.total_steps.max(1)) * REGROW_STEP_FACTOR + 1;
+    let stall_limit = s.stall_allowance();
+    let mut stalled = 0u32;
+    let max_steps = (forest.total_steps.max(1)) * REGROW_STEP_FACTOR + 1
+        + if stall_limit > 1 { stall_limit } else { 0 };
     let mut t: u32 = 0;
     while !s.active.is_empty() {
         t += 1;
@@ -289,7 +296,7 @@ fn regrow_affected(
         }
         // fresh per-step capacities, less what the frozen trees already
         // committed at this step
-        s.reset_pool();
+        s.reset_pool(t);
         if let Some(step_charges) = charges.get(t as usize) {
             for &l in step_charges {
                 s.pool[l.index()] = s.pool[l.index()].saturating_sub(1);
@@ -312,6 +319,7 @@ fn regrow_affected(
                     &mut s.pool,
                     &mut s.cursor[ti],
                     &mut s.sat[ti],
+                    &s.rate_adj,
                 ) {
                     progress = true;
                     added_this_step = true;
@@ -324,8 +332,13 @@ fn regrow_affected(
                 s.active.retain(|&i| !trees[i].complete(n));
             }
         }
-        if !added_this_step {
-            return None;
+        if added_this_step {
+            stalled = 0;
+        } else {
+            stalled += 1;
+            if stalled >= stall_limit {
+                return None;
+            }
         }
     }
 
@@ -581,7 +594,7 @@ mod tests {
                     .iter()
                     .map(|t| t.edges.iter().any(|e| edge_affected(&e.path)))
                     .collect();
-                let fast = regrow_affected(&topo, &degraded, &forest, &affected);
+                let fast = regrow_affected(&topo, &degraded, &forest, &affected, false);
                 let reference = regrow_affected_reference(&topo, &degraded, &forest, &affected);
                 assert_eq!(
                     fast,

@@ -34,7 +34,10 @@ pub struct ScheduleStats {
     /// (Table I's "bandwidth" column); 2D-Ring sits near 2.0.
     pub volume_ratio: f64,
     /// Maximum number of same-step transfers crossing one unidirectional
-    /// link, in units of that link's capacity (1 = contention-free).
+    /// link, in units of that link's effective bandwidth
+    /// (`capacity * rate`; 1 = contention-free). On heterogeneous
+    /// fabrics a slow link counts as contended by proportionally fewer
+    /// transfers.
     pub max_link_contention: f64,
     /// Number of distinct links that ever exceed capacity within a step.
     pub contended_links: usize,
@@ -93,8 +96,9 @@ pub fn analyze(schedule: &CommSchedule, topo: &Topology, total_bytes: u64) -> Sc
             }
         }
         for (l, count) in usage {
-            let cap = topo.link(l).capacity;
-            let ratio = f64::from(count) / f64::from(cap);
+            // effective bandwidth (capacity * rate): a half-rate link is
+            // "contended" by a single transfer relative to full-rate peers
+            let ratio = f64::from(count) / topo.link_rate(l);
             if ratio > 1.0 {
                 contended.insert(l);
             }
@@ -157,8 +161,13 @@ pub struct StepProfile {
     pub messages: usize,
     /// Payload bytes injected this step.
     pub bytes: u64,
-    /// Heaviest per-link byte load this step (capacity-normalized).
+    /// Heaviest raw per-link byte load this step.
     pub max_link_bytes: u64,
+    /// Heaviest per-link load this step in *base-bandwidth byte-times*:
+    /// bytes divided by the link's effective rate (`capacity * rate`).
+    /// Equals `max_link_bytes as f64` on uniform unit-capacity fabrics;
+    /// on heterogeneous ones a slow link dominates proportionally.
+    pub max_link_load: f64,
     /// Distinct links carrying traffic this step.
     pub links_used: usize,
 }
@@ -186,6 +195,10 @@ pub fn step_profile(schedule: &CommSchedule, topo: &Topology, total_bytes: u64) 
                 messages: events.len(),
                 bytes,
                 max_link_bytes: link_bytes.values().copied().max().unwrap_or(0),
+                max_link_load: link_bytes
+                    .iter()
+                    .map(|(l, b)| *b as f64 / topo.link_rate(*l))
+                    .fold(0.0, f64::max),
                 links_used: link_bytes.len(),
             }
         })
@@ -232,7 +245,7 @@ pub fn alpha_beta_time_ns(
         }
         let ser = link_bytes
             .iter()
-            .map(|(l, b)| *b as f64 / (link_bw * f64::from(topo.link(*l).capacity)))
+            .map(|(l, b)| *b as f64 / (link_bw * topo.link_rate(*l)))
             .fold(0.0, f64::max);
         total += ser + max_hops as f64 * hop_latency_ns;
     }
@@ -340,6 +353,31 @@ mod tests {
         // contention-free: per-link load never exceeds one chunk per step
         let chunk = (16u64 << 20) / 16;
         assert!(prof.iter().all(|p| p.max_link_bytes <= chunk));
+        // uniform unit-capacity torus: the rate-normalized load is the
+        // byte load exactly
+        assert!(prof.iter().all(|p| p.max_link_load == p.max_link_bytes as f64));
+    }
+
+    #[test]
+    fn step_profile_and_alpha_beta_see_slow_links() {
+        let uniform = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&uniform).unwrap();
+        let slow: Vec<(LinkId, u32, u32)> = (0..uniform.num_links())
+            .map(|i| (LinkId::new(i), 1, 2))
+            .collect();
+        let topo = uniform.with_link_rates(&slow).unwrap();
+        let bytes = 16 << 20;
+        // every link at half rate: serialization doubles, step structure
+        // identical
+        let pu = step_profile(&s, &uniform, bytes);
+        let ph = step_profile(&s, &topo, bytes);
+        for (u, h) in pu.iter().zip(&ph) {
+            assert_eq!(u.max_link_bytes, h.max_link_bytes);
+            assert_eq!(h.max_link_load, 2.0 * u.max_link_load);
+        }
+        let tu = alpha_beta_time_ns(&s, &uniform, bytes, 16.0, 150.0);
+        let th = alpha_beta_time_ns(&s, &topo, bytes, 16.0, 150.0);
+        assert!(th > tu, "half-rate links must cost time: {th} !> {tu}");
     }
 
     #[test]

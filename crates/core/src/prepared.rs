@@ -44,11 +44,18 @@ pub struct PreparedSchedule<'a> {
     path_offsets: Vec<u32>,
     /// Concatenated per-event link paths.
     path_links: Vec<LinkId>,
-    /// Per-hop link capacities aligned with `path_links`, pre-widened to
-    /// `f64` so the engines' serialization divide needs no lookup.
+    /// Per-hop effective link rates (`capacity * rate`, see
+    /// `Topology::link_rate`) aligned with `path_links`, pre-widened to
+    /// `f64` so the engines' serialization divide needs no lookup. On
+    /// uniform topologies these are exactly the integer capacities.
     path_caps: Vec<f64>,
     /// Per-event bottleneck (minimum) link capacity, clamped to >= 1.
+    /// Rate-blind: counts multigraph width only.
     min_caps: Vec<u32>,
+    /// Per-event bottleneck (minimum) *effective* link rate along the
+    /// path. Equals `f64::from(min_caps[i])` exactly on uniform
+    /// topologies.
+    min_rates: Vec<f64>,
     /// CSR offsets into `dependent_ids`, length `num_events + 1`.
     dependent_offsets: Vec<u32>,
     /// Concatenated dependents: events that list the row event as a dep,
@@ -83,6 +90,7 @@ impl<'a> PreparedSchedule<'a> {
         let mut path_links = Vec::new();
         let mut path_caps = Vec::new();
         let mut min_caps = Vec::with_capacity(n);
+        let mut min_rates = Vec::with_capacity(n);
         path_offsets.push(0u32);
         for e in events {
             let path = event_path(e, topo);
@@ -93,7 +101,12 @@ impl<'a> PreparedSchedule<'a> {
                     .unwrap_or(1)
                     .max(1),
             );
-            path_caps.extend(path.iter().map(|l| f64::from(topo.link(*l).capacity)));
+            let mr = path
+                .iter()
+                .map(|l| topo.link_rate(*l))
+                .fold(f64::INFINITY, f64::min);
+            min_rates.push(if mr.is_finite() { mr } else { 1.0 });
+            path_caps.extend(path.iter().map(|l| topo.link_rate(*l)));
             path_links.extend_from_slice(&path);
             path_offsets.push(path_links.len() as u32);
         }
@@ -134,6 +147,7 @@ impl<'a> PreparedSchedule<'a> {
             path_links,
             path_caps,
             min_caps,
+            min_rates,
             dependent_offsets,
             dependent_ids,
             indegree,
@@ -167,8 +181,9 @@ impl<'a> PreparedSchedule<'a> {
         &self.path_links[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
     }
 
-    /// The capacities of event `i`'s path links, as `f64`, aligned with
-    /// [`PreparedSchedule::path`].
+    /// The effective rates (`capacity * rate`) of event `i`'s path
+    /// links, as `f64`, aligned with [`PreparedSchedule::path`]. On
+    /// uniform topologies these are exactly the integer capacities.
     pub fn path_capacities(&self, i: usize) -> &[f64] {
         &self.path_caps[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
     }
@@ -185,9 +200,19 @@ impl<'a> PreparedSchedule<'a> {
     }
 
     /// The bottleneck (minimum) capacity along event `i`'s path, in link
-    /// multiplicity units, clamped to at least 1.
+    /// multiplicity units, clamped to at least 1. Rate-blind; see
+    /// [`PreparedSchedule::min_rate`] for the effective-bandwidth
+    /// bottleneck.
     pub fn min_capacity(&self, i: usize) -> u32 {
         self.min_caps[i]
+    }
+
+    /// The bottleneck (minimum) *effective* rate along event `i`'s path,
+    /// in units of the base link bandwidth. Exactly
+    /// `f64::from(self.min_capacity(i))` on uniform topologies, smaller
+    /// when a slow link sits on the path.
+    pub fn min_rate(&self, i: usize) -> f64 {
+        self.min_rates[i]
     }
 
     /// Events that depend on event `i`, ascending.
@@ -244,6 +269,8 @@ mod tests {
                     .unwrap_or(1)
                     .max(1);
                 assert_eq!(prep.min_capacity(i), cap);
+                // uniform topology: effective rates are exactly the caps
+                assert_eq!(prep.min_rate(i), f64::from(cap));
                 let caps: Vec<f64> = expect
                     .iter()
                     .map(|l| f64::from(topo.link(*l).capacity))
@@ -253,6 +280,30 @@ mod tests {
                 assert_eq!(prep.src_index(i), e.src.index());
             }
         }
+    }
+
+    #[test]
+    fn heterogeneous_rates_reach_path_weights() {
+        let uniform = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&uniform).unwrap();
+        let slow_id = mt_topology::LinkId::new(0);
+        let topo = uniform.with_link_rates(&[(slow_id, 1, 4)]).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut saw_slow = false;
+        for i in 0..prep.num_events() {
+            for (l, &w) in prep.path(i).iter().zip(prep.path_capacities(i)) {
+                if *l == slow_id {
+                    assert_eq!(w, 0.25);
+                    assert_eq!(prep.min_rate(i), 0.25);
+                    saw_slow = true;
+                } else {
+                    assert_eq!(w, f64::from(topo.link(*l).capacity));
+                }
+            }
+            // min_capacity stays rate-blind
+            assert_eq!(prep.min_capacity(i), 1);
+        }
+        assert!(saw_slow, "some event must cross link 0");
     }
 
     #[test]

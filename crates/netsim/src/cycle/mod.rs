@@ -272,10 +272,18 @@ struct Sim<'a, 'p, O: SimObserver, const F: bool> {
     /// Compiled fault plan; [`NO_FAULTS`] (and never queried) when the
     /// `F` monomorphization flag is off.
     faults: &'a CompiledFaults,
-    /// Per link: first cycle the link may transmit again — degrade
-    /// pacing state (a link degraded by factor `k` moves one flit every
-    /// `ceil(k)` cycles). Empty when `F` is off.
+    /// Per link: first cycle the link may transmit again — pacing state
+    /// shared by fault degrades and static link rates (a link slowed by
+    /// combined factor `k` moves one flit every `ceil(k)` cycles).
+    /// Empty when `F` is off and the topology is uniform.
     link_next_free: Vec<u64>,
+    /// Static rate pacing is live (non-uniform topology). Uniform
+    /// healthy runs never consult the pacing state.
+    paced: bool,
+    /// Per link: static slowdown `rate_den / rate_num` (1.0 = full
+    /// rate), multiplied into the fault degrade factor before the gap is
+    /// rounded up. Empty on uniform topologies.
+    rate_slow: Vec<f64>,
     /// Last cycle a flit moved (transmitted or ejected); feeds the
     /// stall watchdog. Only maintained when `F` is on.
     last_progress: u64,
@@ -418,46 +426,6 @@ impl CycleEngine {
         })
     }
 
-    /// Like [`Engine::run`], additionally returning microarchitectural
-    /// statistics (per-link flit counts, buffer high-water marks).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Engine::run`].
-    #[deprecated(
-        note = "use run_prepared_with with a telemetry::LinkTimeline observer (per-link flit \
-                counts) and the EngineReport cycle detail"
-    )]
-    #[allow(deprecated)] // wrapper delegates to the deprecated prepared variant
-    pub fn run_detailed(
-        &self,
-        topo: &Topology,
-        schedule: &CommSchedule,
-        total_bytes: u64,
-    ) -> Result<(SimReport, CycleStats), AlgorithmError> {
-        let prep = PreparedSchedule::new(schedule, topo)?;
-        let mut scratch = SimScratch::new();
-        self.run_prepared_detailed(&prep, total_bytes, &mut scratch)
-    }
-
-    /// Executes an already-prepared schedule, reusing `scratch`'s
-    /// simulation buffers. Bit-identical to [`Engine::run`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
-    /// exceeds the cycle watchdog.
-    #[deprecated(note = "use run_prepared_with(prep, bytes, scratch, &mut NoopObserver)")]
-    pub fn run_prepared(
-        &self,
-        prep: &PreparedSchedule<'_>,
-        total_bytes: u64,
-        scratch: &mut SimScratch,
-    ) -> Result<SimReport, AlgorithmError> {
-        Ok(self
-            .run_core::<_, false>(prep, total_bytes, scratch, &mut NoopObserver, &NO_FAULTS, &[])?
-            .0)
-    }
 }
 
 impl Engine for CycleEngine {
@@ -489,34 +457,6 @@ struct CoreStats {
 }
 
 impl CycleEngine {
-    /// [`CycleEngine::run_prepared`] with microarchitectural statistics.
-    /// This is the reuse path for detailed sweeps: `scratch` carries all
-    /// simulation state across runs, and the per-link flit counts are
-    /// *moved* into the returned [`CycleStats`] rather than cloned.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`CycleEngine::run_prepared`].
-    #[deprecated(
-        note = "use run_prepared_with with a telemetry::LinkTimeline observer (per-link flit \
-                counts) and the EngineReport cycle detail"
-    )]
-    pub fn run_prepared_detailed(
-        &self,
-        prep: &PreparedSchedule<'_>,
-        total_bytes: u64,
-        scratch: &mut SimScratch,
-    ) -> Result<(SimReport, CycleStats), AlgorithmError> {
-        let (report, core, _) =
-            self.run_core::<_, false>(prep, total_bytes, scratch, &mut NoopObserver, &NO_FAULTS, &[])?;
-        let stats = CycleStats {
-            link_flits: std::mem::take(&mut scratch.cycle.tx_count),
-            max_buffer_occupancy: core.max_buffer,
-            cycles: core.cycles,
-        };
-        Ok((report, stats))
-    }
-
     /// The shared simulation core: sets up scratch state, runs the
     /// event-driven cycle loop, and builds the report. Per-link flit
     /// counts stay in `scratch.cycle.tx_count` for the caller.
@@ -700,6 +640,11 @@ impl CycleEngine {
             0
         };
 
+        // Static per-link rates: a link at rate num/den carries one flit
+        // every ceil(den/num) cycles instead of one per cycle, through
+        // the same pacing state the fault degrades use. Uniform
+        // topologies skip the whole machinery.
+        let uniform = topo.is_uniform();
         let mut sim = Sim::<O, F> {
             topo,
             cfg,
@@ -707,7 +652,16 @@ impl CycleEngine {
             s,
             obs,
             faults,
-            link_next_free: if F { vec![0; nl] } else { Vec::new() },
+            link_next_free: if F || !uniform { vec![0; nl] } else { Vec::new() },
+            paced: !uniform,
+            rate_slow: if uniform {
+                Vec::new()
+            } else {
+                topo.links()
+                    .iter()
+                    .map(|l| f64::from(l.rate_den) / f64::from(l.rate_num))
+                    .collect()
+            },
             last_progress: 0,
             clock: 0,
             delay,
@@ -1134,20 +1088,21 @@ mod tests {
     }
 
     #[test]
-    // regression coverage for the deprecated wrapper until it is removed
-    #[allow(deprecated)]
     fn empty_schedule_completes_instantly() {
         let topo = Topology::torus(2, 2);
         let s = CommSchedule::new("empty", 4, 4);
         let prep = PreparedSchedule::new(&s, &topo).unwrap();
         let mut scratch = SimScratch::new();
-        let (r, stats) = CycleEngine::new(NetworkConfig::paper_default())
-            .run_prepared_detailed(&prep, 1 << 20, &mut scratch)
+        let r = CycleEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut NoopObserver)
             .unwrap();
-        assert_eq!(r.completion_ns, 0.0);
-        assert_eq!(r.flits_sent, 0);
-        assert_eq!(stats.cycles, 0);
-        assert_eq!(stats.link_flits, vec![0; topo.num_links()]);
+        assert_eq!(r.sim.completion_ns, 0.0);
+        assert_eq!(r.sim.flits_sent, 0);
+        match r.detail {
+            EngineDetail::Cycle { cycles, .. } => assert_eq!(cycles, 0),
+            _ => panic!("cycle engine must report the cycle detail"),
+        }
+        assert_eq!(scratch.cycle.tx_count, vec![0; topo.num_links()]);
     }
 
     #[test]
@@ -1185,26 +1140,36 @@ mod stats_tests {
     use multitree::algorithms::{AllReduce, MultiTree, Ring};
 
     #[test]
-    // regression coverage for the deprecated wrapper until it is removed
-    #[allow(deprecated)]
     fn detailed_stats_match_report() {
         let topo = Topology::torus(4, 4);
         let cfg = NetworkConfig::paper_default();
         let s = MultiTree::default().build(&topo).unwrap();
-        let (report, stats) = CycleEngine::new(cfg)
-            .run_detailed(&topo, &s, 64 << 10)
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut tl = crate::telemetry::LinkTimeline::new(1_000.0);
+        let report = CycleEngine::new(cfg)
+            .run_prepared_with(&prep, 64 << 10, &mut scratch, &mut tl)
             .unwrap();
-        assert_eq!(stats.links_used(), report.links_used);
+        let link_flits = tl.link_flits();
         assert_eq!(
-            stats.link_flits.iter().sum::<u64>() as f64,
-            report.busy_ns
+            link_flits.iter().filter(|&&c| c > 0).count(),
+            report.sim.links_used
         );
-        assert!(stats.cycles > 0);
-        // the credit protocol bounds any (input, VC) buffer by its
-        // configured depth: a flit is only transmitted after taking a
-        // credit, and credits are only returned as flits drain
-        assert!(stats.max_buffer_occupancy <= cfg.vc_buffer_flits as usize);
-        assert!(stats.max_buffer_occupancy > 0);
+        assert_eq!(link_flits.iter().sum::<u64>() as f64, report.sim.busy_ns);
+        match report.detail {
+            EngineDetail::Cycle {
+                cycles,
+                max_buffer_occupancy,
+            } => {
+                assert!(cycles > 0);
+                // the credit protocol bounds any (input, VC) buffer by its
+                // configured depth: a flit is only transmitted after taking
+                // a credit, and credits are only returned as flits drain
+                assert!(max_buffer_occupancy <= cfg.vc_buffer_flits as usize);
+                assert!(max_buffer_occupancy > 0);
+            }
+            _ => panic!("cycle engine must report the cycle detail"),
+        }
     }
 
     /// max/mean flits among used links, like [`CycleStats::load_imbalance`]

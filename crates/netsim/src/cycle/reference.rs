@@ -111,7 +111,7 @@ struct RefSim<'a> {
 impl CycleEngine {
     /// Runs the **dense reference implementation** of the cycle engine —
     /// the original one-cycle-at-a-time, scan-everything simulator.
-    /// Semantically identical to [`CycleEngine::run_detailed`] (the
+    /// Semantically identical to [`CycleEngine::run_prepared_with`] (the
     /// equivalence test suite enforces bit-equality of both the report
     /// and the statistics); dramatically slower on latency-dominated
     /// workloads. Use only for differential testing and benchmarking.

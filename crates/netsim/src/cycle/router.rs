@@ -22,13 +22,14 @@ impl<O: SimObserver, const F: bool> Sim<'_, '_, O, F> {
         self.clock as f64 * self.cfg.cycle_ns()
     }
 
-    /// Whether faults forbid transmitting on `out` this cycle: the link
-    /// is dead or mid-flap, or degrade pacing has not released it yet.
-    /// Only called when `F` is on.
+    /// Whether `out` cannot transmit this cycle: pacing (static link
+    /// rate and/or fault degrade) has not released it yet, or — under
+    /// `F` — the link is dead or mid-flap. Only called when `F` is on or
+    /// the run is rate-paced, so `link_next_free` is always allocated.
     #[inline]
-    fn fault_blocked(&self, out: LinkId) -> bool {
+    fn link_blocked(&self, out: LinkId) -> bool {
         self.clock < self.link_next_free[out.index()]
-            || self.faults.link_blocked(out.index() as u32, self.now_ns())
+            || (F && self.faults.link_blocked(out.index() as u32, self.now_ns()))
     }
 
     /// Whether `out`'s source is a crashed host whose NI can no longer
@@ -157,8 +158,8 @@ impl<O: SimObserver, const F: bool> Sim<'_, '_, O, F> {
 
     /// Streams the next flit of the packet currently locking `out_link`.
     fn continue_stream(&mut self, out_link: LinkId, lock: Lock) {
-        if F && self.fault_blocked(out_link) {
-            return; // link dead, flapping or degrade-paced this cycle
+        if (F || self.paced) && self.link_blocked(out_link) {
+            return; // link dead, flapping or pacing-held this cycle
         }
         let vcs = self.cfg.num_vcs as usize;
         let out_idx = out_link.index() * vcs + lock.out_vc as usize;
@@ -269,8 +270,8 @@ impl<O: SimObserver, const F: bool> Sim<'_, '_, O, F> {
 
     /// Attempts to start the packet at `cand`'s head on `out_link`.
     fn try_start(&mut self, cand: Source, out_link: LinkId) -> bool {
-        if F && self.fault_blocked(out_link) {
-            return false; // link dead, flapping or degrade-paced
+        if (F || self.paced) && self.link_blocked(out_link) {
+            return false; // link dead, flapping or pacing-held
         }
         let vcs = self.cfg.num_vcs as usize;
         match cand {
@@ -490,9 +491,22 @@ impl<O: SimObserver, const F: bool> Sim<'_, '_, O, F> {
     fn transmit_raw(&mut self, out_link: LinkId, flit: Flit) {
         if F {
             self.last_progress = self.clock;
-            // degrade pacing: a link at factor k carries one flit per
-            // ceil(k) cycles instead of one per cycle
-            let k = self.faults.degrade_factor(out_link.index() as u32, self.now_ns());
+        }
+        if F || self.paced {
+            // pacing: a link slowed by combined factor k (static rate
+            // slowdown × fault degrade) carries one flit per ceil(k)
+            // cycles instead of one per cycle. The product composes the
+            // two sources multiplicatively and order-independently.
+            let slow = if self.paced {
+                self.rate_slow[out_link.index()]
+            } else {
+                1.0
+            };
+            let k = if F {
+                slow * self.faults.degrade_factor(out_link.index() as u32, self.now_ns())
+            } else {
+                slow
+            };
             if k > 1.0 {
                 let gap = k.ceil() as u64;
                 if gap > 1 {

@@ -36,19 +36,6 @@ pub struct FlowEngine {
     cfg: NetworkConfig,
 }
 
-/// Timing of one simulated message (from [`FlowEngine::run_traced`]).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
-pub struct EventTrace {
-    /// Index of the event in the schedule.
-    pub event: usize,
-    /// Lockstep step the event belongs to.
-    pub step: u32,
-    /// When the head flit entered the first link (ns).
-    pub start_ns: f64,
-    /// When the last flit arrived at the destination (ns).
-    pub delivery_ns: f64,
-}
-
 impl FlowEngine {
     /// Creates an engine with the given network configuration.
     pub fn new(cfg: NetworkConfig) -> Self {
@@ -172,94 +159,6 @@ impl FlowEngine {
         })
     }
 
-    /// Like [`Engine::run`], additionally returning the per-message
-    /// timeline — useful for Gantt-style analysis of how steps overlap.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Engine::run`].
-    #[deprecated(
-        note = "use run_prepared_with with a telemetry::PhaseProfile (or a custom SimObserver \
-                collecting on_flow_event_start/finish)"
-    )]
-    #[allow(deprecated)] // wrapper delegates to the deprecated prepared variant
-    pub fn run_traced(
-        &self,
-        topo: &Topology,
-        schedule: &CommSchedule,
-        total_bytes: u64,
-    ) -> Result<(SimReport, Vec<EventTrace>), AlgorithmError> {
-        let prep = PreparedSchedule::new(schedule, topo)?;
-        let mut scratch = SimScratch::new();
-        self.run_prepared_traced(&prep, total_bytes, &mut scratch)
-    }
-
-    /// Executes an already-prepared schedule, reusing `scratch`'s
-    /// buffers. Produces bit-identical results to [`Engine::run`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`AlgorithmError::MalformedSchedule`] if the simulation
-    /// deadlocks (a dependency cycle hidden from static validation).
-    #[deprecated(note = "use run_prepared_with(prep, bytes, scratch, &mut NoopObserver)")]
-    pub fn run_prepared(
-        &self,
-        prep: &PreparedSchedule<'_>,
-        total_bytes: u64,
-        scratch: &mut SimScratch,
-    ) -> Result<SimReport, AlgorithmError> {
-        self.run_prepared_impl::<_, false>(prep, total_bytes, scratch, &mut NoopObserver, &NO_FAULTS, &[])
-            .map(|(sim, _)| sim)
-    }
-
-    /// [`FlowEngine::run_prepared`] with the per-message timeline.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`FlowEngine::run_prepared`].
-    #[deprecated(
-        note = "use run_prepared_with with a telemetry::PhaseProfile (or a custom SimObserver \
-                collecting on_flow_event_start/finish)"
-    )]
-    pub fn run_prepared_traced(
-        &self,
-        prep: &PreparedSchedule<'_>,
-        total_bytes: u64,
-        scratch: &mut SimScratch,
-    ) -> Result<(SimReport, Vec<EventTrace>), AlgorithmError> {
-        let mut coll = TraceCollector {
-            traces: Vec::with_capacity(prep.num_events()),
-            last_start: 0.0,
-        };
-        let (report, _) =
-            self.run_prepared_impl::<_, false>(prep, total_bytes, scratch, &mut coll, &NO_FAULTS, &[])?;
-        let mut traces = coll.traces;
-        traces.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
-        Ok((report, traces))
-    }
-}
-
-/// Rebuilds the old `run_traced` trace list from the observer hooks:
-/// an event's start hook always immediately precedes its finish hook,
-/// so pairing them reproduces the historical push order exactly.
-struct TraceCollector {
-    traces: Vec<EventTrace>,
-    last_start: f64,
-}
-
-impl SimObserver for TraceCollector {
-    fn on_flow_event_start(&mut self, start_ns: f64, _event: u32, _step: u32) {
-        self.last_start = start_ns;
-    }
-
-    fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, step: u32) {
-        self.traces.push(EventTrace {
-            event: event as usize,
-            step,
-            start_ns: self.last_start,
-            delivery_ns,
-        });
-    }
 }
 
 impl Engine for FlowEngine {
@@ -320,10 +219,11 @@ impl FlowEngine {
             } else {
                 for (i, _) in events.iter().enumerate() {
                     let flits = framings[i].total_flits();
-                    // serialization at the event's bottleneck link:
-                    // multigraph capacities (§VII-B heterogeneous
-                    // bandwidth) speed it up
-                    let t = flits as f64 * flit_ns / f64::from(prep.min_capacity(i));
+                    // serialization at the event's bottleneck link: the
+                    // effective rate folds multigraph capacities (§VII-B
+                    // heterogeneous bandwidth) and per-link rates together,
+                    // so slow links widen the gate and fast ones shrink it
+                    let t = flits as f64 * flit_ns / prep.min_rate(i);
                     let s = prep.step(i) as usize;
                     if t > gates[s + 1] {
                         gates[s + 1] = t;
@@ -999,7 +899,7 @@ fn refill_component(f: &mut FairScratch, prep: &PreparedSchedule<'_>, flit_ns: f
     for k in 0..f.comp_links.len() {
         let li = f.comp_links[k] as usize;
         f.link_n[li] = f.link_flows[li].len() as u32;
-        f.link_res[li] = f64::from(topo.link(LinkId::new(li)).capacity) / flit_ns;
+        f.link_res[li] = topo.link_rate(LinkId::new(li)) / flit_ns;
     }
     let mut unfrozen = f.comp_flows.len();
     while unfrozen > 0 {
@@ -1641,33 +1541,48 @@ mod trace_tests {
     use multitree::algorithms::{AllReduce, MultiTree};
     use mt_topology::Topology;
 
+    /// (event, step, start_ns, delivery_ns) collected from the observer
+    /// hooks; an event's start hook always immediately precedes its
+    /// finish hook, so pairing them is exact.
+    struct Traces {
+        rows: Vec<(usize, u32, f64, f64)>,
+        last_start: f64,
+    }
+
+    impl SimObserver for Traces {
+        fn on_flow_event_start(&mut self, start_ns: f64, _event: u32, _step: u32) {
+            self.last_start = start_ns;
+        }
+
+        fn on_flow_event_finish(&mut self, delivery_ns: f64, event: u32, step: u32) {
+            self.rows.push((event as usize, step, self.last_start, delivery_ns));
+        }
+    }
+
     #[test]
-    // regression coverage for the deprecated wrapper until it is removed:
-    // it must keep reproducing the historical trace list bit-for-bit from
-    // the observer hooks
-    #[allow(deprecated)]
     fn traces_cover_every_event_and_respect_steps() {
         let topo = Topology::torus(4, 4);
         let s = MultiTree::default().build(&topo).unwrap();
-        let (report, traces) = FlowEngine::new(NetworkConfig::paper_default())
-            .run_traced(&topo, &s, 1 << 20)
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut traces = Traces { rows: Vec::new(), last_start: 0.0 };
+        let report = FlowEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 1 << 20, &mut scratch, &mut traces)
             .unwrap();
+        let traces = traces.rows;
         assert_eq!(traces.len(), s.events().len());
-        let last = traces
-            .iter()
-            .map(|t| t.delivery_ns)
-            .fold(0.0f64, f64::max);
-        assert_eq!(last, report.completion_ns);
+        let last = traces.iter().map(|t| t.3).fold(0.0f64, f64::max);
+        assert_eq!(last, report.sim.completion_ns);
         for t in &traces {
-            assert!(t.delivery_ns > t.start_ns);
+            assert!(t.3 > t.2);
         }
         // with lockstep on, a later step's earliest start is never before
         // an earlier step's earliest start
         let earliest = |step: u32| {
             traces
                 .iter()
-                .filter(|t| t.step == step)
-                .map(|t| t.start_ns)
+                .filter(|t| t.1 == step)
+                .map(|t| t.2)
                 .fold(f64::INFINITY, f64::min)
         };
         for step in 1..s.num_steps() {

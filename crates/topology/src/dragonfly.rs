@@ -75,6 +75,41 @@ impl Topology {
             links,
         )
     }
+
+    /// [`Topology::dragonfly`] with every *global* (inter-group) cable
+    /// running at `1/slowdown` of the base rate — the realistic regime
+    /// where long optical group-to-group cables are slower (or thinner)
+    /// than the electrical links inside a chassis. Local (node↔router and
+    /// intra-group) links stay at full rate. `slowdown == 1` reproduces
+    /// the uniform dragonfly exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a`, `p` or `slowdown` is zero.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let df = Topology::dragonfly_slow_global(4, 2, 4);
+    /// assert_eq!(df.num_nodes(), 40);
+    /// assert!(!df.is_uniform());
+    /// ```
+    pub fn dragonfly_slow_global(a: usize, p: usize, slowdown: u32) -> Topology {
+        assert!(slowdown > 0, "global slowdown must be positive");
+        let uniform = Topology::dragonfly(a, p);
+        if slowdown == 1 {
+            return uniform;
+        }
+        let groups = a + 1;
+        // global links are the tail block: after node<->router pairs and
+        // the intra-group cliques
+        let first_global = 2 * uniform.num_nodes() + groups * a * (a - 1);
+        let slow: Vec<(crate::ids::LinkId, u32, u32)> = (first_global..uniform.num_links())
+            .map(|i| (crate::ids::LinkId::new(i), 1, slowdown))
+            .collect();
+        uniform
+            .with_link_rates(&slow)
+            .expect("global link ids are in range and slowdown is positive")
+    }
 }
 
 #[cfg(test)]
@@ -108,6 +143,24 @@ mod tests {
         assert_eq!(pair_links.len(), groups * (groups - 1) / 2);
         // two unidirectional links per pair (one cable)
         assert!(pair_links.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn slow_global_rates_only_on_intergroup_cables() {
+        let a = 4;
+        let df = Topology::dragonfly_slow_global(a, 2, 4);
+        for (i, l) in df.links().iter().enumerate() {
+            let rate = df.link_rate(crate::ids::LinkId::new(i));
+            match (l.src, l.dst) {
+                (Vertex::Switch(s), Vertex::Switch(d))
+                    if s.index() / a != d.index() / a =>
+                {
+                    assert_eq!(rate, 0.25, "global link {i}");
+                }
+                _ => assert_eq!(rate, 1.0, "local link {i}"),
+            }
+        }
+        assert!(Topology::dragonfly_slow_global(4, 2, 1).is_uniform());
     }
 
     #[test]

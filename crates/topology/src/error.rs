@@ -1,6 +1,6 @@
 //! Error type for topology construction and queries.
 
-use crate::ids::Vertex;
+use crate::ids::{LinkId, Vertex};
 use std::error::Error;
 use std::fmt;
 
@@ -24,6 +24,14 @@ pub enum TopologyError {
         /// Route destination.
         dst: Vertex,
     },
+    /// A link was configured with a zero capacity or a zero rate
+    /// component; link bandwidth must be positive.
+    ZeroLinkBandwidth,
+    /// A per-link operation referenced a link id outside the topology.
+    UnknownLink {
+        /// The out-of-range id.
+        link: LinkId,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -38,6 +46,12 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::Unreachable { src, dst } => {
                 write!(f, "no route from {src} to {dst}")
+            }
+            TopologyError::ZeroLinkBandwidth => {
+                write!(f, "link bandwidth (capacity or rate) must be positive")
+            }
+            TopologyError::UnknownLink { link } => {
+                write!(f, "link id {} is outside the topology", link.index())
             }
         }
     }

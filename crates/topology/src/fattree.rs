@@ -1,7 +1,7 @@
 //! Two-level Fat-Tree construction.
 
 use crate::graph::{Topology, TopologyKind};
-use crate::ids::{NodeId, SwitchId, Vertex};
+use crate::ids::{LinkId, NodeId, SwitchId, Vertex};
 use crate::link::Link;
 
 impl Topology {
@@ -61,6 +61,46 @@ impl Topology {
         )
     }
 
+    /// Builds a `k`-ary two-level Fat-Tree whose leaf↔spine uplinks are
+    /// oversubscribed by `ratio`: `k` leaves × `k` nodes with `k` spines,
+    /// where every leaf↔spine cable runs at `1/ratio` of the base rate
+    /// while node↔leaf links stay at full rate. Aggregate uplink
+    /// bandwidth per leaf is therefore `k/ratio` versus `k` of downlink —
+    /// the classic `ratio:1` oversubscribed 2-tier fabric. `ratio == 1`
+    /// reproduces [`Topology::fat_tree_two_level`]`(k, k, k)` exactly
+    /// (full bisection, uniform rates).
+    ///
+    /// Link ids and adjacency are identical to the uniform fat-tree, so
+    /// schedules are interchangeable across oversubscription ratios and
+    /// only their timing differs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `ratio` is zero.
+    ///
+    /// ```
+    /// use mt_topology::Topology;
+    /// let ft = Topology::fattree_oversubscribed(4, 4);
+    /// assert_eq!(ft.num_nodes(), 16);
+    /// assert!(!ft.is_uniform());
+    /// ```
+    pub fn fattree_oversubscribed(k: usize, ratio: u32) -> Topology {
+        assert!(k > 0, "fat-tree arity must be positive");
+        assert!(ratio > 0, "oversubscription ratio must be positive");
+        let uniform = Topology::fat_tree_two_level(k, k, k);
+        if ratio == 1 {
+            return uniform;
+        }
+        // leaf<->spine links follow the node<->leaf block (2 per node)
+        let first_uplink = 2 * uniform.num_nodes();
+        let slow: Vec<(LinkId, u32, u32)> = (first_uplink..uniform.num_links())
+            .map(|i| (LinkId::new(i), 1, ratio))
+            .collect();
+        uniform
+            .with_link_rates(&slow)
+            .expect("uplink ids are in range and ratio is positive")
+    }
+
     /// The paper's 16-node DGX-2-like single-plane Fat-Tree (Fig. 9c, left):
     /// 4 leaves x 4 nodes with 4 spines (full bisection).
     pub fn dgx2_like_16() -> Topology {
@@ -112,6 +152,24 @@ mod tests {
         assert!(!ft.is_leaf_switch(SwitchId::new(8))); // a spine
         assert_eq!(ft.switch_nodes(SwitchId::new(2)).len(), 8);
         assert_eq!(ft.switch_nodes(SwitchId::new(9)).len(), 0);
+    }
+
+    #[test]
+    fn oversubscribed_rates_only_on_uplinks() {
+        let ft = Topology::fattree_oversubscribed(4, 4);
+        let uniform = Topology::fat_tree_two_level(4, 4, 4);
+        assert_eq!(ft.num_links(), uniform.num_links());
+        for i in 0..ft.num_links() {
+            let l = ft.link(LinkId::new(i));
+            let both_switches = l.src.as_switch().is_some() && l.dst.as_switch().is_some();
+            if both_switches {
+                assert_eq!(ft.link_rate(LinkId::new(i)), 0.25, "uplink {i}");
+            } else {
+                assert_eq!(ft.link_rate(LinkId::new(i)), 1.0, "edge link {i}");
+            }
+        }
+        // ratio 1 is exactly the uniform fabric
+        assert!(Topology::fattree_oversubscribed(4, 1).is_uniform());
     }
 
     #[test]

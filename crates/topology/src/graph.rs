@@ -270,6 +270,69 @@ impl Topology {
         &self.links[id.index()]
     }
 
+    /// The effective bandwidth of a link in units of the base link
+    /// bandwidth: `capacity * rate_num / rate_den`.
+    ///
+    /// This is the single accessor unifying the three bandwidth notions in
+    /// the system: the multigraph *width* ([`Link::capacity`], paper
+    /// §VII-B), the static *speed* of the link relative to
+    /// `NetworkConfig.link_bandwidth` ([`Link::rate_num`]/[`Link::rate_den`]),
+    /// and — at the engines — the fault layer's time-varying degrade
+    /// factors, which divide this value further. For full-rate links the
+    /// result is exactly `capacity as f64` (no rounding), so uniform
+    /// topologies are bit-identical to the historical capacity-only model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn link_rate(&self, id: LinkId) -> f64 {
+        self.links[id.index()].effective_rate()
+    }
+
+    /// True when every link runs at the full base rate
+    /// (`rate_num == rate_den` for all links). Uniform topologies take
+    /// the historical integer-capacity paths everywhere — constructions
+    /// and engines check this once per run to keep the common case free
+    /// of rate arithmetic.
+    pub fn is_uniform(&self) -> bool {
+        self.links.iter().all(Link::is_full_rate)
+    }
+
+    /// A copy of this topology with the given links re-rated to
+    /// `rate_num/rate_den` of the base bandwidth. Link ids, endpoints,
+    /// capacities and adjacency are unchanged, so schedules built for
+    /// `self` remain structurally valid on the result.
+    ///
+    /// ```
+    /// use mt_topology::{LinkId, Topology};
+    /// let t = Topology::torus(2, 2).with_link_rates(&[(LinkId::new(0), 1, 4)]).unwrap();
+    /// assert!(!t.is_uniform());
+    /// assert_eq!(t.link_rate(LinkId::new(0)), 0.25);
+    /// assert_eq!(t.link_rate(LinkId::new(1)), 1.0);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownLink`] for an out-of-range id and
+    /// [`TopologyError::ZeroLinkBandwidth`] for a zero rate component.
+    pub fn with_link_rates(
+        &self,
+        rates: &[(LinkId, u32, u32)],
+    ) -> Result<Topology, TopologyError> {
+        let mut out = self.clone();
+        for &(id, num, den) in rates {
+            if id.index() >= out.links.len() {
+                return Err(TopologyError::UnknownLink { link: id });
+            }
+            if num == 0 || den == 0 {
+                return Err(TopologyError::ZeroLinkBandwidth);
+            }
+            out.links[id.index()].rate_num = num;
+            out.links[id.index()].rate_den = den;
+        }
+        Ok(out)
+    }
+
     /// All links, indexable by [`LinkId::index`].
     pub fn links(&self) -> &[Link] {
         &self.links
@@ -603,6 +666,69 @@ impl TopologyBuilder {
         self
     }
 
+    /// Adds one unidirectional link with an explicit bandwidth
+    /// multiplicity, rejecting zero instead of panicking like
+    /// [`Link::with_capacity`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ZeroLinkBandwidth`] if `capacity` is zero.
+    pub fn add_link_with_capacity(
+        &mut self,
+        src: Vertex,
+        dst: Vertex,
+        capacity: u32,
+    ) -> Result<&mut Self, TopologyError> {
+        if capacity == 0 {
+            return Err(TopologyError::ZeroLinkBandwidth);
+        }
+        self.links.push(Link::with_capacity(src, dst, capacity));
+        Ok(self)
+    }
+
+    /// Adds one unidirectional unit-capacity link running at
+    /// `rate_num/rate_den` of the base rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ZeroLinkBandwidth`] if either rate
+    /// component is zero.
+    pub fn add_link_with_rate(
+        &mut self,
+        src: Vertex,
+        dst: Vertex,
+        rate_num: u32,
+        rate_den: u32,
+    ) -> Result<&mut Self, TopologyError> {
+        if rate_num == 0 || rate_den == 0 {
+            return Err(TopologyError::ZeroLinkBandwidth);
+        }
+        self.links.push(Link::with_rate(src, dst, rate_num, rate_den));
+        Ok(self)
+    }
+
+    /// Adds a bidirectional cable (two unidirectional links) running at
+    /// `rate_num/rate_den` of the base rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::ZeroLinkBandwidth`] if either rate
+    /// component is zero.
+    pub fn add_bidi_with_rate(
+        &mut self,
+        a: Vertex,
+        b: Vertex,
+        rate_num: u32,
+        rate_den: u32,
+    ) -> Result<&mut Self, TopologyError> {
+        if rate_num == 0 || rate_den == 0 {
+            return Err(TopologyError::ZeroLinkBandwidth);
+        }
+        self.links.push(Link::with_rate(a, b, rate_num, rate_den));
+        self.links.push(Link::with_rate(b, a, rate_num, rate_den));
+        Ok(self)
+    }
+
     /// Finalizes the graph.
     ///
     /// # Errors
@@ -794,6 +920,63 @@ mod tests {
         assert_eq!(ecc[0], 4); // corner
         assert_eq!(ecc[4], 2); // center
         assert_eq!(*ecc.iter().max().unwrap(), t.node_diameter());
+    }
+
+    #[test]
+    fn builder_rejects_zero_bandwidth() {
+        let mut b = TopologyBuilder::new();
+        let ns = b.add_nodes(2);
+        assert!(matches!(
+            b.add_link_with_capacity(ns[0].into(), ns[1].into(), 0),
+            Err(TopologyError::ZeroLinkBandwidth)
+        ));
+        assert!(matches!(
+            b.add_link_with_rate(ns[0].into(), ns[1].into(), 0, 4),
+            Err(TopologyError::ZeroLinkBandwidth)
+        ));
+        assert!(matches!(
+            b.add_bidi_with_rate(ns[0].into(), ns[1].into(), 1, 0),
+            Err(TopologyError::ZeroLinkBandwidth)
+        ));
+        // nothing was added by the failed calls
+        assert_eq!(b.build().unwrap().num_links(), 0);
+    }
+
+    #[test]
+    fn builder_rate_links() {
+        let mut b = TopologyBuilder::new();
+        let ns = b.add_nodes(2);
+        b.add_link_with_capacity(ns[0].into(), ns[1].into(), 3).unwrap();
+        b.add_link_with_rate(ns[1].into(), ns[0].into(), 1, 4).unwrap();
+        let t = b.build().unwrap();
+        assert_eq!(t.link_rate(LinkId::new(0)), 3.0);
+        assert_eq!(t.link_rate(LinkId::new(1)), 0.25);
+        assert!(!t.is_uniform());
+    }
+
+    #[test]
+    fn with_link_rates_rerates_in_place() {
+        let t = Topology::torus(2, 2);
+        assert!(t.is_uniform());
+        let slow = t.with_link_rates(&[(LinkId::new(3), 1, 2)]).unwrap();
+        assert!(!slow.is_uniform());
+        assert_eq!(slow.link_rate(LinkId::new(3)), 0.5);
+        assert_eq!(slow.num_links(), t.num_links());
+        // adjacency untouched
+        for v in 0..t.num_vertices() {
+            assert_eq!(slow.out_links(slow.vertex_at(v)), t.out_links(t.vertex_at(v)));
+        }
+        // restoring a full-rate pair makes it uniform again
+        let back = slow.with_link_rates(&[(LinkId::new(3), 5, 5)]).unwrap();
+        assert!(back.is_uniform());
+        assert!(matches!(
+            t.with_link_rates(&[(LinkId::new(999), 1, 2)]),
+            Err(TopologyError::UnknownLink { .. })
+        ));
+        assert!(matches!(
+            t.with_link_rates(&[(LinkId::new(0), 0, 2)]),
+            Err(TopologyError::ZeroLinkBandwidth)
+        ));
     }
 
     #[test]

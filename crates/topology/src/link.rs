@@ -5,13 +5,26 @@ use serde::{Deserialize, Serialize};
 
 /// A unidirectional link between two vertices of the topology graph.
 ///
-/// Bandwidth heterogeneity is expressed through [`Link::capacity`]: the
-/// paper (§VII-B) models wider links as multigraph edges — "each edge is a
-/// unit of bandwidth, and wider links can be modeled as multiple edges
-/// proportional to the link bandwidth". We keep one `Link` per direction and
-/// record the multiplicity as an integer capacity, which the MultiTree
-/// allocator treats as the number of times the link may be allocated within
-/// one time step.
+/// Bandwidth heterogeneity is expressed through two orthogonal fields:
+///
+/// * [`Link::capacity`] — the paper (§VII-B) models wider links as
+///   multigraph edges: "each edge is a unit of bandwidth, and wider links
+///   can be modeled as multiple edges proportional to the link bandwidth".
+///   We keep one `Link` per direction and record the multiplicity as an
+///   integer capacity, which the MultiTree allocator treats as the number
+///   of times the link may be allocated within one time step.
+/// * [`Link::rate_num`] / [`Link::rate_den`] — an exact rational *rate*
+///   relative to the base link bandwidth (`NetworkConfig.link_bandwidth`),
+///   for fabrics whose links differ in speed rather than width:
+///   oversubscribed two-tier switch fabrics, slow inter-chassis or global
+///   cables. The default `1/1` is a full-rate link; a `1/4` link moves
+///   data at a quarter of the base rate. Stored as a numerator/denominator
+///   pair so the value is exact and serde-stable (no float drift across
+///   round-trips), and so uniform topologies reduce to integer arithmetic
+///   that is bit-identical to the rate-free model.
+///
+/// The effective bandwidth of a link is `capacity * rate_num / rate_den`
+/// in units of the base bandwidth — see `Topology::link_rate`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Link {
     /// Source vertex.
@@ -21,26 +34,98 @@ pub struct Link {
     /// Bandwidth multiplicity in units of the base link bandwidth
     /// (always ≥ 1).
     pub capacity: u32,
+    /// Rate numerator: the link runs at `rate_num/rate_den` of the base
+    /// rate (always ≥ 1; `1/1` for a full-rate link).
+    pub rate_num: u32,
+    /// Rate denominator (always ≥ 1).
+    pub rate_den: u32,
 }
 
 impl Link {
-    /// Creates a unit-capacity link.
+    /// Creates a unit-capacity, full-rate link.
     pub fn new(src: Vertex, dst: Vertex) -> Self {
         Link {
             src,
             dst,
             capacity: 1,
+            rate_num: 1,
+            rate_den: 1,
         }
     }
 
-    /// Creates a link with an explicit bandwidth multiplicity.
+    /// Creates a full-rate link with an explicit bandwidth multiplicity.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
     pub fn with_capacity(src: Vertex, dst: Vertex, capacity: u32) -> Self {
         assert!(capacity >= 1, "link capacity must be at least 1");
-        Link { src, dst, capacity }
+        Link {
+            src,
+            dst,
+            capacity,
+            rate_num: 1,
+            rate_den: 1,
+        }
+    }
+
+    /// Creates a unit-capacity link running at `rate_num/rate_den` of the
+    /// base rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate component is zero.
+    pub fn with_rate(src: Vertex, dst: Vertex, rate_num: u32, rate_den: u32) -> Self {
+        assert!(rate_num >= 1 && rate_den >= 1, "link rate must be positive");
+        Link {
+            src,
+            dst,
+            capacity: 1,
+            rate_num,
+            rate_den,
+        }
+    }
+
+    /// True when this link runs at the base rate (`rate_num == rate_den`).
+    pub fn is_full_rate(&self) -> bool {
+        self.rate_num == self.rate_den
+    }
+
+    /// The link's rate relative to the base bandwidth, as a float.
+    /// Exactly `1.0` for full-rate links.
+    pub fn rate(&self) -> f64 {
+        if self.rate_num == self.rate_den {
+            1.0
+        } else {
+            f64::from(self.rate_num) / f64::from(self.rate_den)
+        }
+    }
+
+    /// Effective bandwidth weight in units of the base bandwidth:
+    /// `capacity * rate`. Exactly `capacity as f64` for full-rate links,
+    /// so uniform topologies see the historical integer-capacity values
+    /// bit for bit.
+    pub fn effective_rate(&self) -> f64 {
+        if self.rate_num == self.rate_den {
+            f64::from(self.capacity)
+        } else {
+            f64::from(self.capacity) * f64::from(self.rate_num) / f64::from(self.rate_den)
+        }
+    }
+
+    /// Returns this link re-rated to `rate_num/rate_den`, keeping
+    /// endpoints and capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate component is zero.
+    pub fn rerated(self, rate_num: u32, rate_den: u32) -> Self {
+        assert!(rate_num >= 1 && rate_den >= 1, "link rate must be positive");
+        Link {
+            rate_num,
+            rate_den,
+            ..self
+        }
     }
 }
 
@@ -50,14 +135,48 @@ mod tests {
     use crate::ids::NodeId;
 
     #[test]
-    fn new_link_has_unit_capacity() {
+    fn new_link_has_unit_capacity_and_full_rate() {
         let l = Link::new(NodeId::new(0).into(), NodeId::new(1).into());
         assert_eq!(l.capacity, 1);
+        assert_eq!((l.rate_num, l.rate_den), (1, 1));
+        assert!(l.is_full_rate());
+        assert_eq!(l.rate(), 1.0);
+        assert_eq!(l.effective_rate(), 1.0);
     }
 
     #[test]
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = Link::with_capacity(NodeId::new(0).into(), NodeId::new(1).into(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate")]
+    fn zero_rate_rejected() {
+        let _ = Link::with_rate(NodeId::new(0).into(), NodeId::new(1).into(), 1, 0);
+    }
+
+    #[test]
+    fn rated_link_weights() {
+        let l = Link::with_rate(NodeId::new(0).into(), NodeId::new(1).into(), 1, 4);
+        assert!(!l.is_full_rate());
+        assert_eq!(l.rate(), 0.25);
+        assert_eq!(l.effective_rate(), 0.25);
+        let wide = Link::with_capacity(NodeId::new(0).into(), NodeId::new(1).into(), 3);
+        let slow = wide.rerated(1, 2);
+        assert_eq!(slow.capacity, 3);
+        assert_eq!(slow.effective_rate(), 1.5);
+        // an equal non-1 pair is still full rate (2/2 == 1)
+        let l = Link::with_rate(NodeId::new(0).into(), NodeId::new(1).into(), 2, 2);
+        assert!(l.is_full_rate());
+        assert_eq!(l.effective_rate(), 1.0);
+    }
+
+    #[test]
+    fn rate_serde_roundtrip_is_exact() {
+        let l = Link::with_rate(NodeId::new(0).into(), NodeId::new(1).into(), 3, 7);
+        let json = serde_json::to_string(&l).unwrap();
+        let back: Link = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
     }
 }

@@ -194,6 +194,33 @@ impl Partition {
         self.reps[p]
     }
 
+    /// Returns `self` with each pod's representative re-picked as the
+    /// member with the largest aggregate out-link effective rate (ties
+    /// broken by lowest node id, so the choice is deterministic and
+    /// reduces to the default lowest-id rule on uniform topologies).
+    /// Bandwidth-aware hierarchical composition funnels every pod's
+    /// traffic through its representative, so on heterogeneous fabrics
+    /// the best-connected member should carry that load.
+    pub fn with_rate_aware_representatives(mut self, topo: &Topology) -> Partition {
+        for (p, members) in self.pods.iter().enumerate() {
+            let mut best = self.reps[p];
+            let mut best_rate = f64::MIN;
+            for &m in members {
+                let agg: f64 = topo
+                    .out_links(m.into())
+                    .iter()
+                    .map(|&l| topo.link_rate(l))
+                    .sum();
+                if agg > best_rate {
+                    best_rate = agg;
+                    best = m;
+                }
+            }
+            self.reps[p] = best;
+        }
+        self
+    }
+
     /// Representatives of all pods, indexed by pod.
     pub fn representatives(&self) -> &[NodeId] {
         &self.reps
@@ -250,24 +277,76 @@ impl Partition {
         }
         let mut links = Vec::with_capacity(cables.len());
         let mut back = Vec::with_capacity(cables.len());
+        let mut rates = Vec::with_capacity(cables.len());
         for ((sp, dp), concrete) in cables {
             let capacity: u32 = concrete
                 .iter()
                 .map(|&c| topo.link(c).capacity)
                 .sum::<u32>()
                 .max(1);
-            links.push(Link::with_capacity(
-                Vertex::Node(NodeId::new(sp as usize)),
-                Vertex::Node(NodeId::new(dp as usize)),
-                capacity,
-            ));
+            // exact rational aggregate bandwidth of the cable bundle:
+            // sum of capacity * rate over the concrete cables
+            let mut agg_num: u128 = 0;
+            let mut agg_den: u128 = 1;
+            let mut full_rate_bundle = true;
+            let mut bundle_rates: Vec<(u32, u32)> = Vec::new();
+            for &c in &concrete {
+                let l = topo.link(c);
+                if !l.is_full_rate() {
+                    full_rate_bundle = false;
+                }
+                let g = gcd(u128::from(l.rate_num), u128::from(l.rate_den));
+                bundle_rates.push((
+                    (u128::from(l.rate_num) / g) as u32,
+                    (u128::from(l.rate_den) / g) as u32,
+                ));
+                agg_num = agg_num * u128::from(l.rate_den)
+                    + u128::from(l.capacity) * u128::from(l.rate_num) * agg_den;
+                agg_den *= u128::from(l.rate_den);
+                let g = gcd(agg_num, agg_den);
+                agg_num /= g;
+                agg_den /= g;
+            }
+            bundle_rates.sort_unstable();
+            bundle_rates.dedup();
+            let src = Vertex::Node(NodeId::new(sp as usize));
+            let dst = Vertex::Node(NodeId::new(dp as usize));
+            let link = if full_rate_bundle {
+                Link::with_capacity(src, dst, capacity)
+            } else {
+                // pick the rate so that capacity * rate reproduces the
+                // bundle's exact aggregate bandwidth
+                let mut num = agg_num;
+                let mut den = agg_den * u128::from(capacity);
+                let g = gcd(num, den);
+                num /= g;
+                den /= g;
+                assert!(
+                    num <= u128::from(u32::MAX) && den <= u128::from(u32::MAX),
+                    "quotient link rate does not fit u32"
+                );
+                Link::with_capacity(src, dst, capacity).rerated(num as u32, den as u32)
+            };
+            links.push(link);
             back.push(concrete);
+            rates.push(bundle_rates);
         }
         PodQuotient {
             topo: Topology::from_parts(TopologyKind::Custom, self.num_pods(), 0, links),
             cables: back,
+            rates,
         }
     }
+}
+
+/// Greatest common divisor (euclid); `gcd(0, b) == b`.
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
 }
 
 /// The contraction of a topology by a [`Partition`]: pod `p` becomes
@@ -280,6 +359,10 @@ pub struct PodQuotient {
     /// Concrete cables behind each quotient link, ascending by id,
     /// indexed by quotient [`LinkId`].
     cables: Vec<Vec<LinkId>>,
+    /// Deduplicated, reduced `(rate_num, rate_den)` pairs of the concrete
+    /// cables behind each quotient link, ascending; `[(1, 1)]` for a
+    /// full-rate bundle. Indexed by quotient [`LinkId`].
+    rates: Vec<Vec<(u32, u32)>>,
 }
 
 impl PodQuotient {
@@ -299,6 +382,15 @@ impl PodQuotient {
     pub fn cables(&self, q: LinkId) -> &[LinkId] {
         &self.cables[q.index()]
     }
+
+    /// The distinct static rates among the cables behind a quotient
+    /// link: deduplicated, reduced `(rate_num, rate_den)` pairs,
+    /// ascending. `[(1, 1)]` for a full-rate bundle. The quotient link's
+    /// own rate is chosen so `capacity * rate` equals the exact summed
+    /// `capacity * rate` of the concrete cables.
+    pub fn cable_rates(&self, q: LinkId) -> &[(u32, u32)] {
+        &self.rates[q.index()]
+    }
 }
 
 impl PartialEq for PodQuotient {
@@ -306,6 +398,7 @@ impl PartialEq for PodQuotient {
         self.topo.num_nodes() == other.topo.num_nodes()
             && self.topo.links() == other.topo.links()
             && self.cables == other.cables
+            && self.rates == other.rates
     }
 }
 

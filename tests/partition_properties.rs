@@ -101,6 +101,15 @@ fn assert_partition_sound(topo: &Topology, part: &Partition, label: &str) {
 /// * quotient link capacity is the summed capacity of its cables;
 /// * the quotient is connected iff the inter-pod cabling connects the
 ///   pods (checked against an independent union-find).
+fn gcd128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a.max(1)
+}
+
 fn assert_quotient_sound(topo: &Topology, part: &Partition, label: &str) {
     let q = part.quotient(topo);
     let qt = q.topology();
@@ -121,6 +130,11 @@ fn assert_quotient_sound(topo: &Topology, part: &Partition, label: &str) {
             assert!(w[0].index() < w[1].index(), "{label}: cables not ascending");
         }
         let mut cap = 0u32;
+        // exact rational aggregate of capacity * rate over the bundle,
+        // recomputed independently of the quotient implementation
+        let mut agg_num: u128 = 0;
+        let mut agg_den: u128 = 1;
+        let mut distinct: Vec<(u32, u32)> = Vec::new();
         for &c in cables {
             times_mapped[c.index()] += 1;
             let l = topo.link(c);
@@ -128,8 +142,42 @@ fn assert_quotient_sound(topo: &Topology, part: &Partition, label: &str) {
             assert_eq!(part.pod_of_vertex(l.src), sp, "{label}: cable src pod");
             assert_eq!(part.pod_of_vertex(l.dst), dp, "{label}: cable dst pod");
             cap += l.capacity;
+            let g = gcd128(u128::from(l.rate_num), u128::from(l.rate_den));
+            distinct.push((
+                (u128::from(l.rate_num) / g) as u32,
+                (u128::from(l.rate_den) / g) as u32,
+            ));
+            agg_num = agg_num * u128::from(l.rate_den)
+                + u128::from(l.capacity) * u128::from(l.rate_num) * agg_den;
+            agg_den *= u128::from(l.rate_den);
+            let g = gcd128(agg_num, agg_den);
+            agg_num /= g;
+            agg_den /= g;
         }
         assert_eq!(qlink.capacity, cap, "{label}: quotient capacity != cable sum");
+        // rate carry-through: the quotient link's effective bandwidth
+        // (capacity * rate) equals the bundle aggregate exactly, and
+        // cable_rates lists exactly the distinct reduced cable rates
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(
+            q.cable_rates(ql),
+            &distinct[..],
+            "{label}: cable_rates mismatch on quotient link {qi}"
+        );
+        let lhs_num = u128::from(qlink.capacity) * u128::from(qlink.rate_num);
+        let lhs_den = u128::from(qlink.rate_den);
+        assert_eq!(
+            lhs_num * agg_den,
+            agg_num * lhs_den,
+            "{label}: quotient link {qi} effective rate != cable aggregate"
+        );
+        if distinct == [(1, 1)] {
+            assert!(
+                qlink.rate_num == qlink.rate_den,
+                "{label}: full-rate bundle must yield a full-rate quotient link"
+            );
+        }
     }
     for (i, &mapped) in times_mapped.iter().enumerate() {
         let id = LinkId::new(i);
@@ -258,6 +306,44 @@ proptest! {
         assert_quotient_sound(&topo, &single, &label);
         let shattered = Partition::balanced(&topo, topo.num_nodes());
         assert_quotient_sound(&topo, &shattered, &label);
+    }
+
+    #[test]
+    fn quotient_rates_carry_through_heterogeneous_fabrics(
+        idx in 0usize..8,
+        a in 2usize..7,
+        b in 2usize..5,
+        pods in 2usize..8,
+        slows in 1usize..12,
+        seed: u64,
+    ) {
+        // re-rate a seeded subset of links, then the quotient must carry
+        // the exact rational aggregate bandwidth per cable bundle (the
+        // rate checks live in assert_quotient_sound)
+        let base = family(idx, a, b, seed);
+        let mut state = seed | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let rerates: Vec<(LinkId, u32, u32)> = (0..slows)
+            .map(|_| {
+                let l = LinkId::new(next() % base.num_links());
+                (l, (next() % 3 + 1) as u32, (next() % 7 + 1) as u32)
+            })
+            .collect();
+        let topo = base.with_link_rates(&rerates).unwrap();
+        let label = format!(
+            "hetero family {idx} a={a} b={b} pods={pods} slows={slows} seed={seed}"
+        );
+        let part = Partition::balanced(&topo, pods);
+        assert_quotient_sound(&topo, &part, &label);
+        // determinism extends to the rate annotations
+        prop_assert_eq!(
+            part.quotient(&topo) == part.quotient(&topo),
+            true,
+            "{}: heterogeneous quotient not deterministic", &label
+        );
     }
 
     #[test]
