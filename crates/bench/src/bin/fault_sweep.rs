@@ -26,12 +26,13 @@ use multitree::algorithms::{repair_multitree, Algorithm, AllReduce, RepairStrate
 use multitree::verify::verify_schedule;
 use multitree::{CommSchedule, PreparedSchedule};
 use mt_bench::args::Args;
+use mt_bench::faults::{failure_sequence, seed_of};
 use mt_bench::fmt_size;
 use mt_bench::parallel::run_indexed;
 use mt_bench::suites::{paper_algorithms, AlgoConfig};
 use mt_netsim::flow::FlowEngine;
 use mt_netsim::{NoopObserver, SimScratch};
-use mt_topology::{LinkId, Topology};
+use mt_topology::Topology;
 
 struct UnitOut {
     network: String,
@@ -49,66 +50,6 @@ enum Outcome {
     Infeasible {
         reason: String,
     },
-}
-
-/// Groups the directed link table into physical cables: every link
-/// between the same unordered vertex pair belongs to one cable.
-fn cables(topo: &Topology) -> Vec<Vec<LinkId>> {
-    let mut groups: Vec<((usize, usize), Vec<LinkId>)> = Vec::new();
-    for i in 0..topo.num_links() {
-        let id = LinkId::new(i);
-        let l = topo.link(id);
-        let (a, b) = (topo.vertex_index(l.src), topo.vertex_index(l.dst));
-        let key = (a.min(b), a.max(b));
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, g)) => g.push(id),
-            None => groups.push((key, vec![id])),
-        }
-    }
-    groups.into_iter().map(|(_, g)| g).collect()
-}
-
-/// The first `k` cables of a deterministic per-network failure sequence:
-/// cables are visited in a seeded shuffle order and accepted only if the
-/// network stays connected, so failure sets are nested in `k` (the k-th
-/// sweep point adds one cable to the (k-1)-th's set).
-fn failure_sequence(topo: &Topology, seed: u64, k: usize) -> Vec<LinkId> {
-    let all = cables(topo);
-    let mut order: Vec<usize> = (0..all.len()).collect();
-    // splitmix64-driven Fisher-Yates: reproducible across platforms
-    let mut state = seed;
-    let mut next = || {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^ (z >> 31)
-    };
-    for i in (1..order.len()).rev() {
-        order.swap(i, (next() % (i as u64 + 1)) as usize);
-    }
-    let mut dead: Vec<LinkId> = Vec::new();
-    let mut accepted = 0;
-    for idx in order {
-        if accepted >= k {
-            break;
-        }
-        let candidate: Vec<LinkId> = dead.iter().copied().chain(all[idx].iter().copied()).collect();
-        if topo.without_links(&candidate).is_connected() {
-            dead = candidate;
-            accepted += 1;
-        }
-    }
-    dead
-}
-
-/// FNV-1a, so each network gets a stable but distinct shuffle.
-fn seed_of(name: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes() {
-        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// True if any event path of `s` traverses a link disabled in `topo`.

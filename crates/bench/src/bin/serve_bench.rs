@@ -1,0 +1,225 @@
+//! Serving-daemon load generator (the `BENCH_serve.json` evidence for
+//! the PR-9 acceptance criterion).
+//!
+//! Runs one phase per target cache-hit ratio, each against a *fresh*
+//! in-process daemon over real TCP (so the 0% phase is never warmed by
+//! an earlier one). Unique cold keys are minted by wrapping the base
+//! torus in distinct — but semantically full-rate — `with_link_rates`
+//! overrides: every such spec canonicalizes to a different
+//! `ScheduleKey` while building the identical machine, so "cold" costs
+//! exactly one schedule compile and nothing else varies.
+//!
+//! Requests are issued synchronously (send, wait, measure), giving
+//! per-request latency percentiles and requests/sec; the simulated
+//! results per request are dumped with `--ndjson` and must be
+//! byte-identical for ANY `--workers` value (the determinism contract —
+//! wall-clock numbers live only in the `--json` summary, which is
+//! expected to vary).
+//!
+//! ```text
+//! cargo run --release -p mt-bench --bin serve_bench \
+//!     [-- --rows 32] [--cols 32] [--requests 40] [--workers 2] \
+//!     [--payload-kib 1024] [--json BENCH_serve.json] [--ndjson out.ndjson]
+//! ```
+//!
+//! Exits non-zero unless the 90%-hit phase sustains ≥ 5× the req/s of
+//! the 0% phase (skip the gate with `--no-gate` for exploratory runs).
+
+use mt_bench::args::Args;
+use mt_bench::dump_json;
+use mt_serve::{
+    AlgorithmSpec, Client, Daemon, EngineSpec, Request, Response, RunRequest, ServeConfig,
+};
+use mt_topology::TopologySpec;
+use serde::Serialize;
+use std::io::Write;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct PhaseSummary {
+    target_hit_ratio: f64,
+    requests: usize,
+    observed_hits: u64,
+    observed_misses: u64,
+    wall_ms: f64,
+    req_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct Summary {
+    nodes: usize,
+    algorithm: &'static str,
+    payload_bytes: u64,
+    workers: usize,
+    phases: Vec<PhaseSummary>,
+    speedup_90_vs_0: f64,
+}
+
+/// The i-th distinct-but-equivalent spec over the same torus: a
+/// full-rate override on link `i`, purely to mint a fresh cache key.
+fn cold_spec(base: &TopologySpec, i: usize, n_links: usize) -> TopologySpec {
+    TopologySpec::WithLinkRates {
+        base: Box::new(base.clone()),
+        rates: vec![(i % n_links, 1, 1)],
+    }
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_phase(
+    ratio: f64,
+    base: &TopologySpec,
+    n_links: usize,
+    requests: usize,
+    workers: usize,
+    payload: u64,
+    ndjson: &mut Vec<u8>,
+) -> PhaseSummary {
+    let mut d = Daemon::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind daemon");
+    let mut client = Client::connect(d.addr()).expect("connect");
+
+    // warm the shared key outside the measured window iff hits are wanted
+    let warm_spec = base.clone();
+    if ratio > 0.0 {
+        let resp = client
+            .request(&Request::Run(RunRequest {
+                topology: warm_spec.clone(),
+                algorithm: AlgorithmSpec::Hierarchical,
+                payload_bytes: payload,
+                engine: EngineSpec::Flow,
+                faults: None,
+            }))
+            .expect("warm request");
+        assert!(matches!(resp, Response::Run(_)), "warm-up failed: {resp:?}");
+    }
+
+    // deterministic request stream: every k-th request is a fresh key
+    let miss_every = if ratio >= 1.0 {
+        usize::MAX
+    } else {
+        (1.0 / (1.0 - ratio)).round() as usize
+    };
+    let mut cold = 0usize;
+    let mut latencies_ms = Vec::with_capacity(requests);
+    let wall = Instant::now();
+    for i in 0..requests {
+        let topology = if i % miss_every == 0 {
+            cold += 1;
+            cold_spec(base, cold, n_links)
+        } else {
+            warm_spec.clone()
+        };
+        let req = Request::Run(RunRequest {
+            topology,
+            algorithm: AlgorithmSpec::Hierarchical,
+            payload_bytes: payload,
+            engine: EngineSpec::Flow,
+            faults: None,
+        });
+        let t0 = Instant::now();
+        let resp = client.request(&req).expect("request");
+        latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let Response::Run(run) = resp else {
+            panic!("request {i} failed: {resp:?}");
+        };
+        assert!(run.verified, "request {i} served an unverified schedule");
+        // deterministic fields only: identical for any worker count
+        writeln!(
+            ndjson,
+            "{{\"ratio\":{ratio},\"i\":{i},\"key\":\"{}\",\"completion_ns\":{},\"messages\":{},\"flits\":{},\"verified\":{}}}",
+            run.key, run.completion_ns, run.messages, run.flits_sent, run.verified
+        )
+        .expect("ndjson write");
+    }
+    let wall_s = wall.elapsed().as_secs_f64();
+    let stats = d.stats();
+    drop(client);
+    d.shutdown();
+
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    PhaseSummary {
+        target_hit_ratio: ratio,
+        requests,
+        observed_hits: stats.hits,
+        observed_misses: stats.misses,
+        wall_ms: wall_s * 1e3,
+        req_per_sec: requests as f64 / wall_s,
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let rows: usize = args.get_or("rows", 32);
+    let cols: usize = args.get_or("cols", 32);
+    let requests: usize = args.get_or("requests", 40);
+    let workers: usize = args.get_or("workers", 2);
+    let payload: u64 = args.get_or("payload-kib", 1024u64) << 10;
+    let gate = !args.flag("no-gate");
+
+    let base = TopologySpec::Torus { rows, cols };
+    let built = base.build().expect("torus builds");
+    let (nodes, n_links) = (built.num_nodes(), built.num_links());
+    drop(built);
+    println!(
+        "serve bench: {nodes}-node torus, MULTITREE-HIER, {} KiB payload, {workers} workers, {requests} requests/phase",
+        payload >> 10
+    );
+
+    let mut ndjson = Vec::new();
+    let mut phases = Vec::new();
+    for ratio in [0.0, 0.5, 0.9] {
+        let p = run_phase(ratio, &base, n_links, requests, workers, payload, &mut ndjson);
+        println!(
+            "  {:>3.0}% target hit ({} hits / {} misses observed): {:7.1} req/s, p50 {:7.2} ms, p99 {:7.2} ms",
+            ratio * 100.0,
+            p.observed_hits,
+            p.observed_misses,
+            p.req_per_sec,
+            p.p50_ms,
+            p.p99_ms
+        );
+        phases.push(p);
+    }
+
+    let speedup = phases[2].req_per_sec / phases[0].req_per_sec;
+    println!("  90%-hit vs 0%-hit throughput: {speedup:.2}x");
+
+    let summary = Summary {
+        nodes,
+        algorithm: AlgorithmSpec::Hierarchical.name(),
+        payload_bytes: payload,
+        workers,
+        phases,
+        speedup_90_vs_0: speedup,
+    };
+    if let Some(path) = args.json_path() {
+        dump_json(&path, &summary);
+    }
+    if let Some(path) = args.get("ndjson") {
+        std::fs::write(path, &ndjson).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("wrote {path}");
+    }
+
+    if gate && speedup < 5.0 {
+        eprintln!("FAIL: 90% cache-hit throughput only {speedup:.2}x of cold (need >= 5x)");
+        std::process::exit(1);
+    }
+    if gate {
+        println!("OK: cache-hit serving sustains {speedup:.2}x cold-compile throughput");
+    }
+}

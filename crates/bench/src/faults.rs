@@ -1,0 +1,107 @@
+//! Deterministic, connectivity-preserving failure selection.
+//!
+//! Every harness that injects cable failures (`fault_sweep`, the serve
+//! soak's fault-delta generator) needs the same three ingredients: group
+//! directed links into physical cables, pick a reproducible per-network
+//! shuffle seed, and walk the shuffled cables accepting only those whose
+//! removal keeps the network connected — so sweep points are nested in
+//! `k` and a repair always has a surviving fabric to regrow into.
+
+use mt_topology::{LinkId, Topology};
+
+/// Groups directed links into physical cables (unordered vertex pairs):
+/// failing a cable kills both directions — and every parallel lane — at
+/// once, the paper's §VI-C failure granularity.
+pub fn cables(topo: &Topology) -> Vec<Vec<LinkId>> {
+    let mut groups: Vec<((usize, usize), Vec<LinkId>)> = Vec::new();
+    for i in 0..topo.num_links() {
+        let id = LinkId::new(i);
+        let l = topo.link(id);
+        let (a, b) = (topo.vertex_index(l.src), topo.vertex_index(l.dst));
+        let key = (a.min(b), a.max(b));
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, g)) => g.push(id),
+            None => groups.push((key, vec![id])),
+        }
+    }
+    groups.into_iter().map(|(_, g)| g).collect()
+}
+
+/// The first `k` cables of a deterministic per-network failure sequence:
+/// cables are visited in a seeded shuffle order and accepted only if the
+/// network stays connected, so failure sets are nested in `k` (the k-th
+/// sweep point adds one cable to the (k-1)-th's set).
+pub fn failure_sequence(topo: &Topology, seed: u64, k: usize) -> Vec<LinkId> {
+    let all = cables(topo);
+    let mut order: Vec<usize> = (0..all.len()).collect();
+    // splitmix64-driven Fisher-Yates: reproducible across platforms
+    let mut state = seed;
+    let mut next = || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..order.len()).rev() {
+        order.swap(i, (next() % (i as u64 + 1)) as usize);
+    }
+    let mut dead: Vec<LinkId> = Vec::new();
+    let mut accepted = 0;
+    for idx in order {
+        if accepted >= k {
+            break;
+        }
+        let candidate: Vec<LinkId> = dead.iter().copied().chain(all[idx].iter().copied()).collect();
+        if topo.without_links(&candidate).is_connected() {
+            dead = candidate;
+            accepted += 1;
+        }
+    }
+    dead
+}
+
+/// FNV-1a over a network's name, so each network gets a stable but
+/// distinct shuffle.
+pub fn seed_of(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cables_pair_directions() {
+        let topo = Topology::torus(4, 4);
+        let groups = cables(&topo);
+        assert_eq!(
+            groups.iter().map(Vec::len).sum::<usize>(),
+            topo.num_links()
+        );
+        // a torus cable is exactly the two directions of one edge
+        assert!(groups.iter().all(|g| g.len() == 2));
+    }
+
+    #[test]
+    fn failure_sequences_are_nested_deterministic_and_connected() {
+        let topo = Topology::torus(4, 4);
+        let seed = seed_of("torus-4x4");
+        let mut prev: Vec<LinkId> = Vec::new();
+        for k in 0..4 {
+            let dead = failure_sequence(&topo, seed, k);
+            assert_eq!(dead, failure_sequence(&topo, seed, k), "k={k} not deterministic");
+            assert!(
+                dead.starts_with(&prev),
+                "k={k} failure set must extend k-1's"
+            );
+            assert!(topo.without_links(&dead).is_connected());
+            prev = dead;
+        }
+        assert_eq!(prev.len(), 3 * 2, "3 cables = 6 directed links");
+    }
+}

@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod faults;
 pub mod parallel;
 pub mod suites;
 

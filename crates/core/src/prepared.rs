@@ -9,6 +9,13 @@
 //! validates the schedule once and flattens all of this into contiguous
 //! CSR arrays, so a run only indexes slices.
 //!
+//! The flattened arrays live in an owned [`PreparedData`], separable
+//! from the borrowed `(schedule, topology)` pair so long-lived caches
+//! (the serving daemon) can store the compiled artifact and re-attach it
+//! to its sources per request via [`PreparedSchedule::from_parts`];
+//! [`PreparedData::heap_bytes`] gives the byte-size such caches account
+//! against their capacity.
+//!
 //! Payload-size-dependent quantities (per-event byte counts, flit
 //! framing) are deliberately *not* precomputed: they change between runs
 //! of a sweep while everything stored here stays fixed.
@@ -18,28 +25,14 @@ use crate::error::AlgorithmError;
 use crate::event::CommEvent;
 use crate::schedule::CommSchedule;
 use mt_topology::{LinkId, Topology};
+use std::borrow::Cow;
 
-/// A `(CommSchedule, Topology)` pair validated once, with per-event link
-/// paths, bottleneck capacities and the dependents adjacency flattened
-/// into CSR form. See the [module docs](self).
-///
-/// ```
-/// use mt_topology::Topology;
-/// use multitree::algorithms::{AllReduce, MultiTree};
-/// use multitree::prepared::PreparedSchedule;
-///
-/// let topo = Topology::torus(4, 4);
-/// let schedule = MultiTree::default().build(&topo)?;
-/// let prep = PreparedSchedule::new(&schedule, &topo)?;
-/// assert_eq!(prep.num_events(), schedule.events().len());
-/// // every event's path is resolved and non-trivial to index
-/// assert!((0..prep.num_events()).all(|i| prep.hops(i) >= 1));
-/// # Ok::<(), multitree::AlgorithmError>(())
-/// ```
+/// The owned, source-independent half of a [`PreparedSchedule`]: every
+/// per-event array, flattened into CSR form. Computed once by
+/// [`PreparedData::compute`] and valid for exactly the `(schedule,
+/// topology)` pair it was computed from.
 #[derive(Debug, Clone)]
-pub struct PreparedSchedule<'a> {
-    schedule: &'a CommSchedule,
-    topo: &'a Topology,
+pub struct PreparedData {
     /// CSR offsets into `path_links`, length `num_events + 1`.
     path_offsets: Vec<u32>,
     /// Concatenated per-event link paths.
@@ -71,17 +64,14 @@ pub struct PreparedSchedule<'a> {
     srcs: Vec<u32>,
 }
 
-impl<'a> PreparedSchedule<'a> {
+impl PreparedData {
     /// Validates `schedule` and resolves every event against `topo`.
     ///
     /// # Errors
     ///
     /// Returns [`AlgorithmError::MalformedSchedule`] if the schedule
     /// fails [`CommSchedule::validate`].
-    pub fn new(
-        schedule: &'a CommSchedule,
-        topo: &'a Topology,
-    ) -> Result<Self, AlgorithmError> {
+    pub fn compute(schedule: &CommSchedule, topo: &Topology) -> Result<Self, AlgorithmError> {
         schedule.validate()?;
         let events = schedule.events();
         let n = events.len();
@@ -140,9 +130,7 @@ impl<'a> PreparedSchedule<'a> {
             }
         }
 
-        Ok(PreparedSchedule {
-            schedule,
-            topo,
+        Ok(PreparedData {
             path_offsets,
             path_links,
             path_caps,
@@ -154,6 +142,102 @@ impl<'a> PreparedSchedule<'a> {
             steps,
             srcs,
         })
+    }
+
+    /// Number of events these arrays were computed for.
+    pub fn num_events(&self) -> usize {
+        self.min_caps.len()
+    }
+
+    /// Bytes of heap the flattened arrays occupy — what a byte-budgeted
+    /// cache charges for keeping this artifact resident. Counts array
+    /// contents (by `len`, the dominant term), not allocator slack.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.path_offsets.len() * size_of::<u32>()
+            + self.path_links.len() * size_of::<LinkId>()
+            + self.path_caps.len() * size_of::<f64>()
+            + self.min_caps.len() * size_of::<u32>()
+            + self.min_rates.len() * size_of::<f64>()
+            + self.dependent_offsets.len() * size_of::<u32>()
+            + self.dependent_ids.len() * size_of::<u32>()
+            + self.indegree.len() * size_of::<u32>()
+            + self.steps.len() * size_of::<u32>()
+            + self.srcs.len() * size_of::<u32>()
+    }
+}
+
+/// A `(CommSchedule, Topology)` pair validated once, with per-event link
+/// paths, bottleneck capacities and the dependents adjacency flattened
+/// into CSR form. See the [module docs](self).
+///
+/// ```
+/// use mt_topology::Topology;
+/// use multitree::algorithms::{AllReduce, MultiTree};
+/// use multitree::prepared::PreparedSchedule;
+///
+/// let topo = Topology::torus(4, 4);
+/// let schedule = MultiTree::default().build(&topo)?;
+/// let prep = PreparedSchedule::new(&schedule, &topo)?;
+/// assert_eq!(prep.num_events(), schedule.events().len());
+/// // every event's path is resolved and non-trivial to index
+/// assert!((0..prep.num_events()).all(|i| prep.hops(i) >= 1));
+/// # Ok::<(), multitree::AlgorithmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedSchedule<'a> {
+    schedule: &'a CommSchedule,
+    topo: &'a Topology,
+    data: Cow<'a, PreparedData>,
+}
+
+impl<'a> PreparedSchedule<'a> {
+    /// Validates `schedule` and resolves every event against `topo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] if the schedule
+    /// fails [`CommSchedule::validate`].
+    pub fn new(schedule: &'a CommSchedule, topo: &'a Topology) -> Result<Self, AlgorithmError> {
+        let data = PreparedData::compute(schedule, topo)?;
+        Ok(PreparedSchedule {
+            schedule,
+            topo,
+            data: Cow::Owned(data),
+        })
+    }
+
+    /// Re-attaches an already-computed [`PreparedData`] to its sources
+    /// without copying — the cache-hit path of a schedule server. The
+    /// caller guarantees `data` was computed from exactly this
+    /// `(schedule, topo)` pair (the event-count mismatch is caught, a
+    /// semantic mismatch is not).
+    pub fn from_parts(
+        schedule: &'a CommSchedule,
+        topo: &'a Topology,
+        data: &'a PreparedData,
+    ) -> Self {
+        assert_eq!(
+            data.num_events(),
+            schedule.events().len(),
+            "PreparedData does not match the schedule it is attached to"
+        );
+        PreparedSchedule {
+            schedule,
+            topo,
+            data: Cow::Borrowed(data),
+        }
+    }
+
+    /// The owned half: flattened arrays, detachable for caching.
+    pub fn data(&self) -> &PreparedData {
+        &self.data
+    }
+
+    /// Consumes the view, returning the owned arrays (cloning only if
+    /// this view was built over borrowed data).
+    pub fn into_data(self) -> PreparedData {
+        self.data.into_owned()
     }
 
     /// The schedule this was prepared from.
@@ -168,7 +252,7 @@ impl<'a> PreparedSchedule<'a> {
 
     /// Number of events in the schedule.
     pub fn num_events(&self) -> usize {
-        self.min_caps.len()
+        self.data.min_caps.len()
     }
 
     /// The events, indexable by the same indices every accessor takes.
@@ -178,25 +262,27 @@ impl<'a> PreparedSchedule<'a> {
 
     /// The resolved physical link path of event `i`.
     pub fn path(&self, i: usize) -> &[LinkId] {
-        &self.path_links[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
+        &self.data.path_links
+            [self.data.path_offsets[i] as usize..self.data.path_offsets[i + 1] as usize]
     }
 
     /// The effective rates (`capacity * rate`) of event `i`'s path
     /// links, as `f64`, aligned with [`PreparedSchedule::path`]. On
     /// uniform topologies these are exactly the integer capacities.
     pub fn path_capacities(&self, i: usize) -> &[f64] {
-        &self.path_caps[self.path_offsets[i] as usize..self.path_offsets[i + 1] as usize]
+        &self.data.path_caps
+            [self.data.path_offsets[i] as usize..self.data.path_offsets[i + 1] as usize]
     }
 
     /// Hop count of event `i`'s path.
     pub fn hops(&self, i: usize) -> usize {
-        (self.path_offsets[i + 1] - self.path_offsets[i]) as usize
+        (self.data.path_offsets[i + 1] - self.data.path_offsets[i]) as usize
     }
 
     /// The first link of event `i`'s path — the injection port a
     /// cycle-accurate NI enqueues the message on. Paths are never empty.
     pub fn first_link(&self, i: usize) -> LinkId {
-        self.path_links[self.path_offsets[i] as usize]
+        self.data.path_links[self.data.path_offsets[i] as usize]
     }
 
     /// The bottleneck (minimum) capacity along event `i`'s path, in link
@@ -204,7 +290,7 @@ impl<'a> PreparedSchedule<'a> {
     /// [`PreparedSchedule::min_rate`] for the effective-bandwidth
     /// bottleneck.
     pub fn min_capacity(&self, i: usize) -> u32 {
-        self.min_caps[i]
+        self.data.min_caps[i]
     }
 
     /// The bottleneck (minimum) *effective* rate along event `i`'s path,
@@ -212,33 +298,33 @@ impl<'a> PreparedSchedule<'a> {
     /// `f64::from(self.min_capacity(i))` on uniform topologies, smaller
     /// when a slow link sits on the path.
     pub fn min_rate(&self, i: usize) -> f64 {
-        self.min_rates[i]
+        self.data.min_rates[i]
     }
 
     /// Events that depend on event `i`, ascending.
     pub fn dependents(&self, i: usize) -> &[u32] {
-        &self.dependent_ids
-            [self.dependent_offsets[i] as usize..self.dependent_offsets[i + 1] as usize]
+        &self.data.dependent_ids
+            [self.data.dependent_offsets[i] as usize..self.data.dependent_offsets[i + 1] as usize]
     }
 
     /// Number of dependencies event `i` waits on.
     pub fn indegree(&self, i: usize) -> u32 {
-        self.indegree[i]
+        self.data.indegree[i]
     }
 
     /// The lockstep step of event `i`.
     pub fn step(&self, i: usize) -> u32 {
-        self.steps[i]
+        self.data.steps[i]
     }
 
     /// The source node index of event `i`.
     pub fn src_index(&self, i: usize) -> usize {
-        self.srcs[i] as usize
+        self.data.srcs[i] as usize
     }
 
     /// The indegree of every event (a fresh copy, ready to count down).
     pub fn indegree_vec(&self) -> Vec<u32> {
-        self.indegree.clone()
+        self.data.indegree.clone()
     }
 }
 
@@ -324,7 +410,25 @@ mod tests {
         }
         // a DAG invariant: edge counts agree in both directions
         let total: u32 = (0..s.events().len()).map(|i| prep.indegree(i)).sum();
-        assert_eq!(total as usize, prep.dependent_ids.len());
+        assert_eq!(total as usize, prep.data().dependent_ids.len());
+    }
+
+    #[test]
+    fn detached_data_reattaches_identically() {
+        let topo = Topology::torus(4, 4);
+        let s = MultiTree::default().build(&topo).unwrap();
+        let fresh = PreparedSchedule::new(&s, &topo).unwrap();
+        let data = fresh.clone().into_data();
+        assert!(data.heap_bytes() > 0);
+        let reattached = PreparedSchedule::from_parts(&s, &topo, &data);
+        assert_eq!(reattached.num_events(), fresh.num_events());
+        for i in 0..fresh.num_events() {
+            assert_eq!(reattached.path(i), fresh.path(i));
+            assert_eq!(reattached.path_capacities(i), fresh.path_capacities(i));
+            assert_eq!(reattached.dependents(i), fresh.dependents(i));
+            assert_eq!(reattached.min_rate(i), fresh.min_rate(i));
+            assert_eq!(reattached.step(i), fresh.step(i));
+        }
     }
 
     #[test]

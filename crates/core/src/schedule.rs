@@ -117,6 +117,22 @@ impl CommSchedule {
         &self.events
     }
 
+    /// Bytes of heap this schedule occupies — events plus their
+    /// variable-length dependency and path lists. Counts contents (by
+    /// `len`), not allocator slack; used by byte-budgeted caches.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let per_event: usize = self
+            .events
+            .iter()
+            .map(|e| {
+                e.deps.len() * size_of::<EventId>()
+                    + e.path.as_ref().map_or(0, |p| p.len() * size_of::<LinkId>())
+            })
+            .sum();
+        self.algorithm.len() + self.events.len() * size_of::<CommEvent>() + per_event
+    }
+
     /// The event behind an id.
     ///
     /// # Panics

@@ -557,7 +557,15 @@ impl CycleEngine {
         s.ni_cursor.extend_from_slice(&s.ni_offsets[..nn]);
 
         // lockstep step estimates (in cycles): flits of the step's largest
-        // chunk, less the NI buffer when it does not fit (footnote 4)
+        // chunk, less the NI buffer when it does not fit (footnote 4).
+        // Deliberately rate- and degrade-blind: slow or degraded links
+        // stretch a step through the router's integer pacing gap
+        // (`ceil(slowdown x degrade)` cycles per flit), which delays the
+        // *actual* issue times the NI counts work against — folding the
+        // same factor into the estimate would double-charge it. The
+        // lockstep-on composition test in tests/heterogeneous_fabrics.rs
+        // pins this: rate x degrade stays bit-identical however the 6x
+        // slowdown is split.
         reset_to(&mut s.step_est, num_steps as usize + 2, 0);
         if let (true, Some(interval)) = (cfg.lockstep, cfg.lockstep_interval_ns) {
             let cycles = (interval / cfg.cycle_ns()).round() as u64;

@@ -316,6 +316,18 @@ impl CompiledFaults {
             .product()
     }
 
+    /// The fully-compounded serialization-time multiplier for `link` —
+    /// the product of *every* planned degradation, regardless of when
+    /// it kicks in. This is the static-plan view gate planners budget
+    /// with (they run before any event time is known); 1.0 when the
+    /// plan never degrades the link.
+    pub fn final_degrade_factor(&self, link: u32) -> f64 {
+        self.degrades[link as usize]
+            .iter()
+            .map(|&(_, factor)| factor)
+            .product()
+    }
+
     /// True if the host at `node` has crashed by `t_ns`.
     pub fn node_dead(&self, node: u32, t_ns: f64) -> bool {
         t_ns >= self.node_down_at[node as usize]

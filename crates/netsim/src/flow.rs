@@ -191,11 +191,24 @@ impl FlowEngine {
     /// message would *overtake* rather than queue behind, so it uses
     /// the full serialization estimate (the cycle engine, which models
     /// the buffering physically, applies the footnote-4 subtraction).
-    fn fill_framings_and_gates(
+    ///
+    /// With faults compiled in (`F = true`) the estimate folds each
+    /// path link's *final* degrade factor into its rate, mirroring the
+    /// `ser *= degrade_factor` the execution loop applies: the gate
+    /// planner budgets for every announced degradation, the same
+    /// static-plan view the NI schedule table would be regenerated
+    /// with. (The final — fully compounded — factor is used rather
+    /// than a per-time one because gates are computed before any event
+    /// time is known; for the common one-shot degrade plans the two
+    /// coincide.) With an empty plan every factor is 1.0 and the fold
+    /// reproduces `min_rate` bit-for-bit, so healthy runs and
+    /// empty-plan faulted runs stay byte-identical.
+    fn fill_framings_and_gates<const F: bool>(
         &self,
         prep: &PreparedSchedule<'_>,
         total_bytes: u64,
         scratch: &mut SimScratch,
+        faults: &CompiledFaults,
     ) {
         let schedule = prep.schedule();
         let cfg = &self.cfg;
@@ -223,7 +236,25 @@ impl FlowEngine {
                     // effective rate folds multigraph capacities (§VII-B
                     // heterogeneous bandwidth) and per-link rates together,
                     // so slow links widen the gate and fast ones shrink it
-                    let t = flits as f64 * flit_ns / prep.min_rate(i);
+                    let rate = if F {
+                        // same values and fold order as the min_rate
+                        // precompute, with each link slowed by its final
+                        // degrade factor
+                        let mr = prep
+                            .path(i)
+                            .iter()
+                            .zip(prep.path_capacities(i))
+                            .map(|(l, &r)| r / faults.final_degrade_factor(l.index() as u32))
+                            .fold(f64::INFINITY, f64::min);
+                        if mr.is_finite() {
+                            mr
+                        } else {
+                            1.0
+                        }
+                    } else {
+                        prep.min_rate(i)
+                    };
+                    let t = flits as f64 * flit_ns / rate;
                     let s = prep.step(i) as usize;
                     if t > gates[s + 1] {
                         gates[s + 1] = t;
@@ -269,7 +300,7 @@ impl FlowEngine {
             }
         }
 
-        self.fill_framings_and_gates(prep, total_bytes, scratch);
+        self.fill_framings_and_gates::<F>(prep, total_bytes, scratch, faults);
         let framings = &scratch.framings;
         let gates = &scratch.gates;
 
@@ -541,7 +572,7 @@ impl FlowEngine {
             });
         }
 
-        self.fill_framings_and_gates(prep, total_bytes, scratch);
+        self.fill_framings_and_gates::<false>(prep, total_bytes, scratch, &NO_FAULTS);
 
         // Home shard of each event = shard of its source node.
         scratch.shard_home.clear();
@@ -981,7 +1012,7 @@ impl FlowEngine {
             });
         }
 
-        self.fill_framings_and_gates(prep, total_bytes, scratch);
+        self.fill_framings_and_gates::<false>(prep, total_bytes, scratch, &NO_FAULTS);
 
         reset_to(&mut scratch.node_free, topo.num_nodes(), 0.0f64);
         scratch.remaining_deps.clear();

@@ -1,0 +1,82 @@
+//! A minimal blocking NDJSON client, used by the integration tests, the
+//! `serve_bench` driver and the CI soak. Also the reference for writing
+//! clients in other languages: one JSON request per line in, one JSON
+//! response per line out, responses in request order.
+
+use crate::protocol::{Request, Response};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected client. Requests may be pipelined: `send` any number of
+/// requests, then `recv` the same number of responses, in order.
+pub struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true).ok();
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { writer, reader })
+    }
+
+    /// Sends one request line without waiting for the response.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket write failures.
+    pub fn send(&mut self, request: &Request) -> io::Result<()> {
+        let line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        writeln!(self.writer, "{line}")
+    }
+
+    /// Receives the next response line.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures, a daemon that hung up (`UnexpectedEof`), or an
+    /// unparseable response line (`InvalidData`).
+    pub fn recv(&mut self) -> io::Result<Response> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        serde_json::from_str(line.trim())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send`] and [`Client::recv`].
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        self.send(request)?;
+        self.recv()
+    }
+
+    /// Pipelines a batch: all requests written first, then all responses
+    /// collected, preserving order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::send`] and [`Client::recv`].
+    pub fn batch(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
+        for r in requests {
+            self.send(r)?;
+        }
+        requests.iter().map(|_| self.recv()).collect()
+    }
+}

@@ -1,0 +1,176 @@
+//! Canonical cache keys for prepared schedules.
+//!
+//! Two requests that name the same compiled artifact must produce the
+//! same [`ScheduleKey`]; requests naming different artifacts must not
+//! collide. The key canonicalizes exactly the inputs that change what
+//! gets *compiled*:
+//!
+//! * the topology spec, via [`TopologySpec::canonicalized`] (rate
+//!   overrides sorted, last-wins deduped);
+//! * the algorithm name;
+//! * the **structural** fault state: links that die permanently and
+//!   nodes that crash, sorted and deduped. These change the schedule
+//!   (a delta routes through repair), so they key the cache.
+//!
+//! Deliberately *excluded*: payload size and engine (a prepared schedule
+//! is payload-independent and engine-agnostic), and the runtime-only
+//! parts of a [`FaultPlan`] — flaps, degrades, fault times and the
+//! detect window. Those alter one execution, not the compiled artifact,
+//! and are applied per run against the cached schedule; requests that
+//! differ only there share an entry. The canonicalization proptests in
+//! `tests/key_properties.rs` pin both directions.
+
+use crate::protocol::AlgorithmSpec;
+use mt_netsim::{FaultEvent, FaultPlan};
+use mt_topology::TopologySpec;
+use serde::{Deserialize, Serialize};
+
+/// The structural fault state extracted from a [`FaultPlan`]: what is
+/// permanently gone, independent of when. Sorted and deduped, so plans
+/// listing the same deaths in any order and with any timestamps
+/// canonicalize identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct FaultKey {
+    /// Indices of permanently dead unidirectional links, ascending.
+    pub dead_links: Vec<usize>,
+    /// Indices of crashed compute nodes, ascending.
+    pub dead_nodes: Vec<usize>,
+}
+
+impl FaultKey {
+    /// Extracts the structural state from a plan. `LinkFlap` and
+    /// `LinkDegrade` events are runtime-only and ignored here.
+    pub fn of(plan: &FaultPlan) -> FaultKey {
+        let mut dead_links = Vec::new();
+        let mut dead_nodes = Vec::new();
+        for e in &plan.events {
+            match e {
+                FaultEvent::LinkDown { link, .. } => dead_links.push(link.index()),
+                FaultEvent::NodeDown { node, .. } => dead_nodes.push(node.index()),
+                FaultEvent::LinkFlap { .. } | FaultEvent::LinkDegrade { .. } => {}
+            }
+        }
+        dead_links.sort_unstable();
+        dead_links.dedup();
+        dead_nodes.sort_unstable();
+        dead_nodes.dedup();
+        FaultKey {
+            dead_links,
+            dead_nodes,
+        }
+    }
+
+    /// True if nothing is permanently gone — the plan (if any) only
+    /// flaps or degrades, so the healthy cached schedule serves it.
+    pub fn is_healthy(&self) -> bool {
+        self.dead_links.is_empty() && self.dead_nodes.is_empty()
+    }
+}
+
+/// The canonical material a key is built from. Serialized (via the
+/// deterministic offline serde shim: struct fields in declaration order,
+/// no whitespace variance) to produce the canonical string.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct KeyMaterial {
+    topology: TopologySpec,
+    algorithm: String,
+    faults: FaultKey,
+}
+
+/// A canonicalized `(topology, algorithm, structural-faults)` identity.
+///
+/// Equality and hashing go through the canonical serialized form, so a
+/// `HashMap<ScheduleKey, _>` keyed cache treats semantically identical
+/// requests as one entry.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ScheduleKey {
+    canon: String,
+}
+
+impl ScheduleKey {
+    /// Builds the key for a request's cache-relevant parts. `faults` is
+    /// the request's plan, if any.
+    pub fn new(spec: &TopologySpec, algorithm: AlgorithmSpec, faults: Option<&FaultPlan>) -> Self {
+        let fk = faults.map(FaultKey::of).unwrap_or_default();
+        Self::with_fault_key(spec, algorithm, fk)
+    }
+
+    /// Builds the key from an already-extracted [`FaultKey`] (the cache
+    /// uses this to derive a fault key's healthy base key).
+    pub fn with_fault_key(
+        spec: &TopologySpec,
+        algorithm: AlgorithmSpec,
+        faults: FaultKey,
+    ) -> Self {
+        let material = KeyMaterial {
+            topology: spec.canonicalized(),
+            algorithm: algorithm.name().to_string(),
+            faults,
+        };
+        ScheduleKey {
+            canon: serde_json::to_string(&material).expect("key material is serializable"),
+        }
+    }
+
+    /// The canonical serialized form (stable across runs and platforms).
+    pub fn canonical(&self) -> &str {
+        &self.canon
+    }
+
+    /// A short stable digest (FNV-1a over the canonical form) for log
+    /// lines and responses.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.canon.bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Approximate bytes this key holds (for cache accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.canon.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mt_topology::LinkId;
+
+    #[test]
+    fn key_ignores_runtime_only_fault_state() {
+        let spec = TopologySpec::Torus { rows: 4, cols: 4 };
+        let dead = FaultPlan::new()
+            .link_down(LinkId::new(3), 10.0)
+            .link_down(LinkId::new(1), 99.0);
+        let dead_other_order = FaultPlan::new()
+            .link_down(LinkId::new(1), 5.0)
+            .link_down(LinkId::new(3), 0.0)
+            .degrade(LinkId::new(7), 0.0, 2.0)
+            .link_flap(LinkId::new(2), 1.0, 2.0)
+            .with_detect_window(1e9);
+        let a = ScheduleKey::new(&spec, AlgorithmSpec::MultiTree, Some(&dead));
+        let b = ScheduleKey::new(&spec, AlgorithmSpec::MultiTree, Some(&dead_other_order));
+        assert_eq!(a, b, "order, times, flaps, degrades must not key");
+
+        let healthy = ScheduleKey::new(&spec, AlgorithmSpec::MultiTree, None);
+        assert_ne!(a, healthy, "permanent deaths must key");
+        let flap_only = FaultPlan::new().link_flap(LinkId::new(2), 1.0, 2.0);
+        assert_eq!(
+            ScheduleKey::new(&spec, AlgorithmSpec::MultiTree, Some(&flap_only)),
+            healthy,
+            "flap-only plans share the healthy entry"
+        );
+    }
+
+    #[test]
+    fn key_separates_algorithms_and_topologies() {
+        let t1 = TopologySpec::Torus { rows: 4, cols: 4 };
+        let t2 = TopologySpec::Mesh { rows: 4, cols: 4 };
+        let a = ScheduleKey::new(&t1, AlgorithmSpec::MultiTree, None);
+        assert_ne!(a, ScheduleKey::new(&t2, AlgorithmSpec::MultiTree, None));
+        assert_ne!(a, ScheduleKey::new(&t1, AlgorithmSpec::Ring, None));
+        assert_eq!(a.digest().len(), 16);
+    }
+}

@@ -1,0 +1,450 @@
+//! Request execution and the fixed worker pool.
+//!
+//! Each worker thread owns one [`SimScratch`] for its whole lifetime:
+//! after warm-up, serving a cached schedule allocates nothing on the
+//! steady-state path — the prepared arrays live in the cache entry
+//! (borrowed via `PreparedSchedule::from_parts`) and the simulation
+//! buffers live in the worker's scratch, both reused across requests
+//! and across *different* `(topology, schedule)` pairs.
+//!
+//! Workers pull jobs from one shared queue (a `Mutex<Receiver>` — plain
+//! work stealing, no per-worker queues needed at request granularity)
+//! and push `(seq, response)` pairs to the submitting connection's
+//! reply channel; the connection's writer reorders by `seq` so response
+//! order always matches request order per connection, while requests
+//! from different connections interleave freely across workers.
+
+use crate::cache::{CacheOutcome, CountingCacheObserver, Provenance, ScheduleCache};
+use crate::key::FaultKey;
+use crate::protocol::{
+    EngineSpec, ErrorResponse, Request, Response, RunRequest, RunResponse, StatsResponse,
+};
+use multitree::algorithms::RepairStrategy;
+use mt_netsim::cycle::CycleEngine;
+use mt_netsim::flow::FlowEngine;
+use mt_netsim::{EngineReport, FaultEvent, FaultPlan, NetworkConfig, NoopObserver, SimScratch};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Serving limits and defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Byte budget for the prepared-schedule cache.
+    pub cache_bytes: usize,
+    /// Largest `TopologySpec::node_count` accepted; bigger requests are
+    /// rejected before any construction work happens.
+    pub max_nodes: usize,
+    /// Network parameters both engines run with.
+    pub network: NetworkConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            cache_bytes: 256 << 20,
+            max_nodes: 1 << 17,
+            network: NetworkConfig::paper_default(),
+        }
+    }
+}
+
+/// Everything the workers share: the schedule cache, its counters, and
+/// the serve limits.
+pub struct ServeState {
+    /// The keyed prepared-schedule cache.
+    pub cache: ScheduleCache,
+    /// The cache's telemetry counters (also snapshot into `Stats`).
+    pub observer: Arc<CountingCacheObserver>,
+    /// Limits and network parameters.
+    pub config: ServeConfig,
+    /// Requests that failed outside the compile path (bad spec, engine
+    /// error); compile failures are counted by the observer.
+    runtime_errors: AtomicU64,
+}
+
+impl ServeState {
+    /// Builds the shared state for a daemon or an in-process server.
+    pub fn new(config: ServeConfig) -> Self {
+        let observer = Arc::new(CountingCacheObserver::default());
+        let cache = ScheduleCache::new(
+            config.cache_bytes,
+            Arc::clone(&observer) as Arc<dyn crate::cache::CacheObserver>,
+        );
+        ServeState {
+            cache,
+            observer,
+            config,
+            runtime_errors: AtomicU64::new(0),
+        }
+    }
+
+    /// Snapshot of the counters served by `Stats` requests.
+    pub fn stats(&self) -> StatsResponse {
+        let o = &self.observer;
+        StatsResponse {
+            hits: o.hits.load(Ordering::Relaxed),
+            misses: o.misses.load(Ordering::Relaxed),
+            coalesced: o.coalesced.load(Ordering::Relaxed),
+            evictions: o.evictions.load(Ordering::Relaxed),
+            repairs_incremental: o.repairs_incremental.load(Ordering::Relaxed),
+            repairs_full_rebuild: o.repairs_full_rebuild.load(Ordering::Relaxed),
+            repairs_survivor: o.repairs_survivor.load(Ordering::Relaxed),
+            errors: o.errors.load(Ordering::Relaxed)
+                + self.runtime_errors.load(Ordering::Relaxed),
+            resident_bytes: self.cache.resident_bytes() as u64,
+            resident_entries: self.cache.resident_entries() as u64,
+        }
+    }
+
+    /// Executes one already-parsed request against this state, reusing
+    /// `scratch` for all simulation buffers. Never panics on bad input;
+    /// failures become [`Response::Error`].
+    pub fn handle(&self, request: &Request, scratch: &mut SimScratch) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Run(run) => match self.handle_run(run, scratch) {
+                Ok(resp) => Response::Run(resp),
+                Err(detail) => Response::Error(ErrorResponse { detail }),
+            },
+        }
+    }
+
+    fn handle_run(&self, run: &RunRequest, scratch: &mut SimScratch) -> Result<RunResponse, String> {
+        // compile failures are counted by the cache observer; everything
+        // that fails before or after the cache is counted here
+        let reject = |detail: String| {
+            self.runtime_errors.fetch_add(1, Ordering::Relaxed);
+            detail
+        };
+        if run.payload_bytes == 0 {
+            return Err(reject("payload_bytes must be positive".into()));
+        }
+        let nodes = run.topology.node_count();
+        if nodes > self.config.max_nodes {
+            return Err(reject(format!(
+                "topology has {nodes} nodes, over this daemon's limit of {}",
+                self.config.max_nodes
+            )));
+        }
+        let spec = run.topology.canonicalized();
+        let faults = run.faults.as_ref().map(FaultKey::of).unwrap_or_default();
+        let key = crate::key::ScheduleKey::with_fault_key(&spec, run.algorithm, faults.clone());
+        let (entry, outcome) = self.cache.resolve(&spec, run.algorithm, faults)?;
+
+        let provenance = provenance_label(outcome, entry.provenance);
+
+        // Permanent deaths are structural: they are baked into the
+        // cached (repaired) schedule, so only the runtime-only events —
+        // flaps and degrades — are applied at execution time.
+        let runtime_plan = run.faults.as_ref().and_then(runtime_only_plan);
+        let prep = entry.prepared();
+        let mut obs = NoopObserver;
+
+        let (report, delivered, messages, stalled): (EngineReport, u64, u64, bool) =
+            match (&run.engine, &runtime_plan) {
+                (EngineSpec::Flow, None) => {
+                    let r = FlowEngine::new(self.config.network)
+                        .run_prepared_with(&prep, run.payload_bytes, scratch, &mut obs)
+                        .map_err(|e| reject(e.to_string()))?;
+                    let m = r.sim.messages as u64;
+                    (r, m, m, false)
+                }
+                (EngineSpec::Cycle, None) => {
+                    let r = CycleEngine::new(self.config.network)
+                        .run_prepared_with(&prep, run.payload_bytes, scratch, &mut obs)
+                        .map_err(|e| reject(e.to_string()))?;
+                    let m = r.sim.messages as u64;
+                    (r, m, m, false)
+                }
+                (EngineSpec::Flow, Some(plan)) => {
+                    let r = FlowEngine::new(self.config.network)
+                        .run_prepared_faulted_with(&prep, run.payload_bytes, scratch, plan, &mut obs)
+                        .map_err(|e| reject(e.to_string()))?;
+                    let (d, t, s) = (
+                        r.faults.delivered as u64,
+                        r.faults.total as u64,
+                        r.faults.stalled,
+                    );
+                    (r.report, d, t, s)
+                }
+                (EngineSpec::Cycle, Some(plan)) => {
+                    let r = CycleEngine::new(self.config.network)
+                        .run_prepared_faulted_with(&prep, run.payload_bytes, scratch, plan, &mut obs)
+                        .map_err(|e| reject(e.to_string()))?;
+                    let (d, t, s) = (
+                        r.faults.delivered as u64,
+                        r.faults.total as u64,
+                        r.faults.stalled,
+                    );
+                    (r.report, d, t, s)
+                }
+            };
+
+        Ok(RunResponse {
+            key: key.digest(),
+            provenance,
+            verified: entry.verified,
+            completion_ns: report.sim.completion_ns,
+            delivered,
+            messages,
+            flits_sent: report.sim.flits_sent,
+            stalled,
+        })
+    }
+}
+
+/// The stable provenance string for a response (see
+/// [`RunResponse::provenance`]). Coalesced waiters report the compiling
+/// request's provenance: they received exactly that artifact.
+fn provenance_label(outcome: CacheOutcome, provenance: Provenance) -> String {
+    match (outcome, provenance) {
+        (CacheOutcome::Hit, Provenance::Compiled) => "cached".into(),
+        (CacheOutcome::Hit, Provenance::Repaired(_)) => "cached-repair".into(),
+        (_, Provenance::Compiled) => "compiled".into(),
+        (_, Provenance::Repaired(RepairStrategy::Incremental)) => "repaired:incremental".into(),
+        (_, Provenance::Repaired(RepairStrategy::FullRebuild)) => "repaired:full-rebuild".into(),
+        (_, Provenance::Repaired(RepairStrategy::SurvivorSubset)) => {
+            "repaired:survivor-subset".into()
+        }
+    }
+}
+
+/// Strips the structural deaths out of a request plan, keeping only the
+/// events the engines must see at run time. Returns `None` when nothing
+/// runtime-only remains, so the caller takes the faster unfaulted path.
+fn runtime_only_plan(plan: &FaultPlan) -> Option<FaultPlan> {
+    let events: Vec<FaultEvent> = plan
+        .events
+        .iter()
+        .filter(|e| matches!(e, FaultEvent::LinkFlap { .. } | FaultEvent::LinkDegrade { .. }))
+        .cloned()
+        .collect();
+    if events.is_empty() {
+        return None;
+    }
+    Some(FaultPlan {
+        events,
+        detect_window_ns: plan.detect_window_ns,
+    })
+}
+
+/// One unit of work: a parsed request tagged with its per-connection
+/// sequence number and the channel its response goes back on.
+pub struct Job {
+    /// Position in the submitting connection's request stream.
+    pub seq: u64,
+    /// The parsed request.
+    pub request: Request,
+    /// Where the `(seq, response)` pair is delivered.
+    pub reply: Sender<(u64, Response)>,
+}
+
+/// A fixed pool of worker threads, each owning its [`SimScratch`],
+/// draining one shared job queue.
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `state.config.workers` threads (at least one).
+    pub fn new(state: Arc<ServeState>) -> WorkerPool {
+        let workers = state.config.workers.max(1);
+        // bounded queue: backpressure instead of unbounded buffering if
+        // clients submit faster than schedules execute
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(workers * 64);
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx))
+                    .expect("spawn worker"),
+            );
+        }
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+        }
+    }
+
+    /// A handle for submitting jobs (cloneable, one per connection).
+    pub fn sender(&self) -> SyncSender<Job> {
+        self.tx.as_ref().expect("pool not shut down").clone()
+    }
+
+    /// Drops the queue and joins every worker. Workers finish the jobs
+    /// already queued first.
+    pub fn shutdown(&mut self) {
+        self.tx = None;
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(state: &ServeState, rx: &Mutex<Receiver<Job>>) {
+    let mut scratch = SimScratch::new();
+    loop {
+        // hold the queue lock only for the dequeue, never the execution
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let response = state.handle(&job.request, &mut scratch);
+        // a disconnected client just discards its remaining responses
+        let _ = job.reply.send((job.seq, response));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::AlgorithmSpec;
+    use mt_topology::{LinkId, TopologySpec};
+
+    fn run_req(faults: Option<FaultPlan>) -> Request {
+        Request::Run(RunRequest {
+            topology: TopologySpec::Torus { rows: 4, cols: 4 },
+            algorithm: AlgorithmSpec::MultiTree,
+            payload_bytes: 1 << 20,
+            engine: EngineSpec::Flow,
+            faults,
+        })
+    }
+
+    #[test]
+    fn handle_compiles_then_hits_and_matches_direct_execution() {
+        let state = ServeState::new(ServeConfig::default());
+        let mut scratch = SimScratch::new();
+        let first = state.handle(&run_req(None), &mut scratch);
+        let Response::Run(first) = first else {
+            panic!("expected run response, got {first:?}");
+        };
+        assert_eq!(first.provenance, "compiled");
+        assert!(first.verified);
+        assert_eq!(first.delivered, first.messages);
+        assert!(!first.stalled);
+
+        let second = state.handle(&run_req(None), &mut scratch);
+        let Response::Run(second) = second else {
+            panic!("expected run response");
+        };
+        assert_eq!(second.provenance, "cached");
+        assert_eq!(second.completion_ns, first.completion_ns, "bit-identical");
+        assert_eq!(second.flits_sent, first.flits_sent);
+
+        // same numbers as compiling and running outside the daemon
+        let topo = mt_topology::Topology::torus(4, 4);
+        let schedule = AlgorithmSpec::MultiTree.build(&topo).unwrap();
+        let prep = multitree::PreparedSchedule::new(&schedule, &topo).unwrap();
+        let direct = FlowEngine::new(NetworkConfig::paper_default())
+            .run_prepared_with(&prep, 1 << 20, &mut SimScratch::new(), &mut NoopObserver)
+            .unwrap();
+        assert_eq!(first.completion_ns, direct.sim.completion_ns);
+
+        let stats = state.stats();
+        assert_eq!((stats.hits, stats.misses, stats.errors), (1, 1, 0));
+    }
+
+    #[test]
+    fn fault_delta_serves_repaired_schedule_and_runtime_events_apply() {
+        let state = ServeState::new(ServeConfig::default());
+        let mut scratch = SimScratch::new();
+        // warm the healthy entry
+        state.handle(&run_req(None), &mut scratch);
+
+        // permanent death + a runtime degrade on another link
+        let plan = FaultPlan::new()
+            .link_down(LinkId::new(0), 0.0)
+            .degrade(LinkId::new(5), 0.0, 4.0);
+        let resp = state.handle(&run_req(Some(plan.clone())), &mut scratch);
+        let Response::Run(resp) = resp else {
+            panic!("expected run response, got {resp:?}");
+        };
+        assert!(resp.provenance.starts_with("repaired:"), "{}", resp.provenance);
+        assert!(resp.verified, "repairs are re-verified");
+        assert_eq!(resp.delivered, resp.messages, "repair routed around death");
+        assert!(!resp.stalled);
+
+        // the same delta again: cached repair, no second repair pass
+        let again = state.handle(&run_req(Some(plan)), &mut scratch);
+        let Response::Run(again) = again else {
+            panic!("expected run response");
+        };
+        assert_eq!(again.provenance, "cached-repair");
+        let stats = state.stats();
+        assert_eq!(
+            stats.repairs_incremental + stats.repairs_full_rebuild + stats.repairs_survivor,
+            1,
+            "one repair served twice"
+        );
+    }
+
+    #[test]
+    fn oversized_and_malformed_requests_error_without_crashing() {
+        let state = ServeState::new(ServeConfig {
+            max_nodes: 8,
+            ..ServeConfig::default()
+        });
+        let mut scratch = SimScratch::new();
+        let resp = state.handle(&run_req(None), &mut scratch);
+        assert!(matches!(resp, Response::Error(_)), "16 nodes > cap of 8");
+        let stats = state.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!(stats.misses, 0, "rejected before any compile");
+    }
+
+    #[test]
+    fn pool_preserves_per_connection_order() {
+        let state = Arc::new(ServeState::new(ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        }));
+        let pool = WorkerPool::new(Arc::clone(&state));
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let sender = pool.sender();
+        let n = 32u64;
+        for seq in 0..n {
+            let request = if seq % 5 == 4 { Request::Ping } else { run_req(None) };
+            sender
+                .send(Job {
+                    seq,
+                    request,
+                    reply: reply_tx.clone(),
+                })
+                .unwrap();
+        }
+        drop(reply_tx);
+        let mut got: Vec<(u64, Response)> = reply_rx.iter().take(n as usize).collect();
+        got.sort_by_key(|(seq, _)| *seq);
+        assert_eq!(got.len(), n as usize);
+        for (seq, resp) in got {
+            if seq % 5 == 4 {
+                assert!(matches!(resp, Response::Pong));
+            } else {
+                assert!(matches!(resp, Response::Run(_)));
+            }
+        }
+        // exactly one compile despite 4 workers racing the same key
+        let stats = state.stats();
+        assert_eq!(stats.misses, 1, "in-flight dedup");
+        assert_eq!(stats.hits + stats.coalesced, (n - n / 5) - 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Cache-key canonicalization properties (ISSUE PR-9 satellite).
+//!
+//! Two directions, both load-bearing for the daemon:
+//!
+//! * semantically identical requests — same topology with permuted
+//!   `with_link_rates` entries, equal fault plans listed in a different
+//!   order with different timestamps — must canonicalize to the *same*
+//!   [`ScheduleKey`] (or every client would pay a cold compile);
+//! * semantically distinct requests must never collide in the generated
+//!   corpus (or one client would receive another machine's schedule).
+
+use mt_netsim::FaultPlan;
+use mt_serve::{AlgorithmSpec, FaultKey, ScheduleKey};
+use mt_topology::{LinkId, TopologySpec};
+use proptest::prelude::*;
+
+/// Maps a generator index to a base topology family, scaling raw
+/// parameters into each family's valid range (same pattern as the
+/// topology crate's spec proptests: the vendored proptest shim has no
+/// `prop_oneof`, so family choice is itself a generated index).
+fn base_spec(kind: usize, a: usize, b: usize, seed: u64) -> TopologySpec {
+    match kind % 6 {
+        0 => TopologySpec::Torus {
+            rows: 2 + a % 5,
+            cols: 2 + b % 5,
+        },
+        1 => TopologySpec::Mesh {
+            rows: 2 + a % 5,
+            cols: 2 + b % 5,
+        },
+        2 => TopologySpec::Hypercube {
+            dim: 2 + (a % 4) as u32,
+        },
+        3 => TopologySpec::FatTree {
+            leaves: 2 + a % 4,
+            spines: 2 + b % 4,
+            nodes_per_leaf: 2 + (a + b) % 3,
+        },
+        4 => TopologySpec::FatTreeOversubscribed {
+            k: 4 + 2 * (a % 3),
+            ratio: 2 + (b % 3) as u32,
+        },
+        _ => TopologySpec::RandomConnected {
+            n: 4 + a % 12,
+            extra_edges: b % 8,
+            seed,
+        },
+    }
+}
+
+/// Wraps `base` in rate overrides, ids clamped into the built link range.
+fn with_rates(base: TopologySpec, raw: &[(usize, u32, u32)]) -> TopologySpec {
+    let n_links = base.build().expect("valid base").num_links().max(1);
+    let rates: Vec<(usize, u32, u32)> = raw
+        .iter()
+        .map(|&(id, num, den)| (id % n_links, 1 + num % 7, 1 + den % 7))
+        .collect();
+    if rates.is_empty() {
+        return base;
+    }
+    TopologySpec::WithLinkRates {
+        base: Box::new(base),
+        rates,
+    }
+}
+
+/// A fault plan over `deaths`, shuffled by `rot`/`rev`, with timestamps
+/// derived from the order (so permutations also vary every timestamp).
+fn plan_of(deaths: &[usize], n_links: usize, rot: usize, rev: bool) -> FaultPlan {
+    let mut ids: Vec<usize> = deaths.iter().map(|&d| d % n_links).collect();
+    if rev {
+        ids.reverse();
+    }
+    if !ids.is_empty() {
+        let r = rot % ids.len();
+        ids.rotate_left(r);
+    }
+    let mut plan = FaultPlan::new();
+    for (i, &id) in ids.iter().enumerate() {
+        plan = plan.link_down(LinkId::new(id), i as f64 * 17.0);
+    }
+    plan
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Permuting `with_link_rates` entries (when no id repeats — repeats
+    // are last-wins order-sensitive by contract) and reordering /
+    // re-timing fault plans never changes the key.
+    #[test]
+    fn equivalent_requests_share_a_key(
+        kab in (0usize..6, 0usize..16, 0usize..16),
+        seed in 0u64..1_000,
+        raw_rates in prop::collection::vec((0usize..4096, 0u32..16, 0u32..16), 0..5),
+        deaths in prop::collection::vec(0usize..4096, 0..4),
+        rot in 0usize..8,
+        rev: bool,
+    ) {
+        let (kind, a, b) = kab;
+        let base = base_spec(kind, a, b, seed);
+        let n_links = base.build().expect("valid base").num_links().max(1);
+
+        // keep only first occurrence per link id: permutation equivalence
+        // is only claimed for conflict-free override lists
+        let mut seen = Vec::new();
+        let mut rates: Vec<(usize, u32, u32)> = Vec::new();
+        for &(id, num, den) in &raw_rates {
+            let id = id % n_links;
+            if !seen.contains(&id) {
+                seen.push(id);
+                rates.push((id, num, den));
+            }
+        }
+        let spec = with_rates(base.clone(), &rates);
+        let mut permuted = rates.clone();
+        permuted.reverse();
+        if !permuted.is_empty() {
+            let r = rot % permuted.len();
+            permuted.rotate_left(r);
+        }
+        let spec_permuted = with_rates(base, &permuted);
+
+        let plan = plan_of(&deaths, n_links, 0, false);
+        let plan_shuffled = plan_of(&deaths, n_links, rot, rev);
+
+        let k1 = ScheduleKey::new(&spec, AlgorithmSpec::MultiTree, Some(&plan));
+        let k2 = ScheduleKey::new(&spec_permuted, AlgorithmSpec::MultiTree, Some(&plan_shuffled));
+        prop_assert_eq!(&k1, &k2, "permuted rates / reordered faults must share a key");
+        prop_assert_eq!(k1.digest(), k2.digest());
+
+        // the key is reproducible from its parts (stateless)
+        let k3 = ScheduleKey::with_fault_key(
+            &spec.canonicalized(),
+            AlgorithmSpec::MultiTree,
+            FaultKey::of(&plan_shuffled),
+        );
+        prop_assert_eq!(&k1, &k3, "canonicalization is idempotent into the key");
+    }
+
+    // Distinct `(topology, algorithm, structural faults)` triples never
+    // collide across a generated corpus: every distinct canonical form
+    // gets a distinct key, and key equality tracks canonical equality.
+    #[test]
+    fn distinct_requests_never_collide(
+        abc in (0usize..6, 0usize..16, 0usize..16),
+        xyz in (0usize..6, 0usize..16, 0usize..16),
+        algo_pick in 0usize..4,
+        death in 0usize..4096,
+    ) {
+        let (kind_a, pa, pb) = abc;
+        let (kind_b, qa, qb) = xyz;
+        let algos = [
+            AlgorithmSpec::Ring,
+            AlgorithmSpec::MultiTree,
+            AlgorithmSpec::MultiTreeBandwidthAware,
+            AlgorithmSpec::Hierarchical,
+        ];
+        let spec_a = base_spec(kind_a, pa, pb, 7);
+        let spec_b = base_spec(kind_b, qa, qb, 7);
+        let algo_a = algos[algo_pick % algos.len()];
+        let algo_b = algos[(algo_pick + 1) % algos.len()];
+        let n_links = spec_a.build().expect("valid base").num_links().max(1);
+        let plan = FaultPlan::new().link_down(LinkId::new(death % n_links), 0.0);
+
+        // same spec, different algorithm: always distinct
+        let base_key = ScheduleKey::new(&spec_a, algo_a, None);
+        prop_assert!(base_key != ScheduleKey::new(&spec_a, algo_b, None));
+
+        // same spec + algorithm, healthy vs dead link: always distinct
+        prop_assert!(base_key != ScheduleKey::new(&spec_a, algo_a, Some(&plan)));
+
+        // different specs: distinct exactly when canonical forms differ
+        let cross = ScheduleKey::new(&spec_b, algo_a, None);
+        if spec_a.canonicalized() == spec_b.canonicalized() {
+            prop_assert_eq!(&base_key, &cross);
+        } else {
+            prop_assert!(base_key != cross);
+        }
+    }
+}

@@ -32,6 +32,12 @@ pub enum TopologyError {
         /// The out-of-range id.
         link: LinkId,
     },
+    /// A [`TopologySpec`](crate::TopologySpec) named parameters the
+    /// constructor would reject (zero dimensions, bad rate overrides).
+    InvalidSpec {
+        /// Human-readable reason.
+        detail: String,
+    },
 }
 
 impl fmt::Display for TopologyError {
@@ -52,6 +58,9 @@ impl fmt::Display for TopologyError {
             }
             TopologyError::UnknownLink { link } => {
                 write!(f, "link id {} is outside the topology", link.index())
+            }
+            TopologyError::InvalidSpec { detail } => {
+                write!(f, "invalid topology spec: {detail}")
             }
         }
     }

@@ -338,6 +338,20 @@ impl Topology {
         &self.links
     }
 
+    /// Bytes of heap this topology occupies — link table plus both
+    /// adjacency structures. Counts contents (by `len`), not allocator
+    /// slack; used by byte-budgeted caches.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let adj: usize = self
+            .adj
+            .iter()
+            .chain(self.radj.iter())
+            .map(|row| size_of::<Vec<LinkId>>() + row.len() * size_of::<LinkId>())
+            .sum();
+        self.links.len() * size_of::<Link>() + adj + self.disabled.len()
+    }
+
     /// Outgoing link ids of a vertex, in deterministic neighbor-preference
     /// order (Y dimension before X for Torus/Mesh, per paper §III-C1).
     pub fn out_links(&self, v: Vertex) -> &[LinkId] {

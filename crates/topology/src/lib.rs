@@ -51,6 +51,7 @@ mod partition;
 mod random;
 mod rings;
 mod routing;
+mod spec;
 mod torus;
 mod torus3d;
 
@@ -60,3 +61,4 @@ pub use ids::{LinkId, NodeId, SwitchId, Vertex};
 pub use link::Link;
 pub use partition::{Partition, PodQuotient};
 pub use rings::{DimRing, RingEmbedding};
+pub use spec::TopologySpec;

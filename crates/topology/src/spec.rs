@@ -1,0 +1,394 @@
+//! Serde-stable topology specifications.
+//!
+//! A [`TopologySpec`] is the *name* of a topology — the constructor and
+//! its parameters — rather than the constructed link tables. It exists
+//! for wire protocols and caches that key work by topology identity: two
+//! requests naming the same spec must build byte-identical [`Topology`]
+//! values (determinism is proptested in `tests/topology_spec.rs`), and a
+//! spec round-trips through JSON without loss.
+//!
+//! Every public constructor family is covered, including the
+//! heterogeneous ones (`fattree_oversubscribed`, `dragonfly_slow_global`)
+//! and the generic [`TopologySpec::WithLinkRates`] wrapper that re-rates
+//! any base spec. Unlike the constructors — which `assert!` on nonsense
+//! parameters — [`TopologySpec::build`] validates first and returns
+//! [`TopologyError::InvalidSpec`], so a daemon can feed it untrusted
+//! requests without dying.
+
+use crate::error::TopologyError;
+use crate::graph::Topology;
+use crate::ids::LinkId;
+use serde::{Deserialize, Serialize};
+
+/// A serde-stable description of one topology constructor call.
+///
+/// ```
+/// use mt_topology::TopologySpec;
+///
+/// let spec = TopologySpec::Torus { rows: 4, cols: 4 };
+/// let topo = spec.build().unwrap();
+/// assert_eq!(topo.num_nodes(), 16);
+/// let json = serde_json::to_string(&spec).unwrap();
+/// let back: TopologySpec = serde_json::from_str(&json).unwrap();
+/// assert_eq!(spec, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopologySpec {
+    /// [`Topology::torus`].
+    Torus {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// [`Topology::torus3d`].
+    Torus3d {
+        /// X dimension.
+        x: usize,
+        /// Y dimension.
+        y: usize,
+        /// Z dimension.
+        z: usize,
+    },
+    /// [`Topology::mesh`].
+    Mesh {
+        /// Grid rows.
+        rows: usize,
+        /// Grid columns.
+        cols: usize,
+    },
+    /// [`Topology::hypercube`].
+    Hypercube {
+        /// Dimension (2^dim nodes).
+        dim: u32,
+    },
+    /// [`Topology::fat_tree_two_level`].
+    FatTree {
+        /// Leaf switches.
+        leaves: usize,
+        /// Spine switches.
+        spines: usize,
+        /// Nodes per leaf switch.
+        nodes_per_leaf: usize,
+    },
+    /// [`Topology::fattree_oversubscribed`]: k-ary two-level fat-tree
+    /// with leaf↔spine uplinks at `1/ratio` of the edge rate.
+    FatTreeOversubscribed {
+        /// Fat-tree arity (k² nodes).
+        k: usize,
+        /// Uplink oversubscription ratio (1 = uniform).
+        ratio: u32,
+    },
+    /// [`Topology::bigraph`].
+    BiGraph {
+        /// Upper-tier switches.
+        upper: usize,
+        /// Lower-tier switches.
+        lower: usize,
+        /// Nodes per lower switch.
+        nodes_per_lower: usize,
+    },
+    /// [`Topology::dragonfly`].
+    Dragonfly {
+        /// Routers per group (groups = a + 1).
+        a: usize,
+        /// Nodes per router.
+        p: usize,
+    },
+    /// [`Topology::dragonfly_slow_global`]: dragonfly whose inter-group
+    /// global links run `slowdown`× slower than local links.
+    DragonflySlowGlobal {
+        /// Routers per group.
+        a: usize,
+        /// Nodes per router.
+        p: usize,
+        /// Global-link slowdown factor (1 = uniform).
+        slowdown: u32,
+    },
+    /// [`Topology::random_connected`]: seeded random connected graph
+    /// (deterministic for a given `(n, extra_edges, seed)`).
+    RandomConnected {
+        /// Node count.
+        n: usize,
+        /// Extra edges beyond the connecting spanning tree.
+        extra_edges: usize,
+        /// Construction seed.
+        seed: u64,
+    },
+    /// Any base spec re-rated through [`Topology::with_link_rates`]:
+    /// each entry is `(link id, rate numerator, rate denominator)`.
+    WithLinkRates {
+        /// The spec to build first.
+        base: Box<TopologySpec>,
+        /// Per-link rational rate overrides.
+        rates: Vec<(usize, u32, u32)>,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the topology this spec names.
+    ///
+    /// Deterministic: equal specs build byte-identical topologies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidSpec`] for parameters the
+    /// constructors would reject (zero dimensions, zero rate components,
+    /// out-of-range link ids in a `WithLinkRates` wrapper, nested
+    /// `WithLinkRates`).
+    pub fn build(&self) -> Result<Topology, TopologyError> {
+        let invalid = |detail: String| TopologyError::InvalidSpec { detail };
+        let positive = |what: &str, v: usize| {
+            if v == 0 {
+                Err(invalid(format!("{what} must be positive")))
+            } else {
+                Ok(v)
+            }
+        };
+        match self {
+            TopologySpec::Torus { rows, cols } => Ok(Topology::torus(
+                positive("torus rows", *rows)?,
+                positive("torus cols", *cols)?,
+            )),
+            TopologySpec::Torus3d { x, y, z } => Ok(Topology::torus3d(
+                positive("torus3d x", *x)?,
+                positive("torus3d y", *y)?,
+                positive("torus3d z", *z)?,
+            )),
+            TopologySpec::Mesh { rows, cols } => Ok(Topology::mesh(
+                positive("mesh rows", *rows)?,
+                positive("mesh cols", *cols)?,
+            )),
+            TopologySpec::Hypercube { dim } => {
+                if *dim == 0 || *dim > 24 {
+                    return Err(invalid(format!("hypercube dim {dim} out of range 1..=24")));
+                }
+                Ok(Topology::hypercube(*dim))
+            }
+            TopologySpec::FatTree {
+                leaves,
+                spines,
+                nodes_per_leaf,
+            } => Ok(Topology::fat_tree_two_level(
+                positive("fat-tree leaves", *leaves)?,
+                positive("fat-tree spines", *spines)?,
+                positive("fat-tree nodes_per_leaf", *nodes_per_leaf)?,
+            )),
+            TopologySpec::FatTreeOversubscribed { k, ratio } => {
+                positive("fat-tree k", *k)?;
+                positive("oversubscription ratio", *ratio as usize)?;
+                Ok(Topology::fattree_oversubscribed(*k, *ratio))
+            }
+            TopologySpec::BiGraph {
+                upper,
+                lower,
+                nodes_per_lower,
+            } => Ok(Topology::bigraph(
+                positive("bigraph upper", *upper)?,
+                positive("bigraph lower", *lower)?,
+                positive("bigraph nodes_per_lower", *nodes_per_lower)?,
+            )),
+            TopologySpec::Dragonfly { a, p } => Ok(Topology::dragonfly(
+                positive("dragonfly a", *a)?,
+                positive("dragonfly p", *p)?,
+            )),
+            TopologySpec::DragonflySlowGlobal { a, p, slowdown } => {
+                positive("dragonfly a", *a)?;
+                positive("dragonfly p", *p)?;
+                positive("global slowdown", *slowdown as usize)?;
+                Ok(Topology::dragonfly_slow_global(*a, *p, *slowdown))
+            }
+            TopologySpec::RandomConnected {
+                n,
+                extra_edges,
+                seed,
+            } => {
+                if *n < 2 {
+                    return Err(invalid(format!("random graph needs >= 2 nodes, got {n}")));
+                }
+                Ok(Topology::random_connected(*n, *extra_edges, *seed))
+            }
+            TopologySpec::WithLinkRates { base, rates } => {
+                if matches!(**base, TopologySpec::WithLinkRates { .. }) {
+                    return Err(invalid(
+                        "nested WithLinkRates: flatten the overrides into one list".into(),
+                    ));
+                }
+                let inner = base.build()?;
+                let typed: Vec<(LinkId, u32, u32)> = rates
+                    .iter()
+                    .map(|&(id, num, den)| (LinkId::new(id), num, den))
+                    .collect();
+                inner
+                    .with_link_rates(&typed)
+                    .map_err(|e| invalid(format!("bad link rates: {e}")))
+            }
+        }
+    }
+
+    /// Upper bound on the node count this spec would build, without
+    /// building it — lets a server reject oversized requests cheaply.
+    pub fn node_count(&self) -> usize {
+        match self {
+            TopologySpec::Torus { rows, cols } | TopologySpec::Mesh { rows, cols } => rows * cols,
+            TopologySpec::Torus3d { x, y, z } => x * y * z,
+            TopologySpec::Hypercube { dim } => 1usize << (*dim).min(63),
+            TopologySpec::FatTree {
+                leaves,
+                nodes_per_leaf,
+                ..
+            } => leaves * nodes_per_leaf,
+            TopologySpec::FatTreeOversubscribed { k, .. } => k * k,
+            TopologySpec::BiGraph {
+                lower,
+                nodes_per_lower,
+                ..
+            } => lower * nodes_per_lower,
+            TopologySpec::Dragonfly { a, p } | TopologySpec::DragonflySlowGlobal { a, p, .. } => {
+                (a + 1) * a * p
+            }
+            TopologySpec::RandomConnected { n, .. } => *n,
+            TopologySpec::WithLinkRates { base, .. } => base.node_count(),
+        }
+    }
+
+    /// The canonical form used for cache keying: `WithLinkRates`
+    /// overrides are sorted by link id (later entries win on duplicates,
+    /// matching [`Topology::with_link_rates`] application order, so the
+    /// kept entry is the last one in request order); an empty override
+    /// list collapses to the base spec. Entries are otherwise kept
+    /// verbatim — a `num == den` override is *not* dropped, because on a
+    /// heterogeneous base it resets a slow link to full rate, and the
+    /// exact `(num, den)` pair is preserved because the engines consume
+    /// the rational exactly, not just the ratio.
+    pub fn canonicalized(&self) -> TopologySpec {
+        match self {
+            TopologySpec::WithLinkRates { base, rates } => {
+                let mut sorted: Vec<(usize, u32, u32)> = Vec::with_capacity(rates.len());
+                for &(id, num, den) in rates {
+                    // last-wins dedup, mirroring with_link_rates
+                    match sorted.iter_mut().find(|(i, _, _)| *i == id) {
+                        Some(slot) => *slot = (id, num, den),
+                        None => sorted.push((id, num, den)),
+                    }
+                }
+                sorted.sort_unstable();
+                if sorted.is_empty() {
+                    base.canonicalized()
+                } else {
+                    TopologySpec::WithLinkRates {
+                        base: Box::new(base.canonicalized()),
+                        rates: sorted,
+                    }
+                }
+            }
+            other => other.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_every_family() {
+        let specs = vec![
+            TopologySpec::Torus { rows: 4, cols: 4 },
+            TopologySpec::Torus3d { x: 2, y: 2, z: 2 },
+            TopologySpec::Mesh { rows: 3, cols: 3 },
+            TopologySpec::Hypercube { dim: 3 },
+            TopologySpec::FatTree {
+                leaves: 4,
+                spines: 4,
+                nodes_per_leaf: 4,
+            },
+            TopologySpec::FatTreeOversubscribed { k: 4, ratio: 4 },
+            TopologySpec::BiGraph {
+                upper: 2,
+                lower: 2,
+                nodes_per_lower: 4,
+            },
+            TopologySpec::Dragonfly { a: 3, p: 2 },
+            TopologySpec::DragonflySlowGlobal {
+                a: 3,
+                p: 2,
+                slowdown: 4,
+            },
+            TopologySpec::RandomConnected {
+                n: 8,
+                extra_edges: 3,
+                seed: 7,
+            },
+            TopologySpec::WithLinkRates {
+                base: Box::new(TopologySpec::Torus { rows: 2, cols: 2 }),
+                rates: vec![(0, 1, 2)],
+            },
+        ];
+        for spec in specs {
+            let topo = spec.build().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            assert!(topo.num_nodes() >= 2, "{spec:?}");
+            assert!(spec.node_count() >= topo.num_nodes(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_parameters() {
+        assert!(TopologySpec::Torus { rows: 0, cols: 4 }.build().is_err());
+        assert!(TopologySpec::Hypercube { dim: 0 }.build().is_err());
+        assert!(TopologySpec::Hypercube { dim: 40 }.build().is_err());
+        assert!(TopologySpec::RandomConnected {
+            n: 1,
+            extra_edges: 0,
+            seed: 0
+        }
+        .build()
+        .is_err());
+        // out-of-range link id / zero rate component surface as errors
+        assert!(TopologySpec::WithLinkRates {
+            base: Box::new(TopologySpec::Torus { rows: 2, cols: 2 }),
+            rates: vec![(10_000, 1, 2)],
+        }
+        .build()
+        .is_err());
+        assert!(TopologySpec::WithLinkRates {
+            base: Box::new(TopologySpec::Torus { rows: 2, cols: 2 }),
+            rates: vec![(0, 0, 2)],
+        }
+        .build()
+        .is_err());
+        // nested wrappers are rejected rather than silently re-rated
+        assert!(TopologySpec::WithLinkRates {
+            base: Box::new(TopologySpec::WithLinkRates {
+                base: Box::new(TopologySpec::Torus { rows: 2, cols: 2 }),
+                rates: vec![(0, 1, 2)],
+            }),
+            rates: vec![(1, 1, 2)],
+        }
+        .build()
+        .is_err());
+    }
+
+    #[test]
+    fn canonicalization_sorts_and_dedups_last_wins() {
+        let base = TopologySpec::Torus { rows: 4, cols: 4 };
+        let a = TopologySpec::WithLinkRates {
+            base: Box::new(base.clone()),
+            rates: vec![(5, 1, 2), (3, 1, 4), (5, 1, 8), (7, 2, 2)],
+        };
+        let canon = a.canonicalized();
+        assert_eq!(
+            canon,
+            TopologySpec::WithLinkRates {
+                base: Box::new(base.clone()),
+                rates: vec![(3, 1, 4), (5, 1, 8), (7, 2, 2)],
+            }
+        );
+        // an empty override list is the base spec
+        let noop = TopologySpec::WithLinkRates {
+            base: Box::new(base.clone()),
+            rates: vec![],
+        };
+        assert_eq!(noop.canonicalized(), base);
+    }
+}

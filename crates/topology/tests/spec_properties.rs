@@ -1,0 +1,167 @@
+//! Property tests on [`TopologySpec`]: JSON round-trips are lossless,
+//! building is deterministic (equal specs build byte-identical
+//! topologies), and canonicalization is order-insensitive — the
+//! guarantees the serving daemon's cache key relies on.
+
+use mt_topology::{LinkId, Topology, TopologySpec};
+use proptest::prelude::*;
+
+/// Maps a generated tuple onto one of the base (non-wrapped) spec
+/// families; `kind` selects the family, the remaining draws are scaled
+/// into that family's small parameter ranges.
+fn base_spec(kind: usize, a: usize, b: usize, c: usize, seed: u64) -> TopologySpec {
+    let dim = |v: usize, lo: usize, hi: usize| lo + v % (hi - lo + 1);
+    match kind % 10 {
+        0 => TopologySpec::Torus {
+            rows: dim(a, 1, 5),
+            cols: dim(b, 1, 5),
+        },
+        1 => TopologySpec::Torus3d {
+            x: dim(a, 1, 3),
+            y: dim(b, 1, 3),
+            z: dim(c, 1, 3),
+        },
+        2 => TopologySpec::Mesh {
+            rows: dim(a, 1, 5),
+            cols: dim(b, 1, 5),
+        },
+        3 => TopologySpec::Hypercube {
+            dim: dim(a, 1, 5) as u32,
+        },
+        4 => TopologySpec::FatTree {
+            leaves: dim(a, 1, 4),
+            spines: dim(b, 1, 4),
+            nodes_per_leaf: dim(c, 1, 3),
+        },
+        5 => TopologySpec::FatTreeOversubscribed {
+            k: dim(a, 2, 6),
+            ratio: dim(b, 1, 4) as u32,
+        },
+        6 => TopologySpec::BiGraph {
+            upper: dim(a, 1, 3),
+            lower: dim(b, 1, 3),
+            nodes_per_lower: dim(c, 1, 3),
+        },
+        7 => TopologySpec::Dragonfly {
+            a: dim(a, 2, 4),
+            p: dim(b, 1, 3),
+        },
+        8 => TopologySpec::DragonflySlowGlobal {
+            a: dim(a, 2, 4),
+            p: dim(b, 1, 3),
+            slowdown: dim(c, 1, 4) as u32,
+        },
+        _ => TopologySpec::RandomConnected {
+            n: dim(a, 2, 11),
+            extra_edges: b % 8,
+            seed,
+        },
+    }
+}
+
+/// Optionally wraps `base` in `WithLinkRates`, clamping link ids into
+/// range so the wrapped spec always builds.
+fn maybe_wrap(base: TopologySpec, raw_rates: &[(usize, u32, u32)], wrap: bool) -> TopologySpec {
+    if !wrap {
+        return base;
+    }
+    let n_links = base.build().unwrap().num_links();
+    let rates = raw_rates
+        .iter()
+        .map(|&(id, num, den)| (id % n_links, 1 + num % 7, 1 + den % 7))
+        .collect();
+    TopologySpec::WithLinkRates {
+        base: Box::new(base),
+        rates,
+    }
+}
+
+fn assert_same_topology(a: &Topology, b: &Topology) {
+    assert_eq!(a.num_nodes(), b.num_nodes());
+    assert_eq!(a.num_links(), b.num_links());
+    assert_eq!(
+        serde_json::to_string(a).unwrap(),
+        serde_json::to_string(b).unwrap()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_json_roundtrip_is_lossless(
+        kind in 0usize..10, a in 0usize..100, b in 0usize..100, c in 0usize..100,
+        seed in 0u64..1000,
+        raw_rates in prop::collection::vec((0usize..1000, 0u32..100, 0u32..100), 0..6),
+        wrap: bool,
+    ) {
+        let spec = maybe_wrap(base_spec(kind, a, b, c, seed), &raw_rates, wrap);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: TopologySpec = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &spec);
+        // serialization itself is stable
+        prop_assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+
+    #[test]
+    fn building_a_spec_is_deterministic(
+        kind in 0usize..10, a in 0usize..100, b in 0usize..100, c in 0usize..100,
+        seed in 0u64..1000,
+        raw_rates in prop::collection::vec((0usize..1000, 0u32..100, 0u32..100), 0..6),
+        wrap: bool,
+    ) {
+        let spec = maybe_wrap(base_spec(kind, a, b, c, seed), &raw_rates, wrap);
+        let first = spec.build().unwrap();
+        let second = spec.build().unwrap();
+        assert_same_topology(&first, &second);
+        // ...including after a serde round-trip of the spec
+        let back: TopologySpec =
+            serde_json::from_str(&serde_json::to_string(&spec).unwrap()).unwrap();
+        assert_same_topology(&first, &back.build().unwrap());
+    }
+
+    #[test]
+    fn canonicalization_is_permutation_insensitive(
+        kind in 0usize..10, a in 0usize..100, b in 0usize..100, c in 0usize..100,
+        seed in 0u64..1000,
+        raw_rates in prop::collection::vec((0usize..16, 0u32..100, 0u32..100), 1..6),
+        rot in 0usize..6,
+    ) {
+        let base = base_spec(kind, a, b, c, seed);
+        // distinct link ids so permuting entries cannot change last-wins
+        let mut rates: Vec<(usize, u32, u32)> = raw_rates
+            .iter()
+            .map(|&(id, num, den)| (id, 1 + num % 7, 1 + den % 7))
+            .collect();
+        rates.sort_unstable_by_key(|r| r.0);
+        rates.dedup_by_key(|r| r.0);
+        let spec = |rs: Vec<(usize, u32, u32)>| TopologySpec::WithLinkRates {
+            base: Box::new(base.clone()),
+            rates: rs,
+        };
+        let canon = spec(rates.clone()).canonicalized();
+        let mut rotated = rates.clone();
+        rotated.rotate_left(rot % rates.len());
+        prop_assert_eq!(spec(rotated).canonicalized(), canon.clone());
+        let mut reversed = rates.clone();
+        reversed.reverse();
+        prop_assert_eq!(spec(reversed).canonicalized(), canon);
+    }
+
+    #[test]
+    fn canonicalization_preserves_built_topology(
+        kind in 0usize..10, a in 0usize..100, b in 0usize..100, c in 0usize..100,
+        seed in 0u64..1000,
+        raw_rates in prop::collection::vec((0usize..1000, 0u32..100, 0u32..100), 0..6),
+        wrap: bool,
+    ) {
+        // canonical and raw spec must name the same machine
+        let spec = maybe_wrap(base_spec(kind, a, b, c, seed), &raw_rates, wrap);
+        let raw = spec.build().unwrap();
+        let canon = spec.canonicalized().build().unwrap();
+        prop_assert_eq!(raw.num_links(), canon.num_links());
+        for l in 0..raw.num_links() {
+            prop_assert_eq!(raw.link_rate(LinkId::new(l)), canon.link_rate(LinkId::new(l)));
+        }
+    }
+}

@@ -41,8 +41,8 @@ fn rate_and_degrade_compose_multiplicatively_on_both_engines() {
     let l = prep_uni.first_link(0); // a link on the schedule's path
     drop(prep_uni);
 
-    // lockstep gates read the static rate (not the degrade), so they are
-    // disabled to isolate pure serialization composition
+    // lockstep disabled to isolate pure serialization composition (the
+    // lockstep-on twin below covers the gate estimator's side)
     let mut cfg = NetworkConfig::paper_default();
     cfg.lockstep = false;
     let bytes = 256u64 << 10;
@@ -95,6 +95,75 @@ fn rate_and_degrade_compose_multiplicatively_on_both_engines() {
     let healthy = FlowEngine::new(cfg)
         .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
         .unwrap();
+    assert!(flow_times[0] > healthy.sim.completion_ns);
+}
+
+/// The lockstep-on twin of the composition test: the flow engine's gate
+/// estimator folds each link's *final* degrade factor into its rate
+/// (mirroring the `ser *= degrade` the execution loop applies), so a
+/// 1/2-rate link degraded ×3.0 budgets the same gates as a 1/6-rate
+/// link with no fault; the cycle engine's estimate is flits-based
+/// (rate-blind) and its pacing gap is the exact integer
+/// `ceil(slowdown × degrade)`, so its runs stay bit-identical.
+#[test]
+fn rate_and_degrade_compose_with_lockstep_gates_on() {
+    let uniform = Topology::torus(4, 4);
+    let s = MultiTree::default().build(&uniform).unwrap();
+    let prep_uni = PreparedSchedule::new(&s, &uniform).unwrap();
+    let l = prep_uni.first_link(0);
+    drop(prep_uni);
+
+    let cfg = NetworkConfig::paper_default();
+    assert!(cfg.lockstep, "paper default must gate injections");
+    let bytes = 256u64 << 10;
+
+    let variants: Vec<(u32, u32, f64)> = vec![(1, 2, 3.0), (1, 6, 1.0), (1, 3, 2.0)];
+    let mut flow_times = Vec::new();
+    let mut cycle_times = Vec::new();
+    for &(num, den, k) in &variants {
+        let topo = uniform.with_link_rates(&[(l, num, den)]).unwrap();
+        let prep = PreparedSchedule::new(&s, &topo).unwrap();
+        let mut scratch = SimScratch::new();
+        let mut plan = FaultPlan::new();
+        if k > 1.0 {
+            plan = plan.degrade(l, 0.0, k);
+        }
+        let f = FlowEngine::new(cfg)
+            .run_prepared_faulted_with(&prep, bytes, &mut scratch, &plan, &mut NoopObserver)
+            .unwrap();
+        assert!(f.faults.completed());
+        flow_times.push(f.report.sim.completion_ns);
+        let c = CycleEngine::new(cfg)
+            .run_prepared_faulted_with(&prep, bytes, &mut scratch, &plan, &mut NoopObserver)
+            .unwrap();
+        assert!(c.faults.completed());
+        cycle_times.push(c.report.sim.completion_ns);
+    }
+
+    assert_eq!(cycle_times[0], cycle_times[1], "cycle: rate x degrade != pure rate");
+    assert_eq!(cycle_times[0], cycle_times[2], "cycle: composition is order-dependent");
+    for (i, &t) in flow_times.iter().enumerate().skip(1) {
+        let rel = (t - flow_times[0]).abs() / flow_times[0];
+        assert!(
+            rel < 1e-9,
+            "flow variant {i}: {} vs {} (rel {rel})",
+            t,
+            flow_times[0]
+        );
+    }
+
+    // an empty plan through the faulted entry point must reproduce the
+    // healthy lockstep run bit-for-bit (gates included)
+    let prep = PreparedSchedule::new(&s, &uniform).unwrap();
+    let mut scratch = SimScratch::new();
+    let healthy = FlowEngine::new(cfg)
+        .run_prepared_with(&prep, bytes, &mut scratch, &mut NoopObserver)
+        .unwrap();
+    let empty = FlowEngine::new(cfg)
+        .run_prepared_faulted_with(&prep, bytes, &mut scratch, &FaultPlan::new(), &mut NoopObserver)
+        .unwrap();
+    assert_eq!(healthy.sim.completion_ns, empty.report.sim.completion_ns);
+    // and the degraded run is gated wider, not just serialized slower
     assert!(flow_times[0] > healthy.sim.completion_ns);
 }
 
