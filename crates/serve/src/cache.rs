@@ -43,8 +43,22 @@ use multitree::verify::verify_schedule;
 use multitree::{CommSchedule, PreparedData, PreparedSchedule};
 use mt_topology::{LinkId, NodeId, Topology, TopologySpec};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+/// Renders a panic payload as an error detail — the serving layers
+/// convert panics to `Err` so one bad request costs one response, never
+/// a worker thread or a wedged cache slot.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("internal panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("internal panic: {s}")
+    } else {
+        "internal panic".into()
+    }
+}
 
 /// How a cached entry came to exist.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -267,7 +281,8 @@ impl ScheduleCache {
     ///
     /// # Errors
     ///
-    /// Returns the compile/repair error string; the failure is NOT
+    /// Returns the compile/repair error string; a panic in the compile
+    /// path is caught and reported the same way. Failures are NOT
     /// cached (a later identical request retries).
     pub fn resolve(
         &self,
@@ -335,7 +350,13 @@ impl ScheduleCache {
         }
         self.observer.on_miss(key);
 
-        let result = compile().map(Arc::new);
+        // A panicking compile must behave like a failed one: if the
+        // unwind escaped here it would leave the Pending slot in place
+        // forever, and every later request for this key would block on
+        // the condvar with nobody left to fill it.
+        let result = catch_unwind(AssertUnwindSafe(compile))
+            .unwrap_or_else(|payload| Err(panic_detail(&*payload)))
+            .map(Arc::new);
 
         {
             let mut inner = self.inner.lock().expect("cache lock");
@@ -566,6 +587,59 @@ mod tests {
             .resolve(&spec_a, AlgorithmSpec::Ring, FaultKey::default())
             .unwrap();
         assert_eq!(oa, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn panicking_compile_fails_like_an_error_and_unblocks_waiters() {
+        let (obs, cache) = counting_cache(usize::MAX);
+        let cache = Arc::new(cache);
+        let spec = TopologySpec::Torus { rows: 4, cols: 4 };
+        let key = ScheduleKey::with_fault_key(&spec, AlgorithmSpec::Ring, FaultKey::default());
+
+        // the compiling thread installs its Pending slot, then blocks
+        // until released so the waiter provably coalesces onto it
+        let (entered_tx, entered_rx) = std::sync::mpsc::channel::<()>();
+        let (release_tx, release_rx) = std::sync::mpsc::channel::<()>();
+        let compiler = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache.get_or_compile(&key, move || {
+                    entered_tx.send(()).unwrap();
+                    release_rx.recv().unwrap();
+                    panic!("compile exploded")
+                })
+            })
+        };
+        entered_rx.recv().unwrap();
+        let waiter = {
+            let cache = Arc::clone(&cache);
+            let key = key.clone();
+            std::thread::spawn(move || {
+                cache.get_or_compile(&key, || Err("waiter should have coalesced".into()))
+            })
+        };
+        // the coalesced counter ticks before the waiter parks on the
+        // condvar; only then let the compile panic
+        while obs.coalesced.load(Ordering::Relaxed) == 0 {
+            std::thread::yield_now();
+        }
+        release_tx.send(()).unwrap();
+
+        let compiled = compiler.join().expect("compiling thread must not die");
+        let coalesced = waiter.join().expect("waiting thread must not hang");
+        for r in [&compiled, &coalesced] {
+            let e = r.as_ref().unwrap_err();
+            assert!(e.contains("compile exploded"), "{e}");
+        }
+        assert_eq!(obs.errors.load(Ordering::Relaxed), 1);
+
+        // the Pending slot is gone: a retry compiles cleanly
+        let (entry, outcome) = cache
+            .resolve(&spec, AlgorithmSpec::Ring, FaultKey::default())
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        assert!(entry.verified);
     }
 
     #[test]

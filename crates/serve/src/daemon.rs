@@ -15,7 +15,7 @@
 use crate::pool::{Job, ServeConfig, ServeState, WorkerPool};
 use crate::protocol::{ErrorResponse, Request, Response, StatsResponse};
 use std::collections::BTreeMap;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::Receiver;
@@ -142,10 +142,24 @@ fn serve_connection(
     let mut seq: u64 = 0;
     loop {
         // `line` persists across timeout retries: read_line appends, so a
-        // request split across poll intervals reassembles correctly
-        match reader.read_line(&mut line) {
+        // request split across poll intervals reassembles correctly. The
+        // size cap is enforced in the read path itself — each read_line
+        // runs against a `Take` budgeted at one byte past the cap, so a
+        // client streaming a newline-free (or oversized but terminated)
+        // line can never buffer more than MAX_LINE_BYTES + 1 bytes here.
+        let budget = (MAX_LINE_BYTES + 1 - line.len()) as u64;
+        match (&mut reader).take(budget).read_line(&mut line) {
             Ok(0) => break,
             Ok(_) => {
+                if !line.ends_with('\n') && line.len() > MAX_LINE_BYTES {
+                    let _ = reply_tx.send((
+                        seq,
+                        Response::Error(ErrorResponse {
+                            detail: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                        }),
+                    ));
+                    break;
+                }
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     match serde_json::from_str::<Request>(trimmed) {
@@ -180,15 +194,6 @@ fn serve_connection(
                     || e.kind() == io::ErrorKind::TimedOut =>
             {
                 if shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                if line.len() > MAX_LINE_BYTES {
-                    let _ = reply_tx.send((
-                        seq,
-                        Response::Error(ErrorResponse {
-                            detail: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
-                        }),
-                    ));
                     break;
                 }
             }

@@ -307,7 +307,23 @@ fn worker_loop(state: &ServeState, rx: &Mutex<Receiver<Job>>) {
             Err(_) => return,
         };
         let Ok(job) = job else { return };
-        let response = state.handle(&job.request, &mut scratch);
+        // `handle` is contracted never to panic, but a panic that slips
+        // through anyway must cost one response, not this worker thread
+        // (a dead worker shrinks the pool for the daemon's lifetime and
+        // stalls its connection's seq-ordered writer)
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            state.handle(&job.request, &mut scratch)
+        }));
+        let response = match result {
+            Ok(response) => response,
+            Err(payload) => {
+                // the unwind may have left scratch mid-update; replace it
+                scratch = SimScratch::new();
+                Response::Error(ErrorResponse {
+                    detail: crate::cache::panic_detail(&*payload),
+                })
+            }
+        };
         // a disconnected client just discards its remaining responses
         let _ = job.reply.send((job.seq, response));
     }

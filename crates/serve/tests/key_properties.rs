@@ -40,11 +40,15 @@ fn base_spec(kind: usize, a: usize, b: usize, seed: u64) -> TopologySpec {
             k: 4 + 2 * (a % 3),
             ratio: 2 + (b % 3) as u32,
         },
-        _ => TopologySpec::RandomConnected {
-            n: 4 + a % 12,
-            extra_edges: b % 8,
-            seed,
-        },
+        _ => {
+            let n = 4 + a % 12;
+            TopologySpec::RandomConnected {
+                n,
+                // stay under build()'s complete-graph attempt budget
+                extra_edges: b % (n * (n - 1) / 2 + 1).min(8),
+                seed,
+            }
+        }
     }
 }
 

@@ -135,9 +135,16 @@ impl TopologySpec {
     /// Returns [`TopologyError::InvalidSpec`] for parameters the
     /// constructors would reject (zero dimensions, zero rate components,
     /// out-of-range link ids in a `WithLinkRates` wrapper, nested
-    /// `WithLinkRates`).
+    /// `WithLinkRates`), for dimension products that overflow `usize`,
+    /// and for a `RandomConnected` edge budget beyond the complete
+    /// graph's edge count.
     pub fn build(&self) -> Result<Topology, TopologyError> {
         let invalid = |detail: String| TopologyError::InvalidSpec { detail };
+        if self.checked_node_count().is_none() {
+            return Err(invalid(format!(
+                "dimension product overflows the node count: {self:?}"
+            )));
+        }
         let positive = |what: &str, v: usize| {
             if v == 0 {
                 Err(invalid(format!("{what} must be positive")))
@@ -206,6 +213,19 @@ impl TopologySpec {
                 if *n < 2 {
                     return Err(invalid(format!("random graph needs >= 2 nodes, got {n}")));
                 }
+                // `extra_edges` counts generator *attempts*, so any value
+                // terminates — but an attempt count is only meaningful up
+                // to the complete graph's edge budget; beyond that it can
+                // only spin a server (e.g. usize::MAX pins a worker for
+                // ~2^64 iterations). Reject instead of clamping: a clamp
+                // would silently change which graph a spec names.
+                let complete = n.saturating_mul(n - 1) / 2;
+                if *extra_edges > complete {
+                    return Err(invalid(format!(
+                        "extra_edges {extra_edges} exceeds the complete graph's \
+                         {complete} edges for n = {n}"
+                    )));
+                }
                 Ok(Topology::random_connected(*n, *extra_edges, *seed))
             }
             TopologySpec::WithLinkRates { base, rates } => {
@@ -226,29 +246,57 @@ impl TopologySpec {
         }
     }
 
-    /// Upper bound on the node count this spec would build, without
-    /// building it — lets a server reject oversized requests cheaply.
+    /// Upper bound on the element count (nodes *plus* switches) this
+    /// spec would build, without building it — lets a server reject
+    /// oversized requests cheaply. Switch tiers are included so a spec
+    /// cannot smuggle a huge construction past a size cap through a
+    /// dimension that adds no nodes (e.g. a fat tree with one leaf and
+    /// a billion spines).
+    ///
+    /// Saturates at `usize::MAX` when the product overflows, so absurd
+    /// untrusted specs always look *large* to a size cap rather than
+    /// wrapping around to a small value that slips past it
+    /// ([`TopologySpec::build`] rejects such specs outright).
     pub fn node_count(&self) -> usize {
+        self.checked_node_count().unwrap_or(usize::MAX)
+    }
+
+    /// [`TopologySpec::node_count`], or `None` if the product overflows.
+    fn checked_node_count(&self) -> Option<usize> {
         match self {
-            TopologySpec::Torus { rows, cols } | TopologySpec::Mesh { rows, cols } => rows * cols,
-            TopologySpec::Torus3d { x, y, z } => x * y * z,
-            TopologySpec::Hypercube { dim } => 1usize << (*dim).min(63),
+            TopologySpec::Torus { rows, cols } | TopologySpec::Mesh { rows, cols } => {
+                rows.checked_mul(*cols)
+            }
+            TopologySpec::Torus3d { x, y, z } => x.checked_mul(*y)?.checked_mul(*z),
+            TopologySpec::Hypercube { dim } => 1usize.checked_shl(*dim),
             TopologySpec::FatTree {
                 leaves,
+                spines,
                 nodes_per_leaf,
-                ..
-            } => leaves * nodes_per_leaf,
-            TopologySpec::FatTreeOversubscribed { k, .. } => k * k,
+            } => leaves
+                .checked_mul(*nodes_per_leaf)?
+                .checked_add(*leaves)?
+                .checked_add(*spines),
+            TopologySpec::FatTreeOversubscribed { k, .. } => {
+                // k² nodes plus at most 2k switches across both tiers
+                k.checked_mul(*k)?.checked_add(k.checked_mul(2)?)
+            }
             TopologySpec::BiGraph {
+                upper,
                 lower,
                 nodes_per_lower,
-                ..
-            } => lower * nodes_per_lower,
+            } => lower
+                .checked_mul(*nodes_per_lower)?
+                .checked_add(*lower)?
+                .checked_add(*upper),
             TopologySpec::Dragonfly { a, p } | TopologySpec::DragonflySlowGlobal { a, p, .. } => {
-                (a + 1) * a * p
+                // (a+1)·a routers, each with p nodes attached
+                a.checked_add(1)?
+                    .checked_mul(*a)?
+                    .checked_mul(p.checked_add(1)?)
             }
-            TopologySpec::RandomConnected { n, .. } => *n,
-            TopologySpec::WithLinkRates { base, .. } => base.node_count(),
+            TopologySpec::RandomConnected { n, .. } => Some(*n),
+            TopologySpec::WithLinkRates { base, .. } => base.checked_node_count(),
         }
     }
 
@@ -344,6 +392,29 @@ mod tests {
         }
         .build()
         .is_err());
+        // edge budget beyond the complete graph is a spin request, not a
+        // topology: n=4 has 6 possible edges, 3 in the spanning tree
+        assert!(TopologySpec::RandomConnected {
+            n: 4,
+            extra_edges: 6,
+            seed: 0
+        }
+        .build()
+        .is_ok());
+        assert!(TopologySpec::RandomConnected {
+            n: 4,
+            extra_edges: 7,
+            seed: 0
+        }
+        .build()
+        .is_err());
+        assert!(TopologySpec::RandomConnected {
+            n: 2,
+            extra_edges: usize::MAX,
+            seed: 0
+        }
+        .build()
+        .is_err());
         // out-of-range link id / zero rate component surface as errors
         assert!(TopologySpec::WithLinkRates {
             base: Box::new(TopologySpec::Torus { rows: 2, cols: 2 }),
@@ -367,6 +438,59 @@ mod tests {
         }
         .build()
         .is_err());
+    }
+
+    #[test]
+    fn overflowing_dimensions_saturate_and_are_rejected() {
+        // wrap-around must never make a huge spec look small to a size
+        // cap: every overflowing product saturates to usize::MAX...
+        let overflowing = vec![
+            TopologySpec::Torus {
+                rows: usize::MAX,
+                cols: usize::MAX,
+            },
+            TopologySpec::Torus3d {
+                x: 1 << 32,
+                y: 1 << 32,
+                z: 2,
+            },
+            TopologySpec::FatTree {
+                leaves: usize::MAX,
+                spines: 1,
+                nodes_per_leaf: 3,
+            },
+            TopologySpec::FatTreeOversubscribed {
+                k: usize::MAX,
+                ratio: 1,
+            },
+            TopologySpec::BiGraph {
+                upper: 1,
+                lower: usize::MAX,
+                nodes_per_lower: 2,
+            },
+            TopologySpec::Dragonfly {
+                a: usize::MAX,
+                p: 1,
+            },
+            TopologySpec::WithLinkRates {
+                base: Box::new(TopologySpec::Mesh {
+                    rows: usize::MAX,
+                    cols: 2,
+                }),
+                rates: vec![(0, 1, 2)],
+            },
+        ];
+        for spec in overflowing {
+            assert_eq!(spec.node_count(), usize::MAX, "{spec:?}");
+            assert!(spec.build().is_err(), "{spec:?}");
+        }
+        // ...and a switch-heavy spec with few nodes still reports big
+        let spec = TopologySpec::FatTree {
+            leaves: 1,
+            spines: 1 << 40,
+            nodes_per_leaf: 1,
+        };
+        assert!(spec.node_count() > 1 << 40, "spines count against the cap");
     }
 
     #[test]

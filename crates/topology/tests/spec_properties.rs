@@ -51,11 +51,16 @@ fn base_spec(kind: usize, a: usize, b: usize, c: usize, seed: u64) -> TopologySp
             p: dim(b, 1, 3),
             slowdown: dim(c, 1, 4) as u32,
         },
-        _ => TopologySpec::RandomConnected {
-            n: dim(a, 2, 11),
-            extra_edges: b % 8,
-            seed,
-        },
+        _ => {
+            let n = dim(a, 2, 11);
+            TopologySpec::RandomConnected {
+                n,
+                // build() bounds the attempt budget by the complete
+                // graph's edge count, which is 1 for the smallest n
+                extra_edges: b % (n * (n - 1) / 2 + 1).min(8),
+                seed,
+            }
+        }
     }
 }
 

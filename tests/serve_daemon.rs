@@ -200,6 +200,33 @@ fn mid_stream_fault_deltas_route_through_repair() {
 }
 
 #[test]
+fn oversized_request_line_is_capped_in_the_read_path() {
+    use std::io::{BufRead, Write};
+    let d = daemon(1);
+    let mut raw = std::net::TcpStream::connect(d.addr()).unwrap();
+    // stream 16 MiB + 2 bytes with no newline: the daemon must stop
+    // buffering one byte past its line cap and answer with an error,
+    // not grow the line (or parse it) without bound
+    let chunk = vec![b'x'; 1 << 20];
+    for _ in 0..16 {
+        raw.write_all(&chunk).unwrap();
+    }
+    raw.write_all(b"xx").unwrap();
+    let mut reader = std::io::BufReader::new(raw.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    let resp: Response = serde_json::from_str(line.trim()).unwrap();
+    let Response::Error(e) = resp else {
+        panic!("expected error, got {resp:?}");
+    };
+    assert!(e.detail.contains("exceeds"), "{}", e.detail);
+    // an oversized line cannot be resynced; the daemon hangs up
+    line.clear();
+    let n = reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(n, 0, "connection closed after an oversized line");
+}
+
+#[test]
 fn malformed_lines_error_in_order_and_connection_survives() {
     let d = daemon(1);
     let mut client = Client::connect(d.addr()).unwrap();
