@@ -12,11 +12,17 @@
 //!   connectivity-preserving `failure_sequence` helper, so incremental
 //!   repair is expected to succeed, and full delivery is asserted);
 //! * the healthy keys keep hitting the cache across the whole soak, and
-//!   the daemon's counters reconcile exactly with the request stream;
+//!   the daemon's counters reconcile exactly with the request stream —
+//!   including the batch counters: every run lands in exactly one
+//!   coalesced batch, so the occupancy-weighted histogram must sum back
+//!   to the total number of runs served;
+//! * a pipelined same-key burst drives the coalescing dequeue and every
+//!   response's `batch` field stays within `--max-batch`;
 //! * the whole soak fits an explicit wall-clock budget.
 //!
 //! ```text
-//! cargo run --release -p mt-bench --bin serve_smoke [-- --budget-secs 120]
+//! cargo run --release -p mt-bench --bin serve_smoke \
+//!     [-- --budget-secs 120] [--max-batch 8]
 //! ```
 
 use mt_bench::faults::{failure_sequence, seed_of};
@@ -46,9 +52,17 @@ fn run_req(
 fn main() {
     let args = mt_bench::args::Args::parse();
     let budget_secs: u64 = args.get_or("budget-secs", 120);
+    let max_batch: usize = args.get_or("max-batch", 8);
     let wall = Instant::now();
 
-    let mut d = Daemon::spawn("127.0.0.1:0", ServeConfig::default()).expect("bind daemon");
+    let mut d = Daemon::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            max_batch,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind daemon");
     let mut client = Client::connect(d.addr()).expect("connect");
 
     let torus = TopologySpec::Torus { rows: 8, cols: 8 };
@@ -172,6 +186,41 @@ fn main() {
         wall.elapsed()
     );
 
+    // Phase 2.5 — pipelined same-key burst: feeds the coalescing
+    // dequeue faster than the workers drain it, so batches form
+    let burst_n = 32usize;
+    let burst: Vec<Request> = (0..burst_n)
+        .map(|i| {
+            // payload ladder in blocks of 8 equal sizes: repeated
+            // payloads inside a batch take the framing-reuse fast path
+            let payload = (1u64 << 20) >> ((i / 8) % 3);
+            run_req(torus.clone(), AlgorithmSpec::MultiTree, payload, EngineSpec::Flow, None)
+        })
+        .collect();
+    let responses = client.send_many(&burst).expect("burst batch");
+    let mut max_occupancy = 0u64;
+    for (i, resp) in responses.iter().enumerate() {
+        let Response::Run(r) = resp else {
+            panic!("burst request {i} failed: {resp:?}");
+        };
+        assert_eq!(r.provenance, "cached", "burst request {i} must hit");
+        assert!(
+            r.batch >= 1 && r.batch <= max_batch as u64,
+            "burst request {i}: occupancy {} outside 1..={max_batch}",
+            r.batch
+        );
+        // same key + payload as the healthy soak traffic: batching must
+        // not change the simulated result
+        if (i / 8) % 3 == 0 {
+            assert_eq!(r.completion_ns, healthy_torus_ns, "burst request {i} drifted");
+        }
+        max_occupancy = max_occupancy.max(r.batch);
+    }
+    println!(
+        "phase 2.5: {burst_n} pipelined same-key runs, max observed occupancy {max_occupancy} (cap {max_batch}) [{:?}]",
+        wall.elapsed()
+    );
+
     // Phase 3 — counters reconcile with the stream
     let stats = d.stats();
     let repairs =
@@ -185,10 +234,39 @@ fn main() {
     );
     assert_eq!(stats.evictions, 0, "default budget must hold this working set");
     assert!(stats.resident_entries as usize >= unique_keys + 3);
+
+    // batch counters reconcile exactly: every run (warm + soak + burst)
+    // was carried by exactly one coalesced batch
+    let total_runs = (warm.len() + stream.len() + burst_n) as u64;
+    assert_eq!(
+        stats.batched_runs, total_runs,
+        "sum of batch occupancies must equal runs served"
+    );
+    assert_eq!(
+        stats.batch_occupancy.iter().sum::<u64>(),
+        stats.batches,
+        "histogram counts every batch exactly once"
+    );
+    let weighted: u64 = stats
+        .batch_occupancy
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as u64 + 1) * c)
+        .sum();
+    assert_eq!(weighted, stats.batched_runs, "histogram weights reconcile");
+    // each delta repair internally resolves its healthy base entry once
+    // (an extra hit), hence `+ repairs` on the right-hand side
+    assert_eq!(
+        stats.hits + stats.coalesced + stats.misses,
+        total_runs + repairs,
+        "every run resolved the cache exactly once"
+    );
     println!(
-        "phase 3: counters reconcile — {} hits / {} misses / {repairs} repairs, {:.1} MiB resident in {} entries",
+        "phase 3: counters reconcile — {} hits / {} misses / {repairs} repairs across {} batches ({} runs), {:.1} MiB resident in {} entries",
         stats.hits,
         stats.misses,
+        stats.batches,
+        stats.batched_runs,
         stats.resident_bytes as f64 / (1 << 20) as f64,
         stats.resident_entries
     );

@@ -67,12 +67,64 @@ impl FlowEngine {
         scratch: &mut SimScratch,
         obs: &mut O,
     ) -> Result<EngineReport, AlgorithmError> {
-        let (sim, _) =
-            self.run_prepared_impl::<O, false>(prep, total_bytes, scratch, obs, &NO_FAULTS, &[])?;
+        let (sim, _) = self.run_prepared_impl::<O, false>(
+            prep,
+            total_bytes,
+            scratch,
+            obs,
+            &NO_FAULTS,
+            &[],
+            false,
+        )?;
         Ok(EngineReport {
             sim,
             detail: EngineDetail::Flow,
         })
+    }
+
+    /// Executes an already-prepared schedule once per payload size in
+    /// `payloads` — the serving daemon's coalesced-batch hot path, and
+    /// the in-process shape of a fig9/fig10-style payload ladder.
+    ///
+    /// Everything payload-independent is paid once for the whole sweep:
+    /// the prepared CSR/bottleneck tables are indexed from one borrow,
+    /// `scratch` stays warm between runs, and when a payload repeats its
+    /// predecessor the wire framings and lockstep gates — a pure
+    /// function of `(prep, payload)` — are kept instead of refilled.
+    /// Per-payload reports are byte-identical to N independent
+    /// [`FlowEngine::run_prepared_with`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AlgorithmError::MalformedSchedule`] if a run deadlocks;
+    /// payloads after the failing one are not attempted.
+    pub fn run_prepared_batch_with<O: SimObserver>(
+        &self,
+        prep: &PreparedSchedule<'_>,
+        payloads: &[u64],
+        scratch: &mut SimScratch,
+        obs: &mut O,
+    ) -> Result<Vec<EngineReport>, AlgorithmError> {
+        let mut reports = Vec::with_capacity(payloads.len());
+        let mut framed: Option<u64> = None;
+        for &total_bytes in payloads {
+            let reuse = framed == Some(total_bytes);
+            let (sim, _) = self.run_prepared_impl::<O, false>(
+                prep,
+                total_bytes,
+                scratch,
+                obs,
+                &NO_FAULTS,
+                &[],
+                reuse,
+            )?;
+            framed = Some(total_bytes);
+            reports.push(EngineReport {
+                sim,
+                detail: EngineDetail::Flow,
+            });
+        }
+        Ok(reports)
     }
 
     /// Executes a prepared schedule under a [`FaultPlan`]: links die,
@@ -112,6 +164,7 @@ impl FlowEngine {
             obs,
             &faults,
             &fault_times,
+            false,
         )?;
         Ok(FaultedRun {
             report: EngineReport {
@@ -170,7 +223,7 @@ impl Engine for FlowEngine {
     ) -> Result<SimReport, AlgorithmError> {
         let prep = PreparedSchedule::new(schedule, topo)?;
         let mut scratch = SimScratch::new();
-        self.run_prepared_impl::<_, false>(&prep, total_bytes, &mut scratch, &mut NoopObserver, &NO_FAULTS, &[])
+        self.run_prepared_impl::<_, false>(&prep, total_bytes, &mut scratch, &mut NoopObserver, &NO_FAULTS, &[], false)
             .map(|(sim, _)| sim)
     }
 }
@@ -272,6 +325,12 @@ impl FlowEngine {
     /// `faults` tables are never read and every fault branch folds away,
     /// so the healthy paths cost exactly what they did before faults
     /// existed.
+    ///
+    /// `reuse_framings` skips the framing/gate fill: only the batch
+    /// entry sets it, and only when `scratch` provably holds the tables
+    /// for exactly this `(prep, total_bytes, F)` — the immediately
+    /// preceding run of the same sweep.
+    #[allow(clippy::too_many_arguments)]
     fn run_prepared_impl<O: SimObserver, const F: bool>(
         &self,
         prep: &PreparedSchedule<'_>,
@@ -280,6 +339,7 @@ impl FlowEngine {
         obs: &mut O,
         faults: &CompiledFaults,
         fault_times: &[f64],
+        reuse_framings: bool,
     ) -> Result<(SimReport, Option<FaultReport>), AlgorithmError> {
         let topo = prep.topology();
         let cfg = &self.cfg;
@@ -300,7 +360,9 @@ impl FlowEngine {
             }
         }
 
-        self.fill_framings_and_gates::<F>(prep, total_bytes, scratch, faults);
+        if !reuse_framings {
+            self.fill_framings_and_gates::<F>(prep, total_bytes, scratch, faults);
+        }
         let framings = &scratch.framings;
         let gates = &scratch.gates;
 

@@ -16,10 +16,15 @@
 //!   one compile happens per unique key no matter how many workers race
 //!   it — which also makes hit/miss counters deterministic for any
 //!   worker count.
-//! * **Byte-budget LRU.** Every entry is charged its actual heap bytes
-//!   ([`CachedSchedule::bytes`]); inserting past the budget evicts
-//!   least-recently-used ready entries (never in-flight ones). A single
-//!   entry larger than the whole budget is allowed to be resident alone —
+//! * **Byte-budgeted, cost-aware eviction.** Every entry is charged its
+//!   actual heap bytes ([`CachedSchedule::bytes`]); inserting past the
+//!   budget evicts ready entries (never in-flight ones) until the
+//!   budget is met again. *Which* entry goes is decided by measured
+//!   compile cost, not recency alone: the victim is the entry cheapest
+//!   to recompile ([`CachedSchedule::compile_cost_ns`]), ties broken
+//!   least-recently-used — so a 43-second 64k hierarchical compile is
+//!   never sacrificed for a parade of 16-node toys. A single entry
+//!   larger than the whole budget is allowed to be resident alone —
 //!   refusing it would make the daemon useless for exactly the largest
 //!   machines it exists to serve.
 //! * **Repair over recompile.** A key whose [`FaultKey`] names permanent
@@ -91,6 +96,7 @@ pub struct CachedSchedule {
     /// True if the schedule passed (re-)verification when produced.
     pub verified: bool,
     bytes: usize,
+    compile_cost_ns: u64,
 }
 
 impl CachedSchedule {
@@ -116,6 +122,7 @@ impl CachedSchedule {
             provenance,
             verified,
             bytes,
+            compile_cost_ns: 0,
         })
     }
 
@@ -128,6 +135,14 @@ impl CachedSchedule {
     /// Heap bytes this entry is charged against the cache budget.
     pub fn bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Wall nanos the compile (or repair) that produced this entry took,
+    /// measured by the cache around the whole compile closure. This is
+    /// what a re-miss would cost, so eviction treats it as the entry's
+    /// value (see [`ScheduleCache`]'s cost-aware eviction).
+    pub fn compile_cost_ns(&self) -> u64 {
+        self.compile_cost_ns
     }
 }
 
@@ -148,7 +163,16 @@ pub trait CacheObserver: Send + Sync {
     fn on_repair(&self, _key: &ScheduleKey, _strategy: RepairStrategy) {}
     /// A compile failed; the error is propagated to all waiters.
     fn on_error(&self, _key: &ScheduleKey, _detail: &str) {}
+    /// A worker executed one coalesced batch of `occupancy` same-key
+    /// runs (an unbatched run is a batch of 1, so summing occupancies
+    /// reconciles exactly with the number of runs served).
+    fn on_batch(&self, _key: &ScheduleKey, _occupancy: usize) {}
 }
+
+/// Buckets in [`CountingCacheObserver`]'s batch-occupancy histogram:
+/// bucket `i` counts batches of occupancy `i + 1`, the last bucket
+/// absorbing anything larger.
+pub const BATCH_HIST_BUCKETS: usize = 16;
 
 /// The no-telemetry observer.
 #[derive(Debug, Default)]
@@ -176,6 +200,14 @@ pub struct CountingCacheObserver {
     pub repairs_survivor: AtomicU64,
     /// Failed compiles.
     pub errors: AtomicU64,
+    /// Coalesced batches executed by the worker pool.
+    pub batches: AtomicU64,
+    /// Runs executed inside those batches (the sum of occupancies —
+    /// every run lands in exactly one batch, so this equals the total
+    /// runs served).
+    pub batched_runs: AtomicU64,
+    /// Batch occupancy histogram (see [`BATCH_HIST_BUCKETS`]).
+    pub batch_occupancy: [AtomicU64; BATCH_HIST_BUCKETS],
 }
 
 impl CacheObserver for CountingCacheObserver {
@@ -201,6 +233,12 @@ impl CacheObserver for CountingCacheObserver {
     }
     fn on_error(&self, _key: &ScheduleKey, _detail: &str) {
         self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    fn on_batch(&self, _key: &ScheduleKey, occupancy: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_runs.fetch_add(occupancy as u64, Ordering::Relaxed);
+        let bucket = occupancy.clamp(1, BATCH_HIST_BUCKETS) - 1;
+        self.batch_occupancy[bucket].fetch_add(1, Ordering::Relaxed);
     }
 }
 
@@ -354,9 +392,17 @@ impl ScheduleCache {
         // unwind escaped here it would leave the Pending slot in place
         // forever, and every later request for this key would block on
         // the condvar with nobody left to fill it.
+        let started = std::time::Instant::now();
         let result = catch_unwind(AssertUnwindSafe(compile))
             .unwrap_or_else(|payload| Err(panic_detail(&*payload)))
-            .map(Arc::new);
+            .map(|mut entry| {
+                // measured around the whole closure: build, verify,
+                // repair chain and any recursive base resolve — the
+                // real price of losing this entry to eviction
+                entry.compile_cost_ns = u64::try_from(started.elapsed().as_nanos())
+                    .unwrap_or(u64::MAX);
+                Arc::new(entry)
+            });
 
         {
             let mut inner = self.inner.lock().expect("cache lock");
@@ -390,20 +436,36 @@ impl ScheduleCache {
         result.map(|e| (e, CacheOutcome::Miss))
     }
 
-    /// Evicts least-recently-used ready entries (never pending ones,
-    /// never `keep`) until the budget is met or nothing evictable
-    /// remains.
+    /// Re-marks `key` as just used and counts a hit, without touching
+    /// the entry itself. The worker pool's coalesced batches resolve a
+    /// key once and account every extra batch member here, so hit/miss
+    /// totals reconcile exactly with unbatched execution; if the entry
+    /// was evicted in the meantime the hit still counts (the run is
+    /// served from the `Arc` the batch already holds).
+    pub fn touch(&self, key: &ScheduleKey) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(Slot::Ready { last_used, .. }) = inner.map.get_mut(key) {
+                *last_used = tick;
+            }
+        }
+        self.observer.on_hit(key);
+    }
+
+    /// Evicts ready entries (never pending ones, never `keep`) until the
+    /// byte budget is met or nothing evictable remains — the budget stays
+    /// strictly enforced; cost only chooses *which* entry goes.
     fn evict_lru(&self, inner: &mut Inner, keep: &ScheduleKey) {
         while inner.total_bytes > self.max_bytes {
-            let victim = inner
-                .map
-                .iter()
-                .filter_map(|(k, s)| match s {
-                    Slot::Ready { last_used, .. } if k != keep => Some((*last_used, k.clone())),
-                    _ => None,
-                })
-                .min();
-            let Some((_, victim_key)) = victim else { break };
+            let victim = choose_victim(inner.map.iter().filter_map(|(k, s)| match s {
+                Slot::Ready { entry, last_used } if k != keep => {
+                    Some((entry.compile_cost_ns(), *last_used, k.clone()))
+                }
+                _ => None,
+            }));
+            let Some(victim_key) = victim else { break };
             if let Some(Slot::Ready { entry, .. }) = inner.map.remove(&victim_key) {
                 inner.total_bytes -= entry.bytes();
                 self.observer.on_evict(&victim_key, entry.bytes());
@@ -504,6 +566,21 @@ impl ScheduleCache {
     }
 }
 
+/// The eviction policy as a pure function: among `(compile_cost_ns,
+/// last_used, key)` candidates, the victim is the cheapest compile,
+/// ties broken least-recently-used, then by key for determinism.
+///
+/// Bytes are what eviction must relieve, but compile nanos are what a
+/// re-miss costs — a 43-second 64k hierarchical compile must not leave
+/// to make room for three 16-node toys. The policy therefore never
+/// picks an entry while a cheaper-to-recompile candidate exists; the
+/// byte budget itself stays strictly enforced by the caller's loop.
+fn choose_victim(
+    candidates: impl IntoIterator<Item = (u64, u64, ScheduleKey)>,
+) -> Option<ScheduleKey> {
+    candidates.into_iter().min().map(|(_, _, key)| key)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -587,6 +664,105 @@ mod tests {
             .resolve(&spec_a, AlgorithmSpec::Ring, FaultKey::default())
             .unwrap();
         assert_eq!(oa, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn eviction_is_cost_aware_and_budget_strict() {
+        // one real compiled entry, cloned into synthetic slots so byte
+        // charges are uniform and only compile cost differs
+        let (_, probe) = counting_cache(usize::MAX);
+        let (entry, _) = probe
+            .resolve(
+                &TopologySpec::Torus { rows: 4, cols: 4 },
+                AlgorithmSpec::Ring,
+                FaultKey::default(),
+            )
+            .unwrap();
+        let proto = (*entry).clone();
+        let budget = 2 * proto.bytes() + proto.bytes() / 2; // holds two
+
+        let mk_key = |i: usize| {
+            ScheduleKey::with_fault_key(
+                &TopologySpec::Torus { rows: 4, cols: 4 + i },
+                AlgorithmSpec::Ring,
+                FaultKey::default(),
+            )
+        };
+        let (obs, cache) = counting_cache(budget);
+        let expensive = mk_key(0);
+        // the expensive entry is inserted FIRST, so it is also the
+        // least recently used — pure LRU would sacrifice it
+        cache
+            .get_or_compile(&expensive, || {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                Ok(proto.clone())
+            })
+            .unwrap();
+        cache.get_or_compile(&mk_key(1), || Ok(proto.clone())).unwrap();
+        cache.get_or_compile(&mk_key(2), || Ok(proto.clone())).unwrap();
+
+        assert_eq!(obs.evictions.load(Ordering::Relaxed), 1);
+        assert!(cache.resident_bytes() <= budget, "byte budget is strict");
+        let (survivor, outcome) = cache
+            .get_or_compile(&expensive, || Err("must still be resident".into()))
+            .unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit, "cheaper candidates paid the bytes");
+        assert!(survivor.compile_cost_ns() >= 50_000_000);
+        let err = cache
+            .get_or_compile(&mk_key(1), || Err("evicted as expected".into()))
+            .unwrap_err();
+        assert!(err.contains("evicted as expected"));
+    }
+
+    mod victim_policy {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn keyed(candidates: &[(u64, u64)]) -> Vec<(u64, u64, ScheduleKey)> {
+            candidates
+                .iter()
+                .enumerate()
+                .map(|(i, &(cost, used))| {
+                    let key = ScheduleKey::with_fault_key(
+                        &TopologySpec::Hypercube { dim: 2 + i as u32 },
+                        AlgorithmSpec::Ring,
+                        FaultKey::default(),
+                    );
+                    (cost, used, key)
+                })
+                .collect()
+        }
+
+        // the victim never has a strictly cheaper co-candidate, and
+        // among the cheapest it is the least recently used
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+            #[test]
+            fn victim_is_cheapest_then_least_recent(
+                candidates in prop::collection::vec((0u64..5, 0u64..1000), 0..12),
+            ) {
+                let keyed = keyed(&candidates);
+                match choose_victim(keyed.clone()) {
+                    None => prop_assert!(candidates.is_empty()),
+                    Some(victim) => {
+                        let (cost, used, _) = keyed
+                            .iter()
+                            .find(|(_, _, k)| *k == victim)
+                            .expect("victim comes from the candidate set")
+                            .clone();
+                        let min_cost = keyed.iter().map(|&(c, _, _)| c).min().unwrap();
+                        prop_assert_eq!(cost, min_cost, "a cheaper candidate survived eviction");
+                        let min_used = keyed
+                            .iter()
+                            .filter(|&&(c, _, _)| c == min_cost)
+                            .map(|&(_, u, _)| u)
+                            .min()
+                            .unwrap();
+                        prop_assert_eq!(used, min_used);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -45,16 +45,7 @@ impl Client {
     /// Socket failures, a daemon that hung up (`UnexpectedEof`), or an
     /// unparseable response line (`InvalidData`).
     pub fn recv(&mut self) -> io::Result<Response> {
-        let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
-        if n == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "daemon closed the connection",
-            ));
-        }
-        serde_json::from_str(line.trim())
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+        read_line_response(&mut self.reader)
     }
 
     /// Sends one request and waits for its response.
@@ -74,9 +65,55 @@ impl Client {
     ///
     /// See [`Client::send`] and [`Client::recv`].
     pub fn batch(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
-        for r in requests {
-            self.send(r)?;
-        }
-        requests.iter().map(|_| self.recv()).collect()
+        self.send_many(requests)
     }
+
+    /// Pipelines an arbitrarily large batch safely: the writes run on
+    /// their own thread while this thread reads responses, so the
+    /// request stream can exceed the socket and daemon buffering that a
+    /// write-all-then-read-all loop would deadlock on. Responses come
+    /// back in request order. This is how a sweep client keeps the
+    /// daemon's coalescing dequeue fed — same-key requests only batch
+    /// when more than one is queued at once.
+    ///
+    /// # Errors
+    ///
+    /// Encode failures (`InvalidData`), socket failures from either
+    /// side; the first error wins and the rest of the batch is
+    /// abandoned.
+    pub fn send_many(&mut self, requests: &[Request]) -> io::Result<Vec<Response>> {
+        let mut lines = String::new();
+        for r in requests {
+            let line = serde_json::to_string(r)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+            lines.push_str(&line);
+            lines.push('\n');
+        }
+        let Client { writer, reader } = self;
+        std::thread::scope(|scope| {
+            let sender = scope.spawn(move || writer.write_all(lines.as_bytes()));
+            let responses: io::Result<Vec<Response>> = requests
+                .iter()
+                .map(|_| read_line_response(reader))
+                .collect();
+            match sender.join() {
+                Ok(Ok(())) => responses,
+                Ok(Err(e)) => Err(e),
+                Err(_) => Err(io::Error::other("writer thread panicked")),
+            }
+        })
+    }
+}
+
+fn read_line_response(reader: &mut BufReader<TcpStream>) -> io::Result<Response> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection",
+        ));
+    }
+    serde_json::from_str(line.trim())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
 }

@@ -12,7 +12,7 @@
 //! cooperative: a flag plus short read timeouts, so `shutdown()`
 //! returns even with idle connections still open.
 
-use crate::pool::{Job, ServeConfig, ServeState, WorkerPool};
+use crate::pool::{Job, JobQueue, ServeConfig, ServeState, WorkerPool};
 use crate::protocol::{ErrorResponse, Request, Response, StatsResponse};
 use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -122,11 +122,7 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServeState>, shutdown: &Arc<A
     // pool drops here: the job queue closes and workers are joined
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    sender: &std::sync::mpsc::SyncSender<Job>,
-    shutdown: &AtomicBool,
-) {
+fn serve_connection(stream: TcpStream, sender: &Arc<JobQueue>, shutdown: &AtomicBool) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -165,11 +161,7 @@ fn serve_connection(
                     match serde_json::from_str::<Request>(trimmed) {
                         Ok(request) => {
                             if sender
-                                .send(Job {
-                                    seq,
-                                    request,
-                                    reply: reply_tx.clone(),
-                                })
+                                .send(Job::new(seq, request, reply_tx.clone()))
                                 .is_err()
                             {
                                 break; // pool gone: daemon shutting down

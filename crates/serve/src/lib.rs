@@ -45,7 +45,7 @@ pub use cache::{
 pub use client::Client;
 pub use daemon::Daemon;
 pub use key::{FaultKey, ScheduleKey};
-pub use pool::{Job, ServeConfig, ServeState, WorkerPool};
+pub use pool::{Job, JobQueue, ServeConfig, ServeState, WorkerPool};
 pub use protocol::{
     AlgorithmSpec, EngineSpec, ErrorResponse, Request, Response, RunRequest, RunResponse,
     StatsResponse,

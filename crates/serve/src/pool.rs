@@ -7,25 +7,37 @@
 //! buffers live in the worker's scratch, both reused across requests
 //! and across *different* `(topology, schedule)` pairs.
 //!
-//! Workers pull jobs from one shared queue (a `Mutex<Receiver>` — plain
-//! work stealing, no per-worker queues needed at request granularity)
-//! and push `(seq, response)` pairs to the submitting connection's
-//! reply channel; the connection's writer reorders by `seq` so response
-//! order always matches request order per connection, while requests
-//! from different connections interleave freely across workers.
+//! Workers pull *batches* from one shared [`JobQueue`]: a dequeue takes
+//! the oldest job plus every other queued run with the same
+//! [`ScheduleKey`] (up to [`ServeConfig::max_batch`]), in queue order.
+//! The whole batch then shares one cache resolve, one `PreparedData`
+//! borrow and one scratch, and its healthy members execute through the
+//! engines' sweep entry points (`run_prepared_batch_with`) — so at high
+//! hit ratios the per-request cost collapses to the engine run itself.
+//! Batching never changes results: simulated fields are byte-identical
+//! to `max_batch = 1`, and hit/miss counters reconcile exactly because
+//! every extra batch member is accounted as a hit
+//! ([`ScheduleCache::touch`]).
+//!
+//! Responses go back as `(seq, response)` pairs on the submitting
+//! connection's reply channel; the connection's writer reorders by
+//! `seq`, so response order always matches request order per connection
+//! while batches and connections interleave freely across workers.
 
-use crate::cache::{CacheOutcome, CountingCacheObserver, Provenance, ScheduleCache};
-use crate::key::FaultKey;
+use crate::cache::{CacheObserver, CacheOutcome, CountingCacheObserver, Provenance, ScheduleCache};
+use crate::key::{FaultKey, ScheduleKey};
 use crate::protocol::{
     EngineSpec, ErrorResponse, Request, Response, RunRequest, RunResponse, StatsResponse,
 };
 use multitree::algorithms::RepairStrategy;
+use multitree::PreparedSchedule;
 use mt_netsim::cycle::CycleEngine;
 use mt_netsim::flow::FlowEngine;
 use mt_netsim::{EngineReport, FaultEvent, FaultPlan, NetworkConfig, NoopObserver, SimScratch};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Serving limits and defaults.
@@ -38,6 +50,11 @@ pub struct ServeConfig {
     /// Largest `TopologySpec::node_count` accepted; bigger requests are
     /// rejected before any construction work happens.
     pub max_nodes: usize,
+    /// Most same-key runs a worker coalesces into one batch. `1`
+    /// disables coalescing (every dequeue is one job); the default of 8
+    /// bounds the latency a queued run can add to the batch in front of
+    /// it while still amortizing the dispatch overhead well.
+    pub max_batch: usize,
     /// Network parameters both engines run with.
     pub network: NetworkConfig,
 }
@@ -48,6 +65,7 @@ impl Default for ServeConfig {
             workers: 2,
             cache_bytes: 256 << 20,
             max_nodes: 1 << 17,
+            max_batch: 8,
             network: NetworkConfig::paper_default(),
         }
     }
@@ -96,6 +114,13 @@ impl ServeState {
             repairs_survivor: o.repairs_survivor.load(Ordering::Relaxed),
             errors: o.errors.load(Ordering::Relaxed)
                 + self.runtime_errors.load(Ordering::Relaxed),
+            batches: o.batches.load(Ordering::Relaxed),
+            batched_runs: o.batched_runs.load(Ordering::Relaxed),
+            batch_occupancy: o
+                .batch_occupancy
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
             resident_bytes: self.cache.resident_bytes() as u64,
             resident_entries: self.cache.resident_entries() as u64,
         }
@@ -103,99 +128,238 @@ impl ServeState {
 
     /// Executes one already-parsed request against this state, reusing
     /// `scratch` for all simulation buffers. Never panics on bad input;
-    /// failures become [`Response::Error`].
+    /// failures become [`Response::Error`]. A run goes through the
+    /// batch path with occupancy 1 — there is exactly one execution
+    /// path, which is what makes batched and unbatched results
+    /// structurally identical.
     pub fn handle(&self, request: &Request, scratch: &mut SimScratch) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(self.stats()),
-            Request::Run(run) => match self.handle_run(run, scratch) {
-                Ok(resp) => Response::Run(resp),
-                Err(detail) => Response::Error(ErrorResponse { detail }),
-            },
+            Request::Run(run) => self
+                .handle_run_batch(&[run], scratch)
+                .pop()
+                .expect("one response per run"),
         }
     }
 
-    fn handle_run(&self, run: &RunRequest, scratch: &mut SimScratch) -> Result<RunResponse, String> {
-        // compile failures are counted by the cache observer; everything
-        // that fails before or after the cache is counted here
+    /// Executes one dequeued batch: either a single non-run request, or
+    /// 1..=`max_batch` same-key runs (the queue's coalescing invariant).
+    fn handle_jobs(&self, batch: &[Job], scratch: &mut SimScratch) -> Vec<Response> {
+        if let [job] = batch {
+            if !matches!(job.request, Request::Run(_)) {
+                return vec![self.handle(&job.request, scratch)];
+            }
+        }
+        let runs: Vec<&RunRequest> = batch
+            .iter()
+            .map(|job| match &job.request {
+                Request::Run(run) => run,
+                other => unreachable!("coalesced batch holds only runs, got {other:?}"),
+            })
+            .collect();
+        self.handle_run_batch(&runs, scratch)
+    }
+
+    /// The batch-native run path: one cache resolve, one `PreparedData`
+    /// borrow, one scratch, the whole payload set. Every run in `runs`
+    /// shares one schedule key (the queue's coalescing invariant; a
+    /// single-element batch is the unbatched case). Responses are
+    /// byte-identical in their simulated fields to executing the runs
+    /// one by one, in order.
+    fn handle_run_batch(&self, runs: &[&RunRequest], scratch: &mut SimScratch) -> Vec<Response> {
         let reject = |detail: String| {
             self.runtime_errors.fetch_add(1, Ordering::Relaxed);
-            detail
+            Response::Error(ErrorResponse { detail })
         };
-        if run.payload_bytes == 0 {
-            return Err(reject("payload_bytes must be positive".into()));
-        }
-        let nodes = run.topology.node_count();
-        if nodes > self.config.max_nodes {
-            return Err(reject(format!(
-                "topology has {nodes} nodes, over this daemon's limit of {}",
-                self.config.max_nodes
-            )));
-        }
-        let spec = run.topology.canonicalized();
-        let faults = run.faults.as_ref().map(FaultKey::of).unwrap_or_default();
-        let key = crate::key::ScheduleKey::with_fault_key(&spec, run.algorithm, faults.clone());
-        let (entry, outcome) = self.cache.resolve(&spec, run.algorithm, faults)?;
+        let mut responses: Vec<Option<Response>> = runs.iter().map(|_| None).collect();
 
-        let provenance = provenance_label(outcome, entry.provenance);
+        // per-run validation: invalid members error individually and
+        // never block the rest of the batch
+        for (i, run) in runs.iter().enumerate() {
+            if run.payload_bytes == 0 {
+                responses[i] = Some(reject("payload_bytes must be positive".into()));
+                continue;
+            }
+            let nodes = run.topology.node_count();
+            if nodes > self.config.max_nodes {
+                responses[i] = Some(reject(format!(
+                    "topology has {nodes} nodes, over this daemon's limit of {}",
+                    self.config.max_nodes
+                )));
+            }
+        }
 
-        // Permanent deaths are structural: they are baked into the
-        // cached (repaired) schedule, so only the runtime-only events —
-        // flaps and degrades — are applied at execution time.
-        let runtime_plan = run.faults.as_ref().and_then(runtime_only_plan);
+        // every member of a coalesced batch shares this key
+        let spec = runs[0].topology.canonicalized();
+        let fault_key = runs[0].faults.as_ref().map(FaultKey::of).unwrap_or_default();
+        let key = ScheduleKey::with_fault_key(&spec, runs[0].algorithm, fault_key.clone());
+        self.observer.on_batch(&key, runs.len());
+
+        let valid: Vec<usize> = (0..runs.len()).filter(|&i| responses[i].is_none()).collect();
+        if valid.is_empty() {
+            return responses.into_iter().flatten().collect();
+        }
+
+        // one resolve for the whole batch; the extra members are
+        // accounted as hits (`touch`), so hit/miss/coalesced totals are
+        // identical to executing the same stream with `max_batch = 1`
+        let (entry, outcome) = match self.cache.resolve(&spec, runs[0].algorithm, fault_key) {
+            Ok(resolved) => resolved,
+            Err(detail) => {
+                for &i in &valid {
+                    responses[i] =
+                        Some(Response::Error(ErrorResponse { detail: detail.clone() }));
+                }
+                return responses.into_iter().flatten().collect();
+            }
+        };
+        for _ in 1..valid.len() {
+            self.cache.touch(&key);
+        }
+
+        let digest = key.digest();
+        let first_label = provenance_label(outcome, entry.provenance);
+        let follow_label = provenance_label(CacheOutcome::Hit, entry.provenance);
+        let occupancy = runs.len() as u64;
         let prep = entry.prepared();
-        let mut obs = NoopObserver;
+        let respond = |report: &EngineReport,
+                       label: &str,
+                       delivered: u64,
+                       messages: u64,
+                       stalled: bool| {
+            Response::Run(RunResponse {
+                key: digest.clone(),
+                provenance: label.to_string(),
+                verified: entry.verified,
+                completion_ns: report.sim.completion_ns,
+                delivered,
+                messages,
+                flits_sent: report.sim.flits_sent,
+                stalled,
+                batch: occupancy,
+            })
+        };
 
-        let (report, delivered, messages, stalled): (EngineReport, u64, u64, bool) =
-            match (&run.engine, &runtime_plan) {
-                (EngineSpec::Flow, None) => {
-                    let r = FlowEngine::new(self.config.network)
-                        .run_prepared_with(&prep, run.payload_bytes, scratch, &mut obs)
-                        .map_err(|e| reject(e.to_string()))?;
-                    let m = r.sim.messages as u64;
-                    (r, m, m, false)
-                }
-                (EngineSpec::Cycle, None) => {
-                    let r = CycleEngine::new(self.config.network)
-                        .run_prepared_with(&prep, run.payload_bytes, scratch, &mut obs)
-                        .map_err(|e| reject(e.to_string()))?;
-                    let m = r.sim.messages as u64;
-                    (r, m, m, false)
-                }
-                (EngineSpec::Flow, Some(plan)) => {
-                    let r = FlowEngine::new(self.config.network)
-                        .run_prepared_faulted_with(&prep, run.payload_bytes, scratch, plan, &mut obs)
-                        .map_err(|e| reject(e.to_string()))?;
-                    let (d, t, s) = (
-                        r.faults.delivered as u64,
-                        r.faults.total as u64,
-                        r.faults.stalled,
+        // healthy runs group into one sweep per engine (the batch hot
+        // path); runs carrying runtime-only fault events keep their
+        // individual faulted execution, exactly as unbatched. Permanent
+        // deaths are structural — baked into the cached (repaired)
+        // schedule — so only flaps and degrades reach the engines here.
+        let mut sweeps: [Vec<(usize, &str)>; 2] = [Vec::new(), Vec::new()];
+        for (slot, &i) in valid.iter().enumerate() {
+            let run = runs[i];
+            let label: &str = if slot == 0 { &first_label } else { &follow_label };
+            match (run.engine, run.faults.as_ref().and_then(runtime_only_plan)) {
+                (EngineSpec::Flow, None) => sweeps[0].push((i, label)),
+                (EngineSpec::Cycle, None) => sweeps[1].push((i, label)),
+                (engine, Some(plan)) => {
+                    responses[i] = Some(
+                        match self.execute_faulted(
+                            engine,
+                            &prep,
+                            run.payload_bytes,
+                            &plan,
+                            scratch,
+                        ) {
+                            Ok((report, delivered, messages, stalled)) => {
+                                respond(&report, label, delivered, messages, stalled)
+                            }
+                            Err(detail) => reject(detail),
+                        },
                     );
-                    (r.report, d, t, s)
                 }
-                (EngineSpec::Cycle, Some(plan)) => {
-                    let r = CycleEngine::new(self.config.network)
-                        .run_prepared_faulted_with(&prep, run.payload_bytes, scratch, plan, &mut obs)
-                        .map_err(|e| reject(e.to_string()))?;
-                    let (d, t, s) = (
-                        r.faults.delivered as u64,
-                        r.faults.total as u64,
-                        r.faults.stalled,
-                    );
-                    (r.report, d, t, s)
-                }
+            }
+        }
+        for (which, sweep) in sweeps.iter().enumerate() {
+            if sweep.is_empty() {
+                continue;
+            }
+            let engine = [EngineSpec::Flow, EngineSpec::Cycle][which];
+            let payloads: Vec<u64> = sweep.iter().map(|&(i, _)| runs[i].payload_bytes).collect();
+            let mut obs = NoopObserver;
+            let swept = match engine {
+                EngineSpec::Flow => FlowEngine::new(self.config.network)
+                    .run_prepared_batch_with(&prep, &payloads, scratch, &mut obs),
+                EngineSpec::Cycle => CycleEngine::new(self.config.network)
+                    .run_prepared_batch_with(&prep, &payloads, scratch, &mut obs),
             };
+            match swept {
+                Ok(reports) => {
+                    for (&(i, label), report) in sweep.iter().zip(&reports) {
+                        let m = report.sim.messages as u64;
+                        responses[i] = Some(respond(report, label, m, m, false));
+                    }
+                }
+                Err(_) => {
+                    // a sweep aborts at its first failing payload; rerun
+                    // each member alone so every run gets its own
+                    // verdict, byte-identical to the unbatched path
+                    for &(i, label) in sweep.iter() {
+                        responses[i] = Some(
+                            match self.execute_healthy(
+                                engine,
+                                &prep,
+                                runs[i].payload_bytes,
+                                scratch,
+                            ) {
+                                Ok(report) => {
+                                    let m = report.sim.messages as u64;
+                                    respond(&report, label, m, m, false)
+                                }
+                                Err(detail) => reject(detail),
+                            },
+                        );
+                    }
+                }
+            }
+        }
 
-        Ok(RunResponse {
-            key: key.digest(),
-            provenance,
-            verified: entry.verified,
-            completion_ns: report.sim.completion_ns,
-            delivered,
-            messages,
-            flits_sent: report.sim.flits_sent,
-            stalled,
-        })
+        responses
+            .into_iter()
+            .map(|r| r.expect("every run in the batch was answered"))
+            .collect()
+    }
+
+    fn execute_healthy(
+        &self,
+        engine: EngineSpec,
+        prep: &PreparedSchedule<'_>,
+        payload: u64,
+        scratch: &mut SimScratch,
+    ) -> Result<EngineReport, String> {
+        let mut obs = NoopObserver;
+        match engine {
+            EngineSpec::Flow => FlowEngine::new(self.config.network)
+                .run_prepared_with(prep, payload, scratch, &mut obs),
+            EngineSpec::Cycle => CycleEngine::new(self.config.network)
+                .run_prepared_with(prep, payload, scratch, &mut obs),
+        }
+        .map_err(|e| e.to_string())
+    }
+
+    fn execute_faulted(
+        &self,
+        engine: EngineSpec,
+        prep: &PreparedSchedule<'_>,
+        payload: u64,
+        plan: &FaultPlan,
+        scratch: &mut SimScratch,
+    ) -> Result<(EngineReport, u64, u64, bool), String> {
+        let mut obs = NoopObserver;
+        let run = match engine {
+            EngineSpec::Flow => FlowEngine::new(self.config.network)
+                .run_prepared_faulted_with(prep, payload, scratch, plan, &mut obs),
+            EngineSpec::Cycle => CycleEngine::new(self.config.network)
+                .run_prepared_faulted_with(prep, payload, scratch, plan, &mut obs),
+        }
+        .map_err(|e| e.to_string())?;
+        Ok((
+            run.report,
+            run.faults.delivered as u64,
+            run.faults.total as u64,
+            run.faults.stalled,
+        ))
     }
 }
 
@@ -243,12 +407,136 @@ pub struct Job {
     pub request: Request,
     /// Where the `(seq, response)` pair is delivered.
     pub reply: Sender<(u64, Response)>,
+    /// The run's schedule key, precomputed at submit time so the queue
+    /// coalesces without re-deriving it per candidate. `None` for
+    /// non-run requests, which never coalesce.
+    key: Option<ScheduleKey>,
+}
+
+impl Job {
+    /// Tags a parsed request for the pool, precomputing its coalescing
+    /// key.
+    pub fn new(seq: u64, request: Request, reply: Sender<(u64, Response)>) -> Job {
+        let key = match &request {
+            Request::Run(run) => Some(ScheduleKey::with_fault_key(
+                &run.topology.canonicalized(),
+                run.algorithm,
+                run.faults.as_ref().map(FaultKey::of).unwrap_or_default(),
+            )),
+            _ => None,
+        };
+        Job {
+            seq,
+            request,
+            reply,
+            key,
+        }
+    }
+}
+
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The shared job queue: bounded (backpressure instead of unbounded
+/// buffering when clients submit faster than schedules execute),
+/// multi-producer multi-consumer, with a *coalescing* dequeue —
+/// `take_batch` returns the oldest job plus every other
+/// queued run with the same [`ScheduleKey`], in queue order, up to the
+/// caller's cap. Jobs never reorder relative to their own key (and the
+/// per-connection writer reorders by `seq` anyway), so coalescing is
+/// invisible except in throughput and the `batch` telemetry field.
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    jobs_cv: Condvar,
+    space_cv: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(QueueInner {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            jobs_cv: Condvar::new(),
+            space_cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues one job, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back once the pool has shut down — same contract
+    /// as a channel send, and the caller (one per connection) only
+    /// checks `is_err`, so the error size never travels further.
+    #[allow(clippy::result_large_err)]
+    pub fn send(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if inner.closed {
+                return Err(job);
+            }
+            if inner.jobs.len() < self.capacity {
+                break;
+            }
+            inner = self.space_cv.wait(inner).expect("queue lock");
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.jobs_cv.notify_one();
+        Ok(())
+    }
+
+    /// Closes the queue: senders fail fast, workers drain what is
+    /// already queued and then see `None`.
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.jobs_cv.notify_all();
+        self.space_cv.notify_all();
+    }
+
+    /// Blocks for the next batch. Returns `None` once the queue is
+    /// closed *and* drained.
+    fn take_batch(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if !inner.jobs.is_empty() {
+                break;
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.jobs_cv.wait(inner).expect("queue lock");
+        }
+        let first = inner.jobs.pop_front().expect("non-empty");
+        let mut batch = Vec::with_capacity(max_batch.min(8));
+        batch.push(first);
+        if let Some(key) = batch[0].key.clone() {
+            let mut i = 0;
+            while i < inner.jobs.len() && batch.len() < max_batch {
+                if inner.jobs[i].key.as_ref() == Some(&key) {
+                    batch.push(inner.jobs.remove(i).expect("index in range"));
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        drop(inner);
+        // each removed job is one freed slot for a blocked sender
+        self.space_cv.notify_all();
+        Some(batch)
+    }
 }
 
 /// A fixed pool of worker threads, each owning its [`SimScratch`],
-/// draining one shared job queue.
+/// draining one shared coalescing [`JobQueue`].
 pub struct WorkerPool {
-    tx: Option<SyncSender<Job>>,
+    queue: Arc<JobQueue>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -256,36 +544,30 @@ impl WorkerPool {
     /// Spawns `state.config.workers` threads (at least one).
     pub fn new(state: Arc<ServeState>) -> WorkerPool {
         let workers = state.config.workers.max(1);
-        // bounded queue: backpressure instead of unbounded buffering if
-        // clients submit faster than schedules execute
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(workers * 64);
-        let rx = Arc::new(Mutex::new(rx));
+        let queue = Arc::new(JobQueue::new(workers * 64));
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
-            let rx = Arc::clone(&rx);
+            let queue = Arc::clone(&queue);
             let state = Arc::clone(&state);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state, &rx))
+                    .spawn(move || worker_loop(&state, &queue))
                     .expect("spawn worker"),
             );
         }
-        WorkerPool {
-            tx: Some(tx),
-            handles,
-        }
+        WorkerPool { queue, handles }
     }
 
-    /// A handle for submitting jobs (cloneable, one per connection).
-    pub fn sender(&self) -> SyncSender<Job> {
-        self.tx.as_ref().expect("pool not shut down").clone()
+    /// A handle for submitting jobs (shareable, one per connection).
+    pub fn sender(&self) -> Arc<JobQueue> {
+        Arc::clone(&self.queue)
     }
 
-    /// Drops the queue and joins every worker. Workers finish the jobs
+    /// Closes the queue and joins every worker. Workers finish the jobs
     /// already queued first.
     pub fn shutdown(&mut self) {
-        self.tx = None;
+        self.queue.close();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
@@ -298,34 +580,39 @@ impl Drop for WorkerPool {
     }
 }
 
-fn worker_loop(state: &ServeState, rx: &Mutex<Receiver<Job>>) {
+fn worker_loop(state: &ServeState, queue: &JobQueue) {
     let mut scratch = SimScratch::new();
-    loop {
-        // hold the queue lock only for the dequeue, never the execution
-        let job = match rx.lock() {
-            Ok(guard) => guard.recv(),
-            Err(_) => return,
-        };
-        let Ok(job) = job else { return };
-        // `handle` is contracted never to panic, but a panic that slips
-        // through anyway must cost one response, not this worker thread
-        // (a dead worker shrinks the pool for the daemon's lifetime and
-        // stalls its connection's seq-ordered writer)
+    let max_batch = state.config.max_batch.max(1);
+    while let Some(batch) = queue.take_batch(max_batch) {
+        // `handle_jobs` is contracted never to panic, but a panic that
+        // slips through anyway must cost one batch of responses, not
+        // this worker thread (a dead worker shrinks the pool for the
+        // daemon's lifetime and stalls its connection's writer)
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            state.handle(&job.request, &mut scratch)
+            state.handle_jobs(&batch, &mut scratch)
         }));
-        let response = match result {
-            Ok(response) => response,
+        match result {
+            Ok(responses) => {
+                debug_assert_eq!(responses.len(), batch.len());
+                for (job, response) in batch.iter().zip(responses) {
+                    // a disconnected client just discards its responses
+                    let _ = job.reply.send((job.seq, response));
+                }
+            }
             Err(payload) => {
                 // the unwind may have left scratch mid-update; replace it
                 scratch = SimScratch::new();
-                Response::Error(ErrorResponse {
-                    detail: crate::cache::panic_detail(&*payload),
-                })
+                let detail = crate::cache::panic_detail(&*payload);
+                for job in &batch {
+                    let _ = job.reply.send((
+                        job.seq,
+                        Response::Error(ErrorResponse {
+                            detail: detail.clone(),
+                        }),
+                    ));
+                }
             }
-        };
-        // a disconnected client just discards its remaining responses
-        let _ = job.reply.send((job.seq, response));
+        }
     }
 }
 
@@ -345,6 +632,16 @@ mod tests {
         })
     }
 
+    fn run_req_payload(payload: u64, engine: EngineSpec) -> Request {
+        Request::Run(RunRequest {
+            topology: TopologySpec::Torus { rows: 4, cols: 4 },
+            algorithm: AlgorithmSpec::MultiTree,
+            payload_bytes: payload,
+            engine,
+            faults: None,
+        })
+    }
+
     #[test]
     fn handle_compiles_then_hits_and_matches_direct_execution() {
         let state = ServeState::new(ServeConfig::default());
@@ -357,6 +654,7 @@ mod tests {
         assert!(first.verified);
         assert_eq!(first.delivered, first.messages);
         assert!(!first.stalled);
+        assert_eq!(first.batch, 1, "a single handle is a batch of one");
 
         let second = state.handle(&run_req(None), &mut scratch);
         let Response::Run(second) = second else {
@@ -377,6 +675,7 @@ mod tests {
 
         let stats = state.stats();
         assert_eq!((stats.hits, stats.misses, stats.errors), (1, 1, 0));
+        assert_eq!((stats.batches, stats.batched_runs), (2, 2));
     }
 
     #[test]
@@ -428,6 +727,118 @@ mod tests {
     }
 
     #[test]
+    fn take_batch_coalesces_same_key_runs_in_queue_order() {
+        let queue = JobQueue::new(64);
+        let (reply_tx, _reply_rx) = std::sync::mpsc::channel();
+        let key_a = || run_req(None);
+        let key_b = || {
+            Request::Run(RunRequest {
+                topology: TopologySpec::Torus { rows: 4, cols: 4 },
+                algorithm: AlgorithmSpec::Ring,
+                payload_bytes: 1 << 16,
+                engine: EngineSpec::Flow,
+                faults: None,
+            })
+        };
+        // A A B A A A — payload and engine vary within key A (neither
+        // is part of the key, so neither blocks coalescing)
+        for (seq, request) in [
+            (0, key_a()),
+            (1, run_req_payload(1 << 16, EngineSpec::Cycle)),
+            (2, key_b()),
+            (3, key_a()),
+            (4, run_req_payload(1 << 14, EngineSpec::Flow)),
+            (5, key_a()),
+        ] {
+            assert!(queue.send(Job::new(seq, request, reply_tx.clone())).is_ok());
+        }
+        // cap 4: the first dequeue takes A0 A1 A3 A4, leaving B2 in
+        // front of the late A5
+        let batch = queue.take_batch(4).unwrap();
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [0, 1, 3, 4]);
+        let batch = queue.take_batch(4).unwrap();
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [2]);
+        let batch = queue.take_batch(4).unwrap();
+        assert_eq!(batch.iter().map(|j| j.seq).collect::<Vec<_>>(), [5]);
+        queue.close();
+        assert!(queue.take_batch(4).is_none());
+        assert!(queue.send(Job::new(6, key_a(), reply_tx)).is_err());
+    }
+
+    #[test]
+    fn batched_runs_match_singles_and_counters_reconcile() {
+        // baseline: three independent single runs on a fresh state
+        let singles = ServeState::new(ServeConfig::default());
+        let mut scratch = SimScratch::new();
+        let payloads = [1u64 << 20, 1 << 16, 1 << 20];
+        let engines = [EngineSpec::Flow, EngineSpec::Cycle, EngineSpec::Flow];
+        let mut expected = Vec::new();
+        for (&p, &e) in payloads.iter().zip(&engines) {
+            let Response::Run(r) = singles.handle(&run_req_payload(p, e), &mut scratch) else {
+                panic!("expected run response");
+            };
+            expected.push(r);
+        }
+
+        // the same three as one coalesced batch on another fresh state
+        let state = ServeState::new(ServeConfig::default());
+        let (reply_tx, _reply_rx) = std::sync::mpsc::channel();
+        let jobs: Vec<Job> = payloads
+            .iter()
+            .zip(&engines)
+            .enumerate()
+            .map(|(seq, (&p, &e))| Job::new(seq as u64, run_req_payload(p, e), reply_tx.clone()))
+            .collect();
+        let responses = state.handle_jobs(&jobs, &mut scratch);
+        assert_eq!(responses.len(), 3);
+        for (resp, want) in responses.iter().zip(&expected) {
+            let Response::Run(r) = resp else {
+                panic!("expected run response, got {resp:?}");
+            };
+            assert_eq!(r.completion_ns, want.completion_ns, "batched == single");
+            assert_eq!(r.flits_sent, want.flits_sent);
+            assert_eq!(r.messages, want.messages);
+            assert_eq!(r.key, want.key);
+            assert_eq!(r.batch, 3, "occupancy is reported per response");
+        }
+
+        // counters reconcile exactly with the unbatched stream: one
+        // miss, two hits, one batch of occupancy 3
+        let stats = state.stats();
+        assert_eq!((stats.misses, stats.hits + stats.coalesced), (1, 2));
+        assert_eq!((stats.batches, stats.batched_runs), (1, 3));
+        assert_eq!(stats.batch_occupancy[2], 1);
+        assert_eq!(stats.batch_occupancy.iter().sum::<u64>(), stats.batches);
+        let weighted: u64 = stats
+            .batch_occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        assert_eq!(weighted, stats.batched_runs);
+    }
+
+    #[test]
+    fn invalid_members_error_individually_inside_a_batch() {
+        let state = ServeState::new(ServeConfig::default());
+        let mut scratch = SimScratch::new();
+        let (reply_tx, _reply_rx) = std::sync::mpsc::channel();
+        let jobs = vec![
+            Job::new(0, run_req_payload(1 << 20, EngineSpec::Flow), reply_tx.clone()),
+            Job::new(1, run_req_payload(0, EngineSpec::Flow), reply_tx.clone()),
+            Job::new(2, run_req_payload(1 << 16, EngineSpec::Flow), reply_tx),
+        ];
+        let responses = state.handle_jobs(&jobs, &mut scratch);
+        assert!(matches!(responses[0], Response::Run(_)));
+        assert!(matches!(responses[1], Response::Error(_)));
+        assert!(matches!(responses[2], Response::Run(_)));
+        let stats = state.stats();
+        assert_eq!(stats.errors, 1);
+        assert_eq!((stats.misses, stats.hits), (1, 1), "only valid members resolve");
+        assert_eq!(stats.batched_runs, 3, "the reject still counts in occupancy");
+    }
+
+    #[test]
     fn pool_preserves_per_connection_order() {
         let state = Arc::new(ServeState::new(ServeConfig {
             workers: 4,
@@ -439,13 +850,7 @@ mod tests {
         let n = 32u64;
         for seq in 0..n {
             let request = if seq % 5 == 4 { Request::Ping } else { run_req(None) };
-            sender
-                .send(Job {
-                    seq,
-                    request,
-                    reply: reply_tx.clone(),
-                })
-                .unwrap();
+            assert!(sender.send(Job::new(seq, request, reply_tx.clone())).is_ok());
         }
         drop(reply_tx);
         let mut got: Vec<(u64, Response)> = reply_rx.iter().take(n as usize).collect();
@@ -458,9 +863,19 @@ mod tests {
                 assert!(matches!(resp, Response::Run(_)));
             }
         }
-        // exactly one compile despite 4 workers racing the same key
+        // exactly one compile despite 4 workers racing the same key;
+        // batch members beyond the first are accounted as hits, so the
+        // totals are batching-invariant
         let stats = state.stats();
         assert_eq!(stats.misses, 1, "in-flight dedup");
         assert_eq!(stats.hits + stats.coalesced, (n - n / 5) - 1);
+        assert_eq!(stats.batched_runs, n - n / 5, "every run in exactly one batch");
+        let weighted: u64 = stats
+            .batch_occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        assert_eq!(weighted, stats.batched_runs, "histogram reconciles");
     }
 }

@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 
 /// Which all-reduce construction a request asks for.
 ///
-/// The flat MultiTree variants keep their construction [`Forest`]
+/// The flat MultiTree variants keep their construction `Forest`
 /// (`multitree::algorithms::Forest`) alongside the cached schedule, which
 /// is what lets a later fault delta go through incremental repair instead
 /// of a cold recompile; the other algorithms are rebuilt from scratch on
@@ -187,10 +187,17 @@ pub struct RunResponse {
     pub flits_sent: u64,
     /// True if the run stalled under faults (watchdog fired).
     pub stalled: bool,
+    /// Occupancy of the coalesced batch this run executed in (≥ 1; the
+    /// number of same-key runs that shared one cache resolve and one
+    /// prepared-data borrow). Like `provenance`, this is scheduling
+    /// provenance, not a simulated quantity: it depends on queue timing,
+    /// worker count and `max_batch`, so determinism diffs must compare
+    /// the simulated fields only.
+    pub batch: u64,
 }
 
 /// Daemon counters at a point in time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StatsResponse {
     /// Run requests answered from a ready cache entry.
     pub hits: u64,
@@ -208,6 +215,18 @@ pub struct StatsResponse {
     pub repairs_survivor: u64,
     /// Requests that returned an error.
     pub errors: u64,
+    /// Coalesced batches the worker pool has executed. Every run
+    /// executes in exactly one batch (an unbatched run is a batch of
+    /// occupancy 1), so these counters reconcile exactly:
+    /// `batched_runs` equals the total run requests the workers have
+    /// finished, and the occupancy-weighted histogram sums back to it.
+    pub batches: u64,
+    /// Runs executed inside those batches (the sum of occupancies).
+    pub batched_runs: u64,
+    /// Batch occupancy histogram: element `i` counts batches that
+    /// executed `i + 1` runs, the last element absorbing anything
+    /// larger.
+    pub batch_occupancy: Vec<u64>,
     /// Bytes currently resident in the schedule cache.
     pub resident_bytes: u64,
     /// Ready entries currently resident.

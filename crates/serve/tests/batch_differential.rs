@@ -1,0 +1,164 @@
+//! Differential property: batching is invisible (PR-10 satellite).
+//!
+//! For any interleaving of requests over a handful of schedule keys, any
+//! worker count and any `--max-batch`, the daemon's responses must be
+//! byte-identical *in their simulated fields* to the `max_batch = 1`,
+//! single-worker execution of the same stream — and arrive in the same
+//! per-connection order. Provenance strings and the `batch` occupancy
+//! field are scheduling provenance, not simulation output, and are the
+//! only fields allowed to differ.
+//!
+//! The baseline is sequential `ServeState::handle` (exactly the
+//! one-job-per-wakeup, one-worker daemon); the variant pushes the same
+//! stream through a real [`WorkerPool`] with its coalescing queue.
+
+use mt_netsim::FaultPlan;
+use mt_serve::pool::Job;
+use mt_serve::{
+    AlgorithmSpec, EngineSpec, Request, Response, RunRequest, ServeConfig, ServeState, WorkerPool,
+};
+use mt_topology::{LinkId, TopologySpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Three compile-cheap keys the generated streams mix over. Two share a
+/// topology family (distinct sizes), one is a different family, so the
+/// coalescer sees both easy and adjacent non-matches.
+fn topology_of(pick: usize) -> TopologySpec {
+    match pick % 3 {
+        0 => TopologySpec::Torus { rows: 3, cols: 3 },
+        1 => TopologySpec::Torus { rows: 4, cols: 4 },
+        _ => TopologySpec::Hypercube { dim: 3 },
+    }
+}
+
+/// Payload ladder including an invalid zero, so validation rejects land
+/// inside coalesced batches too.
+fn payload_of(pick: usize) -> u64 {
+    [1 << 14, 1 << 16, 1 << 17, 0][pick % 4]
+}
+
+/// Runtime-only fault plans (flap, degrade) share the healthy entry's
+/// schedule key, so faulted members coalesce into healthy batches and
+/// must still execute individually.
+fn faults_of(pick: usize) -> Option<FaultPlan> {
+    match pick % 4 {
+        0 | 1 => None,
+        2 => Some(FaultPlan::new().link_flap(LinkId::new(2), 100.0, 5_000.0)),
+        _ => Some(FaultPlan::new().degrade(LinkId::new(1), 0.0, 3.0)),
+    }
+}
+
+fn request_of(&(t, p, e, f): &(usize, usize, usize, usize)) -> Request {
+    Request::Run(RunRequest {
+        topology: topology_of(t),
+        algorithm: AlgorithmSpec::MultiTree,
+        payload_bytes: payload_of(p),
+        engine: if e % 2 == 1 { EngineSpec::Cycle } else { EngineSpec::Flow },
+        faults: faults_of(f),
+    })
+}
+
+/// `(key, verified, completion bits, delivered, messages, flits, stalled)`
+/// for run responses; the deterministic detail string for errors.
+type RunFields = (String, bool, u64, u64, u64, u64, bool);
+
+/// The fields batching must not change. Error details are included:
+/// rejects are deterministic strings.
+fn simulated_fields(resp: &Response) -> (Option<RunFields>, Option<String>) {
+    match resp {
+        Response::Run(r) => (
+            Some((
+                r.key.clone(),
+                r.verified,
+                r.completion_ns.to_bits(),
+                r.delivered,
+                r.messages,
+                r.flits_sent,
+                r.stalled,
+            )),
+            None,
+        ),
+        Response::Error(e) => (None, Some(e.detail.clone())),
+        other => panic!("run requests only get run/error responses, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn any_interleaving_any_max_batch_is_byte_identical_to_unbatched(
+        stream in prop::collection::vec((0usize..3, 0usize..4, 0usize..2, 0usize..4), 1..20),
+        max_batch in 1usize..9,
+        workers in 1usize..4,
+    ) {
+        let requests: Vec<Request> = stream.iter().map(request_of).collect();
+
+        // baseline: one worker, one job per wakeup, sequential
+        let baseline_state = ServeState::new(ServeConfig::default());
+        let mut scratch = mt_netsim::SimScratch::new();
+        let baseline: Vec<_> = requests
+            .iter()
+            .map(|r| simulated_fields(&baseline_state.handle(r, &mut scratch)))
+            .collect();
+        let base_stats = baseline_state.stats();
+
+        // variant: a real pool with the coalescing queue
+        let state = Arc::new(ServeState::new(ServeConfig {
+            workers,
+            max_batch,
+            ..ServeConfig::default()
+        }));
+        let pool = WorkerPool::new(Arc::clone(&state));
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let sender = pool.sender();
+        for (seq, request) in requests.iter().enumerate() {
+            prop_assert!(
+                sender.send(Job::new(seq as u64, request.clone(), reply_tx.clone())).is_ok()
+            );
+        }
+        drop(reply_tx);
+        let mut got: Vec<(u64, Response)> = reply_rx.iter().collect();
+        drop(pool);
+
+        // every request answered exactly once, reassembled by seq
+        prop_assert_eq!(got.len(), requests.len(), "every seq answered");
+        got.sort_by_key(|(seq, _)| *seq);
+        for (i, (seq, resp)) in got.iter().enumerate() {
+            prop_assert_eq!(*seq, i as u64);
+            let fields = simulated_fields(resp);
+            prop_assert_eq!(
+                &fields, &baseline[i],
+                "seq {} differs from max_batch=1 baseline (workers={}, max_batch={})",
+                i, workers, max_batch
+            );
+            if let Response::Run(r) = resp {
+                prop_assert!(r.batch >= 1 && r.batch as usize <= max_batch.max(1));
+            }
+        }
+
+        // counters reconcile with the unbatched stream
+        let stats = state.stats();
+        prop_assert_eq!(stats.misses, base_stats.misses, "one compile per unique key");
+        prop_assert_eq!(
+            stats.hits + stats.coalesced,
+            base_stats.hits + base_stats.coalesced,
+            "every non-compiling run accounted as a hit"
+        );
+        prop_assert_eq!(stats.errors, base_stats.errors);
+        prop_assert_eq!(stats.batched_runs, requests.len() as u64);
+        prop_assert_eq!(
+            stats.batch_occupancy.iter().sum::<u64>(),
+            stats.batches,
+            "histogram counts every batch once"
+        );
+        let weighted: u64 = stats
+            .batch_occupancy
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        prop_assert_eq!(weighted, stats.batched_runs, "occupancies sum to runs");
+    }
+}
